@@ -1,0 +1,51 @@
+//! Criterion end-to-end clustering benchmarks: centralized vs. small
+//! networks, CXK-means vs. PK-means, on a reduced DBLP corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxk_bench::{prepare, CorpusKind};
+use cxk_core::{run_collaborative, run_pk_means, CxkConfig, PkConfig};
+use cxk_corpus::partition_equal;
+use cxk_transact::SimParams;
+
+fn bench_cxk_network_sizes(c: &mut Criterion) {
+    let p = prepare(CorpusKind::Dblp, 0.25, 9);
+    let n = p.dataset.stats.transactions;
+    let mut group = c.benchmark_group("cxk_means");
+    for m in [1usize, 3, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let partition = partition_equal(n, m, 1);
+            let mut config = CxkConfig::new(p.k_structure);
+            config.params = SimParams::new(0.8, 0.6);
+            config.max_rounds = 10;
+            b.iter(|| black_box(run_collaborative(&p.dataset, &partition, &config)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cxk_vs_pk(c: &mut Criterion) {
+    let p = prepare(CorpusKind::Dblp, 0.25, 10);
+    let n = p.dataset.stats.transactions;
+    let partition = partition_equal(n, 5, 2);
+    let mut group = c.benchmark_group("cxk_vs_pk_m5");
+    group.bench_function("cxk", |b| {
+        let mut config = CxkConfig::new(p.k_structure);
+        config.params = SimParams::new(0.5, 0.6);
+        config.max_rounds = 10;
+        b.iter(|| black_box(run_collaborative(&p.dataset, &partition, &config)))
+    });
+    group.bench_function("pk", |b| {
+        let mut config = PkConfig::new(p.k_structure);
+        config.params = SimParams::new(0.5, 0.6);
+        config.max_rounds = 10;
+        b.iter(|| black_box(run_pk_means(&p.dataset, &partition, &config)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cxk_network_sizes, bench_cxk_vs_pk
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches for the extension subsystems: the VSM baseline, the
+//! semantic tag-similarity table, the streaming push path, and the churn
+//! driver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cxk_bench::data::prepare_dblp_dialects;
+use cxk_bench::experiments::dialect_thesaurus;
+use cxk_bench::{prepare, CorpusKind};
+use cxk_core::{
+    run_collaborative_with_churn, run_vsm_kmeans, transaction_vectors, ChurnSchedule, CxkConfig,
+    VsmConfig,
+};
+use cxk_corpus::dblp::{generate, DblpConfig};
+use cxk_corpus::partition_equal;
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::{ExactMatch, SimParams, TagPathSimTable};
+
+fn bench_vsm(c: &mut Criterion) {
+    let p = prepare(CorpusKind::Dblp, 0.2, 11);
+    c.bench_function("vsm_vectorize", |b| {
+        b.iter(|| black_box(transaction_vectors(&p.dataset, 0.5)))
+    });
+    let config = VsmConfig {
+        k: 16,
+        f: 0.5,
+        max_rounds: 50,
+        seed: 3,
+    };
+    c.bench_function("vsm_kmeans_full", |b| {
+        b.iter(|| black_box(run_vsm_kmeans(&p.dataset, &config)))
+    });
+}
+
+fn bench_semantic_table(c: &mut Criterion) {
+    let prepared = prepare_dblp_dialects(0.2, 12, 3);
+    let tag_paths = prepared.dataset.distinct_tag_paths();
+    let matcher = dialect_thesaurus().matcher(&prepared.dataset.labels);
+    c.bench_function("tag_table_exact", |b| {
+        b.iter(|| {
+            black_box(TagPathSimTable::build_with(
+                &tag_paths,
+                &prepared.dataset.paths,
+                &ExactMatch,
+            ))
+        })
+    });
+    c.bench_function("tag_table_thesaurus", |b| {
+        b.iter(|| {
+            black_box(TagPathSimTable::build_with(
+                &tag_paths,
+                &prepared.dataset.paths,
+                &matcher,
+            ))
+        })
+    });
+}
+
+fn bench_stream_push(c: &mut Criterion) {
+    let corpus = generate(&DblpConfig {
+        documents: 120,
+        seed: 13,
+        dialects: 1,
+    });
+    let bootstrap: Vec<&str> = corpus.documents[..100].iter().map(String::as_str).collect();
+    let arrivals: Vec<&str> = corpus.documents[100..].iter().map(String::as_str).collect();
+
+    let mut opts = StreamOptions::new(16);
+    opts.config.params = SimParams::new(0.5, 0.6);
+    opts.config.seed = 7;
+    opts.policy = RefreshPolicy::manual();
+
+    c.bench_function("stream_push_20_docs", |b| {
+        b.iter_batched(
+            || StreamClusterer::new(&bootstrap, opts.clone()).expect("bootstrap"),
+            |mut clusterer| {
+                for doc in &arrivals {
+                    black_box(clusterer.push(doc).expect("well-formed"));
+                }
+                clusterer
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_churn_run(c: &mut Criterion) {
+    let p = prepare(CorpusKind::Dblp, 0.15, 14);
+    let n = p.dataset.stats.transactions;
+    let partition = partition_equal(n, 8, 2);
+    let mut config = CxkConfig::new(16);
+    config.params = SimParams::new(0.5, 0.6);
+    config.seed = 5;
+    config.max_rounds = 12;
+    let schedule = ChurnSchedule::mass_departure(2, &[6, 7]);
+    c.bench_function("churn_run_m8_2departures", |b| {
+        b.iter(|| {
+            black_box(run_collaborative_with_churn(
+                &p.dataset, &partition, &config, &schedule,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vsm, bench_semantic_table, bench_stream_push, bench_churn_run
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Minimal CLI argument parsing for the experiment binaries (no external
+//! dependency; flags are `--name value` pairs).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `std::env::args`, panicking with usage help on malformed
+    /// input.
+    pub fn from_env(usage: &str) -> Self {
+        let mut values = BTreeMap::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--help" || arg == "-h" {
+                eprintln!("{usage}");
+                std::process::exit(0);
+            }
+            let Some(name) = arg.strip_prefix("--") else {
+                panic!("unexpected argument `{arg}`\n{usage}");
+            };
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value\n{usage}"));
+            values.insert(name.to_string(), value);
+        }
+        Self { values }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|e| panic!("bad --{name}: {e:?}")))
+            .unwrap_or(default)
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Parses a comma-separated list of integers, e.g. `1,3,5,7,9`.
+pub fn parse_usize_list(input: &str) -> Vec<usize> {
+    input
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().expect("integer list"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(parse_usize_list("1,3,5"), vec![1, 3, 5]);
+        assert_eq!(parse_usize_list(" 2, 4 "), vec![2, 4]);
+        assert!(parse_usize_list("").is_empty());
+    }
+
+    #[test]
+    fn flag_defaults() {
+        let flags = Flags::default();
+        assert_eq!(flags.get("runs", 3usize), 3);
+        assert_eq!(flags.get_str("corpus", "dblp"), "dblp");
+    }
+}

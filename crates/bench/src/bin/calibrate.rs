@@ -1,0 +1,62 @@
+//! Calibration sweep: centralized F-measure over a γ grid for every
+//! (corpus, setting) pair — the reproduction's analogue of the paper's
+//! observation that "the best setting of parameter γ was found to be close
+//! to high values (typically above 0.85)". The winning γ per corpus is
+//! recorded in `experiments::default_gamma` and `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin calibrate -- [--scale 0.5] [--runs 2]
+//! ```
+
+use cxk_bench::args::Flags;
+use cxk_bench::experiments::{accuracy_table, ExperimentOptions};
+use cxk_bench::{prepare, CorpusKind};
+use cxk_corpus::ClusteringSetting;
+
+const USAGE: &str = "calibrate --scale <f64> --runs <n> --corpus <all|name>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let scale: f64 = flags.get("scale", 0.5);
+    let runs: usize = flags.get("runs", 2);
+    let corpus = flags.get_str("corpus", "all");
+    let kinds: Vec<CorpusKind> = if corpus == "all" {
+        CorpusKind::all().to_vec()
+    } else {
+        vec![CorpusKind::parse(&corpus).expect("unknown corpus")]
+    };
+
+    println!("corpus\tsetting\tgamma\tF_centralized");
+    for &kind in &kinds {
+        let prepared = prepare(kind, scale, 0xCA11 + kind as u64);
+        eprintln!(
+            "[calibrate] {} |S| = {}",
+            kind.name(),
+            prepared.dataset.stats.transactions
+        );
+        for setting in [
+            ClusteringSetting::Content,
+            ClusteringSetting::Hybrid,
+            ClusteringSetting::Structure,
+        ] {
+            if kind == CorpusKind::Wikipedia && setting != ClusteringSetting::Content {
+                continue;
+            }
+            for gamma in [0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85] {
+                let opts = ExperimentOptions {
+                    gamma,
+                    runs,
+                    ..Default::default()
+                };
+                let rows = accuracy_table(&prepared, setting, &[1], true, &opts);
+                println!(
+                    "{}\t{}\t{:.2}\t{:.3}",
+                    kind.name(),
+                    setting.name(),
+                    gamma,
+                    rows[0].f_mean
+                );
+            }
+        }
+    }
+}

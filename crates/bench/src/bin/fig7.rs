@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 7(a–d)**: clustering time vs. number of peers, on all
+//! four corpora at full and halved size (structure/content-driven setting,
+//! equal partitioning).
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin fig7 -- [--corpus all] [--scale 1.0]
+//!     [--ms 1,3,5,7,9,11,13,15,17,19] [--runs 3] [--gamma per-corpus] [--full-f 0]
+//! ```
+
+use cxk_bench::args::{parse_usize_list, Flags};
+use cxk_bench::experiments::{default_gamma, fig7, ExperimentOptions};
+use cxk_bench::{prepare, CorpusKind};
+
+const USAGE: &str = "fig7 --corpus <all|dblp|ieee|shakespeare|wikipedia> \
+--scale <f64> --ms <list> --runs <n> --gamma <f64> --full-f <0|1>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let corpus = flags.get_str("corpus", "all");
+    let scale: f64 = flags.get("scale", 1.0);
+    let ms = parse_usize_list(&flags.get_str("ms", "1,3,5,7,9,11,13,15,17,19"));
+    let runs: usize = flags.get("runs", 3);
+    let full_f: u8 = flags.get("full-f", 0);
+
+    let kinds: Vec<CorpusKind> = if corpus == "all" {
+        CorpusKind::all().to_vec()
+    } else {
+        vec![CorpusKind::parse(&corpus).expect("unknown corpus")]
+    };
+
+    println!("# Fig. 7: clustering time vs number of nodes (simulated clock)");
+    println!("corpus\tseries\tm\tseconds\trounds\tkbytes");
+    for kind in kinds {
+        for (series, series_scale) in [("full", scale), ("half", scale * 0.5)] {
+            let prepared = prepare(kind, series_scale, 0xF167 + kind as u64);
+            let opts = ExperimentOptions {
+                gamma: flags.get("gamma", default_gamma(kind)),
+                runs,
+                full_f_grid: full_f != 0,
+                ..Default::default()
+            };
+            eprintln!(
+                "[fig7] {} {} : |S| = {}",
+                kind.name(),
+                series,
+                prepared.dataset.stats.transactions
+            );
+            for row in fig7(&prepared, series, &ms, &opts) {
+                println!(
+                    "{}\t{}\t{}\t{:.4}\t{:.1}\t{:.1}",
+                    row.corpus, row.series, row.m, row.seconds, row.rounds, row.kbytes
+                );
+            }
+        }
+    }
+}

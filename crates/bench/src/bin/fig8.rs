@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 8(a,b)**: CXK-means vs. PK-means clustering time by
+//! number of peers on DBLP and IEEE, plus the §5.5.3 accuracy comparison
+//! (CXK-means ≈ PK-means + small margin).
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin fig8 -- [--corpus dblp,ieee]
+//!     [--ms 1,3,5,7,9,11,13,15,17,19] [--runs 3] [--scale 1.0]
+//! ```
+
+use cxk_bench::args::{parse_usize_list, Flags};
+use cxk_bench::experiments::{default_gamma, fig8, ExperimentOptions};
+use cxk_bench::{prepare, CorpusKind};
+use cxk_eval::RunStats;
+
+const USAGE: &str = "fig8 --corpus <comma list> --ms <list> --runs <n> \
+--scale <f64> --gamma <f64> --full-f <0|1>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let corpus = flags.get_str("corpus", "dblp,ieee");
+    let scale: f64 = flags.get("scale", 1.0);
+    let ms = parse_usize_list(&flags.get_str("ms", "1,3,5,7,9,11,13,15,17,19"));
+    let runs: usize = flags.get("runs", 3);
+    let full_f: u8 = flags.get("full-f", 0);
+
+    let kinds: Vec<CorpusKind> = corpus
+        .split(',')
+        .map(|name| CorpusKind::parse(name.trim()).expect("unknown corpus"))
+        .collect();
+
+    println!("# Fig. 8: CXK-means vs PK-means (simulated clock) + accuracy (5.5.3)");
+    println!("corpus\tm\tcxk_s\tpk_s\tcxk_kb\tpk_kb\tcxk_F\tpk_F");
+    let mut delta = RunStats::new();
+    for &kind in &kinds {
+        let prepared = prepare(kind, scale, 0xF18 + kind as u64);
+        let opts = ExperimentOptions {
+            gamma: flags.get("gamma", default_gamma(kind)),
+            runs,
+            full_f_grid: full_f != 0,
+            ..Default::default()
+        };
+        eprintln!(
+            "[fig8] {} : |S| = {}",
+            kind.name(),
+            prepared.dataset.stats.transactions
+        );
+        for row in fig8(&prepared, &ms, &opts) {
+            println!(
+                "{}\t{}\t{:.4}\t{:.4}\t{:.1}\t{:.1}\t{:.3}\t{:.3}",
+                row.corpus,
+                row.m,
+                row.cxk_seconds,
+                row.pk_seconds,
+                row.cxk_kbytes,
+                row.pk_kbytes,
+                row.cxk_f,
+                row.pk_f
+            );
+            if row.m > 1 {
+                delta.push(row.cxk_f - row.pk_f);
+            }
+        }
+    }
+    println!(
+        "# mean F advantage of CXK over PK across corpora and network sizes: {:+.3}",
+        delta.mean()
+    );
+}

@@ -1,0 +1,59 @@
+//! §4.3.4 ablation: locate the measured saturation (stabilization) point of
+//! the runtime curve for each corpus and compare it with the analytic
+//! optimum `m*` of the paper's cost function `f(m)`.
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin saturation -- [--corpus all]
+//!     [--ms 1,2,3,4,5,6,7,8,9,10,12,14,16,19] [--runs 2] [--scale 1.0]
+//! ```
+
+use cxk_bench::args::{parse_usize_list, Flags};
+use cxk_bench::experiments::{default_gamma, saturation, ExperimentOptions};
+use cxk_bench::{prepare, CorpusKind};
+
+const USAGE: &str =
+    "saturation --corpus <all|name> --ms <list> --runs <n> --scale <f64> --gamma <f64>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let corpus = flags.get_str("corpus", "all");
+    let scale: f64 = flags.get("scale", 1.0);
+    let ms = parse_usize_list(&flags.get_str("ms", "1,2,3,4,5,6,7,8,9,10,12,14,16,19"));
+    let runs: usize = flags.get("runs", 2);
+
+    let kinds: Vec<CorpusKind> = if corpus == "all" {
+        CorpusKind::all().to_vec()
+    } else {
+        vec![CorpusKind::parse(&corpus).expect("unknown corpus")]
+    };
+
+    println!("# Saturation ablation: measured knee vs analytic m* (4.3.4)");
+    println!("corpus\tmeasured_knee\tanalytic_m_star\th_estimate\tcurve");
+    for kind in kinds {
+        let prepared = prepare(kind, scale, 0x5A7 + kind as u64);
+        let opts = ExperimentOptions {
+            gamma: flags.get("gamma", default_gamma(kind)),
+            runs,
+            ..Default::default()
+        };
+        eprintln!(
+            "[saturation] {} : |S| = {}",
+            kind.name(),
+            prepared.dataset.stats.transactions
+        );
+        let report = saturation(&prepared, &ms, &opts);
+        let curve: Vec<String> = report
+            .curve
+            .iter()
+            .map(|(m, s)| format!("{m}:{s:.3}"))
+            .collect();
+        println!(
+            "{}\t{}\t{:.1}\t{:.2}\t{}",
+            report.corpus,
+            report.measured_knee,
+            report.analytic_m_star,
+            report.h_estimate,
+            curve.join(",")
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Streaming extension bench: incremental folding vs. re-clustering on
+//! every tick (the news-service scenario of the paper's introduction).
+//!
+//! A DBLP corpus arrives document-by-document after a bootstrap batch.
+//! Three deployments are compared:
+//!
+//! * `assign-only` — arrivals are folded in and assigned to the frozen
+//!   representatives; no refresh ever happens.
+//! * `refresh-N` — same, plus a full refresh every `N` documents
+//!   (the debt-repayment schedule a service would run).
+//! * `recluster-every` — the naive deployment: a full rebuild +
+//!   re-clustering after every single document.
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin stream -- [--scale 0.5]
+//!     [--bootstrap 0.4] [--refresh 16] [--gamma 0.6]
+//! ```
+
+use cxk_bench::args::Flags;
+use cxk_corpus::dblp::{generate, DblpConfig};
+use cxk_corpus::{transaction_labels, ClusteringSetting};
+use cxk_eval::f_measure;
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::SimParams;
+use std::time::Instant;
+
+const USAGE: &str = "stream --scale <f64> --bootstrap <frac> --refresh <n> --gamma <f64>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let scale: f64 = flags.get("scale", 0.5);
+    let bootstrap_frac: f64 = flags.get("bootstrap", 0.4);
+    let refresh_every: usize = flags.get("refresh", 16);
+    let gamma: f64 = flags.get("gamma", 0.6);
+
+    let corpus = generate(&DblpConfig {
+        documents: ((600.0 * scale).round() as usize).max(20),
+        seed: 0x57EA,
+        dialects: 1,
+    });
+    let split = ((corpus.len() as f64) * bootstrap_frac).round() as usize;
+    let bootstrap: Vec<&str> = corpus.documents[..split].iter().map(String::as_str).collect();
+    let arrivals = &corpus.documents[split..];
+    let (doc_labels, k) = corpus.labels_for(ClusteringSetting::Hybrid);
+
+    println!("# Streaming: {} bootstrap docs, {} arrivals, k = {k}", split, arrivals.len());
+    println!("variant\tarrivals\tseconds\tdocs_per_sec\trefreshes\tF_final");
+
+    let variants: Vec<(&str, RefreshPolicy)> = vec![
+        ("assign-only", RefreshPolicy::manual()),
+        ("refresh-N", RefreshPolicy::every(refresh_every)),
+        ("recluster-every", RefreshPolicy::every(1)),
+    ];
+
+    for (name, policy) in variants {
+        let mut opts = StreamOptions::new(k);
+        opts.config.params = SimParams::new(ClusteringSetting::Hybrid.f_mid(), gamma);
+        opts.config.seed = 11;
+        opts.policy = policy;
+        let mut clusterer = StreamClusterer::new(&bootstrap, opts).expect("bootstrap");
+
+        let start = Instant::now();
+        for doc in arrivals {
+            clusterer.push(doc).expect("well-formed corpus");
+        }
+        let seconds = start.elapsed().as_secs_f64();
+
+        let labels = transaction_labels(doc_labels, &clusterer.dataset().doc_of);
+        let f = f_measure(&labels, clusterer.assignments());
+        println!(
+            "{name}\t{}\t{seconds:.3}\t{:.1}\t{}\t{f:.3}",
+            arrivals.len(),
+            arrivals.len() as f64 / seconds,
+            clusterer.stats().refreshes,
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table 1(a–c)**: F-measure vs. number of peers with data
+//! *equally* distributed, for the content-, hybrid- and structure-driven
+//! settings.
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin table1 -- [--setting all]
+//!     [--corpus all] [--ms 1,3,5,7,9] [--runs 3] [--scale 1.0] [--full-f 0]
+//! ```
+
+use cxk_bench::args::Flags;
+use cxk_bench::table_runner;
+
+const USAGE: &str = "table1 --setting <all|content|hybrid|structure> \
+--corpus <all|name> --ms <list> --runs <n> --scale <f64> --gamma <f64> --full-f <0|1>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    table_runner::run(&flags, true, "Table 1 (equal distribution)");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Table 2(a–c)**: F-measure vs. number of peers with data
+//! *unequally* distributed (half of the peers hold twice the share of the
+//! other half, §5.1).
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin table2 -- [--setting all]
+//!     [--corpus all] [--ms 1,3,5,7,9] [--runs 3] [--scale 1.0]
+//! ```
+
+use cxk_bench::args::Flags;
+use cxk_bench::table_runner;
+
+const USAGE: &str = "table2 --setting <all|content|hybrid|structure> \
+--corpus <all|name> --ms <list> --runs <n> --scale <f64> --gamma <f64> --full-f <0|1>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    table_runner::run(&flags, false, "Table 2 (unequal distribution)");
+}

@@ -1,0 +1,61 @@
+//! Baseline comparison: centralized CXK-means vs. flat vector-space
+//! K-means ([13]/[34] of the paper's related work) on every corpus and
+//! clustering setting.
+//!
+//! ```text
+//! cargo run -p cxk-bench --release --bin vsm -- [--corpus all]
+//!     [--runs 3] [--scale 1.0]
+//! ```
+
+use cxk_bench::args::Flags;
+use cxk_bench::experiments::{default_gamma_for, vsm_comparison, ExperimentOptions};
+use cxk_bench::{prepare, CorpusKind};
+use cxk_corpus::ClusteringSetting;
+
+const USAGE: &str = "vsm --corpus <name|all> --runs <n> --scale <f64>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let corpus = flags.get_str("corpus", "all");
+    let scale: f64 = flags.get("scale", 1.0);
+    let runs: usize = flags.get("runs", 3);
+
+    let kinds: Vec<CorpusKind> = if corpus == "all" {
+        CorpusKind::all().to_vec()
+    } else {
+        vec![CorpusKind::parse(&corpus).expect("unknown corpus")]
+    };
+
+    println!("# Baseline: CXK-means (centralized) vs flat vector-space K-means");
+    println!("corpus\tsetting\tk\tF_cxk\tF_vsm\tdelta");
+    for kind in kinds {
+        let prepared = prepare(kind, scale, 0x75B + kind as u64);
+        let settings: &[ClusteringSetting] = if kind == CorpusKind::Wikipedia {
+            // Content-driven only, as in the paper (§5.2).
+            &[ClusteringSetting::Content]
+        } else {
+            &[
+                ClusteringSetting::Content,
+                ClusteringSetting::Hybrid,
+                ClusteringSetting::Structure,
+            ]
+        };
+        for &setting in settings {
+            let opts = ExperimentOptions {
+                gamma: default_gamma_for(kind, setting),
+                runs,
+                ..Default::default()
+            };
+            let row = vsm_comparison(&prepared, setting, &opts);
+            println!(
+                "{}\t{}\t{}\t{:.3}\t{:.3}\t{:+.3}",
+                row.corpus,
+                row.setting,
+                row.k,
+                row.cxk_f,
+                row.vsm_f,
+                row.cxk_f - row.vsm_f
+            );
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Corpus preparation: generate a synthetic corpus, run the full
+//! preprocessing pipeline, and expand ground truth to transactions.
+
+use cxk_corpus::dblp::{self, DblpConfig};
+use cxk_corpus::ieee::{self, IeeeConfig};
+use cxk_corpus::shakespeare::{self, ShakespeareConfig};
+use cxk_corpus::wikipedia::{self, WikipediaConfig};
+use cxk_corpus::{transaction_labels, ClusteringSetting, Corpus};
+use cxk_transact::{BuildOptions, Dataset, DatasetBuilder};
+
+/// The four evaluation corpora of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusKind {
+    /// Bibliographic records (smallest; 4/6/16 classes).
+    Dblp,
+    /// Journal articles (largest; 2/8/14 classes).
+    Ieee,
+    /// Few long plays (3/5/12 classes).
+    Shakespeare,
+    /// Thematic articles (21 classes, content-driven only).
+    Wikipedia,
+}
+
+impl CorpusKind {
+    /// All four corpora in the paper's presentation order.
+    pub fn all() -> [CorpusKind; 4] {
+        [
+            CorpusKind::Dblp,
+            CorpusKind::Ieee,
+            CorpusKind::Shakespeare,
+            CorpusKind::Wikipedia,
+        ]
+    }
+
+    /// Parses a corpus name.
+    pub fn parse(name: &str) -> Option<CorpusKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "dblp" => Some(CorpusKind::Dblp),
+            "ieee" => Some(CorpusKind::Ieee),
+            "shakespeare" => Some(CorpusKind::Shakespeare),
+            "wikipedia" => Some(CorpusKind::Wikipedia),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Dblp => "dblp",
+            CorpusKind::Ieee => "ieee",
+            CorpusKind::Shakespeare => "shakespeare",
+            CorpusKind::Wikipedia => "wikipedia",
+        }
+    }
+}
+
+/// A corpus run through the full preprocessing pipeline, with per-
+/// transaction ground truth for every clustering setting.
+pub struct Prepared {
+    /// Corpus kind.
+    pub kind: CorpusKind,
+    /// The transactional dataset.
+    pub dataset: Dataset,
+    /// Per-transaction labels: (structure, content, hybrid).
+    pub structure_labels: Vec<u32>,
+    /// Content labels.
+    pub content_labels: Vec<u32>,
+    /// Hybrid labels.
+    pub hybrid_labels: Vec<u32>,
+    /// Class counts (the `k` the paper uses per setting).
+    pub k_structure: usize,
+    /// Content class count.
+    pub k_content: usize,
+    /// Hybrid class count.
+    pub k_hybrid: usize,
+}
+
+impl Prepared {
+    /// Labels and `k` for a clustering setting.
+    pub fn setting(&self, setting: ClusteringSetting) -> (&[u32], usize) {
+        match setting {
+            ClusteringSetting::Structure => (&self.structure_labels, self.k_structure),
+            ClusteringSetting::Content => (&self.content_labels, self.k_content),
+            ClusteringSetting::Hybrid => (&self.hybrid_labels, self.k_hybrid),
+        }
+    }
+}
+
+/// Generates `kind` at `scale` (1.0 = the default experiment size; the
+/// "halved" series of Fig. 7 uses 0.5) and runs preprocessing.
+pub fn prepare(kind: CorpusKind, scale: f64, seed: u64) -> Prepared {
+    let corpus = generate(kind, scale, seed);
+    prepare_corpus(kind, &corpus)
+}
+
+/// DBLP generated with `dialects` heterogeneous markup vocabularies (the
+/// semantic-matching scenario; see `cxk_corpus::dialect`), run through the
+/// same pipeline as [`prepare`].
+pub fn prepare_dblp_dialects(scale: f64, seed: u64, dialects: usize) -> Prepared {
+    let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    let corpus = dblp::generate(&DblpConfig {
+        documents: scaled(600),
+        seed,
+        dialects,
+    });
+    prepare_corpus(CorpusKind::Dblp, &corpus)
+}
+
+fn prepare_corpus(kind: CorpusKind, corpus: &Corpus) -> Prepared {
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for doc in &corpus.documents {
+        builder
+            .add_xml(doc)
+            .expect("generated corpora are well-formed");
+    }
+    let dataset = builder.finish();
+    let structure_labels = transaction_labels(&corpus.structure_class, &dataset.doc_of);
+    let content_labels = transaction_labels(&corpus.content_class, &dataset.doc_of);
+    let hybrid_labels = transaction_labels(&corpus.hybrid_class, &dataset.doc_of);
+    Prepared {
+        kind,
+        dataset,
+        structure_labels,
+        content_labels,
+        hybrid_labels,
+        k_structure: corpus.k_structure,
+        k_content: corpus.k_content,
+        k_hybrid: corpus.k_hybrid,
+    }
+}
+
+fn generate(kind: CorpusKind, scale: f64, seed: u64) -> Corpus {
+    let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+    match kind {
+        CorpusKind::Dblp => dblp::generate(&DblpConfig {
+            documents: scaled(600),
+            seed,
+        dialects: 1,
+    }),
+        CorpusKind::Ieee => ieee::generate(&IeeeConfig {
+            documents: scaled(90),
+            seed,
+        }),
+        CorpusKind::Shakespeare => shakespeare::generate(&ShakespeareConfig {
+            // Scale document length, not document count: the corpus is
+            // "few, very long documents".
+            speeches_per_scene: scaled(5),
+            personae: 5,
+            seed,
+        }),
+        CorpusKind::Wikipedia => wikipedia::generate(&WikipediaConfig {
+            documents: scaled(250),
+            seed,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_small_dblp() {
+        let p = prepare(CorpusKind::Dblp, 0.1, 1);
+        assert_eq!(p.kind, CorpusKind::Dblp);
+        assert!(p.dataset.stats.transactions >= p.dataset.stats.documents);
+        assert_eq!(p.content_labels.len(), p.dataset.stats.transactions);
+        assert_eq!(p.k_structure, 4);
+        assert_eq!(p.k_content, 6);
+        assert_eq!(p.k_hybrid, 16);
+    }
+
+    #[test]
+    fn scale_changes_size() {
+        let small = prepare(CorpusKind::Wikipedia, 0.05, 2);
+        let larger = prepare(CorpusKind::Wikipedia, 0.1, 2);
+        assert!(larger.dataset.stats.transactions > small.dataset.stats.transactions);
+    }
+
+    #[test]
+    fn corpus_kind_parses() {
+        assert_eq!(CorpusKind::parse("IEEE"), Some(CorpusKind::Ieee));
+        assert_eq!(CorpusKind::parse("nope"), None);
+        for kind in CorpusKind::all() {
+            assert_eq!(CorpusKind::parse(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn setting_lookup_matches_fields() {
+        let p = prepare(CorpusKind::Dblp, 0.05, 3);
+        let (labels, k) = p.setting(ClusteringSetting::Content);
+        assert_eq!(labels.len(), p.content_labels.len());
+        assert_eq!(k, 6);
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared driver for the `table1` and `table2` binaries.
+
+use crate::args::{parse_usize_list, Flags};
+use crate::data::CorpusKind;
+use crate::experiments::{accuracy_table, default_gamma_for, ExperimentOptions};
+use crate::prepare;
+use cxk_corpus::ClusteringSetting;
+
+/// Runs the Table 1 (`equal = true`) or Table 2 (`equal = false`)
+/// experiment from CLI flags, printing TSV to stdout.
+pub fn run(flags: &Flags, equal: bool, title: &str) {
+    let setting_name = flags.get_str("setting", "all");
+    let corpus = flags.get_str("corpus", "all");
+    let scale: f64 = flags.get("scale", 1.0);
+    let ms = parse_usize_list(&flags.get_str("ms", "1,3,5,7,9"));
+    let runs: usize = flags.get("runs", 3);
+    let full_f: u8 = flags.get("full-f", 0);
+
+    let settings: Vec<ClusteringSetting> = match setting_name.as_str() {
+        "all" => vec![
+            ClusteringSetting::Content,
+            ClusteringSetting::Hybrid,
+            ClusteringSetting::Structure,
+        ],
+        "content" => vec![ClusteringSetting::Content],
+        "hybrid" => vec![ClusteringSetting::Hybrid],
+        "structure" => vec![ClusteringSetting::Structure],
+        other => panic!("unknown setting `{other}`"),
+    };
+    let kinds: Vec<CorpusKind> = if corpus == "all" {
+        CorpusKind::all().to_vec()
+    } else {
+        vec![CorpusKind::parse(&corpus).expect("unknown corpus")]
+    };
+
+    println!("# {title}");
+    println!("setting\tcorpus\tk\tm\tF_mean\tF_std");
+    for &setting in &settings {
+        for &kind in &kinds {
+            // The paper uses Wikipedia for content-driven clustering only.
+            if kind == CorpusKind::Wikipedia && setting != ClusteringSetting::Content {
+                continue;
+            }
+            let prepared = prepare(kind, scale, 0x7AB1 + kind as u64);
+            let opts = ExperimentOptions {
+                gamma: flags.get("gamma", default_gamma_for(kind, setting)),
+                runs,
+                full_f_grid: full_f != 0,
+                ..Default::default()
+            };
+            eprintln!(
+                "[table] {} {} : |S| = {}",
+                setting.name(),
+                kind.name(),
+                prepared.dataset.stats.transactions
+            );
+            for row in accuracy_table(&prepared, setting, &ms, equal, &opts) {
+                println!(
+                    "{}\t{}\t{}\t{}\t{:.3}\t{:.3}",
+                    row.setting, row.corpus, row.k, row.m, row.f_mean, row.f_std
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The `build` / `info` / `cluster` command implementations.
+//!
+//! Commands return their stdout as a `String` (and errors as `String`) so
+//! unit tests drive them directly without spawning processes.
+
+use crate::flags::Parsed;
+use cxk_core::{run_collaborative, run_pk_means, run_vsm_kmeans, CxkConfig, PkConfig, VsmConfig};
+use cxk_transact::{
+    load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams,
+};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// `cxk build <inputs>... -o <out.cxkds>`.
+pub fn build(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let out_path = parsed
+        .get_str("o")
+        .or_else(|| parsed.get_str("out"))
+        .ok_or("build needs -o <out.cxkds>")?;
+    let ds = dataset_from_xml_inputs(parsed.positional())?;
+    std::fs::write(out_path, save_dataset(&ds))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "wrote {out_path}: {} documents, {} transactions, {} items\n",
+        ds.stats.documents, ds.stats.transactions, ds.stats.items
+    ))
+}
+
+/// `cxk info <dataset.cxkds | xml inputs>...`.
+pub fn info(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let ds = dataset_from_any_inputs(parsed.positional())?;
+    let s = &ds.stats;
+    let mut out = String::new();
+    let _ = writeln!(out, "documents            {}", s.documents);
+    let _ = writeln!(out, "transactions         {}", s.transactions);
+    let _ = writeln!(out, "distinct items       {}", s.items);
+    let _ = writeln!(out, "vocabulary |V|       {}", s.vocabulary);
+    let _ = writeln!(out, "complete paths       {}", s.complete_paths);
+    let _ = writeln!(out, "tag paths            {}", s.tag_paths);
+    let _ = writeln!(out, "max transaction len  {}", s.max_transaction_len);
+    let _ = writeln!(out, "max TCU nnz          {}", s.max_tcu_nnz);
+    let _ = writeln!(out, "total TCUs (N_T)     {}", s.total_tcus);
+    let _ = writeln!(out, "max tree depth       {}", s.max_depth);
+    Ok(out)
+}
+
+/// `cxk cluster <inputs>... [--k N] [--f F] [--gamma G] [--m M] [--seed S]
+/// [--algorithm cxk|pk|vsm] [--quiet]`.
+pub fn cluster(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let ds = dataset_from_any_inputs(parsed.positional())?;
+    if ds.transactions.is_empty() {
+        return Err("nothing to cluster: the input has no transactions".into());
+    }
+    let k: usize = parsed.get("k", 2)?;
+    let f: f64 = parsed.get("f", 0.5)?;
+    let gamma: f64 = parsed.get("gamma", 0.7)?;
+    let m: usize = parsed.get("m", 1)?;
+    let seed: u64 = parsed.get("seed", 0)?;
+    let algorithm = parsed.get_str("algorithm").unwrap_or("cxk");
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if m == 0 {
+        return Err("--m must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
+        return Err("--f and --gamma must lie in [0, 1]".into());
+    }
+
+    let partition = round_robin_partition(ds.transactions.len(), m);
+    let outcome = match algorithm {
+        "cxk" => {
+            let mut config = CxkConfig::new(k);
+            config.params = SimParams::new(f, gamma);
+            config.seed = seed;
+            run_collaborative(&ds, &partition, &config)
+        }
+        "pk" => {
+            let config = PkConfig {
+                k,
+                params: SimParams::new(f, gamma),
+                max_rounds: 30,
+                max_inner: 2,
+                seed,
+                cost: Default::default(),
+            };
+            run_pk_means(&ds, &partition, &config)
+        }
+        "vsm" => {
+            let config = VsmConfig {
+                k,
+                f,
+                max_rounds: 50,
+                seed,
+            };
+            run_vsm_kmeans(&ds, &config)
+        }
+        other => return Err(format!("unknown algorithm `{other}` (cxk|pk|vsm)")),
+    };
+
+    let mut out = String::new();
+    if !parsed.has("quiet") {
+        for (t, &a) in outcome.assignments.iter().enumerate() {
+            let cluster = if a as usize == k {
+                "trash".to_string()
+            } else {
+                a.to_string()
+            };
+            let _ = writeln!(out, "{t}\t{}\t{cluster}", ds.doc_of[t]);
+        }
+    }
+    let sizes = outcome.cluster_sizes();
+    let _ = writeln!(
+        out,
+        "# algorithm={algorithm} k={k} m={m} f={f} gamma={gamma} rounds={} converged={}",
+        outcome.rounds, outcome.converged
+    );
+    let _ = writeln!(
+        out,
+        "# sizes={:?} trash={} simulated_seconds={:.6}",
+        &sizes[..k],
+        sizes[k],
+        outcome.simulated_seconds
+    );
+    Ok(out)
+}
+
+/// `cxk assign --base <inputs> --new <inputs> [--k N] [--f F] [--gamma G]
+/// [--seed S]` — bootstrap a streaming clusterer on the base corpus and
+/// fold the new documents in, printing each arrival's clusters.
+pub fn assign(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let base_input = parsed.get_str("base").ok_or("assign needs --base <inputs>")?;
+    let new_input = parsed.get_str("new").ok_or("assign needs --new <inputs>")?;
+    let k: usize = parsed.get("k", 2)?;
+    let f: f64 = parsed.get("f", 0.5)?;
+    let gamma: f64 = parsed.get("gamma", 0.7)?;
+    let seed: u64 = parsed.get("seed", 0)?;
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
+        return Err("--f and --gamma must lie in [0, 1]".into());
+    }
+
+    let read_all = |input: &str| -> Result<Vec<(PathBuf, String)>, String> {
+        let files = expand_inputs(&[input.to_string()])?;
+        files
+            .into_iter()
+            .map(|file| {
+                std::fs::read_to_string(&file)
+                    .map(|text| (file.clone(), text))
+                    .map_err(|e| format!("cannot read {}: {e}", file.display()))
+            })
+            .collect()
+    };
+    let base = read_all(base_input)?;
+    let arrivals = read_all(new_input)?;
+    if base.is_empty() {
+        return Err("no base XML files".into());
+    }
+
+    let mut opts = cxk_stream::StreamOptions::new(k);
+    opts.config.params = SimParams::new(f, gamma);
+    opts.config.seed = seed;
+    opts.policy = cxk_stream::RefreshPolicy::manual();
+    let base_refs: Vec<&str> = base.iter().map(|(_, text)| text.as_str()).collect();
+    let mut clusterer = cxk_stream::StreamClusterer::new(&base_refs, opts)
+        .map_err(|e| format!("base corpus: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# base: {} documents, {} transactions, k = {k}",
+        clusterer.document_count(),
+        clusterer.dataset().stats.transactions
+    );
+    for (file, text) in &arrivals {
+        let report = clusterer
+            .push(text)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let clusters: Vec<String> = report
+            .assignments
+            .iter()
+            .map(|&a| {
+                if a as usize == k {
+                    "trash".to_string()
+                } else {
+                    a.to_string()
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{}\t{}", file.display(), clusters.join(","));
+    }
+    Ok(out)
+}
+
+/// Builds a dataset from XML files and directories.
+fn dataset_from_xml_inputs(inputs: &[String]) -> Result<Dataset, String> {
+    let files = expand_inputs(inputs)?;
+    if files.is_empty() {
+        return Err("no input XML files".into());
+    }
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        builder
+            .add_xml(&text)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+    }
+    Ok(builder.finish())
+}
+
+/// Loads a `.cxkds` dataset, or builds one from XML inputs.
+fn dataset_from_any_inputs(inputs: &[String]) -> Result<Dataset, String> {
+    if inputs.len() == 1 && inputs[0].ends_with(".cxkds") {
+        let text = std::fs::read_to_string(&inputs[0])
+            .map_err(|e| format!("cannot read {}: {e}", inputs[0]))?;
+        return load_dataset(&text).map_err(|e| e.to_string());
+    }
+    dataset_from_xml_inputs(inputs)
+}
+
+/// Expands directories into their `*.xml` files (sorted) and keeps file
+/// paths as-is.
+fn expand_inputs(inputs: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for input in inputs {
+        let path = Path::new(input);
+        if path.is_dir() {
+            let mut in_dir: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot list {input}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "xml"))
+                .collect();
+            in_dir.sort();
+            files.extend(in_dir);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    Ok(files)
+}
+
+/// Deterministic transaction partition for `--m` peers.
+fn round_robin_partition(n: usize, m: usize) -> Vec<Vec<usize>> {
+    let mut partition = vec![Vec::new(); m];
+    for t in 0..n {
+        partition[t % m].push(t);
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scratch directory unique to this test process.
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cxk-cli-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn write_corpus(dir: &Path) {
+        let docs = [
+            r#"<dblp><inproceedings key="m1"><author>A. Miner</author><title>mining clustering patterns trees</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><inproceedings key="m2"><author>A. Miner</author><title>frequent mining clustering streams</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><article key="n1"><author>B. Netter</author><title>routing congestion networks protocols</title><journal>Networking</journal></article></dblp>"#,
+            r#"<dblp><article key="n2"><author>B. Netter</author><title>packet routing networks latency</title><journal>Networking</journal></article></dblp>"#,
+        ];
+        for (i, doc) in docs.iter().enumerate() {
+            std::fs::write(dir.join(format!("doc{i}.xml")), doc).expect("write doc");
+        }
+        // A non-XML file that must be ignored by directory expansion.
+        std::fs::write(dir.join("notes.txt"), "not xml").unwrap();
+    }
+
+    fn args(list: &[String]) -> Vec<String> {
+        list.to_vec()
+    }
+
+    #[test]
+    fn build_info_cluster_round_trip() {
+        let dir = scratch("roundtrip");
+        write_corpus(&dir);
+        let ds_path = dir.join("corpus.cxkds");
+
+        let out = build(&args(&[
+            dir.to_str().unwrap().to_string(),
+            "-o".into(),
+            ds_path.to_str().unwrap().to_string(),
+        ]))
+        .expect("build");
+        assert!(out.contains("4 documents"), "{out}");
+
+        let out = info(&args(&[ds_path.to_str().unwrap().to_string()])).expect("info");
+        assert!(out.contains("documents            4"), "{out}");
+        assert!(out.contains("transactions         4"), "{out}");
+
+        let out = cluster(&args(&[
+            ds_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--gamma".into(),
+            "0.5".into(),
+            "--seed".into(),
+            "1".into(),
+        ]))
+        .expect("cluster");
+        // 4 assignment rows + 2 summary lines.
+        assert_eq!(out.lines().count(), 6, "{out}");
+        assert!(out.contains("# algorithm=cxk k=2"), "{out}");
+        // The two mining docs share a cluster, as do the two networking docs.
+        let rows: Vec<&str> = out.lines().take(4).collect();
+        let cluster_of = |row: &str| row.split('\t').nth(2).unwrap().to_string();
+        assert_eq!(cluster_of(rows[0]), cluster_of(rows[1]), "{out}");
+        assert_eq!(cluster_of(rows[2]), cluster_of(rows[3]), "{out}");
+        assert_ne!(cluster_of(rows[0]), cluster_of(rows[2]), "{out}");
+    }
+
+    #[test]
+    fn cluster_directly_from_xml_directory() {
+        let dir = scratch("fromxml");
+        write_corpus(&dir);
+        let out = cluster(&args(&[
+            dir.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--quiet".into(),
+        ]))
+        .expect("cluster");
+        assert!(out.starts_with("# algorithm"), "quiet prints only the summary: {out}");
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let dir = scratch("algos");
+        write_corpus(&dir);
+        for algorithm in ["cxk", "pk", "vsm"] {
+            let out = cluster(&args(&[
+                dir.to_str().unwrap().to_string(),
+                "--k".into(),
+                "2".into(),
+                "--m".into(),
+                "2".into(),
+                "--algorithm".into(),
+                algorithm.into(),
+                "--quiet".into(),
+            ]))
+            .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert!(out.contains(&format!("algorithm={algorithm}")));
+        }
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let dir = scratch("errors");
+        write_corpus(&dir);
+        let dir_arg = dir.to_str().unwrap().to_string();
+        assert!(build(std::slice::from_ref(&dir_arg)).unwrap_err().contains("-o"));
+        assert!(cluster(&args(&["/nonexistent/x.xml".into()]))
+            .unwrap_err()
+            .contains("cannot read"));
+        assert!(cluster(&args(&[dir_arg.clone(), "--k".into(), "0".into()]))
+            .unwrap_err()
+            .contains("--k"));
+        assert!(cluster(&args(&[dir_arg.clone(), "--gamma".into(), "2".into()]))
+            .unwrap_err()
+            .contains("gamma"));
+        assert!(
+            cluster(&args(&[dir_arg, "--algorithm".into(), "magic".into()]))
+                .unwrap_err()
+                .contains("unknown algorithm")
+        );
+        assert!(info(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn assign_routes_arrivals_to_base_clusters() {
+        let base = scratch("assign-base");
+        write_corpus(&base);
+        let fresh = scratch("assign-new");
+        std::fs::write(
+            fresh.join("new0.xml"),
+            r#"<dblp><inproceedings key="m9"><author>A. Miner</author><title>clustering mining new patterns</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+        )
+        .unwrap();
+        std::fs::write(
+            fresh.join("new1.xml"),
+            r#"<recipes><recipe id="r1"><chef>Q. Cook</chef><dish>braised stew</dish></recipe></recipes>"#,
+        )
+        .unwrap();
+        let out = assign(&args(&[
+            "--base".into(),
+            base.to_str().unwrap().to_string(),
+            "--new".into(),
+            fresh.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--gamma".into(),
+            "0.5".into(),
+            "--seed".into(),
+            "1".into(),
+        ]))
+        .expect("assign");
+        assert!(out.starts_with("# base: 4 documents"), "{out}");
+        // The mining arrival joins a proper cluster; the recipe is trash.
+        let lines: Vec<&str> = out.lines().skip(1).collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(!lines[0].ends_with("trash"), "{out}");
+        assert!(lines[1].ends_with("trash"), "{out}");
+    }
+
+    #[test]
+    fn assign_requires_base_and_new() {
+        assert!(assign(&args(&["--base".into(), "x".into()]))
+            .unwrap_err()
+            .contains("--new"));
+        assert!(assign(&args(&["--new".into(), "x".into()]))
+            .unwrap_err()
+            .contains("--base"));
+    }
+
+    #[test]
+    fn malformed_xml_is_reported_with_its_file() {
+        let dir = scratch("malformed");
+        std::fs::write(dir.join("bad.xml"), "<a><b></a>").unwrap();
+        let e = info(&args(&[dir.to_str().unwrap().to_string()])).unwrap_err();
+        assert!(e.contains("bad.xml"), "{e}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal `--flag value` argument parsing for the CLI.
+
+/// Splits an argument list into positional arguments and `--key value`
+/// flags. A repeated flag keeps its last value; `--quiet`-style boolean
+/// flags are queried with [`Parsed::has`].
+#[derive(Debug, Default)]
+pub struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 1] = ["quiet"];
+
+impl Parsed {
+    /// Parses `args`.
+    ///
+    /// # Errors
+    /// Errors when a value-taking flag has no value.
+    pub fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut parsed = Parsed::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    parsed.flags.push((name.to_string(), None));
+                    continue;
+                }
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                parsed.flags.push((name.to_string(), Some(value.clone())));
+            } else if let Some(name) = arg.strip_prefix('-').filter(|n| !n.is_empty()) {
+                // Short flags: only `-o` is used.
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag -{name} needs a value"))?;
+                parsed.flags.push((name.to_string(), Some(value.clone())));
+            } else {
+                parsed.positional.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The last value of a string flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// A parsed numeric/typed flag with a default.
+    ///
+    /// # Errors
+    /// Errors when the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get_str(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn splits_positionals_and_flags() {
+        let p = Parsed::parse(&args(&["a.xml", "--k", "4", "b.xml", "-o", "out"])).unwrap();
+        assert_eq!(p.positional(), &["a.xml".to_string(), "b.xml".to_string()]);
+        assert_eq!(p.get::<usize>("k", 1).unwrap(), 4);
+        assert_eq!(p.get_str("o"), Some("out"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let p = Parsed::parse(&args(&["--quiet", "x.xml"])).unwrap();
+        assert!(p.has("quiet"));
+        assert_eq!(p.positional(), &["x.xml".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Parsed::parse(&args(&["--k"])).is_err());
+    }
+
+    #[test]
+    fn bad_typed_value_is_an_error() {
+        let p = Parsed::parse(&args(&["--k", "many"])).unwrap();
+        assert!(p.get::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = Parsed::parse(&args(&[])).unwrap();
+        assert_eq!(p.get::<f64>("gamma", 0.7).unwrap(), 0.7);
+        assert_eq!(p.get_str("o"), None);
+    }
+
+    #[test]
+    fn repeated_flag_keeps_last() {
+        let p = Parsed::parse(&args(&["--k", "2", "--k", "5"])).unwrap();
+        assert_eq!(p.get::<usize>("k", 1).unwrap(), 5);
+    }
+}

@@ -1,0 +1,88 @@
+//! `cxk` — cluster XML documents from the command line.
+//!
+//! ```text
+//! cxk build  doc1.xml doc2.xml … -o dataset.cxkds   # preprocess and save
+//! cxk info   dataset.cxkds                          # corpus statistics
+//! cxk cluster dataset.cxkds --k 4 --f 0.5 --gamma 0.7 --m 3
+//! cxk cluster docs/ --k 8                           # directly from XML
+//! ```
+//!
+//! `build`/`cluster` accept XML file paths and directories (scanned for
+//! `*.xml`); `info` and `cluster` also accept a saved `.cxkds` dataset.
+//! Clustering prints one `transaction ⟨TAB⟩ document ⟨TAB⟩ cluster` row
+//! per transaction (cluster `trash` is the `(k+1)`-th cluster of the
+//! paper) followed by a `#`-prefixed summary.
+
+mod commands;
+mod flags;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cxk <command> [args]
+
+commands:
+  build   <xml-file|dir>... -o <out.cxkds>    preprocess XML into a dataset
+  info    <dataset.cxkds | xml-file|dir>...   print corpus statistics
+  cluster <dataset.cxkds | xml-file|dir>...   cluster transactions
+          [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
+          [--algorithm cxk|pk|vsm] [--quiet]
+  assign  --base <xml-file|dir> --new <xml-file|dir>
+          [--k N] [--f 0.5] [--gamma 0.7] [--seed 0]
+          assign arriving documents to a base clustering
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("cxk: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "build" => commands::build(rest),
+        "info" => commands::info(rest),
+        "cluster" => commands::cluster(rest),
+        "assign" => commands::assign(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).expect("help works");
+        assert!(out.contains("usage: cxk"));
+    }
+
+    #[test]
+    fn missing_command_errors() {
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+}

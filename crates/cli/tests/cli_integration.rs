@@ -1,0 +1,91 @@
+//! End-to-end tests of the real `cxk` binary over a generated corpus.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cxk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cxk"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cxk-bin-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn write_corpus(dir: &std::path::Path, n: usize) {
+    for i in 0..n {
+        let (tag, venue_tag, venue, words) = if i % 2 == 0 {
+            ("inproceedings", "booktitle", "KDD", "mining clustering frequent patterns")
+        } else {
+            ("article", "journal", "Networking", "routing congestion packet protocols")
+        };
+        let doc = format!(
+            r#"<dblp><{tag} key="k{i}"><author>Person {i}</author><title>{words} study {i}</title><{venue_tag}>{venue}</{venue_tag}></{tag}></dblp>"#
+        );
+        std::fs::write(dir.join(format!("doc{i:02}.xml")), doc).unwrap();
+    }
+}
+
+#[test]
+fn binary_builds_inspects_and_clusters() {
+    let dir = scratch("pipeline");
+    write_corpus(&dir, 8);
+    let ds = dir.join("corpus.cxkds");
+
+    let out = cxk()
+        .args(["build", dir.to_str().unwrap(), "-o", ds.to_str().unwrap()])
+        .output()
+        .expect("run cxk build");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("8 documents"));
+
+    let out = cxk()
+        .args(["info", ds.to_str().unwrap()])
+        .output()
+        .expect("run cxk info");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("transactions         8"));
+
+    let out = cxk()
+        .args([
+            "cluster",
+            ds.to_str().unwrap(),
+            "--k",
+            "2",
+            "--gamma",
+            "0.5",
+            "--seed",
+            "1",
+            "--m",
+            "3",
+        ])
+        .output()
+        .expect("run cxk cluster");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 10, "8 rows + 2 summary lines:\n{stdout}");
+    assert!(stdout.contains("# algorithm=cxk k=2 m=3"));
+}
+
+#[test]
+fn binary_reports_errors_on_stderr_with_nonzero_exit() {
+    let out = cxk()
+        .args(["cluster", "/nonexistent/missing.xml"])
+        .output()
+        .expect("run cxk");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cxk:"));
+
+    let out = cxk().arg("frobnicate").output().expect("run cxk");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn binary_help_exits_zero() {
+    let out = cxk().arg("help").output().expect("run cxk help");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: cxk"));
+}

@@ -1,0 +1,74 @@
+//! **CXK-means** — collaborative distributed clustering of XML transactions.
+//!
+//! This crate is the paper's primary contribution: a centroid-based
+//! partitional clustering of XML transactions (§4.2, Figs. 5–6) executed
+//! collaboratively over a P2P network. Every peer clusters its local
+//! transactions against the `k` *global representatives*, summarizes each
+//! local cluster into a *local representative*, ships it to the peer that
+//! owns that cluster id, and receives freshly combined global
+//! representatives back, iterating until every peer reports a stable
+//! solution. A `(k+1)`-th *trash cluster* collects transactions that
+//! γ-match no representative.
+//!
+//! Modules:
+//!
+//! * [`rep`] — cluster representatives in tree-tuple form, including the
+//!   `conflateItems` procedure.
+//! * [`localrep`] — `ComputeLocalRepresentative` and `GenerateTreeTuple`.
+//! * [`globalrep`] — `ComputeGlobalRepresentative` (weighted
+//!   meta-representatives).
+//! * [`cxk`] — the CXK-means driver: centralized (`m = 1`) and
+//!   collaborative simulated-clock execution with full work/traffic
+//!   accounting.
+//! * [`threaded`] — the same protocol over real peer threads and the
+//!   `cxk-p2p` message network.
+//! * [`pkmeans`] — the non-collaborative parallel K-means baseline of
+//!   §5.5.3 (Dhillon–Modha adapted to XML transactions).
+//! * [`vsm`] — the flat vector-space K-means baseline of the related-work
+//!   family ([13]/[34]), for accuracy comparisons.
+//! * [`churn`] — the collaborative protocol under peer departures and
+//!   rejoins (extension quantifying the §1.1 reliability claim).
+//! * [`outcome`] — shared result types.
+//!
+//! # Example
+//!
+//! ```
+//! use cxk_core::{run_centralized, CxkConfig};
+//! use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+//!
+//! let mut builder = DatasetBuilder::new(BuildOptions::default());
+//! builder.add_xml(r#"<dblp><inproceedings key="a"><author>M. Zaki</author>
+//!     <title>mining frequent trees</title></inproceedings></dblp>"#)?;
+//! builder.add_xml(r#"<dblp><article key="b"><author>V. Jacobson</author>
+//!     <title>congestion avoidance and control</title></article></dblp>"#)?;
+//! let dataset = builder.finish();
+//!
+//! let mut config = CxkConfig::new(2);
+//! config.params = SimParams::new(0.5, 0.4); // f = 0.5, γ = 0.4
+//! let outcome = run_centralized(&dataset, &config);
+//! assert_eq!(outcome.assignments.len(), dataset.transactions.len());
+//! assert!(outcome.converged);
+//! # Ok::<(), cxk_xml::parser::XmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod cxk;
+pub mod globalrep;
+pub mod localrep;
+pub mod outcome;
+pub mod pkmeans;
+pub mod rep;
+pub mod threaded;
+pub mod vsm;
+
+pub use churn::{run_collaborative_with_churn, ChurnEvent, ChurnOutcome, ChurnSchedule};
+pub use cxk::{run_centralized, run_collaborative, CxkConfig};
+pub use globalrep::compute_global_representative;
+pub use localrep::{compute_local_representative, generate_tree_tuple};
+pub use outcome::{ClusteringOutcome, RoundTrace};
+pub use pkmeans::{run_pk_means, PkConfig};
+pub use rep::{conflate_items, RepItem, Representative};
+pub use threaded::run_collaborative_threaded;
+pub use vsm::{run_vsm_kmeans, transaction_vectors, VsmConfig};

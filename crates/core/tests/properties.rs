@@ -1,0 +1,177 @@
+//! Property-based tests for the clustering core: partition totality,
+//! determinism, conflation invariants and centralized/collaborative
+//! consistency on randomly generated bibliographic corpora.
+
+use cxk_core::{conflate_items, run_centralized, run_collaborative, CxkConfig, RepItem};
+use cxk_p2p::CostModel;
+use cxk_text::SparseVec;
+use cxk_transact::{BuildOptions, Dataset, DatasetBuilder, SimParams};
+use cxk_util::Symbol;
+use cxk_xml::path::PathId;
+use proptest::prelude::*;
+
+/// Random mini-corpus: record specs (structure 0/1, topic 0/1, word picks).
+fn corpus_strategy() -> impl Strategy<Value = Vec<(bool, bool, Vec<u8>)>> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<bool>(), proptest::collection::vec(0u8..8, 3..8)),
+        3..14,
+    )
+}
+
+static TOPIC_A: [&str; 8] = [
+    "mining", "clustering", "patterns", "frequent", "transactional", "itemsets", "trees",
+    "centroids",
+];
+static TOPIC_B: [&str; 8] = [
+    "routing", "congestion", "protocols", "networks", "packets", "latency", "wireless",
+    "bandwidth",
+];
+
+fn build_dataset(specs: &[(bool, bool, Vec<u8>)]) -> Dataset {
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for (i, (is_article, topic_b, words)) in specs.iter().enumerate() {
+        let pool: &[&str] = if *topic_b { &TOPIC_B } else { &TOPIC_A };
+        let title: Vec<&str> = words.iter().map(|&w| pool[w as usize % pool.len()]).collect();
+        let title = title.join(" ");
+        let doc = if *is_article {
+            format!(
+                r#"<dblp><article key="a{i}"><author>A. Uthor</author><title>{title}</title><journal>Journal</journal></article></dblp>"#
+            )
+        } else {
+            format!(
+                r#"<dblp><inproceedings key="p{i}"><author>B. Uthor</author><title>{title}</title><booktitle>Conf</booktitle></inproceedings></dblp>"#
+            )
+        };
+        builder.add_xml(&doc).expect("well-formed");
+    }
+    builder.finish()
+}
+
+fn config(k: usize, seed: u64) -> CxkConfig {
+    CxkConfig {
+        k,
+        params: SimParams::new(0.5, 0.6),
+        max_rounds: 10,
+        max_inner: 5,
+        seed,
+        cost: CostModel::default(),
+        weighted_merge: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn clustering_is_total_and_deterministic(
+        specs in corpus_strategy(),
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let ds = build_dataset(&specs);
+        let outcome_a = run_centralized(&ds, &config(k, seed));
+        let outcome_b = run_centralized(&ds, &config(k, seed));
+        prop_assert_eq!(&outcome_a.assignments, &outcome_b.assignments);
+        prop_assert_eq!(outcome_a.assignments.len(), ds.transactions.len());
+        for &a in &outcome_a.assignments {
+            prop_assert!(a as usize <= k);
+        }
+        prop_assert_eq!(
+            outcome_a.cluster_sizes().iter().sum::<usize>(),
+            ds.transactions.len()
+        );
+    }
+
+    #[test]
+    fn collaborative_partitions_are_total_for_any_m(
+        specs in corpus_strategy(),
+        m in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let ds = build_dataset(&specs);
+        let n = ds.transactions.len();
+        let partition = cxk_corpus::partition_equal(n, m, seed);
+        let outcome = run_collaborative(&ds, &partition, &config(2, seed));
+        prop_assert_eq!(outcome.assignments.len(), n);
+        prop_assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
+        // Traffic only exists in real networks.
+        if m == 1 {
+            prop_assert_eq!(outcome.total_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn simulated_time_is_positive_and_rounds_bounded(
+        specs in corpus_strategy(),
+        m in 1usize..5,
+    ) {
+        let ds = build_dataset(&specs);
+        let n = ds.transactions.len();
+        let partition = cxk_corpus::partition_equal(n, m, 3);
+        let cfg = config(2, 9);
+        let outcome = run_collaborative(&ds, &partition, &cfg);
+        prop_assert!(outcome.simulated_seconds > 0.0);
+        prop_assert!(outcome.rounds >= 1 && outcome.rounds <= cfg.max_rounds);
+        prop_assert_eq!(outcome.per_round.len(), outcome.rounds);
+    }
+}
+
+fn rep_items() -> impl Strategy<Value = Vec<RepItem>> {
+    proptest::collection::vec(
+        (
+            0u32..6,
+            proptest::collection::vec((0u32..10, 0.1f64..5.0), 0..5),
+        ),
+        0..12,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (path, pairs))| {
+                let vector = SparseVec::from_pairs(
+                    pairs.into_iter().map(|(t, w)| (Symbol(t), w)).collect(),
+                );
+                RepItem {
+                    path: PathId(path),
+                    tag_path: PathId(path),
+                    vector,
+                    fingerprint: i as u64,
+                    source: None,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn conflation_yields_unique_paths_and_is_idempotent(items in rep_items()) {
+        let out = conflate_items(items);
+        let mut paths: Vec<PathId> = out.iter().map(|i| i.path).collect();
+        paths.sort_unstable();
+        let distinct = {
+            let mut p = paths.clone();
+            p.dedup();
+            p.len()
+        };
+        prop_assert_eq!(distinct, out.len(), "duplicate paths after conflation");
+        let again = conflate_items(out.clone());
+        prop_assert_eq!(again, out);
+    }
+
+    #[test]
+    fn conflation_preserves_content_mass(items in rep_items()) {
+        // Every term weight present in the input survives (union is
+        // element-wise max, so the max per (path, term) is retained).
+        let out = conflate_items(items.clone());
+        for item in &items {
+            let merged = out.iter().find(|o| o.path == item.path).expect("path kept");
+            for (term, weight) in item.vector.iter() {
+                prop_assert!(merged.vector.get(term) >= weight - 1e-12);
+            }
+        }
+    }
+}

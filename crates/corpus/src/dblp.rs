@@ -1,0 +1,404 @@
+//! DBLP-like bibliographic corpus.
+//!
+//! Mirrors the paper's DBLP subset (§5.2): four structural record types
+//! (`article`, `inproceedings`, `book`, `incollection`), six topical
+//! classes, and 16 hybrid classes (each record type is paired with four of
+//! the six topics). Each document holds one record with 1–3 authors, so the
+//! transaction/document ratio (~2) matches the paper's 5884/3000.
+
+use crate::textgen;
+use crate::vocab::DBLP_TOPICS;
+use crate::Corpus;
+use cxk_util::{DetRng, Interner};
+use cxk_xml::tree::{XmlTree, S_LABEL};
+use cxk_xml::write::{to_xml_string, Layout};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of documents (records).
+    pub documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of markup dialects (1–3). With `1` (the default) every
+    /// document uses the canonical DBLP vocabulary; with more, each
+    /// document is authored by a random source dialect whose tag names are
+    /// synonyms of the canonical ones (see [`crate::dialect`]) — the
+    /// heterogeneous-markup scenario of the paper's introduction.
+    pub dialects: usize,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self {
+            documents: 300,
+            seed: 0xDB1F,
+            dialects: 1,
+        }
+    }
+}
+
+/// The 16 allowed (record type, topic) pairs — the paper's 16 hybrid
+/// classes. Record types index rows; each row lists its four topics.
+const ALLOWED_TOPICS: [[usize; 4]; 4] = [
+    [0, 1, 2, 3], // article
+    [1, 2, 3, 4], // inproceedings
+    [0, 3, 4, 5], // book
+    [0, 1, 4, 5], // incollection
+];
+
+const RECORD_TYPES: [&str; 4] = ["article", "inproceedings", "book", "incollection"];
+
+/// Generates the corpus.
+///
+/// # Panics
+/// Panics if `config.dialects` is `0` or exceeds
+/// [`crate::dialect::DIALECT_COUNT`].
+pub fn generate(config: &DblpConfig) -> Corpus {
+    assert!(
+        (1..=crate::dialect::DIALECT_COUNT).contains(&config.dialects),
+        "dialects must be in 1..={}, got {}",
+        crate::dialect::DIALECT_COUNT,
+        config.dialects
+    );
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut documents = Vec::with_capacity(config.documents);
+    let mut structure_class = Vec::with_capacity(config.documents);
+    let mut content_class = Vec::with_capacity(config.documents);
+    let mut hybrid_class = Vec::with_capacity(config.documents);
+
+    for doc_idx in 0..config.documents {
+        let structure = doc_idx % 4;
+        let topic_slot = rng.below(4);
+        let topic = ALLOWED_TOPICS[structure][topic_slot];
+        let hybrid = (structure * 4 + topic_slot) as u32;
+        let dialect = if config.dialects == 1 {
+            0
+        } else {
+            rng.below(config.dialects)
+        };
+
+        documents.push(make_document(&mut rng, structure, topic, dialect));
+        structure_class.push(structure as u32);
+        content_class.push(topic as u32);
+        hybrid_class.push(hybrid);
+    }
+
+    Corpus {
+        name: "dblp",
+        documents,
+        structure_class,
+        content_class,
+        hybrid_class,
+        k_structure: 4,
+        k_content: 6,
+        k_hybrid: 16,
+    }
+}
+
+fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usize) -> String {
+    let dt = |tag: &'static str| crate::dialect::rename(tag, dialect);
+    let words = DBLP_TOPICS[topic].1;
+    // Real records occasionally drift into a neighbouring topic's
+    // vocabulary (interdisciplinary papers); ~10% of the text draws from a
+    // second topic so content classes overlap like the real collection's.
+    let alt_words = DBLP_TOPICS[(topic + 1 + rng.below(DBLP_TOPICS.len() - 1)) % DBLP_TOPICS.len()].1;
+    let topical = |rng: &mut DetRng| -> &'static [&'static str] {
+        if rng.chance(0.10) {
+            alt_words
+        } else {
+            words
+        }
+    };
+
+    let mut interner = Interner::new();
+    let s = interner.intern(S_LABEL);
+    let dblp = interner.intern("dblp");
+    let record_tag = interner.intern(dt(RECORD_TYPES[structure]));
+
+    let mut tree = XmlTree::with_root(dblp);
+    let record = tree.add_element(tree.root(), record_tag);
+
+    let key_attr = interner.intern("key");
+    let key = format!(
+        "{}/{}/{}{}",
+        if structure == 1 { "conf" } else { "journals" },
+        rng.choose(words),
+        rng.choose(crate::vocab::SURNAMES).to_lowercase(),
+        textgen::year(rng)
+    );
+    tree.add_attribute(record, key_attr, key);
+
+    let author_tag = interner.intern(dt("author"));
+    let n_authors = match structure {
+        2 => rng.range(1, 3),      // books: 1-2 authors
+        _ => rng.range(1, 4),      // otherwise 1-3
+    };
+    for _ in 0..n_authors {
+        let a = tree.add_element(record, author_tag);
+        tree.add_text(a, s, textgen::person(rng));
+    }
+
+    let title_tag = interner.intern(dt("title"));
+    let t = tree.add_element(record, title_tag);
+    let pool = topical(rng);
+    let mut title = textgen::title(rng, pool);
+    // Titles carry a short topical tail so same-topic records share enough
+    // vocabulary for content matching, as real titles share technical terms.
+    title.push(' ');
+    title.push_str(&textgen::words(rng, pool, 5, 0.95).join(" "));
+    tree.add_text(t, s, title);
+
+    let year_tag = interner.intern(dt("year"));
+    let y = tree.add_element(record, year_tag);
+    tree.add_text(y, s, textgen::year(rng));
+
+    // Mandatory and optional fields per record type. Optional fields make
+    // within-class structure vary (as in the real DBLP), so peers holding
+    // small samples see noisier structural statistics.
+    let push_field = |tree: &mut XmlTree, interner: &mut Interner, tag: &str, value: String| {
+        let e = tree.add_element(record, interner.intern(tag));
+        tree.add_text(e, s, value);
+    };
+    match structure {
+        0 => {
+            push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
+            let journal_pool = topical(rng);
+            push_field(&mut tree, &mut interner, dt("journal"), textgen::venue(rng, journal_pool));
+            if rng.chance(0.7) {
+                push_field(&mut tree, &mut interner, dt("volume"), format!("{}", 1 + rng.below(40)));
+            }
+            if rng.chance(0.4) {
+                push_field(&mut tree, &mut interner, dt("number"), format!("{}", 1 + rng.below(12)));
+            }
+        }
+        1 => {
+            push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
+            let booktitle_pool = topical(rng);
+            push_field(&mut tree, &mut interner, dt("booktitle"), textgen::venue(rng, booktitle_pool));
+            if rng.chance(0.3) {
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    "crossref",
+                    format!("conf/{}", rng.choose(words)),
+                );
+            }
+        }
+        2 => {
+            push_field(
+                &mut tree,
+                &mut interner,
+                dt("publisher"),
+                format!("{} Press", rng.choose(crate::vocab::SURNAMES)),
+            );
+            if rng.chance(0.6) {
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    "isbn",
+                    format!("{}-{}", 100 + rng.below(900), 10000 + rng.below(90000)),
+                );
+            }
+            if rng.chance(0.4) {
+                push_field(&mut tree, &mut interner, dt("series"), textgen::venue(rng, words));
+            }
+        }
+        _ => {
+            push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
+            let booktitle_pool = topical(rng);
+            push_field(&mut tree, &mut interner, dt("booktitle"), textgen::venue(rng, booktitle_pool));
+            if rng.chance(0.5) {
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    dt("publisher"),
+                    format!("{} Press", rng.choose(crate::vocab::SURNAMES)),
+                );
+            }
+        }
+    }
+    if rng.chance(0.35) {
+        let e = tree.add_element(record, interner.intern(dt("url")));
+        tree.add_text(e, s, format!("db/{}/{}.html", RECORD_TYPES[structure], rng.choose(words)));
+    }
+
+    to_xml_string(&tree, &interner, Layout::Compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_labels() {
+        let corpus = generate(&DblpConfig {
+            documents: 40,
+            seed: 1,
+        dialects: 1,
+    });
+        assert_eq!(corpus.len(), 40);
+        assert_eq!(corpus.structure_class.len(), 40);
+        assert_eq!(corpus.k_structure, 4);
+        assert_eq!(corpus.k_content, 6);
+        assert_eq!(corpus.k_hybrid, 16);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&DblpConfig {
+            documents: 10,
+            seed: 7,
+        dialects: 1,
+    });
+        let b = generate(&DblpConfig {
+            documents: 10,
+            seed: 7,
+        dialects: 1,
+    });
+        assert_eq!(a.documents, b.documents);
+        assert_eq!(a.content_class, b.content_class);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&DblpConfig {
+            documents: 10,
+            seed: 1,
+        dialects: 1,
+    });
+        let b = generate(&DblpConfig {
+            documents: 10,
+            seed: 2,
+        dialects: 1,
+    });
+        assert_ne!(a.documents, b.documents);
+    }
+
+    #[test]
+    fn documents_are_well_formed_xml() {
+        let corpus = generate(&DblpConfig {
+            documents: 30,
+            seed: 3,
+        dialects: 1,
+    });
+        let mut interner = Interner::new();
+        for doc in &corpus.documents {
+            let tree = cxk_xml::parse_document(
+                doc,
+                &mut interner,
+                &cxk_xml::ParseOptions::default(),
+            )
+            .expect("well-formed");
+            assert!(tree.len() > 5);
+        }
+    }
+
+    #[test]
+    fn structure_classes_round_robin_all_types() {
+        let corpus = generate(&DblpConfig {
+            documents: 16,
+            seed: 4,
+        dialects: 1,
+    });
+        for class in 0..4u32 {
+            assert!(corpus.structure_class.contains(&class));
+        }
+        // The record tag in the XML matches the class.
+        for (doc, &class) in corpus.documents.iter().zip(&corpus.structure_class) {
+            assert!(doc.contains(&format!("<{}", RECORD_TYPES[class as usize])));
+        }
+    }
+
+    #[test]
+    fn hybrid_class_is_consistent_with_parts() {
+        let corpus = generate(&DblpConfig {
+            documents: 200,
+            seed: 5,
+        dialects: 1,
+    });
+        for i in 0..corpus.len() {
+            let structure = corpus.structure_class[i] as usize;
+            let hybrid = corpus.hybrid_class[i] as usize;
+            let slot = hybrid - structure * 4;
+            assert_eq!(ALLOWED_TOPICS[structure][slot] as u32, corpus.content_class[i]);
+        }
+        // All 16 hybrid classes appear in a large enough sample.
+        let mut seen: Vec<u32> = corpus.hybrid_class.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn single_dialect_emits_only_canonical_tags() {
+        let corpus = generate(&DblpConfig {
+            documents: 40,
+            seed: 9,
+            dialects: 1,
+        });
+        for doc in &corpus.documents {
+            assert!(!doc.contains("<creator>"), "dialect tag in 1-dialect corpus");
+            assert!(!doc.contains("<heading>"));
+        }
+    }
+
+    #[test]
+    fn multiple_dialects_emit_variant_tags_with_unchanged_labels() {
+        let corpus = generate(&DblpConfig {
+            documents: 120,
+            seed: 9,
+            dialects: 3,
+        });
+        let all = corpus.documents.concat();
+        // All three author variants appear somewhere in a large sample.
+        assert!(all.contains("<author>"), "canonical dialect present");
+        assert!(all.contains("<creator>"), "dialect 1 present");
+        assert!(all.contains("<writer>"), "dialect 2 present");
+        // Ground truth is dialect-blind: structure class still follows the
+        // canonical record type through the synonym table.
+        for (doc, &class) in corpus.documents.iter().zip(&corpus.structure_class) {
+            let canonical = RECORD_TYPES[class as usize];
+            let found = (0..crate::dialect::DIALECT_COUNT)
+                .any(|d| doc.contains(&format!("<{}", crate::dialect::rename(canonical, d))));
+            assert!(found, "record tag of class {class} missing in {doc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dialects must be in")]
+    fn zero_dialects_is_rejected() {
+        generate(&DblpConfig {
+            documents: 1,
+            seed: 0,
+            dialects: 0,
+        });
+    }
+
+    #[test]
+    fn authors_multiply_tuples() {
+        // A record with n authors yields n tree tuples.
+        let corpus = generate(&DblpConfig {
+            documents: 50,
+            seed: 6,
+        dialects: 1,
+    });
+        let mut interner = Interner::new();
+        let mut total_tuples = 0u64;
+        for doc in &corpus.documents {
+            let tree = cxk_xml::parse_document(
+                doc,
+                &mut interner,
+                &cxk_xml::ParseOptions::default(),
+            )
+            .unwrap();
+            let n = cxk_xml::count_tree_tuples(&tree);
+            let authors = doc.matches("<author>").count() as u64;
+            assert_eq!(n, authors.max(1));
+            total_tuples += n;
+        }
+        // Average ~2 transactions per document, like the real subset.
+        let avg = total_tuples as f64 / 50.0;
+        assert!((1.2..3.0).contains(&avg), "avg tuples/doc = {avg}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Markup dialects: synonym tag vocabularies for heterogeneous sources.
+//!
+//! The paper's motivating P2P scenario (§1) has peers encoding *the same
+//! logical information under different markup vocabularies* authored by
+//! each source. This module defines up to three bibliographic dialects —
+//! per logical field, three interchangeable tag names — used by the DBLP
+//! generator's `dialects` option. Dialect 0 is the canonical DBLP
+//! vocabulary, so `dialects = 1` reproduces the homogeneous corpus
+//! byte-for-byte.
+//!
+//! [`synonym_rings`] exposes the variant groups so harnesses can compile a
+//! matching `cxk-semantic` thesaurus without duplicating the table.
+
+/// Number of available dialects.
+pub const DIALECT_COUNT: usize = 3;
+
+/// Per-field variant table: `VARIANTS[field][dialect]`. Column 0 is the
+/// canonical DBLP tag name.
+const VARIANTS: &[[&str; DIALECT_COUNT]] = &[
+    ["article", "paper", "manuscript"],
+    ["inproceedings", "conferencepaper", "confpaper"],
+    ["book", "monograph", "textbook"],
+    ["incollection", "chapter", "bookpart"],
+    ["author", "creator", "writer"],
+    ["title", "name", "heading"],
+    ["year", "date", "published"],
+    ["pages", "pp", "extent"],
+    ["journal", "periodical", "magazine"],
+    ["booktitle", "venue", "proceedings"],
+    ["publisher", "press", "imprint"],
+    ["volume", "vol", "tome"],
+    ["number", "issue", "no"],
+    ["url", "link", "href"],
+];
+
+/// Renames a canonical tag into `dialect`'s vocabulary. Tags outside the
+/// table (e.g. the `dblp` root, `key`, `isbn`) are dialect-invariant.
+///
+/// # Panics
+/// Panics if `dialect ≥ DIALECT_COUNT`.
+pub fn rename(canonical: &str, dialect: usize) -> &str {
+    assert!(dialect < DIALECT_COUNT, "dialect {dialect} out of range");
+    if dialect == 0 {
+        return canonical;
+    }
+    VARIANTS
+        .iter()
+        .find(|row| row[0] == canonical)
+        .map_or(canonical, |row| row[dialect])
+}
+
+/// The synonym rings underlying the dialect table, one per logical field.
+/// Feed these to `cxk_semantic::Thesaurus::add_ring` to build the matcher
+/// that re-unifies dialects.
+pub fn synonym_rings() -> impl Iterator<Item = &'static [&'static str; DIALECT_COUNT]> {
+    VARIANTS.iter()
+}
+
+/// Maps a dialect tag back to its canonical (dialect-0) form, if it is a
+/// known variant.
+pub fn canonical_of(tag: &str) -> Option<&'static str> {
+    VARIANTS
+        .iter()
+        .find(|row| row.contains(&tag))
+        .map(|row| row[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_zero_is_identity() {
+        for row in VARIANTS {
+            assert_eq!(rename(row[0], 0), row[0]);
+        }
+        assert_eq!(rename("dblp", 0), "dblp");
+    }
+
+    #[test]
+    fn variants_rename_and_round_trip() {
+        assert_eq!(rename("author", 1), "creator");
+        assert_eq!(rename("author", 2), "writer");
+        assert_eq!(rename("booktitle", 2), "proceedings");
+        for row in VARIANTS {
+            for d in 0..DIALECT_COUNT {
+                assert_eq!(canonical_of(rename(row[0], d)), Some(row[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_invariant() {
+        assert_eq!(rename("dblp", 2), "dblp");
+        assert_eq!(rename("isbn", 1), "isbn");
+        assert_eq!(canonical_of("dblp"), None);
+    }
+
+    #[test]
+    fn all_variant_names_are_distinct() {
+        let mut all: Vec<&str> = VARIANTS.iter().flatten().copied().collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(before, all.len(), "rings must be disjoint");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dialect_panics() {
+        rename("author", 3);
+    }
+}

@@ -1,0 +1,246 @@
+//! IEEE/INEX-like journal-article corpus.
+//!
+//! Mirrors the paper's IEEE collection (§5.2): two structural categories
+//! ("transactions" vs. "non-transactions" articles), eight topical classes
+//! and 14 hybrid classes (transactions articles cover all eight topics,
+//! non-transactions cover six). Documents follow a ~5-level schema
+//! (`article.bdy.sec.p.S`), the corpus is the largest of the four, and the
+//! two templates share most of their markup while differing in
+//! discriminatory front/back-matter paths — like the INEX DTD does across
+//! journal families.
+
+use crate::textgen;
+use crate::vocab::IEEE_TOPICS;
+use crate::Corpus;
+use cxk_util::{DetRng, Interner};
+use cxk_xml::tree::{XmlTree, S_LABEL};
+use cxk_xml::write::{to_xml_string, Layout};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct IeeeConfig {
+    /// Number of documents (articles).
+    pub documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IeeeConfig {
+    fn default() -> Self {
+        Self {
+            documents: 90,
+            seed: 0x1EEE,
+        }
+    }
+}
+
+/// Topics per structural template: transactions articles span all eight
+/// topics, non-transactions only six — 14 hybrid classes total.
+const TRANSACTIONS_TOPICS: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+const MAGAZINE_TOPICS: [usize; 6] = [0, 1, 3, 4, 6, 7];
+
+/// Generates the corpus.
+pub fn generate(config: &IeeeConfig) -> Corpus {
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut documents = Vec::with_capacity(config.documents);
+    let mut structure_class = Vec::with_capacity(config.documents);
+    let mut content_class = Vec::with_capacity(config.documents);
+    let mut hybrid_class = Vec::with_capacity(config.documents);
+
+    for doc_idx in 0..config.documents {
+        let is_transactions = doc_idx % 2 == 0;
+        let (topic, hybrid) = if is_transactions {
+            let slot = rng.below(TRANSACTIONS_TOPICS.len());
+            (TRANSACTIONS_TOPICS[slot], slot as u32)
+        } else {
+            let slot = rng.below(MAGAZINE_TOPICS.len());
+            (MAGAZINE_TOPICS[slot], 8 + slot as u32)
+        };
+        documents.push(make_article(&mut rng, is_transactions, topic));
+        structure_class.push(u32::from(!is_transactions));
+        content_class.push(topic as u32);
+        hybrid_class.push(hybrid);
+    }
+
+    Corpus {
+        name: "ieee",
+        documents,
+        structure_class,
+        content_class,
+        hybrid_class,
+        k_structure: 2,
+        k_content: 8,
+        k_hybrid: 14,
+    }
+}
+
+fn make_article(rng: &mut DetRng, transactions: bool, topic: usize) -> String {
+    let words = IEEE_TOPICS[topic].1;
+    let mut interner = Interner::new();
+    let s = interner.intern(S_LABEL);
+
+    let article = interner.intern("article");
+    let mut tree = XmlTree::with_root(article);
+    let root = tree.root();
+
+    // Front matter: shared skeleton, discriminatory details per template.
+    let fm = tree.add_element(root, interner.intern("fm"));
+    if transactions {
+        tree.add_attribute(fm, interner.intern("fno"), format!("T{}", 1000 + rng.below(9000)));
+        let doi = tree.add_element(fm, interner.intern("doi"));
+        tree.add_text(doi, s, format!("10.1109/{}.{}", 100 + rng.below(900), rng.below(100000)));
+    }
+    let hdr = tree.add_element(fm, interner.intern("hdr"));
+    let ti = tree.add_element(hdr, interner.intern("ti"));
+    tree.add_text(ti, s, textgen::title(rng, words));
+    let au = tree.add_element(fm, interner.intern("au"));
+    let authors: Vec<String> = (0..rng.range(1, 4)).map(|_| textgen::person(rng)).collect();
+    tree.add_text(au, s, authors.join(", "));
+    let abs = tree.add_element(fm, interner.intern("abs"));
+    tree.add_text(abs, s, textgen::paragraph(rng, words, 3, 0.6));
+    if transactions {
+        let edinfo = tree.add_element(fm, interner.intern("edinfo"));
+        tree.add_text(
+            edinfo,
+            s,
+            format!("Recommended by {}", textgen::person(rng)),
+        );
+    } else {
+        let kwd = tree.add_element(fm, interner.intern("kwd"));
+        tree.add_text(kwd, s, textgen::words(rng, words, 5, 0.9).join(", "));
+    }
+
+    // Body: repeated sections, each with a heading and repeated paragraphs.
+    // `sec` is the only multiplicative group, keeping tuple counts per
+    // document in the tens like the real collection.
+    let bdy = tree.add_element(root, interner.intern("bdy"));
+    let n_secs = rng.range(3, 6);
+    for sec_idx in 0..n_secs {
+        let sec = tree.add_element(bdy, interner.intern("sec"));
+        let st = tree.add_element(sec, interner.intern("st"));
+        tree.add_text(st, s, format!("{} {}", sec_idx + 1, textgen::title(rng, words)));
+        if transactions {
+            for _ in 0..rng.range(3, 7) {
+                let p = tree.add_element(sec, interner.intern("p"));
+                tree.add_text(p, s, textgen::paragraph(rng, words, 2, 0.5));
+            }
+        } else {
+            // Non-transactions nest paragraphs one level deeper.
+            let ss1 = tree.add_element(sec, interner.intern("ss1"));
+            for _ in 0..rng.range(3, 7) {
+                let p = tree.add_element(ss1, interner.intern("ip1"));
+                tree.add_text(p, s, textgen::paragraph(rng, words, 2, 0.5));
+            }
+        }
+    }
+
+    // Back matter: single bibliography blob (no multiplicative group).
+    let bm = tree.add_element(root, interner.intern("bm"));
+    let bib = tree.add_element(bm, interner.intern("bib"));
+    let bb = tree.add_element(bib, interner.intern("bb"));
+    let refs: Vec<String> = (0..rng.range(5, 12))
+        .map(|_| format!("{}, {}", textgen::person(rng), textgen::title(rng, words)))
+        .collect();
+    tree.add_text(bb, s, refs.join("; "));
+    if transactions {
+        let ack = tree.add_element(bm, interner.intern("ack"));
+        tree.add_text(ack, s, textgen::sentence(rng, words, 6, 12, 0.3));
+    }
+
+    to_xml_string(&tree, &interner, Layout::Compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_counts_match_paper() {
+        let corpus = generate(&IeeeConfig {
+            documents: 60,
+            seed: 1,
+        });
+        assert_eq!(corpus.k_structure, 2);
+        assert_eq!(corpus.k_content, 8);
+        assert_eq!(corpus.k_hybrid, 14);
+        let mut hybrids: Vec<u32> = corpus.hybrid_class.clone();
+        hybrids.sort_unstable();
+        hybrids.dedup();
+        assert!(hybrids.len() >= 12, "most hybrid classes appear");
+        assert!(hybrids.iter().all(|&h| h < 14));
+    }
+
+    #[test]
+    fn documents_parse_and_have_depth_five() {
+        let corpus = generate(&IeeeConfig {
+            documents: 8,
+            seed: 2,
+        });
+        let mut interner = Interner::new();
+        for (doc, &sc) in corpus.documents.iter().zip(&corpus.structure_class) {
+            let tree = cxk_xml::parse_document(
+                doc,
+                &mut interner,
+                &cxk_xml::ParseOptions::default(),
+            )
+            .unwrap();
+            let depth = tree.depth();
+            if sc == 0 {
+                // transactions: article.bdy.sec.p.S
+                assert_eq!(depth, 5, "transactions depth");
+            } else {
+                // non-transactions: article.bdy.sec.ss1.ip1.S
+                assert_eq!(depth, 6, "magazine depth");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_counts_per_document_are_tens() {
+        let corpus = generate(&IeeeConfig {
+            documents: 10,
+            seed: 3,
+        });
+        let mut interner = Interner::new();
+        for doc in &corpus.documents {
+            let tree = cxk_xml::parse_document(
+                doc,
+                &mut interner,
+                &cxk_xml::ParseOptions::default(),
+            )
+            .unwrap();
+            let n = cxk_xml::count_tree_tuples(&tree);
+            assert!((9..=42).contains(&n), "tuples per doc = {n}");
+        }
+    }
+
+    #[test]
+    fn templates_differ_in_discriminatory_paths() {
+        let corpus = generate(&IeeeConfig {
+            documents: 4,
+            seed: 4,
+        });
+        for (doc, &sc) in corpus.documents.iter().zip(&corpus.structure_class) {
+            if sc == 0 {
+                assert!(doc.contains("<edinfo>") && doc.contains("<ack>"));
+                assert!(!doc.contains("<kwd>"));
+            } else {
+                assert!(doc.contains("<kwd>") && doc.contains("<ss1>"));
+                assert!(!doc.contains("<edinfo>"));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&IeeeConfig {
+            documents: 5,
+            seed: 9,
+        });
+        let b = generate(&IeeeConfig {
+            documents: 5,
+            seed: 9,
+        });
+        assert_eq!(a.documents, b.documents);
+    }
+}

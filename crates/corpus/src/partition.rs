@@ -1,0 +1,142 @@
+//! Peer data partitioning — the two scenarios of §5.1.
+//!
+//! * **Equal**: the transaction set `S` is split so `|S_i| = |S|/m` for all
+//!   peers.
+//! * **Unequal**: half of the peers hold `4|S|/(3m)` transactions and the
+//!   other half `2|S|/(3m)` — one half holds twice as much data as the
+//!   other, totalling `|S|`.
+//!
+//! Transactions are shuffled with a seeded RNG before splitting so every
+//! peer sees a class mixture (the paper distributes documents randomly).
+
+use cxk_util::DetRng;
+
+/// Splits `0..n` into `m` near-equal contiguous chunks of a shuffled order.
+pub fn partition_equal(n: usize, m: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(m > 0, "at least one peer required");
+    let order = shuffled(n, seed);
+    let base = n / m;
+    let extra = n % m;
+    let mut parts = Vec::with_capacity(m);
+    let mut start = 0;
+    for i in 0..m {
+        let len = base + usize::from(i < extra);
+        parts.push(order[start..start + len].to_vec());
+        start += len;
+    }
+    parts
+}
+
+/// Splits `0..n` into `m` parts where the first `⌈m/2⌉` peers receive twice
+/// the share of the rest (4:2 weighting of §5.1). For `m = 1` this equals
+/// the equal partition.
+pub fn partition_unequal(n: usize, m: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(m > 0, "at least one peer required");
+    if m == 1 {
+        return partition_equal(n, m, seed);
+    }
+    let order = shuffled(n, seed);
+    let heavy = m.div_ceil(2);
+    let light = m - heavy;
+    // Weights: heavy peers 2 units, light peers 1 unit.
+    let total_units = 2 * heavy + light;
+    let mut parts = Vec::with_capacity(m);
+    let mut start = 0;
+    let mut allocated = 0usize;
+    for i in 0..m {
+        let units = if i < heavy { 2 } else { 1 };
+        allocated += units;
+        // Cumulative proportional allocation avoids rounding drift.
+        let end = n * allocated / total_units;
+        parts.push(order[start..end].to_vec());
+        start = end;
+    }
+    parts
+}
+
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = DetRng::seed_from_u64(seed);
+    rng.shuffle(&mut order);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flatten_sorted(parts: &[Vec<usize>]) -> Vec<usize> {
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn equal_partition_covers_everything_once() {
+        let parts = partition_equal(103, 7, 1);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(flatten_sorted(&parts), (0..103).collect::<Vec<_>>());
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 14 || s == 15));
+    }
+
+    #[test]
+    fn equal_partition_single_peer_is_identity_set() {
+        let parts = partition_equal(10, 1, 2);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(flatten_sorted(&parts), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unequal_partition_has_two_to_one_ratio() {
+        let n = 600;
+        let m = 6;
+        let parts = partition_unequal(n, m, 3);
+        assert_eq!(flatten_sorted(&parts), (0..n).collect::<Vec<_>>());
+        // Heavy peers: 4|S|/3m = 133.3; light: 2|S|/3m = 66.7.
+        for part in &parts[..3] {
+            assert!((130..=137).contains(&part.len()), "heavy {}", part.len());
+        }
+        for part in &parts[3..] {
+            assert!((63..=70).contains(&part.len()), "light {}", part.len());
+        }
+    }
+
+    #[test]
+    fn unequal_partition_handles_odd_m() {
+        let parts = partition_unequal(100, 5, 4);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(flatten_sorted(&parts), (0..100).collect::<Vec<_>>());
+        // 3 heavy peers (2 units) + 2 light (1 unit) = 8 units, 12.5/unit.
+        assert!(parts[0].len() > parts[4].len());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic_and_seed_sensitive() {
+        let a = partition_equal(50, 4, 7);
+        let b = partition_equal(50, 4, 7);
+        let c = partition_equal(50, 4, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn partitions_mix_classes() {
+        // With a shuffled order, a contiguous block of ids (a "class") is
+        // spread over peers rather than landing on a single peer.
+        let parts = partition_equal(100, 4, 9);
+        for part in &parts {
+            let in_first_half = part.iter().filter(|&&i| i < 50).count();
+            assert!(in_first_half > 0 && in_first_half < part.len());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_parts() {
+        let parts = partition_equal(0, 3, 1);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(Vec::is_empty));
+        let parts = partition_unequal(0, 3, 1);
+        assert!(parts.iter().all(Vec::is_empty));
+    }
+}

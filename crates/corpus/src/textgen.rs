@@ -1,0 +1,136 @@
+//! Seeded text generation from topic pools.
+
+use crate::vocab::{GENERAL, SURNAMES, VENUE_WORDS};
+use cxk_util::DetRng;
+
+/// Draws `n` words, `topic_ratio` of them from `topic` and the rest from the
+/// shared academic pool.
+pub fn words(rng: &mut DetRng, topic: &[&str], n: usize, topic_ratio: f64) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pool: &[&str] = if rng.chance(topic_ratio) { topic } else { GENERAL };
+        out.push((*rng.choose(pool)).to_string());
+    }
+    out
+}
+
+/// A title-like phrase: 4–9 words, mostly topical.
+pub fn title(rng: &mut DetRng, topic: &[&str]) -> String {
+    let n = rng.range(4, 10);
+    words(rng, topic, n, 0.7).join(" ")
+}
+
+/// A sentence of `lo..hi` words ending with a period.
+pub fn sentence(rng: &mut DetRng, topic: &[&str], lo: usize, hi: usize, topic_ratio: f64) -> String {
+    let n = rng.range(lo, hi);
+    let mut s = words(rng, topic, n, topic_ratio).join(" ");
+    s.push('.');
+    s
+}
+
+/// A paragraph of `sentences` sentences.
+pub fn paragraph(rng: &mut DetRng, topic: &[&str], sentences: usize, topic_ratio: f64) -> String {
+    (0..sentences)
+        .map(|_| sentence(rng, topic, 6, 14, topic_ratio))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// An author-style name, `X.Y. Surname`.
+pub fn person(rng: &mut DetRng) -> String {
+    let initials: String = (0..rng.range(1, 3))
+        .map(|_| {
+            let c = (b'A' + rng.below(26) as u8) as char;
+            format!("{c}.")
+        })
+        .collect();
+    format!("{initials} {}", rng.choose(SURNAMES))
+}
+
+/// A venue name colored by the topic, e.g. "International Conference on
+/// Parallel Computing".
+pub fn venue(rng: &mut DetRng, topic: &[&str]) -> String {
+    let kind = rng.choose(VENUE_WORDS);
+    let qualifier = rng.choose(VENUE_WORDS);
+    let subject = rng.choose(topic);
+    format!("{qualifier} {kind} on {subject}")
+}
+
+/// A plausible year in the paper's range.
+pub fn year(rng: &mut DetRng) -> String {
+    format!("{}", 1995 + rng.below(14))
+}
+
+/// A page range.
+pub fn pages(rng: &mut DetRng) -> String {
+    let start = 1 + rng.below(400);
+    let len = 8 + rng.below(20);
+    format!("{start}-{}", start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::DBLP_TOPICS;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let topic = DBLP_TOPICS[0].1;
+        let a = title(&mut rng(), topic);
+        let b = title(&mut rng(), topic);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn title_length_in_range() {
+        let topic = DBLP_TOPICS[1].1;
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = title(&mut r, topic);
+            let n = t.split_whitespace().count();
+            assert!((4..10).contains(&n), "{n} words");
+        }
+    }
+
+    #[test]
+    fn topical_ratio_is_respected() {
+        let topic = DBLP_TOPICS[2].1;
+        let mut r = rng();
+        let ws = words(&mut r, topic, 2000, 0.8);
+        let topical = ws.iter().filter(|w| topic.contains(&w.as_str())).count();
+        // Expect ~80% topical (some general terms could coincide, none do here).
+        assert!(topical > 1400 && topical < 1900, "topical = {topical}");
+    }
+
+    #[test]
+    fn person_names_look_right() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = person(&mut r);
+            assert!(p.contains(". "), "{p}");
+        }
+    }
+
+    #[test]
+    fn years_and_pages_parse() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let y: u32 = year(&mut r).parse().unwrap();
+            assert!((1995..2009).contains(&y));
+            let p = pages(&mut r);
+            let (a, b) = p.split_once('-').unwrap();
+            assert!(a.parse::<u32>().unwrap() < b.parse::<u32>().unwrap());
+        }
+    }
+
+    #[test]
+    fn paragraph_has_sentences() {
+        let mut r = rng();
+        let p = paragraph(&mut r, DBLP_TOPICS[3].1, 3, 0.5);
+        assert_eq!(p.matches('.').count(), 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! Topic vocabularies and name pools for the synthetic generators.
+//!
+//! Each topic is a pool of characteristic terms; generated text mixes topic
+//! terms with a shared academic filler pool so that topics overlap
+//! realistically (pure disjoint vocabularies would make content clustering
+//! trivially perfect, which the paper's F-measures show it is not).
+
+/// Shared academic filler terms, common to every topic.
+pub static GENERAL: &[&str] = &[
+    "approach", "analysis", "method", "results", "evaluation", "study", "novel", "framework",
+    "model", "system", "performance", "efficient", "effective", "problem", "technique",
+    "experimental", "proposed", "paper", "present", "based",
+];
+
+/// The six DBLP topical classes of §5.2.
+pub static DBLP_TOPICS: &[(&str, &[&str])] = &[
+    ("multimedia", &[
+        "multimedia", "video", "audio", "image", "streaming", "compression", "codec", "mpeg",
+        "retrieval", "annotation", "visual", "media", "content", "segmentation", "indexing",
+    ]),
+    ("logic programming", &[
+        "logic", "prolog", "datalog", "resolution", "unification", "predicate", "horn", "clause",
+        "deduction", "answer", "semantics", "negation", "stable", "fixpoint", "inference",
+    ]),
+    ("web and adaptive systems", &[
+        "web", "adaptive", "personalization", "hypermedia", "browsing", "user", "profile",
+        "recommendation", "navigation", "portal", "session", "click", "page", "link", "surfing",
+    ]),
+    ("knowledge based systems", &[
+        "knowledge", "ontology", "expert", "reasoning", "representation", "agent", "belief",
+        "rule", "acquisition", "base", "domain", "concept", "taxonomy", "semantic", "inference",
+    ]),
+    ("software engineering", &[
+        "software", "engineering", "testing", "requirement", "specification", "architecture",
+        "component", "refactoring", "maintenance", "debugging", "metric", "quality", "design",
+        "pattern", "verification",
+    ]),
+    ("formal languages", &[
+        "grammar", "automata", "regular", "language", "parsing", "contextfree", "decidability",
+        "complexity", "turing", "alphabet", "string", "rewriting", "pushdown", "acceptance",
+        "closure",
+    ]),
+];
+
+/// The eight IEEE/INEX topical classes of §5.2.
+pub static IEEE_TOPICS: &[(&str, &[&str])] = &[
+    ("computer", &[
+        "processor", "computing", "architecture", "instruction", "pipeline", "benchmark",
+        "microprocessor", "register", "cache", "simulation", "chip", "throughput",
+    ]),
+    ("graphics", &[
+        "rendering", "graphics", "shading", "mesh", "texture", "illumination", "polygon",
+        "raytracing", "animation", "geometry", "visualization", "surface",
+    ]),
+    ("hardware", &[
+        "circuit", "vlsi", "fpga", "gate", "transistor", "layout", "synthesis", "fabrication",
+        "silicon", "voltage", "logic", "asic",
+    ]),
+    ("artificial intelligence", &[
+        "learning", "neural", "classifier", "training", "intelligence", "bayesian", "search",
+        "heuristic", "planning", "optimization", "reasoning", "genetic",
+    ]),
+    ("internet", &[
+        "protocol", "routing", "tcp", "bandwidth", "congestion", "packet", "internet", "http",
+        "server", "latency", "multicast", "dns",
+    ]),
+    ("mobile", &[
+        "wireless", "mobile", "handoff", "cellular", "roaming", "bluetooth", "antenna",
+        "spectrum", "basestation", "channel", "fading", "gsm",
+    ]),
+    ("parallel", &[
+        "parallel", "distributed", "cluster", "scheduling", "synchronization", "thread",
+        "message", "passing", "speedup", "scalability", "partitioning", "loadbalancing",
+    ]),
+    ("security", &[
+        "security", "encryption", "authentication", "cryptography", "intrusion", "firewall",
+        "malware", "signature", "privacy", "key", "attack", "vulnerability",
+    ]),
+];
+
+/// The 21 Wikipedia portal topics of §5.2.
+pub static WIKIPEDIA_TOPICS: &[(&str, &[&str])] = &[
+    ("art", &["painting", "gallery", "sculpture", "canvas", "artist", "museum", "brush", "portrait", "fresco", "exhibition"]),
+    ("aviation", &["aircraft", "airline", "cockpit", "runway", "fuselage", "pilot", "altitude", "airport", "wingspan", "turbine"]),
+    ("biology", &["species", "cell", "organism", "evolution", "gene", "protein", "habitat", "taxonomy", "enzyme", "membrane"]),
+    ("chemistry", &["molecule", "reaction", "compound", "catalyst", "acid", "polymer", "solvent", "isotope", "oxidation", "bond"]),
+    ("cinema", &["film", "director", "screenplay", "actor", "cinema", "premiere", "studio", "scene", "footage", "boxoffice"]),
+    ("cricket", &["cricket", "wicket", "batsman", "bowler", "innings", "umpire", "pitch", "testmatch", "over", "crease"]),
+    ("economics", &["market", "inflation", "trade", "currency", "investment", "demand", "supply", "tariff", "fiscal", "monetary"]),
+    ("geography", &["mountain", "river", "plateau", "climate", "continent", "peninsula", "delta", "latitude", "terrain", "glacier"]),
+    ("history", &["empire", "dynasty", "treaty", "revolution", "medieval", "conquest", "archive", "chronicle", "monarchy", "siege"]),
+    ("law", &["court", "statute", "verdict", "plaintiff", "jurisdiction", "appeal", "contract", "tribunal", "legislation", "defendant"]),
+    ("literature", &["novel", "poetry", "author", "narrative", "chapter", "prose", "manuscript", "publisher", "verse", "anthology"]),
+    ("mathematics", &["theorem", "proof", "algebra", "topology", "integer", "manifold", "conjecture", "axiom", "polynomial", "calculus"]),
+    ("medicine", &["patient", "diagnosis", "treatment", "clinical", "symptom", "therapy", "vaccine", "surgery", "dosage", "pathology"]),
+    ("music", &["symphony", "melody", "orchestra", "album", "chord", "concert", "composer", "rhythm", "soprano", "guitar"]),
+    ("philosophy", &["ethics", "metaphysics", "epistemology", "dialectic", "phenomenology", "existential", "rationalism", "virtue", "ontology", "stoic"]),
+    ("physics", &["quantum", "particle", "relativity", "photon", "momentum", "entropy", "neutron", "wavelength", "plasma", "gravity"]),
+    ("politics", &["election", "parliament", "senate", "coalition", "ballot", "referendum", "minister", "constituency", "campaign", "policy"]),
+    ("religion", &["temple", "scripture", "pilgrimage", "monastery", "ritual", "theology", "prophet", "liturgy", "diocese", "shrine"]),
+    ("sports", &["tournament", "championship", "league", "stadium", "athlete", "medal", "coach", "season", "playoff", "referee"]),
+    ("technology", &["device", "software", "prototype", "patent", "innovation", "semiconductor", "gadget", "interface", "firmware", "sensor"]),
+    ("transport", &["railway", "locomotive", "highway", "tramway", "freight", "station", "commuter", "junction", "carriage", "transit"]),
+];
+
+/// Five Shakespeare content groups: thematic-vocabulary clusters used to
+/// color the speeches of each play group.
+pub static SHAKESPEARE_TOPICS: &[(&str, &[&str])] = &[
+    ("war of the roses", &[
+        "york", "lancaster", "crown", "rebellion", "battle", "soldier", "england", "duke",
+        "banner", "treason", "field", "sword", "march", "siege",
+    ]),
+    ("court intrigue", &[
+        "cardinal", "council", "palace", "favour", "majesty", "ambassador", "decree",
+        "ceremony", "procession", "courtier", "petition", "chancellor", "robes", "throne",
+    ]),
+    ("revenge tragedy", &[
+        "ghost", "poison", "madness", "grave", "skull", "vengeance", "melancholy", "prayer",
+        "conscience", "funeral", "murder", "spirit", "night", "castle",
+    ]),
+    ("ambition and prophecy", &[
+        "witch", "prophecy", "dagger", "blood", "thane", "cauldron", "sleep", "forest",
+        "omen", "raven", "storm", "darkness", "spell", "banquet",
+    ]),
+    ("jealousy and deceit", &[
+        "handkerchief", "jealousy", "lieutenant", "moor", "venice", "cyprus", "deceit",
+        "honest", "slander", "passion", "wedding", "innocence", "whisper", "proof",
+    ]),
+];
+
+/// Surname pool for author/speaker name generation.
+pub static SURNAMES: &[&str] = &[
+    "Zaki", "Aggarwal", "Greco", "Gullo", "Ponti", "Tagarelli", "Chen", "Kumar", "Silva",
+    "Novak", "Haas", "Weber", "Rossi", "Moreau", "Tanaka", "Olsen", "Petrov", "Costa",
+    "Nielsen", "Fischer", "Marino", "Dubois", "Sato", "Klein", "Romano", "Laurent", "Mori",
+    "Vogel", "Conti", "Lefevre", "Sanna", "Bruno", "Keller", "Fontana", "Meyer", "Ricci",
+];
+
+/// Venue name fragments for bibliographic records.
+pub static VENUE_WORDS: &[&str] = &[
+    "International", "Conference", "Symposium", "Workshop", "Journal", "Transactions",
+    "Proceedings", "Letters", "Advances", "Annual", "European", "Pacific",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_counts_match_paper() {
+        assert_eq!(DBLP_TOPICS.len(), 6);
+        assert_eq!(IEEE_TOPICS.len(), 8);
+        assert_eq!(WIKIPEDIA_TOPICS.len(), 21);
+        assert_eq!(SHAKESPEARE_TOPICS.len(), 5);
+    }
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for (name, pool) in DBLP_TOPICS
+            .iter()
+            .chain(IEEE_TOPICS)
+            .chain(WIKIPEDIA_TOPICS)
+            .chain(SHAKESPEARE_TOPICS)
+        {
+            assert!(pool.len() >= 10, "topic {name} too small");
+            for w in *pool {
+                assert_eq!(
+                    *w,
+                    w.to_lowercase(),
+                    "topic term {w} must be lowercase for stable stemming"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topics_are_distinct() {
+        let mut names: Vec<&str> = WIKIPEDIA_TOPICS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+}

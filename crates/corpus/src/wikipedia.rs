@@ -1,0 +1,159 @@
+//! Wikipedia/INEX-like article corpus.
+//!
+//! Mirrors the paper's Wikipedia subset (§5.2): long articles over 21
+//! thematic portal classes with no meaningful structural differences —
+//! every article follows the same template, so the corpus is used for
+//! content-driven clustering only (structure/hybrid labels degenerate to
+//! the content labels, as the paper does).
+
+use crate::textgen;
+use crate::vocab::WIKIPEDIA_TOPICS;
+use crate::Corpus;
+use cxk_util::{DetRng, Interner};
+use cxk_xml::tree::{XmlTree, S_LABEL};
+use cxk_xml::write::{to_xml_string, Layout};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WikipediaConfig {
+    /// Number of documents (articles).
+    pub documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WikipediaConfig {
+    fn default() -> Self {
+        Self {
+            documents: 250,
+            seed: 0x1D1A,
+        }
+    }
+}
+
+/// Generates the corpus.
+pub fn generate(config: &WikipediaConfig) -> Corpus {
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut documents = Vec::with_capacity(config.documents);
+    let mut content_class = Vec::with_capacity(config.documents);
+
+    for doc_idx in 0..config.documents {
+        // Round-robin guarantees every portal is populated, with random
+        // article content per portal.
+        let topic = doc_idx % WIKIPEDIA_TOPICS.len();
+        documents.push(make_article(&mut rng, topic));
+        content_class.push(topic as u32);
+    }
+
+    Corpus {
+        name: "wikipedia",
+        documents,
+        structure_class: content_class.clone(),
+        content_class: content_class.clone(),
+        hybrid_class: content_class.clone(),
+        k_structure: WIKIPEDIA_TOPICS.len(),
+        k_content: WIKIPEDIA_TOPICS.len(),
+        k_hybrid: WIKIPEDIA_TOPICS.len(),
+    }
+}
+
+fn make_article(rng: &mut DetRng, topic: usize) -> String {
+    let words = WIKIPEDIA_TOPICS[topic].1;
+    let mut interner = Interner::new();
+    let s = interner.intern(S_LABEL);
+
+    let article = interner.intern("article");
+    let mut tree = XmlTree::with_root(article);
+    let root = tree.root();
+
+    let name = tree.add_element(root, interner.intern("name"));
+    tree.add_text(name, s, textgen::title(rng, words));
+
+    let body = tree.add_element(root, interner.intern("body"));
+    let section_tag = interner.intern("section");
+    let heading_tag = interner.intern("heading");
+    let p_tag = interner.intern("p");
+    for _ in 0..rng.range(3, 6) {
+        let section = tree.add_element(body, section_tag);
+        let heading = tree.add_element(section, heading_tag);
+        tree.add_text(heading, s, textgen::title(rng, words));
+        for _ in 0..rng.range(2, 5) {
+            let p = tree.add_element(section, p_tag);
+            tree.add_text(p, s, textgen::paragraph(rng, words, 3, 0.5));
+        }
+    }
+
+    let categories = tree.add_element(root, interner.intern("categories"));
+    tree.add_text(
+        categories,
+        s,
+        textgen::words(rng, words, 3, 0.95).join(", "),
+    );
+
+    to_xml_string(&tree, &interner, Layout::Compact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_classes_all_populated() {
+        let corpus = generate(&WikipediaConfig {
+            documents: 42,
+            seed: 1,
+        });
+        assert_eq!(corpus.k_content, 21);
+        let mut classes = corpus.content_class.clone();
+        classes.sort_unstable();
+        classes.dedup();
+        assert_eq!(classes.len(), 21);
+    }
+
+    #[test]
+    fn structure_is_homogeneous() {
+        let corpus = generate(&WikipediaConfig {
+            documents: 6,
+            seed: 2,
+        });
+        // Every document uses the same element set regardless of topic.
+        for doc in &corpus.documents {
+            for tag in ["<article>", "<name>", "<body>", "<section>", "<heading>", "<p>"] {
+                assert!(doc.contains(tag), "missing {tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn articles_parse_with_moderate_tuple_counts() {
+        let corpus = generate(&WikipediaConfig {
+            documents: 10,
+            seed: 3,
+        });
+        let mut interner = Interner::new();
+        for doc in &corpus.documents {
+            let tree = cxk_xml::parse_document(
+                doc,
+                &mut interner,
+                &cxk_xml::ParseOptions::default(),
+            )
+            .unwrap();
+            let tuples = cxk_xml::count_tree_tuples(&tree);
+            // Σ over sections of paragraph count: roughly 6..20.
+            assert!((6..=20).contains(&tuples), "tuples = {tuples}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&WikipediaConfig {
+            documents: 4,
+            seed: 5,
+        });
+        let b = generate(&WikipediaConfig {
+            documents: 4,
+            seed: 5,
+        });
+        assert_eq!(a.documents, b.documents);
+    }
+}

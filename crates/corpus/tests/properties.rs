@@ -1,0 +1,87 @@
+//! Property-based tests for the corpus generators and partitioners.
+
+use cxk_corpus::dblp::{generate as dblp, DblpConfig};
+use cxk_corpus::wikipedia::{generate as wikipedia, WikipediaConfig};
+use cxk_corpus::{partition_equal, partition_unequal};
+use cxk_util::Interner;
+use cxk_xml::{parse_document, ParseOptions};
+use proptest::prelude::*;
+
+fn covers_exactly_once(parts: &[Vec<usize>], n: usize) -> bool {
+    let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all == (0..n).collect::<Vec<_>>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn equal_partition_is_exact_cover(n in 0usize..500, m in 1usize..20, seed in any::<u64>()) {
+        let parts = partition_equal(n, m, seed);
+        prop_assert_eq!(parts.len(), m);
+        prop_assert!(covers_exactly_once(&parts, n));
+        // Sizes differ by at most one.
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn unequal_partition_is_exact_cover(n in 0usize..500, m in 1usize..20, seed in any::<u64>()) {
+        let parts = partition_unequal(n, m, seed);
+        prop_assert_eq!(parts.len(), m);
+        prop_assert!(covers_exactly_once(&parts, n));
+    }
+
+    #[test]
+    fn unequal_heavy_half_dominates(n in 100usize..400, m in 2usize..12, seed in any::<u64>()) {
+        let parts = partition_unequal(n, m, seed);
+        let heavy = m.div_ceil(2);
+        let heavy_total: usize = parts[..heavy].iter().map(Vec::len).sum();
+        let light_total: usize = parts[heavy..].iter().map(Vec::len).sum();
+        // Heavy half holds roughly twice as much as the light half; allow
+        // rounding slack on small inputs.
+        if light_total > 0 {
+            let ratio = heavy_total as f64 / light_total as f64;
+            let heavy_units = 2.0 * heavy as f64;
+            let light_units = (m - heavy) as f64;
+            let ideal = heavy_units / light_units;
+            prop_assert!(
+                (ratio - ideal).abs() < 0.5,
+                "ratio {ratio} vs ideal {ideal}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dblp_documents_always_parse(documents in 1usize..30, seed in any::<u64>()) {
+        let corpus = dblp(&DblpConfig { documents, seed,
+        dialects: 1,
+    });
+        prop_assert_eq!(corpus.len(), documents);
+        let mut interner = Interner::new();
+        for doc in &corpus.documents {
+            let tree = parse_document(doc, &mut interner, &ParseOptions::default());
+            prop_assert!(tree.is_ok());
+        }
+    }
+
+    #[test]
+    fn wikipedia_documents_always_parse(documents in 1usize..25, seed in any::<u64>()) {
+        let corpus = wikipedia(&WikipediaConfig { documents, seed });
+        let mut interner = Interner::new();
+        for doc in &corpus.documents {
+            let tree = parse_document(doc, &mut interner, &ParseOptions::default());
+            prop_assert!(tree.is_ok());
+        }
+        // Labels are always within class bounds.
+        for &c in &corpus.content_class {
+            prop_assert!((c as usize) < corpus.k_content);
+        }
+    }
+}

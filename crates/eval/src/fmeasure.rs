@@ -1,0 +1,313 @@
+//! F-measure, purity and NMI over label assignments.
+//!
+//! Objects are indexed `0..n`; `truth[i]` is the reference class of object
+//! `i` and `pred[i]` its assigned cluster. Cluster ids need not be dense —
+//! the trash cluster of CXK-means is just another id.
+
+use cxk_util::FxHashMap;
+
+/// A truth × prediction contingency table.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// Distinct class ids in first-seen order.
+    pub classes: Vec<u32>,
+    /// Distinct cluster ids in first-seen order.
+    pub clusters: Vec<u32>,
+    /// `counts[i][j]` = objects of class `classes[i]` in cluster `clusters[j]`.
+    pub counts: Vec<Vec<u64>>,
+    /// Row sums `|Γ_i|`.
+    pub class_sizes: Vec<u64>,
+    /// Column sums `|C_j|`.
+    pub cluster_sizes: Vec<u64>,
+    /// Total objects `|S|`.
+    pub total: u64,
+}
+
+/// Builds the contingency table of two equal-length assignments.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn contingency(truth: &[u32], pred: &[u32]) -> Contingency {
+    assert_eq!(truth.len(), pred.len(), "assignment lengths differ");
+    let mut class_index: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut cluster_index: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut classes = Vec::new();
+    let mut clusters = Vec::new();
+    for &c in truth {
+        class_index.entry(c).or_insert_with(|| {
+            classes.push(c);
+            classes.len() - 1
+        });
+    }
+    for &k in pred {
+        cluster_index.entry(k).or_insert_with(|| {
+            clusters.push(k);
+            clusters.len() - 1
+        });
+    }
+    let mut counts = vec![vec![0u64; clusters.len()]; classes.len()];
+    for (&c, &k) in truth.iter().zip(pred) {
+        counts[class_index[&c]][cluster_index[&k]] += 1;
+    }
+    let class_sizes: Vec<u64> = counts.iter().map(|row| row.iter().sum()).collect();
+    let cluster_sizes: Vec<u64> = (0..clusters.len())
+        .map(|j| counts.iter().map(|row| row[j]).sum())
+        .collect();
+    Contingency {
+        classes,
+        clusters,
+        counts,
+        class_sizes,
+        cluster_sizes,
+        total: truth.len() as u64,
+    }
+}
+
+/// The overall F-measure `F(C, Γ)` of §5.3, in `[0, 1]`.
+pub fn f_measure(truth: &[u32], pred: &[u32]) -> f64 {
+    let table = contingency(truth, pred);
+    if table.total == 0 {
+        return 0.0;
+    }
+    let mut weighted = 0.0;
+    for (i, row) in table.counts.iter().enumerate() {
+        let class_size = table.class_sizes[i] as f64;
+        let mut best = 0.0f64;
+        for (j, &overlap) in row.iter().enumerate() {
+            if overlap == 0 {
+                continue;
+            }
+            let p = overlap as f64 / table.cluster_sizes[j] as f64;
+            let r = overlap as f64 / class_size;
+            let f = 2.0 * p * r / (p + r);
+            best = best.max(f);
+        }
+        weighted += class_size * best;
+    }
+    weighted / table.total as f64
+}
+
+/// Purity: fraction of objects assigned to their cluster's majority class.
+pub fn purity(truth: &[u32], pred: &[u32]) -> f64 {
+    let table = contingency(truth, pred);
+    if table.total == 0 {
+        return 0.0;
+    }
+    let mut majority_sum = 0u64;
+    for j in 0..table.clusters.len() {
+        majority_sum += table.counts.iter().map(|row| row[j]).max().unwrap_or(0);
+    }
+    majority_sum as f64 / table.total as f64
+}
+
+/// Normalized mutual information `NMI = 2 I(Γ;C) / (H(Γ) + H(C))`, in
+/// `[0, 1]`. Returns 0.0 when either partition has a single block.
+pub fn normalized_mutual_information(truth: &[u32], pred: &[u32]) -> f64 {
+    let table = contingency(truth, pred);
+    let n = table.total as f64;
+    if table.total == 0 {
+        return 0.0;
+    }
+    let entropy = |sizes: &[u64]| -> f64 {
+        sizes
+            .iter()
+            .filter(|&&s| s > 0)
+            .map(|&s| {
+                let p = s as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let h_truth = entropy(&table.class_sizes);
+    let h_pred = entropy(&table.cluster_sizes);
+    if h_truth == 0.0 || h_pred == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.counts.iter().enumerate() {
+        for (j, &overlap) in row.iter().enumerate() {
+            if overlap == 0 {
+                continue;
+            }
+            let p_ij = overlap as f64 / n;
+            let p_i = table.class_sizes[i] as f64 / n;
+            let p_j = table.cluster_sizes[j] as f64 / n;
+            mi += p_ij * (p_ij / (p_i * p_j)).ln();
+        }
+    }
+    (2.0 * mi / (h_truth + h_pred)).clamp(0.0, 1.0)
+}
+
+/// Adjusted Rand Index: pair-counting agreement corrected for chance, in
+/// `[-1, 1]` (`1` = identical partitions, `≈ 0` = random labeling).
+///
+/// ```text
+/// ARI = (Σ_ij C(n_ij,2) − E) / (½(Σ_i C(a_i,2) + Σ_j C(b_j,2)) − E)
+/// E   = Σ_i C(a_i,2) · Σ_j C(b_j,2) / C(n,2)
+/// ```
+///
+/// Returns `0.0` for fewer than two objects, and `1.0` when both
+/// partitions are single blocks (they are identical partitions then).
+pub fn adjusted_rand_index(truth: &[u32], pred: &[u32]) -> f64 {
+    let table = contingency(truth, pred);
+    let n = table.total;
+    if n < 2 {
+        return 0.0;
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let sum_cells: f64 = table
+        .counts
+        .iter()
+        .flatten()
+        .map(|&c| choose2(c))
+        .sum();
+    let sum_classes: f64 = table.class_sizes.iter().map(|&a| choose2(a)).sum();
+    let sum_clusters: f64 = table.cluster_sizes.iter().map(|&b| choose2(b)).sum();
+    let expected = sum_classes * sum_clusters / choose2(n);
+    let max_index = 0.5 * (sum_classes + sum_clusters);
+    if (max_index - expected).abs() < f64::EPSILON {
+        // Both partitions are single blocks (or equivalent degenerate
+        // shapes): the partitions agree perfectly.
+        return 1.0;
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [5, 5, 9, 9, 7, 7]; // ids need not match or be dense
+        assert!((f_measure(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((purity(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&truth, &pred) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_scores_below_one() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        // P = 0.5, R = 1 per class -> F_ij = 2/3 for both classes.
+        assert!((f_measure(&truth, &pred) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((purity(&truth, &pred) - 0.5).abs() < 1e-12);
+        assert_eq!(normalized_mutual_information(&truth, &pred), 0.0);
+    }
+
+    #[test]
+    fn worked_small_example() {
+        // Γ0 = {0,1,2}, Γ1 = {3,4}; C0 = {0,1,3}, C1 = {2,4}.
+        let truth = [0, 0, 0, 1, 1];
+        let pred = [0, 0, 1, 0, 1];
+        // Class 0: best vs C0: P=2/3, R=2/3, F=2/3; vs C1: P=1/2, R=1/3, F=0.4.
+        // Class 1: vs C0: P=1/3, R=1/2, F=0.4; vs C1: P=1/2, R=1/2, F=1/2.
+        // F = (3*(2/3) + 2*(1/2)) / 5 = 3/5 = 0.6.
+        assert!((f_measure(&truth, &pred) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_measure_is_monotone_in_quality() {
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let good = [0, 0, 0, 1, 1, 1, 1, 1];
+        let bad = [0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(f_measure(&truth, &good) > f_measure(&truth, &bad));
+    }
+
+    #[test]
+    fn trash_cluster_penalizes_recall() {
+        let truth = [0, 0, 0, 0];
+        let all_in = [0, 0, 0, 0];
+        let some_trashed = [0, 0, 99, 99];
+        assert!(f_measure(&truth, &all_in) > f_measure(&truth, &some_trashed));
+    }
+
+    #[test]
+    fn contingency_counts_are_consistent() {
+        let truth = [0, 0, 1, 2, 2, 2];
+        let pred = [1, 1, 0, 0, 1, 1];
+        let t = contingency(&truth, &pred);
+        assert_eq!(t.total, 6);
+        assert_eq!(t.class_sizes.iter().sum::<u64>(), 6);
+        assert_eq!(t.cluster_sizes.iter().sum::<u64>(), 6);
+        let cell_sum: u64 = t.counts.iter().flatten().sum();
+        assert_eq!(cell_sum, 6);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let empty: [u32; 0] = [];
+        assert_eq!(f_measure(&empty, &empty), 0.0);
+        assert_eq!(purity(&empty, &empty), 0.0);
+        assert_eq!(normalized_mutual_information(&empty, &empty), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment lengths differ")]
+    fn mismatched_lengths_panic() {
+        f_measure(&[0, 1], &[0]);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_under_relabeling() {
+        let truth = [0, 0, 1, 1, 2, 2, 2];
+        let pred_a = [4, 4, 5, 5, 6, 6, 5];
+        let pred_b = [9, 9, 3, 3, 0, 0, 3]; // same partition, new ids
+        let a = normalized_mutual_information(&truth, &pred_a);
+        let b = normalized_mutual_information(&truth, &pred_b);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_perfect_is_one_and_independent_is_near_zero() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let same = [7, 7, 3, 3, 9, 9];
+        assert!((adjusted_rand_index(&truth, &same) - 1.0).abs() < 1e-12);
+        // A labeling independent of the truth: alternating classes across
+        // balanced clusters.
+        let truth_big: Vec<u32> = (0..40).map(|i| (i / 20) as u32).collect();
+        let alternating: Vec<u32> = (0..40).map(|i| (i % 2) as u32).collect();
+        let ari = adjusted_rand_index(&truth_big, &alternating);
+        assert!(ari.abs() < 0.1, "independent labeling ARI = {ari}");
+    }
+
+    #[test]
+    fn ari_worked_example() {
+        // Hubert & Arabie style check: Γ = {0,0,0,1,1,1}, C = {0,0,1,1,2,2}.
+        let truth = [0, 0, 0, 1, 1, 1];
+        let pred = [0, 0, 1, 1, 2, 2];
+        // n_ij pairs: C(2,2)+0 + C(1,2)+C(1,2) + 0+C(2,2) = 1+0+0+1 = 2.
+        // a: 2*C(3,2)=6; b: 3*C(2,2)=3; E = 6*3/C(6,2)=18/15=1.2.
+        // max = (6+3)/2 = 4.5; ARI = (2-1.2)/(4.5-1.2) = 0.8/3.3.
+        let expected = 0.8 / 3.3;
+        assert!((adjusted_rand_index(&truth, &pred) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_can_be_negative_for_adversarial_splits() {
+        // Worse-than-chance agreement: every cluster mixes the two classes
+        // in perfectly balanced halves of a 2x2 design.
+        let truth = [0, 1, 0, 1];
+        let pred = [0, 0, 1, 1];
+        assert!(adjusted_rand_index(&truth, &pred) < 0.0);
+    }
+
+    #[test]
+    fn ari_degenerate_inputs() {
+        let empty: [u32; 0] = [];
+        assert_eq!(adjusted_rand_index(&empty, &empty), 0.0);
+        assert_eq!(adjusted_rand_index(&[0], &[3]), 0.0);
+        // Single block vs single block: identical partitions.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[5, 5, 5]), 1.0);
+    }
+
+    #[test]
+    fn ari_is_symmetric_in_its_arguments() {
+        let a = [0, 0, 1, 1, 2, 2, 1];
+        let b = [1, 1, 1, 0, 0, 2, 2];
+        let ab = adjusted_rand_index(&a, &b);
+        let ba = adjusted_rand_index(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

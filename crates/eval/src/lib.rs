@@ -1,0 +1,26 @@
+//! Cluster validity measures (§5.3 of the paper).
+//!
+//! The paper scores a clustering `C = {C_1 … C_K}` against a reference
+//! classification `Γ = {Γ_1 … Γ_H}` with the overall **F-measure**:
+//!
+//! ```text
+//! P_ij = |C_j ∩ Γ_i| / |C_j|      R_ij = |C_j ∩ Γ_i| / |Γ_i|
+//! F_ij = 2 P_ij R_ij / (P_ij + R_ij)
+//! F(C, Γ) = (1/|S|) Σ_i |Γ_i| · max_j F_ij
+//! ```
+//!
+//! Purity, NMI and the Adjusted Rand Index are provided as supplementary
+//! diagnostics, and
+//! [`RunStats`] averages repeated stochastic runs the way the paper reports
+//! its tables (mean over 10 runs).
+
+#![warn(missing_docs)]
+
+pub mod fmeasure;
+pub mod stats;
+
+pub use fmeasure::{
+    adjusted_rand_index, contingency, f_measure, normalized_mutual_information, purity,
+    Contingency,
+};
+pub use stats::RunStats;

@@ -1,0 +1,110 @@
+//! Property-based tests for the validity measures.
+
+use cxk_eval::{adjusted_rand_index, f_measure, normalized_mutual_information, purity, RunStats};
+use proptest::prelude::*;
+
+fn assignments() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    proptest::collection::vec((0u32..5, 0u32..6), 1..60)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scores_live_in_unit_interval((truth, pred) in assignments()) {
+        for score in [
+            f_measure(&truth, &pred),
+            purity(&truth, &pred),
+            normalized_mutual_information(&truth, &pred),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&score), "score {score}");
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one(truth in proptest::collection::vec(0u32..5, 1..60)) {
+        prop_assert!((f_measure(&truth, &truth) - 1.0).abs() < 1e-12);
+        prop_assert!((purity(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_clusters_preserves_scores((truth, pred) in assignments()) {
+        // Apply an injective relabeling to the predicted cluster ids.
+        let relabeled: Vec<u32> = pred.iter().map(|&c| 1000 + 7 * c).collect();
+        prop_assert!((f_measure(&truth, &pred) - f_measure(&truth, &relabeled)).abs() < 1e-12);
+        prop_assert!((purity(&truth, &pred) - purity(&truth, &relabeled)).abs() < 1e-12);
+        let nmi_a = normalized_mutual_information(&truth, &pred);
+        let nmi_b = normalized_mutual_information(&truth, &relabeled);
+        prop_assert!((nmi_a - nmi_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merging_all_clusters_cannot_beat_perfect((truth, _) in assignments()) {
+        let single = vec![0u32; truth.len()];
+        prop_assert!(f_measure(&truth, &single) <= 1.0 + 1e-12);
+        prop_assert!(purity(&truth, &single) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn purity_upper_bounds_do_hold((truth, pred) in assignments()) {
+        // Purity of singleton clusters is always 1.
+        let singletons: Vec<u32> = (0..truth.len() as u32).collect();
+        prop_assert!((purity(&truth, &singletons) - 1.0).abs() < 1e-12);
+        let _ = pred;
+    }
+
+    #[test]
+    fn ari_is_bounded_symmetric_and_relabel_invariant((truth, pred) in assignments()) {
+        let ari = adjusted_rand_index(&truth, &pred);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&ari), "ARI {ari}");
+        let flipped = adjusted_rand_index(&pred, &truth);
+        prop_assert!((ari - flipped).abs() < 1e-12, "symmetry");
+        let relabeled: Vec<u32> = pred.iter().map(|&c| 31 + 3 * c).collect();
+        let relabel = adjusted_rand_index(&truth, &relabeled);
+        prop_assert!((ari - relabel).abs() < 1e-12, "relabel invariance");
+    }
+
+    #[test]
+    fn ari_of_identical_partitions_is_one(truth in proptest::collection::vec(0u32..5, 2..60)) {
+        prop_assert!((adjusted_rand_index(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn run_stats_merge_equals_sequential(
+        data in proptest::collection::vec(-100.0f64..100.0, 1..40),
+        split in 0usize..40,
+    ) {
+        let split = split.min(data.len());
+        let mut all = RunStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = RunStats::new();
+        let mut right = RunStats::new();
+        for &x in &data[..split] {
+            left.push(x);
+        }
+        for &x in &data[split..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.std_dev() - all.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_stats_mean_is_bounded(data in proptest::collection::vec(-50.0f64..50.0, 1..40)) {
+        let mut stats = RunStats::new();
+        for &x in &data {
+            stats.push(x);
+        }
+        prop_assert!(stats.mean() >= stats.min() - 1e-12);
+        prop_assert!(stats.mean() <= stats.max() + 1e-12);
+    }
+}

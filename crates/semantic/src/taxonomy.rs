@@ -1,0 +1,320 @@
+//! An is-a concept hierarchy with Wu–Palmer tag similarity.
+//!
+//! A [`Taxonomy`] is a rooted tree of *concepts*; tag names are assigned to
+//! concepts. The derived [`TaxonomyMatcher`] grades two tags by the
+//! Wu–Palmer similarity of their concepts,
+//!
+//! ```text
+//! wup(a, b) = 2·depth(lca(a, b)) / (depth(a) + depth(b))
+//! ```
+//!
+//! with the root at depth 1 so that `wup` of two top-level concepts is
+//! positive only through the root when they share it. Tags assigned to the
+//! same concept score `1`; tags not assigned anywhere fall back to exact
+//! matching. This mirrors how the authors' earlier semantic work [33]
+//! scores element names through WordNet hypernym paths.
+
+use cxk_transact::TagMatcher;
+use cxk_util::{FxHashMap, Interner, Symbol};
+
+/// Identifier of a concept in a taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConceptId(u32);
+
+/// A rooted is-a hierarchy of named concepts with tag assignments.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    /// Parent of each concept; the root is its own parent.
+    parent: Vec<u32>,
+    /// Depth of each concept; root depth is 1.
+    depth: Vec<u32>,
+    names: FxHashMap<Box<str>, ConceptId>,
+    /// Concept assigned to each tag name.
+    concept_of: FxHashMap<Box<str>, ConceptId>,
+    /// Wu–Palmer scores below this floor are clamped to 0 in the matcher.
+    floor: f64,
+}
+
+impl Taxonomy {
+    /// Creates a taxonomy containing only the named root concept.
+    pub fn with_root(root: &str) -> Self {
+        let mut names = FxHashMap::default();
+        names.insert(root.into(), ConceptId(0));
+        Self {
+            parent: vec![0],
+            depth: vec![1],
+            names,
+            concept_of: FxHashMap::default(),
+            floor: 0.0,
+        }
+    }
+
+    /// Sets the matcher's relatedness floor: Wu–Palmer scores strictly
+    /// below `floor` count as no match. Every pair of concepts scores
+    /// positively through the root, so shallow taxonomies over-grade
+    /// unrelated tags; a floor (typically `0.5`) restores the
+    /// discrimination that exact matching provides between genuinely
+    /// unrelated fields while keeping graded credit for near concepts.
+    ///
+    /// # Panics
+    /// Panics if `floor ∉ [0, 1]`.
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&floor),
+            "floor must be in [0,1], got {floor}"
+        );
+        self.floor = floor;
+        self
+    }
+
+    /// The root concept.
+    pub fn root(&self) -> ConceptId {
+        ConceptId(0)
+    }
+
+    /// Adds a concept under `parent` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `name` already exists.
+    pub fn add_concept(&mut self, name: &str, parent: ConceptId) -> ConceptId {
+        assert!(
+            !self.names.contains_key(name),
+            "concept '{name}' already defined"
+        );
+        let id = ConceptId(self.parent.len() as u32);
+        self.parent.push(parent.0);
+        self.depth.push(self.depth[parent.0 as usize] + 1);
+        self.names.insert(name.into(), id);
+        id
+    }
+
+    /// Looks up a concept by name.
+    pub fn concept(&self, name: &str) -> Option<ConceptId> {
+        self.names.get(name).copied()
+    }
+
+    /// Assigns a tag name to a concept. Re-assigning overwrites.
+    pub fn assign(&mut self, tag: &str, concept: ConceptId) {
+        assert!((concept.0 as usize) < self.parent.len(), "unknown concept");
+        self.concept_of.insert(tag.into(), concept);
+    }
+
+    /// Number of concepts (including the root).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the taxonomy holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Depth of a concept (root = 1).
+    pub fn depth_of(&self, c: ConceptId) -> u32 {
+        self.depth[c.0 as usize]
+    }
+
+    /// Lowest common ancestor of two concepts.
+    pub fn lca(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        let (mut x, mut y) = (a.0 as usize, b.0 as usize);
+        while self.depth[x] > self.depth[y] {
+            x = self.parent[x] as usize;
+        }
+        while self.depth[y] > self.depth[x] {
+            y = self.parent[y] as usize;
+        }
+        while x != y {
+            x = self.parent[x] as usize;
+            y = self.parent[y] as usize;
+        }
+        ConceptId(x as u32)
+    }
+
+    /// Wu–Palmer similarity between two concepts, in `(0, 1]`.
+    pub fn wu_palmer(&self, a: ConceptId, b: ConceptId) -> f64 {
+        let lca = self.lca(a, b);
+        let da = f64::from(self.depth_of(a));
+        let db = f64::from(self.depth_of(b));
+        2.0 * f64::from(self.depth_of(lca)) / (da + db)
+    }
+
+    /// Compiles a matcher against `interner`'s tag vocabulary. Unassigned
+    /// tags (and symbols interned after this call) fall back to exact
+    /// matching.
+    pub fn matcher(&self, interner: &Interner) -> TaxonomyMatcher {
+        let mut concept_of_symbol = FxHashMap::default();
+        for index in 0..interner.len() {
+            let sym = Symbol(index as u32);
+            if let Some(&concept) = self.concept_of.get(interner.resolve(sym)) {
+                concept_of_symbol.insert(sym, concept);
+            }
+        }
+        TaxonomyMatcher {
+            taxonomy: self.clone(),
+            concept_of_symbol,
+        }
+    }
+}
+
+/// A compiled taxonomy matcher: `Δ(a, b)` is the Wu–Palmer similarity of
+/// the concepts the tags denote, `1` for identical tags, `0` when either
+/// tag is unassigned (unless identical).
+#[derive(Debug, Clone)]
+pub struct TaxonomyMatcher {
+    taxonomy: Taxonomy,
+    concept_of_symbol: FxHashMap<Symbol, ConceptId>,
+}
+
+impl TaxonomyMatcher {
+    /// The graded match (exposed for tests and diagnostics).
+    #[inline]
+    pub fn delta_of(&self, a: Symbol, b: Symbol) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (
+            self.concept_of_symbol.get(&a),
+            self.concept_of_symbol.get(&b),
+        ) {
+            (Some(&ca), Some(&cb)) => {
+                if ca == cb {
+                    1.0
+                } else {
+                    let wup = self.taxonomy.wu_palmer(ca, cb);
+                    if wup < self.taxonomy.floor {
+                        0.0
+                    } else {
+                        wup
+                    }
+                }
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+impl TagMatcher for TaxonomyMatcher {
+    #[inline]
+    fn delta(&self, a: Symbol, b: Symbol) -> f64 {
+        self.delta_of(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// publication ─┬─ serial ─┬─ journal-family (journal, periodical)
+    ///              │          └─ magazine-family (magazine)
+    ///              └─ event   ── proceedings-family (booktitle, venue)
+    fn publication_taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::with_root("publication");
+        let serial = t.add_concept("serial", t.root());
+        let event = t.add_concept("event", t.root());
+        let journal = t.add_concept("journal-family", serial);
+        let magazine = t.add_concept("magazine-family", serial);
+        let proceedings = t.add_concept("proceedings-family", event);
+        t.assign("journal", journal);
+        t.assign("periodical", journal);
+        t.assign("magazine", magazine);
+        t.assign("booktitle", proceedings);
+        t.assign("venue", proceedings);
+        t
+    }
+
+    #[test]
+    fn same_concept_tags_match_fully() {
+        let t = publication_taxonomy();
+        let mut interner = Interner::new();
+        let journal = interner.intern("journal");
+        let periodical = interner.intern("periodical");
+        let m = t.matcher(&interner);
+        assert_eq!(m.delta_of(journal, periodical), 1.0);
+    }
+
+    #[test]
+    fn sibling_concepts_score_wu_palmer() {
+        let t = publication_taxonomy();
+        let mut interner = Interner::new();
+        let journal = interner.intern("journal");
+        let magazine = interner.intern("magazine");
+        let m = t.matcher(&interner);
+        // journal-family and magazine-family: depth 3 each, lca `serial`
+        // at depth 2 -> 2·2/(3+3) = 2/3.
+        assert!((m.delta_of(journal, magazine) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distant_concepts_score_through_the_root() {
+        let t = publication_taxonomy();
+        let mut interner = Interner::new();
+        let journal = interner.intern("journal");
+        let venue = interner.intern("venue");
+        let m = t.matcher(&interner);
+        // lca is the root (depth 1): 2·1/(3+3) = 1/3.
+        assert!((m.delta_of(journal, venue) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unassigned_tags_fall_back_to_exact() {
+        let t = publication_taxonomy();
+        let mut interner = Interner::new();
+        let journal = interner.intern("journal");
+        let author = interner.intern("author");
+        let m = t.matcher(&interner);
+        assert_eq!(m.delta_of(author, author), 1.0);
+        assert_eq!(m.delta_of(author, journal), 0.0);
+    }
+
+    #[test]
+    fn lca_handles_unbalanced_depths() {
+        let mut t = Taxonomy::with_root("r");
+        let a = t.add_concept("a", t.root());
+        let b = t.add_concept("b", a);
+        let c = t.add_concept("c", b);
+        let d = t.add_concept("d", t.root());
+        assert_eq!(t.lca(c, a), a);
+        assert_eq!(t.lca(c, d), t.root());
+        assert_eq!(t.lca(c, c), c);
+        assert_eq!(t.depth_of(c), 4);
+        // wup(c, a): lca a at depth 2 -> 2·2/(4+2) = 2/3.
+        assert!((t.wu_palmer(c, a) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wu_palmer_is_reflexive_and_symmetric() {
+        let t = publication_taxonomy();
+        let serial = t.concept("serial").unwrap();
+        let event = t.concept("event").unwrap();
+        assert_eq!(t.wu_palmer(serial, serial), 1.0);
+        assert_eq!(t.wu_palmer(serial, event), t.wu_palmer(event, serial));
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn duplicate_concept_names_are_rejected() {
+        let mut t = Taxonomy::with_root("r");
+        t.add_concept("x", t.root());
+        t.add_concept("x", t.root());
+    }
+
+    #[test]
+    fn floor_clamps_weak_relatedness() {
+        let t = publication_taxonomy().with_floor(0.5);
+        let mut interner = Interner::new();
+        let journal = interner.intern("journal");
+        let magazine = interner.intern("magazine");
+        let venue = interner.intern("venue");
+        let m = t.matcher(&interner);
+        // Siblings at 2/3 survive the floor; root-only relatedness (1/3)
+        // is clamped to zero.
+        assert!((m.delta_of(journal, magazine) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.delta_of(journal, venue), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be in [0,1]")]
+    fn rejects_out_of_range_floor() {
+        let _ = Taxonomy::with_root("r").with_floor(-0.1);
+    }
+}

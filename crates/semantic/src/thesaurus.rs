@@ -1,0 +1,216 @@
+//! Synonym rings over tag names.
+//!
+//! A [`Thesaurus`] is a set of disjoint *rings*: groups of tag names that
+//! denote the same concept in different markup dialects. A ring behaves
+//! like a WordNet synset restricted to element names. The derived
+//! [`SynonymMatcher`] grades two distinct tags at `ring_score` (default
+//! `1.0`, a full match as in [33]) when they share a ring and `0.0`
+//! otherwise, and resolves symbols through a precomputed map so `delta`
+//! stays O(1) inside the Eq. (3) inner loop.
+
+use cxk_transact::TagMatcher;
+use cxk_util::{FxHashMap, Interner, Symbol};
+
+/// Disjoint synonym rings over tag names.
+#[derive(Debug, Clone, Default)]
+pub struct Thesaurus {
+    /// Ring id per member name.
+    ring_of: FxHashMap<Box<str>, u32>,
+    rings: usize,
+    ring_score: f64,
+}
+
+impl Thesaurus {
+    /// Creates an empty thesaurus with a full-match ring score of `1.0`.
+    pub fn new() -> Self {
+        Self {
+            ring_of: FxHashMap::default(),
+            rings: 0,
+            ring_score: 1.0,
+        }
+    }
+
+    /// Sets the score granted to distinct same-ring tags (default `1.0`).
+    ///
+    /// # Panics
+    /// Panics if `score ∉ [0, 1]`.
+    pub fn with_ring_score(mut self, score: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&score),
+            "ring score must be in [0,1], got {score}"
+        );
+        self.ring_score = score;
+        self
+    }
+
+    /// Adds a ring of mutually synonymous tag names.
+    ///
+    /// # Panics
+    /// Panics if any member already belongs to another ring (rings must be
+    /// disjoint for `delta` to be well defined).
+    pub fn add_ring(&mut self, members: &[&str]) {
+        let id = self.rings as u32;
+        self.rings += 1;
+        for &name in members {
+            let previous = self.ring_of.insert(name.into(), id);
+            assert!(
+                previous.is_none(),
+                "tag '{name}' already belongs to another synonym ring"
+            );
+        }
+    }
+
+    /// Number of rings.
+    pub fn len(&self) -> usize {
+        self.rings
+    }
+
+    /// Whether the thesaurus has no rings.
+    pub fn is_empty(&self) -> bool {
+        self.rings == 0
+    }
+
+    /// Whether two tag *names* are synonymous (same ring).
+    pub fn synonymous(&self, a: &str, b: &str) -> bool {
+        match (self.ring_of.get(a), self.ring_of.get(b)) {
+            (Some(ra), Some(rb)) => ra == rb,
+            _ => false,
+        }
+    }
+
+    /// Compiles a matcher against `interner`'s tag vocabulary. Tags not in
+    /// any ring fall back to exact matching. Symbols interned *after* this
+    /// call are unknown to the matcher and also fall back to exact match.
+    pub fn matcher(&self, interner: &Interner) -> SynonymMatcher {
+        let mut ring_of_symbol = FxHashMap::default();
+        for index in 0..interner.len() {
+            let sym = Symbol(index as u32);
+            if let Some(&ring) = self.ring_of.get(interner.resolve(sym)) {
+                ring_of_symbol.insert(sym, ring);
+            }
+        }
+        SynonymMatcher {
+            ring_of_symbol,
+            ring_score: self.ring_score,
+        }
+    }
+}
+
+/// A compiled synonym matcher: `Δ(a, b) = 1` if `a == b`, `ring_score` if
+/// the tags share a ring, else `0`.
+#[derive(Debug, Clone)]
+pub struct SynonymMatcher {
+    ring_of_symbol: FxHashMap<Symbol, u32>,
+    ring_score: f64,
+}
+
+impl SynonymMatcher {
+    /// The graded match (exposed for tests and diagnostics).
+    #[inline]
+    pub fn delta_of(&self, a: Symbol, b: Symbol) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (self.ring_of_symbol.get(&a), self.ring_of_symbol.get(&b)) {
+            (Some(ra), Some(rb)) if ra == rb => self.ring_score,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of vocabulary symbols covered by some ring.
+    pub fn covered(&self) -> usize {
+        self.ring_of_symbol.len()
+    }
+}
+
+impl TagMatcher for SynonymMatcher {
+    #[inline]
+    fn delta(&self, a: Symbol, b: Symbol) -> f64 {
+        self.delta_of(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxk_transact::{tag_path_similarity, tag_path_similarity_with};
+
+    fn setup() -> (Interner, SynonymMatcher) {
+        let mut interner = Interner::new();
+        for t in ["dblp", "author", "creator", "title", "name", "year"] {
+            interner.intern(t);
+        }
+        let mut thesaurus = Thesaurus::new();
+        thesaurus.add_ring(&["author", "creator", "writer"]);
+        thesaurus.add_ring(&["title", "name"]);
+        let matcher = thesaurus.matcher(&interner);
+        (interner, matcher)
+    }
+
+    #[test]
+    fn synonyms_match_fully_by_default() {
+        let (mut interner, matcher) = setup();
+        let author = interner.intern("author");
+        let creator = interner.intern("creator");
+        let year = interner.intern("year");
+        assert_eq!(matcher.delta_of(author, creator), 1.0);
+        assert_eq!(matcher.delta_of(author, author), 1.0);
+        assert_eq!(matcher.delta_of(author, year), 0.0);
+    }
+
+    #[test]
+    fn rings_are_not_transitive_across_groups() {
+        let (mut interner, matcher) = setup();
+        let author = interner.intern("author");
+        let title = interner.intern("title");
+        let name = interner.intern("name");
+        assert_eq!(matcher.delta_of(title, name), 1.0);
+        assert_eq!(matcher.delta_of(author, name), 0.0);
+    }
+
+    #[test]
+    fn ring_score_grades_partial_synonymy() {
+        let mut interner = Interner::new();
+        let a = interner.intern("author");
+        let c = interner.intern("creator");
+        let mut thesaurus = Thesaurus::new().with_ring_score(0.6);
+        thesaurus.add_ring(&["author", "creator"]);
+        let matcher = thesaurus.matcher(&interner);
+        assert_eq!(matcher.delta_of(a, c), 0.6);
+        assert_eq!(matcher.delta_of(a, a), 1.0, "identity overrides the ring score");
+    }
+
+    #[test]
+    fn unknown_symbols_fall_back_to_exact() {
+        let (mut interner, matcher) = setup();
+        let late = interner.intern("interned-after-compile");
+        assert_eq!(matcher.delta_of(late, late), 1.0);
+        let author = interner.intern("author");
+        assert_eq!(matcher.delta_of(late, author), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already belongs to another synonym ring")]
+    fn overlapping_rings_are_rejected()  {
+        let mut thesaurus = Thesaurus::new();
+        thesaurus.add_ring(&["author", "creator"]);
+        thesaurus.add_ring(&["creator", "maker"]);
+    }
+
+    #[test]
+    fn dialect_paths_become_similar_under_the_matcher() {
+        let (mut interner, matcher) = setup();
+        let p1: Vec<Symbol> = ["dblp", "author"].iter().map(|t| interner.intern(t)).collect();
+        let p2: Vec<Symbol> = ["dblp", "creator"].iter().map(|t| interner.intern(t)).collect();
+        let exact = tag_path_similarity(&p1, &p2);
+        let semantic = tag_path_similarity_with(&p1, &p2, &matcher);
+        assert!((exact - 0.5).abs() < 1e-12, "only dblp matches exactly");
+        assert!((semantic - 1.0).abs() < 1e-12, "synonym ring unifies the paths");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring score must be in [0,1]")]
+    fn rejects_out_of_range_ring_score() {
+        let _ = Thesaurus::new().with_ring_score(1.5);
+    }
+}

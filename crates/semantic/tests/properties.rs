@@ -1,0 +1,149 @@
+//! Property-based tests for the semantic matchers: the `TagMatcher`
+//! contract (symmetry, reflexivity, unit range) must hold for arbitrary
+//! thesauri and taxonomies, and Eq. (3) must stay well-behaved under any
+//! graded Δ.
+
+use cxk_semantic::{Taxonomy, Thesaurus};
+use cxk_transact::{tag_path_similarity, tag_path_similarity_with, TagMatcher};
+use cxk_util::{Interner, Symbol};
+use proptest::prelude::*;
+
+/// A pool of tag names the generators draw from.
+const NAMES: [&str; 12] = [
+    "author", "creator", "writer", "title", "name", "heading", "year", "date", "pages", "pp",
+    "journal", "venue",
+];
+
+fn interner_with_names() -> Interner {
+    let mut interner = Interner::new();
+    for n in NAMES {
+        interner.intern(n);
+    }
+    interner
+}
+
+/// Random disjoint rings over the name pool: a partition assignment per
+/// name (group 0 = no ring).
+fn ring_assignment() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, NAMES.len())
+}
+
+fn build_thesaurus(groups: &[u8], score: f64) -> Thesaurus {
+    let mut thesaurus = Thesaurus::new().with_ring_score(score);
+    for g in 1..4u8 {
+        let members: Vec<&str> = NAMES
+            .iter()
+            .zip(groups)
+            .filter(|(_, &gg)| gg == g)
+            .map(|(&n, _)| n)
+            .collect();
+        if !members.is_empty() {
+            thesaurus.add_ring(&members);
+        }
+    }
+    thesaurus
+}
+
+/// Random taxonomy: each name gets a concept chain of random depth.
+fn depth_assignment() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(1u8..5, NAMES.len())
+}
+
+fn build_taxonomy(depths: &[u8], floor: f64) -> Taxonomy {
+    let mut taxonomy = Taxonomy::with_root("root").with_floor(floor);
+    for (i, (&name, &depth)) in NAMES.iter().zip(depths).enumerate() {
+        let mut parent = taxonomy.root();
+        for level in 0..depth {
+            parent = taxonomy.add_concept(&format!("c{i}-{level}"), parent);
+        }
+        taxonomy.assign(name, parent);
+    }
+    taxonomy
+}
+
+fn symbols(interner: &Interner) -> Vec<Symbol> {
+    (0..interner.len()).map(|i| Symbol(i as u32)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn synonym_delta_is_symmetric_reflexive_unit(
+        groups in ring_assignment(),
+        score in 0.0f64..=1.0,
+    ) {
+        let interner = interner_with_names();
+        let matcher = build_thesaurus(&groups, score).matcher(&interner);
+        let syms = symbols(&interner);
+        for &a in &syms {
+            prop_assert_eq!(matcher.delta(a, a), 1.0);
+            for &b in &syms {
+                let ab = matcher.delta(a, b);
+                prop_assert_eq!(ab, matcher.delta(b, a));
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn taxonomy_delta_is_symmetric_reflexive_unit(
+        depths in depth_assignment(),
+        floor in 0.0f64..=1.0,
+    ) {
+        let interner = interner_with_names();
+        let matcher = build_taxonomy(&depths, floor).matcher(&interner);
+        let syms = symbols(&interner);
+        for &a in &syms {
+            prop_assert_eq!(matcher.delta(a, a), 1.0);
+            for &b in &syms {
+                let ab = matcher.delta(a, b);
+                prop_assert_eq!(ab, matcher.delta(b, a));
+                prop_assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn graded_path_similarity_stays_in_unit_interval_and_dominates_exact(
+        groups in ring_assignment(),
+        p1 in proptest::collection::vec(0usize..NAMES.len(), 1..5),
+        p2 in proptest::collection::vec(0usize..NAMES.len(), 1..5),
+    ) {
+        let interner = interner_with_names();
+        let matcher = build_thesaurus(&groups, 1.0).matcher(&interner);
+        let path1: Vec<Symbol> = p1.iter().map(|&i| Symbol(i as u32)).collect();
+        let path2: Vec<Symbol> = p2.iter().map(|&i| Symbol(i as u32)).collect();
+        let graded = tag_path_similarity_with(&path1, &path2, &matcher);
+        let exact = tag_path_similarity(&path1, &path2);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&graded));
+        // A full-score synonym matcher's Δ dominates the Dirichlet Δ
+        // pointwise, and Eq. (3) is monotone in Δ.
+        prop_assert!(graded >= exact - 1e-12);
+        // Symmetry is preserved under any matcher.
+        let flipped = tag_path_similarity_with(&path2, &path1, &matcher);
+        prop_assert!((graded - flipped).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taxonomy_floor_only_removes_weak_matches(
+        depths in depth_assignment(),
+    ) {
+        let interner = interner_with_names();
+        let unfloored = build_taxonomy(&depths, 0.0).matcher(&interner);
+        let floored = build_taxonomy(&depths, 0.6).matcher(&interner);
+        let syms = symbols(&interner);
+        for &a in &syms {
+            for &b in &syms {
+                let lo = floored.delta(a, b);
+                let hi = unfloored.delta(a, b);
+                if lo > 0.0 {
+                    prop_assert!((lo - hi).abs() < 1e-12, "floor must not change surviving scores");
+                    prop_assert!(lo >= 0.6 - 1e-12);
+                } else {
+                    prop_assert!(hi < 0.6 || a == b);
+                }
+            }
+        }
+    }
+}

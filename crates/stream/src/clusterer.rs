@@ -1,0 +1,587 @@
+//! The streaming clusterer: cheap per-document folds, periodic refreshes.
+
+use crate::policy::RefreshPolicy;
+use cxk_core::{compute_local_representative, run_centralized, CxkConfig, Representative};
+use cxk_text::{preprocess, ttf_itf, SparseVec};
+use cxk_transact::item::{item_fingerprint, Item, ItemId, ItemView};
+use cxk_transact::txsim::sim_gamma_j;
+use cxk_transact::{BuildOptions, Dataset, DatasetBuilder, ExactMatch, Transaction};
+use cxk_util::{FxHashMap, FxHashSet, Symbol};
+use cxk_xml::parser::{parse_document, XmlError};
+use cxk_xml::path::{leaf_tag_path, PathId};
+use std::time::Instant;
+
+/// Configuration for a [`StreamClusterer`].
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Preprocessing options (parsing, text pipeline, tuple limits).
+    pub build: BuildOptions,
+    /// CXK-means configuration used by the bootstrap and every refresh.
+    pub config: CxkConfig,
+    /// When to refresh automatically.
+    pub policy: RefreshPolicy,
+}
+
+impl StreamOptions {
+    /// Options with `k` clusters and defaults everywhere else.
+    pub fn new(k: usize) -> Self {
+        Self {
+            build: BuildOptions::default(),
+            config: CxkConfig::new(k),
+            policy: RefreshPolicy::default(),
+        }
+    }
+}
+
+/// What happened when one document was pushed.
+#[derive(Debug, Clone)]
+pub struct ArrivalReport {
+    /// Index of the document in arrival order.
+    pub doc_index: usize,
+    /// Cluster assigned to each of the document's transactions (`k` =
+    /// trash), in extraction order. When `refreshed` is set these
+    /// assignments come from the post-refresh clustering.
+    pub assignments: Vec<u32>,
+    /// How many of them γ-matched no representative (pre-refresh).
+    pub trash: usize,
+    /// Whether this push triggered an automatic refresh.
+    pub refreshed: bool,
+}
+
+/// What a refresh did.
+#[derive(Debug, Clone)]
+pub struct RefreshReport {
+    /// Collaborative rounds of the re-clustering.
+    pub rounds: usize,
+    /// Whether the re-clustering converged before the round cap.
+    pub converged: bool,
+    /// Wall-clock seconds for the full rebuild + re-clustering.
+    pub seconds: f64,
+    /// Transactions clustered.
+    pub transactions: usize,
+}
+
+/// Streaming counters.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Documents folded in since the last refresh.
+    pub documents_since_refresh: usize,
+    /// Transactions folded in since the last refresh.
+    pub transactions_since_refresh: usize,
+    /// Of those, how many went to the trash cluster.
+    pub trash_since_refresh: usize,
+    /// Total refreshes performed (bootstrap excluded).
+    pub refreshes: usize,
+}
+
+/// An incrementally maintained clustering over a growing XML collection.
+pub struct StreamClusterer {
+    opts: StreamOptions,
+    /// Every document ever pushed, in arrival order (replayed on refresh).
+    docs: Vec<String>,
+    ds: Dataset,
+    /// Cluster per transaction (`k` = trash).
+    assignments: Vec<u32>,
+    reps: Vec<Representative>,
+    /// (path, answer) → item id, for item-domain deduplication.
+    item_index: FxHashMap<(PathId, Box<str>), ItemId>,
+    /// Distinct tag paths currently covered by `ds.tag_sim`.
+    known_tag_paths: FxHashSet<PathId>,
+    stats: StreamStats,
+}
+
+impl StreamClusterer {
+    /// Bootstraps from an initial batch: full preprocessing and a full
+    /// CXK-means run.
+    ///
+    /// # Errors
+    /// Returns the first XML parse error.
+    pub fn new(initial_docs: &[&str], opts: StreamOptions) -> Result<Self, XmlError> {
+        let mut this = Self {
+            opts,
+            docs: Vec::new(),
+            ds: DatasetBuilder::new(BuildOptions::default()).finish(),
+            assignments: Vec::new(),
+            reps: Vec::new(),
+            item_index: FxHashMap::default(),
+            known_tag_paths: FxHashSet::default(),
+            stats: StreamStats::default(),
+        };
+        // Validate all documents before committing any state.
+        for doc in initial_docs {
+            let mut probe = DatasetBuilder::new(this.opts.build.clone());
+            probe.add_xml(doc)?;
+        }
+        this.docs = initial_docs.iter().map(|d| d.to_string()).collect();
+        this.rebuild_and_recluster();
+        this.stats.refreshes = 0;
+        Ok(this)
+    }
+
+    /// The current dataset (refreshed base plus appended arrivals).
+    pub fn dataset(&self) -> &Dataset {
+        &self.ds
+    }
+
+    /// Cluster per transaction (`k` = trash).
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// The current cluster representatives.
+    pub fn representatives(&self) -> &[Representative] {
+        &self.reps
+    }
+
+    /// Streaming counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Number of documents seen (initial batch + arrivals).
+    pub fn document_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Folds one arriving document in and assigns its transactions to the
+    /// frozen representatives; refreshes first if the policy says so.
+    ///
+    /// # Errors
+    /// Returns the parse error without changing any state.
+    pub fn push(&mut self, xml: &str) -> Result<ArrivalReport, XmlError> {
+        let k = self.opts.config.k;
+        let tree = parse_document(xml, &mut self.ds.labels, &self.opts.build.parse)?;
+        let doc_index = self.docs.len();
+        self.docs.push(xml.to_string());
+
+        let tuples = cxk_xml::extract_tree_tuples(&tree, &self.opts.build.limits);
+
+        // Per-leaf preprocessing, mirroring the batch builder.
+        struct Leaf {
+            path: PathId,
+            tag_path: PathId,
+            raw: String,
+            terms: Vec<Symbol>,
+            distinct: Vec<Symbol>,
+        }
+        let mut leaves: Vec<Leaf> = Vec::new();
+        let mut leaf_index: FxHashMap<cxk_xml::NodeId, u32> = FxHashMap::default();
+        let mut term_doc_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+        let mut new_tag_paths = false;
+        for leaf in tree.leaves() {
+            let complete = tree.label_path(leaf);
+            let path = self.ds.paths.intern(&complete);
+            let tag = leaf_tag_path(&tree, leaf);
+            let tag_path = self.ds.paths.intern(&tag);
+            new_tag_paths |= self.known_tag_paths.insert(tag_path) && !self.ds.items.is_empty();
+            let raw = tree.node(leaf).value().unwrap_or_default().to_string();
+            let terms = preprocess(&raw, &mut self.ds.vocabulary, &self.opts.build.pipeline);
+            let mut distinct = terms.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            // Arrival-time statistics: the collection-level factors include
+            // this document before its own TCUs are weighted.
+            self.ds.term_stats.add_tcu(&distinct);
+            for &t in &distinct {
+                *term_doc_counts.entry(t).or_insert(0) += 1;
+            }
+            leaf_index.insert(leaf, leaves.len() as u32);
+            leaves.push(Leaf {
+                path,
+                tag_path,
+                raw,
+                terms,
+                distinct,
+            });
+        }
+
+        let n_xt = leaves.len() as u32;
+        let n_t = self.ds.term_stats.total_tcus();
+        // Weight accumulation for items *first materialized by this
+        // document* (averaged over their occurrences within it, like the
+        // batch builder averages over all occurrences).
+        let mut fresh_acc: FxHashMap<ItemId, (FxHashMap<Symbol, f64>, u32)> = FxHashMap::default();
+        let mut new_transactions: Vec<usize> = Vec::new();
+
+        for tuple in &tuples {
+            let n_tau = tuple.leaves.len() as u32;
+            let mut tuple_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+            for leaf in &tuple.leaves {
+                let li = leaf_index[leaf] as usize;
+                for &t in &leaves[li].distinct {
+                    *tuple_counts.entry(t).or_insert(0) += 1;
+                }
+            }
+
+            let mut tx_items: Vec<ItemId> = Vec::with_capacity(tuple.leaves.len());
+            for leaf in &tuple.leaves {
+                let li = leaf_index[leaf] as usize;
+                let leaf_data = &leaves[li];
+                let key = (leaf_data.path, leaf_data.raw.clone().into_boxed_str());
+                let (id, fresh) = match self.item_index.get(&key) {
+                    Some(&id) => (id, false),
+                    None => {
+                        let id = ItemId(self.ds.items.len() as u32);
+                        self.ds.items.push(Item {
+                            path: leaf_data.path,
+                            tag_path: leaf_data.tag_path,
+                            raw: leaf_data.raw.clone().into_boxed_str(),
+                            terms: leaf_data.terms.clone(),
+                            vector: SparseVec::new(),
+                            fingerprint: item_fingerprint(leaf_data.path, &leaf_data.raw),
+                        });
+                        self.item_index.insert(key, id);
+                        (id, true)
+                    }
+                };
+                tx_items.push(id);
+                // Existing items keep their frozen vectors (the documented
+                // streaming approximation); fresh items accumulate
+                // arrival-time weights.
+                if fresh || fresh_acc.contains_key(&id) {
+                    let entry = fresh_acc.entry(id).or_default();
+                    entry.1 += 1;
+                    let mut tf: FxHashMap<Symbol, u32> = FxHashMap::default();
+                    for &t in &leaf_data.terms {
+                        *tf.entry(t).or_insert(0) += 1;
+                    }
+                    for (&term, &count) in &tf {
+                        let nj_tau = tuple_counts.get(&term).copied().unwrap_or(0);
+                        let nj_xt = term_doc_counts.get(&term).copied().unwrap_or(0);
+                        let nj_t = self.ds.term_stats.tcus_containing(term);
+                        let w = ttf_itf(count, nj_tau, n_tau, nj_xt, n_xt, nj_t, n_t);
+                        *entry.0.entry(term).or_insert(0.0) += w;
+                    }
+                }
+            }
+            new_transactions.push(self.ds.transactions.len());
+            self.ds.transactions.push(Transaction::new(tx_items));
+            self.ds.doc_of.push(doc_index as u32);
+        }
+
+        for (id, (acc, occurrences)) in fresh_acc {
+            let n = f64::from(occurrences.max(1));
+            let pairs: Vec<(Symbol, f64)> = acc.iter().map(|(&t, &w)| (t, w / n)).collect();
+            let vector = SparseVec::from_pairs(pairs);
+            self.ds.stats.max_tcu_nnz = self.ds.stats.max_tcu_nnz.max(vector.nnz());
+            self.ds.items[id.index()].vector = vector;
+        }
+
+        if new_tag_paths {
+            // A markup shape never seen before: extend the precomputed
+            // structural table (small and cheap relative to a refresh).
+            self.ds.rebuild_tag_sim(&ExactMatch);
+        }
+
+        // Bookkeeping the batch builder would have produced.
+        self.ds.stats.documents += 1;
+        self.ds.stats.transactions = self.ds.transactions.len();
+        self.ds.stats.items = self.ds.items.len();
+        self.ds.stats.vocabulary = self.ds.vocabulary.len();
+        self.ds.stats.total_tcus = self.ds.term_stats.total_tcus();
+        self.ds.stats.max_depth = self.ds.stats.max_depth.max(tree.depth());
+        self.ds.stats.max_transaction_len = self
+            .ds
+            .stats
+            .max_transaction_len
+            .max(new_transactions.iter().map(|&t| self.ds.transactions[t].len()).max().unwrap_or(0));
+
+        // Assign the new transactions against the frozen representatives.
+        let ctx = self.ds.sim_ctx(self.opts.config.params);
+        let rep_views: Vec<Vec<ItemView<'_>>> =
+            self.reps.iter().map(Representative::views).collect();
+        let mut assigned = Vec::with_capacity(new_transactions.len());
+        let mut trash = 0usize;
+        for &t in &new_transactions {
+            let tv = self.ds.views(&self.ds.transactions[t]);
+            let mut best_j = k as u32;
+            let mut best_s = 0.0f64;
+            for (j, rv) in rep_views.iter().enumerate() {
+                let s = sim_gamma_j(&ctx, &tv, rv);
+                if s > best_s {
+                    best_s = s;
+                    best_j = j as u32;
+                }
+            }
+            let choice = if best_s == 0.0 { k as u32 } else { best_j };
+            trash += usize::from(choice == k as u32);
+            assigned.push(choice);
+        }
+        drop(rep_views);
+        self.assignments.extend(&assigned);
+
+        self.stats.documents_since_refresh += 1;
+        self.stats.transactions_since_refresh += assigned.len();
+        self.stats.trash_since_refresh += trash;
+
+        let refreshed = self.opts.policy.should_refresh(
+            self.stats.documents_since_refresh,
+            self.stats.transactions_since_refresh,
+            self.stats.trash_since_refresh,
+        );
+        if refreshed {
+            self.refresh();
+            let from = self.assignments.len() - assigned.len();
+            assigned = self.assignments[from..].to_vec();
+        }
+
+        Ok(ArrivalReport {
+            doc_index,
+            assignments: assigned,
+            trash,
+            refreshed,
+        })
+    }
+
+    /// Re-runs the exact batch pipeline over everything seen so far and
+    /// re-clusters, erasing the streaming approximations.
+    pub fn refresh(&mut self) -> RefreshReport {
+        let start = Instant::now();
+        let (rounds, converged) = self.rebuild_and_recluster();
+        self.stats.refreshes += 1;
+        RefreshReport {
+            rounds,
+            converged,
+            seconds: start.elapsed().as_secs_f64(),
+            transactions: self.ds.transactions.len(),
+        }
+    }
+
+    /// Full rebuild + re-clustering + representative recomputation.
+    /// Returns `(rounds, converged)` of the clustering.
+    fn rebuild_and_recluster(&mut self) -> (usize, bool) {
+        let k = self.opts.config.k;
+        let mut builder = DatasetBuilder::new(self.opts.build.clone());
+        for doc in &self.docs {
+            builder
+                .add_xml(doc)
+                .expect("documents were parsed successfully when pushed");
+        }
+        self.ds = builder.finish();
+        self.item_index = self
+            .ds
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| ((item.path, item.raw.clone()), ItemId(i as u32)))
+            .collect();
+        self.known_tag_paths = self.ds.distinct_tag_paths().into_iter().collect();
+
+        let (rounds, converged) = if self.ds.transactions.is_empty() {
+            self.assignments = Vec::new();
+            self.reps = vec![Representative::empty(); k];
+            (0, true)
+        } else {
+            let outcome = run_centralized(&self.ds, &self.opts.config);
+            self.assignments = outcome.assignments;
+            let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (t, &a) in self.assignments.iter().enumerate() {
+                if (a as usize) < k {
+                    clusters[a as usize].push(t);
+                }
+            }
+            let ctx = self.ds.sim_ctx(self.opts.config.params);
+            let mut work = 0u64;
+            self.reps = clusters
+                .iter()
+                .map(|c| compute_local_representative(&self.ds, &ctx, c, &mut work))
+                .collect();
+            (outcome.rounds, outcome.converged)
+        };
+
+        self.stats.documents_since_refresh = 0;
+        self.stats.transactions_since_refresh = 0;
+        self.stats.trash_since_refresh = 0;
+        (rounds, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxk_transact::SimParams;
+
+    fn mining_doc(i: usize) -> String {
+        let titles = [
+            "mining frequent patterns clustering trees",
+            "clustering transactional data mining streams",
+            "frequent subtree mining patterns forest",
+            "partitional clustering centroids mining",
+            "itemset mining patterns association clustering",
+            "tree mining clustering xml patterns",
+        ];
+        format!(
+            r#"<dblp><inproceedings key="m{i}"><author>A. Miner</author><title>{}</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            titles[i % titles.len()]
+        )
+    }
+
+    fn networking_doc(i: usize) -> String {
+        let titles = [
+            "routing congestion protocols networks",
+            "packet routing networks latency congestion",
+            "congestion control protocols bandwidth networks",
+            "network routing topology protocols packets",
+        ];
+        format!(
+            r#"<dblp><article key="n{i}"><author>B. Netter</author><title>{}</title><journal>Networking</journal></article></dblp>"#,
+            titles[i % titles.len()]
+        )
+    }
+
+    fn options(k: usize) -> StreamOptions {
+        let mut opts = StreamOptions::new(k);
+        opts.config.params = SimParams::new(0.5, 0.6);
+        opts.config.seed = 7;
+        opts.policy = RefreshPolicy::manual();
+        opts
+    }
+
+    fn bootstrap() -> StreamClusterer {
+        let docs: Vec<String> = (0..3)
+            .map(mining_doc)
+            .chain((0..3).map(networking_doc))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        StreamClusterer::new(&refs, options(2)).expect("bootstrap")
+    }
+
+    #[test]
+    fn bootstrap_clusters_and_builds_representatives() {
+        let s = bootstrap();
+        assert_eq!(s.document_count(), 6);
+        assert_eq!(s.assignments().len(), s.dataset().stats.transactions);
+        assert_eq!(s.representatives().len(), 2);
+        assert!(s.representatives().iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn arrival_joins_the_matching_cluster() {
+        let mut s = bootstrap();
+        // Which cluster holds the mining transactions?
+        let mining_cluster = s.assignments()[0];
+        let report = s.push(&mining_doc(10)).expect("push");
+        assert!(!report.assignments.is_empty());
+        for &a in &report.assignments {
+            assert_eq!(a, mining_cluster, "mining arrival joins the mining cluster");
+        }
+        assert_eq!(report.trash, 0);
+        assert!(!report.refreshed);
+        assert_eq!(s.assignments().len(), s.dataset().stats.transactions);
+    }
+
+    #[test]
+    fn unseen_class_lands_in_trash() {
+        let mut s = bootstrap();
+        let alien = r#"<recipes><recipe id="r1"><chef>Q. Cook</chef><dish>braised seitan barley stew</dish><cuisine>fusion</cuisine></recipe></recipes>"#;
+        let report = s.push(alien).expect("push");
+        assert_eq!(report.trash, report.assignments.len());
+        assert!(report.assignments.iter().all(|&a| a == 2), "k = 2 is trash");
+    }
+
+    #[test]
+    fn refresh_matches_batch_pipeline_exactly() {
+        let mut s = bootstrap();
+        s.push(&mining_doc(7)).unwrap();
+        s.push(&networking_doc(7)).unwrap();
+        s.refresh();
+
+        // A batch build over the same documents in the same order.
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        for doc in &s.docs {
+            builder.add_xml(doc).unwrap();
+        }
+        let batch = builder.finish();
+        let outcome = run_centralized(&batch, &options(2).config);
+
+        assert_eq!(s.dataset().stats.items, batch.stats.items);
+        assert_eq!(s.dataset().stats.transactions, batch.stats.transactions);
+        assert_eq!(s.assignments(), &outcome.assignments[..]);
+        for (a, b) in s.dataset().items.iter().zip(&batch.items) {
+            assert_eq!(a.vector, b.vector, "refresh erases weight drift");
+        }
+    }
+
+    #[test]
+    fn automatic_refresh_fires_on_count() {
+        let docs: Vec<String> = (0..3)
+            .map(mining_doc)
+            .chain((0..3).map(networking_doc))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let mut opts = options(2);
+        opts.policy = RefreshPolicy::every(2);
+        let mut s = StreamClusterer::new(&refs, opts).expect("bootstrap");
+
+        let first = s.push(&mining_doc(8)).unwrap();
+        assert!(!first.refreshed);
+        let second = s.push(&mining_doc(9)).unwrap();
+        assert!(second.refreshed);
+        assert_eq!(s.stats().refreshes, 1);
+        assert_eq!(s.stats().documents_since_refresh, 0);
+    }
+
+    #[test]
+    fn drift_policy_triggers_on_alien_arrivals() {
+        let docs: Vec<String> = (0..4)
+            .map(mining_doc)
+            .chain((0..4).map(networking_doc))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let mut opts = options(2);
+        opts.policy = RefreshPolicy::on_drift(0.5, 2);
+        let mut s = StreamClusterer::new(&refs, opts).expect("bootstrap");
+
+        let alien = |i: usize| {
+            format!(
+                r#"<recipes><recipe id="r{i}"><chef>Q. Cook</chef><dish>braised stew number {i}</dish></recipe></recipes>"#
+            )
+        };
+        let a = s.push(&alien(0)).unwrap();
+        assert!(!a.refreshed, "below min_documents");
+        let b = s.push(&alien(1)).unwrap();
+        assert!(b.refreshed, "all-trash arrivals exceed the drift threshold");
+        // After the refresh the recipes participate in the clustering
+        // (they are no longer trash-by-default).
+        assert_eq!(s.stats().trash_since_refresh, 0);
+    }
+
+    #[test]
+    fn parse_errors_leave_state_untouched() {
+        let mut s = bootstrap();
+        let before_docs = s.document_count();
+        let before_tx = s.dataset().stats.transactions;
+        assert!(s.push("<broken><xml>").is_err());
+        assert_eq!(s.document_count(), before_docs);
+        assert_eq!(s.dataset().stats.transactions, before_tx);
+        assert_eq!(s.assignments().len(), before_tx);
+    }
+
+    #[test]
+    fn new_markup_extends_the_tag_table() {
+        let mut s = bootstrap();
+        let before = s.dataset().tag_sim.len();
+        s.push(r#"<dblp><book key="b1"><author>C. Writer</author><title>mining clustering handbook patterns</title><publisher>Tech Press</publisher></book></dblp>"#)
+            .unwrap();
+        assert!(
+            s.dataset().tag_sim.len() > before,
+            "book paths must be registered for sim_S"
+        );
+        // All transactions remain scorable (no panic on lookup).
+        let ctx = s.dataset().sim_ctx(SimParams::new(0.5, 0.6));
+        let last = s.dataset().transactions.len() - 1;
+        let _ = sim_gamma_j(
+            &ctx,
+            &s.dataset().views(&s.dataset().transactions[last]),
+            &s.dataset().views(&s.dataset().transactions[0]),
+        );
+    }
+
+    #[test]
+    fn empty_bootstrap_is_allowed() {
+        let s = StreamClusterer::new(&[], options(2)).expect("empty bootstrap");
+        assert_eq!(s.document_count(), 0);
+        assert_eq!(s.assignments().len(), 0);
+        assert_eq!(s.representatives().len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Refresh policies: when to pay for a full re-clustering.
+
+/// Decides when [`crate::StreamClusterer`] should re-run the full batch
+/// pipeline. Both triggers are optional; when both are set, either fires.
+#[derive(Debug, Clone)]
+pub struct RefreshPolicy {
+    /// Refresh after this many arrived documents.
+    pub every_documents: Option<usize>,
+    /// Refresh when the fraction of arrived *transactions* (since the last
+    /// refresh) that fell into the trash cluster exceeds this threshold —
+    /// the drift signal: representatives no longer cover what is arriving.
+    pub trash_fraction: Option<f64>,
+    /// Minimum arrivals before the trash trigger may fire (avoids
+    /// refreshing on the first unlucky document).
+    pub min_documents: usize,
+}
+
+impl RefreshPolicy {
+    /// Never refresh automatically (manual [`crate::StreamClusterer::refresh`] only).
+    pub fn manual() -> Self {
+        Self {
+            every_documents: None,
+            trash_fraction: None,
+            min_documents: 0,
+        }
+    }
+
+    /// Refresh every `n` arrived documents.
+    pub fn every(n: usize) -> Self {
+        Self {
+            every_documents: Some(n),
+            trash_fraction: None,
+            min_documents: 0,
+        }
+    }
+
+    /// Refresh when more than `fraction` of arrived transactions are
+    /// trash, measured after at least `min_documents` arrivals.
+    pub fn on_drift(fraction: f64, min_documents: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0,1], got {fraction}"
+        );
+        Self {
+            every_documents: None,
+            trash_fraction: Some(fraction),
+            min_documents,
+        }
+    }
+
+    /// Whether a refresh is due.
+    pub fn should_refresh(
+        &self,
+        documents_since_refresh: usize,
+        transactions_since_refresh: usize,
+        trash_since_refresh: usize,
+    ) -> bool {
+        if let Some(n) = self.every_documents {
+            if documents_since_refresh >= n.max(1) {
+                return true;
+            }
+        }
+        if let Some(fraction) = self.trash_fraction {
+            if documents_since_refresh >= self.min_documents && transactions_since_refresh > 0 {
+                let observed = trash_since_refresh as f64 / transactions_since_refresh as f64;
+                if observed > fraction {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Default for RefreshPolicy {
+    /// Refresh every 64 documents or at >30% trash after 8 documents.
+    fn default() -> Self {
+        Self {
+            every_documents: Some(64),
+            trash_fraction: Some(0.3),
+            min_documents: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_never_fires() {
+        let p = RefreshPolicy::manual();
+        assert!(!p.should_refresh(1_000_000, 1_000_000, 1_000_000));
+    }
+
+    #[test]
+    fn every_fires_on_count() {
+        let p = RefreshPolicy::every(10);
+        assert!(!p.should_refresh(9, 20, 0));
+        assert!(p.should_refresh(10, 20, 0));
+    }
+
+    #[test]
+    fn drift_fires_on_trash_fraction_after_minimum() {
+        let p = RefreshPolicy::on_drift(0.5, 4);
+        assert!(!p.should_refresh(3, 6, 6), "below minimum arrivals");
+        assert!(!p.should_refresh(4, 8, 4), "exactly at the threshold");
+        assert!(p.should_refresh(4, 8, 5), "above the threshold");
+    }
+
+    #[test]
+    fn default_combines_both_triggers() {
+        let p = RefreshPolicy::default();
+        assert!(p.should_refresh(64, 100, 0), "count trigger");
+        assert!(p.should_refresh(10, 100, 40), "drift trigger");
+        assert!(!p.should_refresh(10, 100, 10), "neither");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0,1]")]
+    fn rejects_bad_fraction() {
+        let _ = RefreshPolicy::on_drift(1.5, 0);
+    }
+}

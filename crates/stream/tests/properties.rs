@@ -1,0 +1,116 @@
+//! Property-based tests for the streaming layer: state invariants must
+//! hold after any interleaving of pushes and refreshes.
+
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::SimParams;
+use proptest::prelude::*;
+
+/// A scripted stream action.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Push a document of the given topic (0 = mining, 1 = networking,
+    /// 2 = an unrelated schema).
+    Push(u8),
+    /// Force a refresh.
+    Refresh,
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u8..3).prop_map(Action::Push),
+        1 => Just(Action::Refresh),
+    ]
+}
+
+fn doc(topic: u8, i: usize) -> String {
+    match topic {
+        0 => format!(
+            r#"<dblp><inproceedings key="m{i}"><author>A. Miner</author><title>mining clustering patterns round {i}</title><booktitle>KDD</booktitle></inproceedings></dblp>"#
+        ),
+        1 => format!(
+            r#"<dblp><article key="n{i}"><author>B. Netter</author><title>routing congestion networks round {i}</title><journal>Networking</journal></article></dblp>"#
+        ),
+        _ => format!(
+            r#"<recipes><recipe id="r{i}"><chef>Q. Cook</chef><dish>stew variation {i}</dish></recipe></recipes>"#
+        ),
+    }
+}
+
+fn options(policy: RefreshPolicy) -> StreamOptions {
+    let mut opts = StreamOptions::new(2);
+    opts.config.params = SimParams::new(0.5, 0.6);
+    opts.config.seed = 7;
+    opts.policy = policy;
+    opts
+}
+
+fn bootstrap(policy: RefreshPolicy) -> StreamClusterer {
+    let docs: Vec<String> = (0..3).map(|i| doc(0, i)).chain((0..3).map(|i| doc(1, i))).collect();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    StreamClusterer::new(&refs, options(policy)).expect("bootstrap")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariants_hold_under_any_action_sequence(
+        actions in proptest::collection::vec(action(), 1..20),
+    ) {
+        let mut s = bootstrap(RefreshPolicy::manual());
+        for (i, a) in actions.iter().enumerate() {
+            match a {
+                Action::Push(topic) => {
+                    let report = s.push(&doc(*topic, 100 + i)).expect("well-formed");
+                    prop_assert!(report.trash <= report.assignments.len());
+                    for &c in &report.assignments {
+                        prop_assert!(c <= 2, "cluster id within 0..=k");
+                    }
+                }
+                Action::Refresh => {
+                    let report = s.refresh();
+                    prop_assert_eq!(report.transactions, s.dataset().stats.transactions);
+                }
+            }
+            // Core invariants after every action.
+            prop_assert_eq!(s.assignments().len(), s.dataset().stats.transactions);
+            prop_assert_eq!(s.dataset().doc_of.len(), s.dataset().stats.transactions);
+            prop_assert_eq!(s.dataset().stats.documents, s.document_count());
+            prop_assert_eq!(s.representatives().len(), 2);
+            prop_assert_eq!(s.dataset().stats.items, s.dataset().items.len());
+            // Every transaction references valid items.
+            for tr in &s.dataset().transactions {
+                for id in tr.items() {
+                    prop_assert!(id.index() < s.dataset().items.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn automatic_policy_never_leaves_more_than_n_unrefreshed(
+        topics in proptest::collection::vec(0u8..2, 1..25),
+    ) {
+        let mut s = bootstrap(RefreshPolicy::every(5));
+        for (i, &t) in topics.iter().enumerate() {
+            s.push(&doc(t, 200 + i)).expect("well-formed");
+            prop_assert!(s.stats().documents_since_refresh < 5);
+        }
+    }
+
+    #[test]
+    fn refresh_is_idempotent(
+        topics in proptest::collection::vec(0u8..3, 1..8),
+    ) {
+        let mut s = bootstrap(RefreshPolicy::manual());
+        for (i, &t) in topics.iter().enumerate() {
+            s.push(&doc(t, 300 + i)).expect("well-formed");
+        }
+        s.refresh();
+        let first = s.assignments().to_vec();
+        let items_first = s.dataset().stats.items;
+        s.refresh();
+        prop_assert_eq!(s.assignments(), &first[..]);
+        prop_assert_eq!(s.dataset().stats.items, items_first);
+    }
+}

@@ -1,0 +1,99 @@
+//! The composed TCU preprocessing pipeline.
+//!
+//! `raw text → tokenize → stopword filter → Porter stem → intern`, producing
+//! the term sequence of one textual content unit. Terms are interned into a
+//! caller-supplied vocabulary [`Interner`] shared across a corpus.
+
+use crate::porter::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+use cxk_util::{Interner, Symbol};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Remove stopwords (default `true`).
+    pub remove_stopwords: bool,
+    /// Apply the Porter stemmer (default `true`).
+    pub stem: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            remove_stopwords: true,
+            stem: true,
+        }
+    }
+}
+
+/// Preprocesses one TCU's raw text into interned terms (with duplicates —
+/// term frequency is meaningful downstream).
+pub fn preprocess(text: &str, vocabulary: &mut Interner, options: &PipelineOptions) -> Vec<Symbol> {
+    let mut terms = Vec::new();
+    for token in tokenize(text) {
+        if options.remove_stopwords && is_stopword(&token) {
+            continue;
+        }
+        let term = if options.stem { stem(&token) } else { token };
+        terms.push(vocabulary.intern(&term));
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_filters_and_stems() {
+        let mut vocab = Interner::new();
+        let terms = preprocess(
+            "The effective clustering of the XML documents",
+            &mut vocab,
+            &PipelineOptions::default(),
+        );
+        let rendered: Vec<&str> = terms.iter().map(|t| vocab.resolve(*t)).collect();
+        assert_eq!(rendered, vec!["effect", "cluster", "xml", "document"]);
+    }
+
+    #[test]
+    fn duplicates_are_preserved_for_tf() {
+        let mut vocab = Interner::new();
+        let terms = preprocess(
+            "cluster cluster clusters",
+            &mut vocab,
+            &PipelineOptions::default(),
+        );
+        assert_eq!(terms.len(), 3);
+        assert!(terms.iter().all(|t| *t == terms[0]));
+    }
+
+    #[test]
+    fn options_disable_stages() {
+        let mut vocab = Interner::new();
+        let options = PipelineOptions {
+            remove_stopwords: false,
+            stem: false,
+        };
+        let terms = preprocess("the clusters", &mut vocab, &options);
+        let rendered: Vec<&str> = terms.iter().map(|t| vocab.resolve(*t)).collect();
+        assert_eq!(rendered, vec!["the", "clusters"]);
+    }
+
+    #[test]
+    fn shared_vocabulary_reuses_symbols() {
+        let mut vocab = Interner::new();
+        let a = preprocess("clustering", &mut vocab, &PipelineOptions::default());
+        let b = preprocess("clusters", &mut vocab, &PipelineOptions::default());
+        assert_eq!(a, b); // both stem to "cluster"
+        assert_eq!(vocab.len(), 1);
+    }
+
+    #[test]
+    fn empty_text_yields_no_terms() {
+        let mut vocab = Interner::new();
+        assert!(preprocess("", &mut vocab, &PipelineOptions::default()).is_empty());
+        assert!(preprocess("the of and", &mut vocab, &PipelineOptions::default()).is_empty());
+    }
+}

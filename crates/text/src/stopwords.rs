@@ -1,0 +1,53 @@
+//! English stopword list.
+//!
+//! A standard ~170-entry function-word list (articles, pronouns, auxiliaries,
+//! prepositions, conjunctions). Lookup is a binary search over a sorted
+//! static table — no allocation, no global state.
+
+/// Sorted list of stopwords. Keep sorted: `is_stopword` binary-searches it.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+    "let", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "shan", "she", "should", "shouldn", "so", "some", "such", "than", "that",
+    "the", "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "upon", "us", "very", "was", "wasn",
+    "we", "were", "weren", "what", "when", "where", "which", "while", "who", "whom", "why",
+    "will", "with", "won", "would", "wouldn", "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Whether `token` (already lowercased) is a stopword.
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.binary_search(&token).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "with", "to", "a"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["clustering", "xml", "kdd", "algorithm", "zaki", "2003"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+}

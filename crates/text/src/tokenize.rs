@@ -1,0 +1,85 @@
+//! Lexical analysis: lowercase alphanumeric token extraction.
+//!
+//! Tokens are maximal runs of alphanumeric characters (Unicode-aware),
+//! lowercased. Pure digit runs are kept (years and page numbers are
+//! meaningful in bibliographic data); runs shorter than
+//! [`MIN_TOKEN_LEN`] or longer than [`MAX_TOKEN_LEN`] are dropped.
+
+/// Minimum kept token length in characters.
+pub const MIN_TOKEN_LEN: usize = 2;
+/// Maximum kept token length in characters.
+pub const MAX_TOKEN_LEN: usize = 40;
+
+/// Splits `text` into lowercase tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if !current.is_empty() {
+            push_token(&mut tokens, &mut current);
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, &mut current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, current: &mut String) {
+    let len = current.chars().count();
+    if (MIN_TOKEN_LEN..=MAX_TOKEN_LEN).contains(&len) {
+        tokens.push(std::mem::take(current));
+    } else {
+        current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("XRules: an effective algorithm!"),
+            vec!["xrules", "an", "effective", "algorithm"]
+        );
+    }
+
+    #[test]
+    fn lowercases_everything() {
+        assert_eq!(tokenize("KDD Conference"), vec!["kdd", "conference"]);
+    }
+
+    #[test]
+    fn keeps_digits_and_mixed_tokens() {
+        assert_eq!(tokenize("pages 316-325 (2003)"), vec!["pages", "316", "325", "2003"]);
+        assert_eq!(tokenize("mp3 x86"), vec!["mp3", "x86"]);
+    }
+
+    #[test]
+    fn drops_single_characters() {
+        assert_eq!(tokenize("M J Zaki"), vec!["zaki"]);
+    }
+
+    #[test]
+    fn drops_overlong_runs() {
+        let long = "a".repeat(41);
+        assert!(tokenize(&long).is_empty());
+        let ok = "a".repeat(40);
+        assert_eq!(tokenize(&ok).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs_yield_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_are_kept() {
+        assert_eq!(tokenize("café naïve"), vec!["café", "naïve"]);
+    }
+}

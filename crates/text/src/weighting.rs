@@ -1,0 +1,181 @@
+//! The `ttf.itf` weighting function (§4.1.2).
+//!
+//! *Tree tuple Term Frequency – Inverse Tree tuple Frequency*: for a term
+//! `w_j` occurring in TCU `u_i` of tree tuple `τ` extracted from tree `XT`
+//! of the collection with tuple set `T`:
+//!
+//! ```text
+//! ttf.itf(w_j, u_i | τ) = tf(w_j, u_i) · exp(n_{j,τ} / N_τ)
+//!                       · (n_{j,XT} / N_XT) · ln(N_T / n_{j,T})
+//! ```
+//!
+//! where `N_τ`, `N_XT`, `N_T` count the TCUs in the tuple, the document and
+//! the whole collection, and `n_{j,·}` count the TCUs among those that
+//! contain `w_j`. The weight grows with within-TCU frequency, within-tuple
+//! and within-document popularity, and collection-wide rarity.
+//!
+//! The collection-level counts are accumulated with [`TermStatsBuilder`];
+//! tuple- and document-level counts are cheap enough to recompute at
+//! vectorization time (done in `cxk-transact`).
+
+use cxk_util::Symbol;
+
+/// Computes one `ttf.itf` weight from its raw counts.
+///
+/// * `tf` — occurrences of the term in the TCU.
+/// * `nj_tau` / `n_tau` — TCUs containing the term in the tuple / total TCUs
+///   in the tuple.
+/// * `nj_xt` / `n_xt` — same counts at document level.
+/// * `nj_t` / `n_t` — same counts at collection level.
+///
+/// Returns 0.0 when any denominator is zero (degenerate inputs) or when the
+/// term occurs in every TCU of the collection (`ln 1 = 0`).
+pub fn ttf_itf(
+    tf: u32,
+    nj_tau: u32,
+    n_tau: u32,
+    nj_xt: u32,
+    n_xt: u32,
+    nj_t: u64,
+    n_t: u64,
+) -> f64 {
+    if tf == 0 || n_tau == 0 || n_xt == 0 || n_t == 0 || nj_t == 0 {
+        return 0.0;
+    }
+    let tuple_pop = (f64::from(nj_tau) / f64::from(n_tau)).exp();
+    let doc_pop = f64::from(nj_xt) / f64::from(n_xt);
+    let rarity = ((n_t as f64) / (nj_t as f64)).ln();
+    f64::from(tf) * tuple_pop * doc_pop * rarity
+}
+
+/// Accumulates collection-level TCU statistics: total TCU count `N_T` and,
+/// per term, the number of TCUs containing it (`n_{j,T}`).
+#[derive(Debug, Default, Clone)]
+pub struct TermStatsBuilder {
+    total_tcus: u64,
+    /// `term_tcu_counts[sym.index()]` = number of TCUs containing the term.
+    term_tcu_counts: Vec<u64>,
+}
+
+impl TermStatsBuilder {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one TCU given its *distinct* term set.
+    ///
+    /// The caller must deduplicate terms first (a term counts once per TCU).
+    pub fn add_tcu(&mut self, distinct_terms: &[Symbol]) {
+        self.total_tcus += 1;
+        for &term in distinct_terms {
+            let idx = term.index();
+            if idx >= self.term_tcu_counts.len() {
+                self.term_tcu_counts.resize(idx + 1, 0);
+            }
+            self.term_tcu_counts[idx] += 1;
+        }
+    }
+
+    /// Merges another builder's counts (used when peers preprocess locally
+    /// and pool statistics).
+    pub fn merge(&mut self, other: &TermStatsBuilder) {
+        self.total_tcus += other.total_tcus;
+        if other.term_tcu_counts.len() > self.term_tcu_counts.len() {
+            self.term_tcu_counts.resize(other.term_tcu_counts.len(), 0);
+        }
+        for (i, &count) in other.term_tcu_counts.iter().enumerate() {
+            self.term_tcu_counts[i] += count;
+        }
+    }
+
+    /// Reconstructs an accumulator from previously saved parts.
+    pub fn from_parts(total_tcus: u64, term_tcu_counts: Vec<u64>) -> Self {
+        Self {
+            total_tcus,
+            term_tcu_counts,
+        }
+    }
+
+    /// The raw per-term TCU counts, indexed by term symbol.
+    pub fn counts(&self) -> &[u64] {
+        &self.term_tcu_counts
+    }
+
+    /// Total TCUs recorded (`N_T`).
+    pub fn total_tcus(&self) -> u64 {
+        self.total_tcus
+    }
+
+    /// TCUs containing `term` (`n_{j,T}`).
+    pub fn tcus_containing(&self, term: Symbol) -> u64 {
+        self.term_tcu_counts.get(term.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_is_zero_for_degenerate_inputs() {
+        assert_eq!(ttf_itf(0, 1, 1, 1, 1, 1, 10), 0.0);
+        assert_eq!(ttf_itf(1, 1, 0, 1, 1, 1, 10), 0.0);
+        assert_eq!(ttf_itf(1, 1, 1, 1, 0, 1, 10), 0.0);
+        assert_eq!(ttf_itf(1, 1, 1, 1, 1, 0, 10), 0.0);
+        assert_eq!(ttf_itf(1, 1, 1, 1, 1, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn ubiquitous_term_weighs_zero() {
+        // Term in every TCU of the collection: ln(N/N) = 0.
+        assert_eq!(ttf_itf(3, 2, 2, 4, 4, 100, 100), 0.0);
+    }
+
+    #[test]
+    fn weight_matches_formula() {
+        let w = ttf_itf(2, 1, 4, 3, 6, 5, 50);
+        let expected = 2.0 * (0.25f64).exp() * 0.5 * (10.0f64).ln();
+        assert!((w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_increases_with_each_factor() {
+        let base = ttf_itf(1, 1, 4, 1, 4, 1, 100);
+        assert!(ttf_itf(2, 1, 4, 1, 4, 1, 100) > base, "tf factor");
+        assert!(ttf_itf(1, 2, 4, 1, 4, 1, 100) > base, "tuple popularity");
+        assert!(ttf_itf(1, 1, 4, 2, 4, 1, 100) > base, "document popularity");
+        assert!(
+            ttf_itf(1, 1, 4, 1, 4, 1, 100) > ttf_itf(1, 1, 4, 1, 4, 10, 100),
+            "rarity"
+        );
+    }
+
+    #[test]
+    fn stats_builder_counts_distinct_tcus() {
+        let mut builder = TermStatsBuilder::new();
+        let (a, b, c) = (Symbol(0), Symbol(1), Symbol(2));
+        builder.add_tcu(&[a, b]);
+        builder.add_tcu(&[a]);
+        builder.add_tcu(&[c]);
+        assert_eq!(builder.total_tcus(), 3);
+        assert_eq!(builder.tcus_containing(a), 2);
+        assert_eq!(builder.tcus_containing(b), 1);
+        assert_eq!(builder.tcus_containing(c), 1);
+        assert_eq!(builder.tcus_containing(Symbol(99)), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let (a, b) = (Symbol(0), Symbol(1));
+        let mut left = TermStatsBuilder::new();
+        left.add_tcu(&[a]);
+        let mut right = TermStatsBuilder::new();
+        right.add_tcu(&[a, b]);
+        right.add_tcu(&[b]);
+        left.merge(&right);
+        assert_eq!(left.total_tcus(), 3);
+        assert_eq!(left.tcus_containing(a), 2);
+        assert_eq!(left.tcus_containing(b), 2);
+    }
+}

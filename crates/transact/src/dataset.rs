@@ -1,0 +1,473 @@
+//! Dataset construction: XML documents → tree tuples → transactions.
+//!
+//! [`DatasetBuilder`] runs the full preprocessing pipeline of Fig. 1(b):
+//! parse each document, extract its tree tuples (§3.2), build the
+//! collection-wide item domain keyed by `(complete path, answer)` (§3.3,
+//! Fig. 4), preprocess every TCU, and weight terms with `ttf.itf` (§4.1.2).
+//!
+//! An item shared by several tuples/documents (e.g. `booktitle = 'KDD'`)
+//! receives the **average** of its per-occurrence `ttf.itf` weights: the
+//! paper defines the weight per occurrence (`w_j` in `u_i` *with respect to
+//! τ*) but assigns one vector per item in the transactional view; averaging
+//! over occurrences is the canonical reconciliation and is recorded in
+//! `DESIGN.md`.
+
+use crate::item::{item_fingerprint, Item, ItemId};
+use crate::itemsim::{SimCtx, SimParams};
+use crate::pathsim::TagPathSimTable;
+use crate::transaction::Transaction;
+use cxk_text::{preprocess, ttf_itf, PipelineOptions, SparseVec, TermStatsBuilder};
+use cxk_util::{FxHashMap, Interner, Symbol};
+use cxk_xml::parser::{parse_document, ParseOptions, XmlError};
+use cxk_xml::path::{leaf_tag_path, PathId, PathTable};
+use cxk_xml::tree::XmlTree;
+use cxk_xml::tuple::{extract_tree_tuples, TupleLimits};
+
+/// Options for the whole build pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// XML parsing options.
+    pub parse: ParseOptions,
+    /// TCU preprocessing options.
+    pub pipeline: PipelineOptions,
+    /// Tree-tuple enumeration limits.
+    pub limits: TupleLimits,
+}
+
+/// Corpus-level summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetStats {
+    /// Number of documents.
+    pub documents: usize,
+    /// Number of transactions (tree tuples).
+    pub transactions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Vocabulary size `|V|`.
+    pub vocabulary: usize,
+    /// Distinct complete paths.
+    pub complete_paths: usize,
+    /// Distinct tag paths.
+    pub tag_paths: usize,
+    /// `|tr_max|`: maximum transaction length.
+    pub max_transaction_len: usize,
+    /// `|u_max|`: maximum TCU vector density.
+    pub max_tcu_nnz: usize,
+    /// Total TCUs in the collection (`N_T`).
+    pub total_tcus: u64,
+    /// Maximum tree depth over the corpus.
+    pub max_depth: usize,
+}
+
+/// The finished transactional dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Label interner (tags, attribute names, `S`).
+    pub labels: Interner,
+    /// Term vocabulary.
+    pub vocabulary: Interner,
+    /// Interned complete and tag paths.
+    pub paths: PathTable,
+    /// The item domain.
+    pub items: Vec<Item>,
+    /// All transactions.
+    pub transactions: Vec<Transaction>,
+    /// Document index of each transaction.
+    pub doc_of: Vec<u32>,
+    /// Precomputed pairwise structural similarity between tag paths.
+    pub tag_sim: TagPathSimTable,
+    /// Collection-level term statistics (`N_T` and per-term `n_{j,T}`),
+    /// kept so that streaming extensions can weight late-arriving TCUs.
+    pub term_stats: TermStatsBuilder,
+    /// Summary statistics.
+    pub stats: DatasetStats,
+}
+
+impl Dataset {
+    /// Borrowed item views of a transaction, for the similarity functions.
+    pub fn views(&self, tr: &Transaction) -> Vec<crate::item::ItemView<'_>> {
+        tr.items()
+            .iter()
+            .map(|id| self.items[id.index()].view())
+            .collect()
+    }
+
+    /// A similarity context over this dataset.
+    pub fn sim_ctx(&self, params: SimParams) -> SimCtx<'_> {
+        SimCtx::new(&self.tag_sim, params)
+    }
+
+    /// The distinct tag paths of the item domain, sorted.
+    pub fn distinct_tag_paths(&self) -> Vec<PathId> {
+        let mut tag_paths: Vec<PathId> = self.items.iter().map(|i| i.tag_path).collect();
+        tag_paths.sort_unstable();
+        tag_paths.dedup();
+        tag_paths
+    }
+
+    /// Recomputes the precomputed `sim_S` table with a custom tag matcher
+    /// (semantic enrichment — the paper's §6 future work). Every similarity
+    /// context created afterwards uses the enriched structural similarity;
+    /// content vectors and transactions are untouched.
+    pub fn rebuild_tag_sim(&mut self, matcher: &impl crate::pathsim::TagMatcher) {
+        let tag_paths = self.distinct_tag_paths();
+        self.tag_sim = TagPathSimTable::build_with(&tag_paths, &self.paths, matcher);
+    }
+}
+
+/// One leaf occurrence inside a document, preprocessed.
+#[derive(Debug, Clone)]
+struct LeafData {
+    path: PathId,
+    tag_path: PathId,
+    raw: String,
+    terms: Vec<Symbol>,
+}
+
+/// Accumulated per-document state.
+#[derive(Debug)]
+struct DocAccum {
+    leaves: Vec<LeafData>,
+    /// Tuples as indices into `leaves`.
+    tuples: Vec<Vec<u32>>,
+    /// `n_{j,XT}`: TCUs of this document containing each term.
+    term_doc_counts: FxHashMap<Symbol, u32>,
+    depth: usize,
+}
+
+/// Incremental dataset builder.
+pub struct DatasetBuilder {
+    labels: Interner,
+    vocabulary: Interner,
+    paths: PathTable,
+    options: BuildOptions,
+    docs: Vec<DocAccum>,
+    term_stats: TermStatsBuilder,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder.
+    pub fn new(options: BuildOptions) -> Self {
+        Self {
+            labels: Interner::new(),
+            vocabulary: Interner::new(),
+            paths: PathTable::new(),
+            options,
+            docs: Vec::new(),
+            term_stats: TermStatsBuilder::new(),
+        }
+    }
+
+    /// Number of documents added so far.
+    pub fn document_count(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Parses one XML document and adds it to the collection. Returns the
+    /// document index.
+    pub fn add_xml(&mut self, xml: &str) -> Result<usize, XmlError> {
+        let tree = parse_document(xml, &mut self.labels, &self.options.parse)?;
+        Ok(self.add_tree(&tree))
+    }
+
+    /// Adds an already-parsed tree. The tree's labels **must** have been
+    /// interned in this builder's label interner (use [`Self::add_xml`] when
+    /// in doubt).
+    pub fn add_tree(&mut self, tree: &XmlTree) -> usize {
+        let tuples = extract_tree_tuples(tree, &self.options.limits);
+
+        // Preprocess each document leaf once; tuples reference leaves by
+        // index so shared leaves are not re-tokenized per tuple.
+        let mut leaf_index: FxHashMap<cxk_xml::tree::NodeId, u32> = FxHashMap::default();
+        let mut leaves: Vec<LeafData> = Vec::new();
+        let mut term_doc_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+
+        for leaf in tree.leaves() {
+            let complete = tree.label_path(leaf);
+            let path = self.paths.intern(&complete);
+            let tag = leaf_tag_path(tree, leaf);
+            let tag_path = self.paths.intern(&tag);
+            let raw = tree.node(leaf).value().unwrap_or_default().to_string();
+            let terms = preprocess(&raw, &mut self.vocabulary, &self.options.pipeline);
+
+            let mut distinct = terms.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            self.term_stats.add_tcu(&distinct);
+            for &t in &distinct {
+                *term_doc_counts.entry(t).or_insert(0) += 1;
+            }
+
+            leaf_index.insert(leaf, leaves.len() as u32);
+            leaves.push(LeafData {
+                path,
+                tag_path,
+                raw,
+                terms,
+            });
+        }
+
+        let tuple_leaf_lists: Vec<Vec<u32>> = tuples
+            .iter()
+            .map(|t| t.leaves.iter().map(|l| leaf_index[l]).collect())
+            .collect();
+
+        self.docs.push(DocAccum {
+            leaves,
+            tuples: tuple_leaf_lists,
+            term_doc_counts,
+            depth: tree.depth(),
+        });
+        self.docs.len() - 1
+    }
+
+    /// Finalizes the dataset: builds the item domain, computes `ttf.itf`
+    /// vectors and the tag-path similarity table.
+    pub fn finish(self) -> Dataset {
+        let n_t = self.term_stats.total_tcus();
+
+        // Item domain keyed by (path, answer).
+        let mut domain: FxHashMap<(PathId, Box<str>), ItemId> = FxHashMap::default();
+        let mut items: Vec<Item> = Vec::new();
+        // Per-item accumulated occurrence weights and counts.
+        let mut weight_acc: Vec<FxHashMap<Symbol, f64>> = Vec::new();
+        let mut occ_count: Vec<u32> = Vec::new();
+
+        let mut transactions: Vec<Transaction> = Vec::new();
+        let mut doc_of: Vec<u32> = Vec::new();
+
+        for (doc_idx, doc) in self.docs.iter().enumerate() {
+            let n_xt = doc.leaves.len() as u32;
+            for tuple in &doc.tuples {
+                // Tuple-level TCU term counts (distinct per TCU).
+                let n_tau = tuple.len() as u32;
+                let mut tuple_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+                for &leaf_i in tuple {
+                    let mut distinct = doc.leaves[leaf_i as usize].terms.clone();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    for t in distinct {
+                        *tuple_counts.entry(t).or_insert(0) += 1;
+                    }
+                }
+
+                let mut tx_items: Vec<ItemId> = Vec::with_capacity(tuple.len());
+                for &leaf_i in tuple {
+                    let leaf = &doc.leaves[leaf_i as usize];
+                    let key = (leaf.path, leaf.raw.clone().into_boxed_str());
+                    let id = *domain.entry(key).or_insert_with(|| {
+                        let id = ItemId(items.len() as u32);
+                        items.push(Item {
+                            path: leaf.path,
+                            tag_path: leaf.tag_path,
+                            raw: leaf.raw.clone().into_boxed_str(),
+                            terms: leaf.terms.clone(),
+                            vector: SparseVec::new(),
+                            fingerprint: item_fingerprint(leaf.path, &leaf.raw),
+                        });
+                        weight_acc.push(FxHashMap::default());
+                        occ_count.push(0);
+                        id
+                    });
+                    tx_items.push(id);
+
+                    // Accumulate this occurrence's ttf.itf weights.
+                    occ_count[id.index()] += 1;
+                    let mut tf: FxHashMap<Symbol, u32> = FxHashMap::default();
+                    for &t in &leaf.terms {
+                        *tf.entry(t).or_insert(0) += 1;
+                    }
+                    for (&term, &count) in &tf {
+                        let nj_tau = tuple_counts.get(&term).copied().unwrap_or(0);
+                        let nj_xt = doc.term_doc_counts.get(&term).copied().unwrap_or(0);
+                        let nj_t = self.term_stats.tcus_containing(term);
+                        let w = ttf_itf(count, nj_tau, n_tau, nj_xt, n_xt, nj_t, n_t);
+                        *weight_acc[id.index()].entry(term).or_insert(0.0) += w;
+                    }
+                }
+                transactions.push(Transaction::new(tx_items));
+                doc_of.push(doc_idx as u32);
+            }
+        }
+
+        // Finalize vectors: average over occurrences.
+        let mut max_tcu_nnz = 0usize;
+        for (i, item) in items.iter_mut().enumerate() {
+            let n = f64::from(occ_count[i].max(1));
+            let pairs: Vec<(Symbol, f64)> = weight_acc[i]
+                .iter()
+                .map(|(&t, &w)| (t, w / n))
+                .collect();
+            item.vector = SparseVec::from_pairs(pairs);
+            max_tcu_nnz = max_tcu_nnz.max(item.vector.nnz());
+        }
+
+        // Tag-path similarity table over the distinct tag paths of the item
+        // domain.
+        let mut tag_paths: Vec<PathId> = items.iter().map(|i| i.tag_path).collect();
+        tag_paths.sort_unstable();
+        tag_paths.dedup();
+        let tag_sim = TagPathSimTable::build(&tag_paths, &self.paths);
+
+        let complete_paths: usize = {
+            let mut ps: Vec<PathId> = items.iter().map(|i| i.path).collect();
+            ps.sort_unstable();
+            ps.dedup();
+            ps.len()
+        };
+
+        let stats = DatasetStats {
+            documents: self.docs.len(),
+            transactions: transactions.len(),
+            items: items.len(),
+            vocabulary: self.vocabulary.len(),
+            complete_paths,
+            tag_paths: tag_paths.len(),
+            max_transaction_len: transactions.iter().map(Transaction::len).max().unwrap_or(0),
+            max_tcu_nnz,
+            total_tcus: n_t,
+            max_depth: self.docs.iter().map(|d| d.depth).max().unwrap_or(0),
+        };
+
+        Dataset {
+            labels: self.labels,
+            vocabulary: self.vocabulary,
+            paths: self.paths,
+            items,
+            transactions,
+            doc_of,
+            tag_sim,
+            term_stats: self.term_stats,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 2(a) document: two conference papers, the first with two
+    /// authors.
+    const DBLP_XML: &str = r#"<dblp>
+        <inproceedings key="conf/kdd/ZakiA03">
+            <author>M.J. Zaki</author>
+            <author>C.C. Aggarwal</author>
+            <title>XRules: an effective structural classifier for XML data</title>
+            <year>2003</year>
+            <booktitle>KDD</booktitle>
+            <pages>316-325</pages>
+        </inproceedings>
+        <inproceedings key="conf/kdd/Zaki02">
+            <author>M.J. Zaki</author>
+            <title>Efficiently mining frequent trees in a forest</title>
+            <year>2002</year>
+            <booktitle>KDD</booktitle>
+            <pages>71-80</pages>
+        </inproceedings>
+    </dblp>"#;
+
+    fn build(docs: &[&str]) -> Dataset {
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        for doc in docs {
+            builder.add_xml(doc).expect("valid xml");
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn fig4_transaction_counts() {
+        let ds = build(&[DBLP_XML]);
+        // Three tree tuples (Fig. 3) -> three transactions.
+        assert_eq!(ds.transactions.len(), 3);
+        // Item domain of Fig. 4(b): e1..e11 = 11 distinct items.
+        assert_eq!(ds.items.len(), 11);
+        // Every transaction has 6 items (Fig. 4(c)).
+        for tr in &ds.transactions {
+            assert_eq!(tr.len(), 6);
+        }
+    }
+
+    #[test]
+    fn shared_items_have_shared_ids() {
+        let ds = build(&[DBLP_XML]);
+        // tr1 and tr2 differ only in the author item: intersection = 5.
+        let t0 = &ds.transactions[0];
+        let t1 = &ds.transactions[1];
+        assert_eq!(t0.intersection_len(t1), 5);
+        assert_eq!(t0.union_len(t1), 7);
+        // tr3 shares 'KDD' booktitle and author 'M.J. Zaki' with tr1 — but
+        // author paths/answers coincide while key/title/year/pages differ.
+        let t2 = &ds.transactions[2];
+        assert_eq!(t0.intersection_len(t2), 2);
+    }
+
+    #[test]
+    fn doc_of_tracks_documents() {
+        let ds = build(&[DBLP_XML, "<dblp><article key=\"j1\"><author>A. Nother</author><title>On things</title></article></dblp>"]);
+        assert_eq!(ds.stats.documents, 2);
+        assert_eq!(ds.doc_of.len(), ds.transactions.len());
+        assert_eq!(ds.doc_of[0], 0);
+        assert_eq!(*ds.doc_of.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn vectors_are_weighted_and_nonzero_for_content() {
+        let ds = build(&[DBLP_XML]);
+        // The title items contain distinctive terms and must have nonzero
+        // vectors.
+        let title_item = ds
+            .items
+            .iter()
+            .find(|i| i.raw.contains("XRules"))
+            .expect("title item");
+        assert!(!title_item.vector.is_empty());
+        // 'KDD' appears in every tuple TCU set but not in *all* TCUs of the
+        // collection, so its weight is positive too.
+        let kdd = ds.items.iter().find(|i| &*i.raw == "KDD").unwrap();
+        assert!(!kdd.vector.is_empty());
+    }
+
+    #[test]
+    fn sim_of_sibling_transactions_exceeds_cross_document() {
+        let ds = build(&[DBLP_XML]);
+        let ctx = ds.sim_ctx(SimParams::new(0.5, 0.6));
+        let v0 = ds.views(&ds.transactions[0]);
+        let v1 = ds.views(&ds.transactions[1]);
+        let v2 = ds.views(&ds.transactions[2]);
+        let near = crate::txsim::sim_gamma_j(&ctx, &v0, &v1);
+        let far = crate::txsim::sim_gamma_j(&ctx, &v0, &v2);
+        assert!(
+            near > far,
+            "same-paper tuples ({near}) should beat cross-paper ({far})"
+        );
+        assert!(near > 0.5);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let ds = build(&[DBLP_XML]);
+        assert_eq!(ds.stats.transactions, 3);
+        assert_eq!(ds.stats.items, 11);
+        assert_eq!(ds.stats.max_transaction_len, 6);
+        assert!(ds.stats.vocabulary > 0);
+        assert_eq!(ds.stats.total_tcus, 13); // 13 leaves: 7 + 6 per paper
+        assert_eq!(ds.stats.max_depth, 4);
+        assert!(ds.stats.tag_paths >= 6);
+    }
+
+    #[test]
+    fn empty_dataset_finishes_cleanly() {
+        let ds = build(&[]);
+        assert_eq!(ds.transactions.len(), 0);
+        assert_eq!(ds.items.len(), 0);
+        assert_eq!(ds.stats.max_transaction_len, 0);
+    }
+
+    #[test]
+    fn malformed_xml_reports_error() {
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        assert!(builder.add_xml("<a><b></a>").is_err());
+        assert_eq!(builder.document_count(), 0);
+    }
+}

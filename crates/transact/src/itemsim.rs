@@ -1,0 +1,213 @@
+//! Combined item similarity — Eqs. (1) and (2).
+//!
+//! `sim(e_i, e_j) = f · sim_S(e_i, e_j) + (1 − f) · sim_C(e_i, e_j)` where
+//! `f ∈ [0, 1]` tunes structure vs. content, and two items are *γ-matched*
+//! when `sim(e_i, e_j) ≥ γ` (Eq. 2).
+//!
+//! `sim_C` is cosine over the items' TCU vectors; two items whose TCUs are
+//! both empty (stopword-only or empty answers) are considered to have
+//! identical content (`sim_C = 1`) — the paper leaves this degenerate case
+//! unspecified, and treating "no content vs. no content" as a match keeps
+//! `sim(e, e) = 1` for all items, preserving the identity property the
+//! transaction similarity relies on.
+
+use crate::item::ItemView;
+use crate::pathsim::TagPathSimTable;
+
+/// Similarity parameters: the structure/content mix `f` and the matching
+/// threshold `γ` (Eqs. 1–2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Structure weight `f ∈ [0, 1]`. The paper's clustering settings:
+    /// `[0, 0.3]` content-driven, `[0.4, 0.6]` hybrid, `[0.7, 1]`
+    /// structure-driven (§5.1).
+    pub f: f64,
+    /// Matching threshold `γ ∈ [0.5, 1)`; best results near 0.85 (§5.5.2).
+    pub gamma: f64,
+}
+
+impl SimParams {
+    /// Creates parameters, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if `f ∉ [0,1]` or `gamma ∉ [0,1]`.
+    pub fn new(f: f64, gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "f must be in [0,1], got {f}");
+        assert!(
+            (0.0..=1.0).contains(&gamma),
+            "gamma must be in [0,1], got {gamma}"
+        );
+        Self { f, gamma }
+    }
+}
+
+impl Default for SimParams {
+    /// Hybrid structure/content setting with the paper's best threshold.
+    fn default() -> Self {
+        Self { f: 0.5, gamma: 0.85 }
+    }
+}
+
+/// Similarity context: the precomputed tag-path table plus parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimCtx<'a> {
+    /// Precomputed pairwise `sim_S` between corpus tag paths.
+    pub tag_sim: &'a TagPathSimTable,
+    /// `f` and `γ`.
+    pub params: SimParams,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Creates a context.
+    pub fn new(tag_sim: &'a TagPathSimTable, params: SimParams) -> Self {
+        Self { tag_sim, params }
+    }
+
+    /// Structural similarity `sim_S` between two items (precomputed lookup).
+    #[inline]
+    pub fn sim_s(&self, a: ItemView<'_>, b: ItemView<'_>) -> f64 {
+        self.tag_sim.sim(a.tag_path, b.tag_path)
+    }
+
+    /// Content similarity `sim_C` between two items.
+    #[inline]
+    pub fn sim_c(&self, a: ItemView<'_>, b: ItemView<'_>) -> f64 {
+        if a.vector.is_empty() && b.vector.is_empty() {
+            1.0
+        } else {
+            a.vector.cosine(b.vector)
+        }
+    }
+
+    /// Eq. (1): the combined item similarity.
+    #[inline]
+    pub fn sim(&self, a: ItemView<'_>, b: ItemView<'_>) -> f64 {
+        let f = self.params.f;
+        // Avoid the cosine when structure fully dominates, and vice versa.
+        if f >= 1.0 {
+            return self.sim_s(a, b);
+        }
+        if f <= 0.0 {
+            return self.sim_c(a, b);
+        }
+        f * self.sim_s(a, b) + (1.0 - f) * self.sim_c(a, b)
+    }
+
+    /// Eq. (2): whether two items γ-match.
+    #[inline]
+    pub fn gamma_matched(&self, a: ItemView<'_>, b: ItemView<'_>) -> bool {
+        self.sim(a, b) >= self.params.gamma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxk_text::SparseVec;
+    use cxk_util::{Interner, Symbol};
+    use cxk_xml::path::{PathId, PathTable};
+
+    struct Fixture {
+        table: TagPathSimTable,
+        path_a: PathId,
+        path_b: PathId,
+        vec_x: SparseVec,
+        vec_y: SparseVec,
+        empty: SparseVec,
+    }
+
+    fn fixture() -> Fixture {
+        let mut interner = Interner::new();
+        let mut paths = PathTable::new();
+        let pa: Vec<Symbol> = ["dblp", "article", "title"]
+            .iter()
+            .map(|t| interner.intern(t))
+            .collect();
+        let pb: Vec<Symbol> = ["dblp", "book", "publisher"]
+            .iter()
+            .map(|t| interner.intern(t))
+            .collect();
+        let path_a = paths.intern(&pa);
+        let path_b = paths.intern(&pb);
+        let table = TagPathSimTable::build(&[path_a, path_b], &paths);
+        Fixture {
+            table,
+            path_a,
+            path_b,
+            vec_x: SparseVec::from_pairs(vec![(Symbol(0), 1.0), (Symbol(1), 2.0)]),
+            vec_y: SparseVec::from_pairs(vec![(Symbol(2), 1.0)]),
+            empty: SparseVec::new(),
+        }
+    }
+
+    fn view<'a>(path: PathId, vector: &'a SparseVec, fp: u64) -> ItemView<'a> {
+        ItemView {
+            tag_path: path,
+            vector,
+            fingerprint: fp,
+        }
+    }
+
+    #[test]
+    fn identical_items_have_similarity_one() {
+        let fx = fixture();
+        let ctx = SimCtx::new(&fx.table, SimParams::new(0.5, 0.8));
+        let a = view(fx.path_a, &fx.vec_x, 1);
+        assert!((ctx.sim(a, a) - 1.0).abs() < 1e-12);
+        assert!(ctx.gamma_matched(a, a));
+    }
+
+    #[test]
+    fn f_interpolates_structure_and_content() {
+        let fx = fixture();
+        let a = view(fx.path_a, &fx.vec_x, 1);
+        let b = view(fx.path_b, &fx.vec_y, 2);
+        let structure_only = SimCtx::new(&fx.table, SimParams::new(1.0, 0.5)).sim(a, b);
+        let content_only = SimCtx::new(&fx.table, SimParams::new(0.0, 0.5)).sim(a, b);
+        let mixed = SimCtx::new(&fx.table, SimParams::new(0.5, 0.5)).sim(a, b);
+        assert!((mixed - 0.5 * (structure_only + content_only)).abs() < 1e-12);
+        // Orthogonal vectors: content contributes zero.
+        assert_eq!(content_only, 0.0);
+        // Shared `dblp` root: structure is positive but below one.
+        assert!(structure_only > 0.0 && structure_only < 1.0);
+    }
+
+    #[test]
+    fn empty_tcus_count_as_identical_content() {
+        let fx = fixture();
+        let ctx = SimCtx::new(&fx.table, SimParams::new(0.0, 0.9));
+        let a = view(fx.path_a, &fx.empty, 1);
+        let b = view(fx.path_b, &fx.empty, 2);
+        assert_eq!(ctx.sim(a, b), 1.0);
+        // One empty, one not: no content evidence.
+        let c = view(fx.path_b, &fx.vec_x, 3);
+        assert_eq!(ctx.sim(a, c), 0.0);
+    }
+
+    #[test]
+    fn gamma_thresholding() {
+        let fx = fixture();
+        let a = view(fx.path_a, &fx.vec_x, 1);
+        let b = view(fx.path_b, &fx.vec_x, 2);
+        // Same content, different structure.
+        let lenient = SimCtx::new(&fx.table, SimParams::new(0.5, 0.5));
+        let strict = SimCtx::new(&fx.table, SimParams::new(0.5, 0.99));
+        assert!(lenient.gamma_matched(a, b));
+        assert!(!strict.gamma_matched(a, b));
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let fx = fixture();
+        let ctx = SimCtx::new(&fx.table, SimParams::default());
+        let a = view(fx.path_a, &fx.vec_x, 1);
+        let b = view(fx.path_b, &fx.vec_y, 2);
+        assert!((ctx.sim(a, b) - ctx.sim(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "f must be in [0,1]")]
+    fn rejects_out_of_range_f() {
+        SimParams::new(1.5, 0.5);
+    }
+}

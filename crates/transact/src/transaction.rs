@@ -1,0 +1,133 @@
+//! XML transactions (§3.3).
+//!
+//! A transaction is the item set of one tree tuple. Items within a
+//! transaction are distinct by construction: a tree tuple answers every
+//! complete path at most once, so no two leaves of a tuple share a path, and
+//! items are keyed by `(path, answer)`.
+
+use crate::item::ItemId;
+
+/// A transaction: a sorted set of item ids plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Sorted, deduplicated item ids.
+    items: Vec<ItemId>,
+}
+
+impl Transaction {
+    /// Builds a transaction from (possibly unsorted) item ids.
+    pub fn new(mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items `|tr|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the transaction contains `item`.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// Size of the union `|tr1 ∪ tr2|` (merge over sorted ids).
+    pub fn union_len(&self, other: &Transaction) -> usize {
+        let (a, b) = (&self.items, &other.items);
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+            n += 1;
+        }
+        n + (a.len() - i) + (b.len() - j)
+    }
+
+    /// Size of the intersection `|tr1 ∩ tr2|`.
+    pub fn intersection_len(&self, other: &Transaction) -> usize {
+        self.len() + other.len() - self.union_len(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(ids: &[u32]) -> Transaction {
+        Transaction::new(ids.iter().map(|&i| ItemId(i)).collect())
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let t = tx(&[3, 1, 2, 3, 1]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.items(),
+            &[ItemId(1), ItemId(2), ItemId(3)]
+        );
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let t = tx(&[10, 20, 30]);
+        assert!(t.contains(ItemId(20)));
+        assert!(!t.contains(ItemId(25)));
+    }
+
+    #[test]
+    fn union_and_intersection_sizes() {
+        let a = tx(&[1, 2, 3, 4]);
+        let b = tx(&[3, 4, 5]);
+        assert_eq!(a.union_len(&b), 5);
+        assert_eq!(a.intersection_len(&b), 2);
+        // Paper Fig. 4: tr1 = {e1..e6}, tr2 = {e1,e7,e3,e4,e5,e6}.
+        let tr1 = tx(&[1, 2, 3, 4, 5, 6]);
+        let tr2 = tx(&[1, 7, 3, 4, 5, 6]);
+        assert_eq!(tr1.union_len(&tr2), 7);
+        assert_eq!(tr1.intersection_len(&tr2), 5);
+    }
+
+    #[test]
+    fn union_with_self_is_identity() {
+        let a = tx(&[1, 5, 9]);
+        assert_eq!(a.union_len(&a), 3);
+        assert_eq!(a.intersection_len(&a), 3);
+    }
+
+    #[test]
+    fn disjoint_union_adds() {
+        let a = tx(&[1, 2]);
+        let b = tx(&[3, 4, 5]);
+        assert_eq!(a.union_len(&b), 5);
+        assert_eq!(a.intersection_len(&b), 0);
+    }
+
+    #[test]
+    fn empty_transaction_edge_cases() {
+        let e = tx(&[]);
+        let a = tx(&[1]);
+        assert!(e.is_empty());
+        assert_eq!(e.union_len(&a), 1);
+        assert_eq!(e.union_len(&e), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the similarity measures (Eqs. 1–4): metric-like
+//! axioms that the clustering relies on.
+
+use cxk_text::SparseVec;
+use cxk_transact::item::ItemView;
+use cxk_transact::pathsim::{tag_path_similarity, TagPathSimTable};
+use cxk_transact::txsim::{gamma_shared, sim_gamma_j, union_size};
+use cxk_transact::{SimCtx, SimParams};
+use cxk_util::{FxHashSet, Interner, Symbol};
+use cxk_xml::path::{PathId, PathTable};
+use proptest::prelude::*;
+
+fn path_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 1..6)
+}
+
+fn to_symbols(path: &[u8], interner: &mut Interner) -> Vec<Symbol> {
+    path.iter()
+        .map(|l| interner.intern(&format!("t{l}")))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn path_similarity_is_symmetric_and_bounded(a in path_strategy(), b in path_strategy()) {
+        let mut interner = Interner::new();
+        let pa = to_symbols(&a, &mut interner);
+        let pb = to_symbols(&b, &mut interner);
+        let ab = tag_path_similarity(&pa, &pb);
+        let ba = tag_path_similarity(&pb, &pa);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+    }
+
+    #[test]
+    fn path_similarity_identity(a in path_strategy()) {
+        let mut interner = Interner::new();
+        let pa = to_symbols(&a, &mut interner);
+        prop_assert!((tag_path_similarity(&pa, &pa) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_similarity_one_implies_equality(a in path_strategy(), b in path_strategy()) {
+        let mut interner = Interner::new();
+        let pa = to_symbols(&a, &mut interner);
+        let pb = to_symbols(&b, &mut interner);
+        if (tag_path_similarity(&pa, &pb) - 1.0).abs() < 1e-12 {
+            prop_assert_eq!(pa, pb);
+        }
+    }
+}
+
+/// Builds a random similarity fixture: a set of tag paths and vectors.
+#[derive(Debug, Clone)]
+struct Fixture {
+    table: TagPathSimTable,
+    tag_paths: Vec<PathId>,
+    vectors: Vec<SparseVec>,
+}
+
+type FixtureSpec = (Vec<Vec<u8>>, Vec<Vec<(u8, u8)>>);
+
+fn fixture_strategy() -> impl Strategy<Value = FixtureSpec> {
+    (
+        proptest::collection::vec(path_strategy(), 1..5),
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..12, 1u8..10), 0..5),
+            1..5,
+        ),
+    )
+}
+
+fn build_fixture(paths: &[Vec<u8>], vectors: &[Vec<(u8, u8)>]) -> Fixture {
+    let mut interner = Interner::new();
+    let mut table = PathTable::new();
+    let ids: Vec<PathId> = paths
+        .iter()
+        .map(|p| {
+            let symbols = to_symbols(p, &mut interner);
+            table.intern(&symbols)
+        })
+        .collect();
+    let mut dedup = ids.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    let sim_table = TagPathSimTable::build(&dedup, &table);
+    let vecs: Vec<SparseVec> = vectors
+        .iter()
+        .map(|pairs| {
+            SparseVec::from_pairs(
+                pairs
+                    .iter()
+                    .map(|&(t, w)| (Symbol(u32::from(t)), f64::from(w)))
+                    .collect(),
+            )
+        })
+        .collect();
+    Fixture {
+        table: sim_table,
+        tag_paths: ids,
+        vectors: vecs,
+    }
+}
+
+/// Assembles transactions of item views over the fixture.
+fn views<'a>(fx: &'a Fixture, spec: &[(usize, usize)], fp_base: u64) -> Vec<ItemView<'a>> {
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(p, v))| ItemView {
+            tag_path: fx.tag_paths[p % fx.tag_paths.len()],
+            vector: &fx.vectors[v % fx.vectors.len()],
+            fingerprint: fp_base + i as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transaction_similarity_axioms(
+        (paths, vectors) in fixture_strategy(),
+        tr1_spec in proptest::collection::vec((0usize..8, 0usize..8), 1..5),
+        tr2_spec in proptest::collection::vec((0usize..8, 0usize..8), 1..5),
+        f in 0.0f64..=1.0,
+        gamma in 0.3f64..=1.0,
+    ) {
+        let fx = build_fixture(&paths, &vectors);
+        let ctx = SimCtx::new(&fx.table, SimParams::new(f, gamma));
+        let tr1 = views(&fx, &tr1_spec, 100);
+        let tr2 = views(&fx, &tr2_spec, 200);
+
+        // Symmetry and range.
+        let ab = sim_gamma_j(&ctx, &tr1, &tr2);
+        let ba = sim_gamma_j(&ctx, &tr2, &tr1);
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+        prop_assert!((0.0..=1.0).contains(&ab));
+
+        // Identity: a transaction is maximally similar to itself.
+        let self_sim = sim_gamma_j(&ctx, &tr1, &tr1);
+        prop_assert!((self_sim - 1.0).abs() < 1e-12, "self sim = {self_sim}");
+
+        // The gamma-shared set only contains fingerprints from the union.
+        let shared = gamma_shared(&ctx, &tr1, &tr2);
+        let all: FxHashSet<u64> = tr1
+            .iter()
+            .chain(&tr2)
+            .map(|v| v.fingerprint)
+            .collect();
+        for fp in &shared {
+            prop_assert!(all.contains(fp));
+        }
+        prop_assert!(shared.len() <= union_size(&tr1, &tr2));
+    }
+
+    #[test]
+    fn gamma_monotonicity(
+        (paths, vectors) in fixture_strategy(),
+        tr1_spec in proptest::collection::vec((0usize..8, 0usize..8), 1..4),
+        tr2_spec in proptest::collection::vec((0usize..8, 0usize..8), 1..4),
+        f in 0.0f64..=1.0,
+    ) {
+        // Raising gamma can only shrink the gamma-shared set.
+        let fx = build_fixture(&paths, &vectors);
+        let tr1 = views(&fx, &tr1_spec, 100);
+        let tr2 = views(&fx, &tr2_spec, 200);
+        let loose_ctx = SimCtx::new(&fx.table, SimParams::new(f, 0.4));
+        let strict_ctx = SimCtx::new(&fx.table, SimParams::new(f, 0.9));
+        let loose = gamma_shared(&loose_ctx, &tr1, &tr2);
+        let strict = gamma_shared(&strict_ctx, &tr1, &tr2);
+        prop_assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn item_similarity_is_convex_in_f(
+        (paths, vectors) in fixture_strategy(),
+        p1 in 0usize..8, v1 in 0usize..8,
+        p2 in 0usize..8, v2 in 0usize..8,
+    ) {
+        let fx = build_fixture(&paths, &vectors);
+        let a = ItemView {
+            tag_path: fx.tag_paths[p1 % fx.tag_paths.len()],
+            vector: &fx.vectors[v1 % fx.vectors.len()],
+            fingerprint: 1,
+        };
+        let b = ItemView {
+            tag_path: fx.tag_paths[p2 % fx.tag_paths.len()],
+            vector: &fx.vectors[v2 % fx.vectors.len()],
+            fingerprint: 2,
+        };
+        let structure = SimCtx::new(&fx.table, SimParams::new(1.0, 0.5)).sim(a, b);
+        let content = SimCtx::new(&fx.table, SimParams::new(0.0, 0.5)).sim(a, b);
+        let mixed = SimCtx::new(&fx.table, SimParams::new(0.3, 0.5)).sim(a, b);
+        let expected = 0.3 * structure + 0.7 * content;
+        prop_assert!((mixed - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! FxHash-style hashing.
+//!
+//! The default `std` hasher (SipHash 1-3) is collision-resistant but slow for
+//! the short integer and string keys that dominate the clustering hot path
+//! (item identifiers, path identifiers, interned symbols). This module
+//! implements the Fx multiply-rotate hash used by rustc, which is not
+//! HashDoS-resistant but is several times faster for such keys. Nothing in
+//! this workspace hashes attacker-controlled data into long-lived maps.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hash builder producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash function.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash function.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher (as used by the Rust compiler).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"path.to.leaf"), hash_of(&"path.to.leaf"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        let hashes: Vec<u64> = (0u64..1000).map(|i| hash_of(&i)).collect();
+        let unique: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn distinguishes_prefix_strings() {
+        // Trailing-byte handling must make "ab" != "ab\0"-style collisions.
+        assert_ne!(hash_of(&"ab"), hash_of(&"abc"));
+        assert_ne!(hash_of(&"dblp.article"), hash_of(&"dblp.articles"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+        map.insert("a", 1);
+        map.insert("b", 2);
+        assert_eq!(map.get("a"), Some(&1));
+
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        set.insert(7);
+        assert!(set.contains(&7));
+    }
+
+    #[test]
+    fn empty_write_is_stable() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[]);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared utilities for the `cxkmeans` workspace.
+//!
+//! This crate hosts the small, dependency-light building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`hash`] — an FxHash-style fast hasher plus [`FxHashMap`]/[`FxHashSet`]
+//!   aliases, used throughout hot clustering loops where SipHash overhead is
+//!   measurable (see the workspace performance notes in `DESIGN.md`).
+//! * [`rng`] — deterministic, seedable random number generation so that every
+//!   experiment in the benchmark harness is exactly reproducible.
+//! * [`intern`] — a compact string interner mapping strings to dense `u32`
+//!   symbols; tag names, attribute names and index terms are all interned.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod intern;
+pub mod rng;
+
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use intern::{Interner, Symbol};
+pub use rng::DetRng;

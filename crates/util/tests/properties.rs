@@ -1,0 +1,74 @@
+//! Property-based tests for hashing, interning and deterministic RNG.
+
+use cxk_util::{DetRng, FxHashSet, Interner};
+use proptest::prelude::*;
+use std::hash::{Hash, Hasher};
+
+fn fx_hash<T: Hash>(value: &T) -> u64 {
+    let mut hasher = cxk_util::FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hash_is_deterministic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(fx_hash(&data), fx_hash(&data.clone()));
+    }
+
+    #[test]
+    fn interner_round_trips(words in proptest::collection::vec("[ -~]{0,24}", 0..30)) {
+        let mut interner = Interner::new();
+        let symbols: Vec<_> = words.iter().map(|w| interner.intern(w)).collect();
+        for (word, &sym) in words.iter().zip(&symbols) {
+            prop_assert_eq!(interner.resolve(sym), word.as_str());
+            prop_assert_eq!(interner.intern(word), sym);
+        }
+        let distinct: FxHashSet<&str> = words.iter().map(String::as_str).collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let root = DetRng::seed_from_u64(seed);
+        let mut a = root.derive(stream);
+        let mut b = root.derive(stream);
+        for _ in 0..8 {
+            prop_assert_eq!(a.below(1000), b.below(1000));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), n in 1usize..60) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut v: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range(seed in any::<u64>(), n in 1usize..50) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let take = n / 2;
+        let sample = rng.sample_indices(n, take);
+        prop_assert_eq!(sample.len(), take);
+        let distinct: FxHashSet<usize> = sample.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), take);
+        prop_assert!(sample.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn weighted_index_is_in_range(
+        seed in any::<u64>(),
+        weights in proptest::collection::vec(0.01f64..10.0, 1..20),
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.weighted_index(&weights) < weights.len());
+        }
+    }
+}

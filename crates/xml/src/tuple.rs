@@ -1,0 +1,440 @@
+//! Tree-tuple extraction (§3.2).
+//!
+//! A *tree tuple* of an XML tree `XT` is a **maximal** subtree `τ` (always
+//! containing the root) such that every (tag or complete) path of `XT` has at
+//! most one answer on `τ`: `|A_τ(p)| ≤ 1`.
+//!
+//! The path-uniqueness condition decomposes locally: a subtree satisfies it
+//! iff every node of the subtree keeps **at most one child per distinct child
+//! label**, and maximality requires keeping **exactly one** child from every
+//! label group the original node has. The tuple set is therefore the cross
+//! product, over label groups, of the union of the children's tuple sets —
+//! exactly the construction that yields the three tuples of the paper's
+//! Fig. 3 from the tree of Fig. 2(b).
+//!
+//! The tuple count is a product of sums and can grow combinatorially on
+//! pathological trees, so enumeration takes [`TupleLimits`]; the exact count
+//! is available without enumeration through [`count_tree_tuples`].
+
+use crate::tree::{NodeId, XmlTree};
+use cxk_util::{FxHashMap, FxHashSet, Symbol};
+
+/// One tree tuple: the node subset of the source tree that forms the maximal
+/// path-unique subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTuple {
+    /// All nodes of the tuple, sorted by arena id (root is always present).
+    pub nodes: Vec<NodeId>,
+    /// The tuple's leaf nodes (attribute/text leaves of the source tree that
+    /// belong to the tuple), in document order.
+    pub leaves: Vec<NodeId>,
+}
+
+/// Enumeration guard rails.
+#[derive(Debug, Clone, Copy)]
+pub struct TupleLimits {
+    /// Maximum number of tuples to enumerate per tree. When a tree exceeds
+    /// the cap the first `max_tuples_per_tree` (in the canonical cross
+    /// product order) are returned. The default is generous for document
+    /// data; corpora in this workspace stay far below it.
+    pub max_tuples_per_tree: usize,
+}
+
+impl Default for TupleLimits {
+    fn default() -> Self {
+        Self {
+            max_tuples_per_tree: 65_536,
+        }
+    }
+}
+
+/// Counts the tree tuples of `tree` without enumerating them, saturating at
+/// `u64::MAX`.
+pub fn count_tree_tuples(tree: &XmlTree) -> u64 {
+    fn count(tree: &XmlTree, node: NodeId) -> u64 {
+        let children = &tree.node(node).children;
+        if children.is_empty() {
+            return 1;
+        }
+        let mut groups: FxHashMap<Symbol, u64> = FxHashMap::default();
+        let mut order: Vec<Symbol> = Vec::new();
+        for &child in children {
+            let label = tree.node(child).label;
+            let entry = groups.entry(label).or_insert_with(|| {
+                order.push(label);
+                0
+            });
+            *entry = entry.saturating_add(count(tree, child));
+        }
+        let mut total: u64 = 1;
+        for label in order {
+            total = total.saturating_mul(groups[&label]);
+        }
+        total
+    }
+    count(tree, tree.root())
+}
+
+/// Enumerates the tree tuples of `tree` (up to `limits`).
+pub fn extract_tree_tuples(tree: &XmlTree, limits: &TupleLimits) -> Vec<TreeTuple> {
+    let cap = limits.max_tuples_per_tree;
+    let node_sets = tuples_below(tree, tree.root(), cap);
+    node_sets
+        .into_iter()
+        .map(|mut nodes| {
+            nodes.sort_unstable();
+            let leaves: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&n| tree.node(n).is_leaf())
+                .collect();
+            TreeTuple { nodes, leaves }
+        })
+        .collect()
+}
+
+/// Recursively enumerates tuple node sets for the subtree rooted at `node`.
+fn tuples_below(tree: &XmlTree, node: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
+    let children = &tree.node(node).children;
+    if children.is_empty() {
+        return vec![vec![node]];
+    }
+
+    // Group children by label, preserving first-occurrence order.
+    let mut group_order: Vec<Symbol> = Vec::new();
+    let mut groups: FxHashMap<Symbol, Vec<NodeId>> = FxHashMap::default();
+    for &child in children {
+        let label = tree.node(child).label;
+        groups
+            .entry(label)
+            .or_insert_with(|| {
+                group_order.push(label);
+                Vec::new()
+            })
+            .push(child);
+    }
+
+    // Alternatives per group: union over the group's children of their tuples.
+    let mut partial: Vec<Vec<NodeId>> = vec![vec![node]];
+    for label in group_order {
+        let mut alternatives: Vec<Vec<NodeId>> = Vec::new();
+        for &child in &groups[&label] {
+            alternatives.extend(tuples_below(tree, child, cap));
+            if alternatives.len() > cap {
+                alternatives.truncate(cap);
+                break;
+            }
+        }
+        let mut next = Vec::with_capacity(partial.len().saturating_mul(alternatives.len()).min(cap));
+        'outer: for base in &partial {
+            for alt in &alternatives {
+                let mut combined = base.clone();
+                combined.extend_from_slice(alt);
+                next.push(combined);
+                if next.len() >= cap {
+                    break 'outer;
+                }
+            }
+        }
+        partial = next;
+    }
+    partial
+}
+
+/// Checks whether `nodes` forms a tree tuple of `tree`: rooted, connected,
+/// path-unique and maximal. Used by tests and property checks.
+pub fn is_tree_tuple(tree: &XmlTree, nodes: &[NodeId]) -> bool {
+    let set: FxHashSet<NodeId> = nodes.iter().copied().collect();
+    if !set.contains(&tree.root()) {
+        return false;
+    }
+    // Connectivity: every non-root member's parent is a member.
+    for &n in nodes {
+        if let Some(parent) = tree.node(n).parent {
+            if !set.contains(&parent) {
+                return false;
+            }
+        }
+    }
+    // Path uniqueness: at most one included child per label, per node.
+    for &n in nodes {
+        let mut seen: FxHashSet<Symbol> = FxHashSet::default();
+        for &child in &tree.node(n).children {
+            if set.contains(&child) && !seen.insert(tree.node(child).label) {
+                return false;
+            }
+        }
+    }
+    // Maximality: every excluded child of an included node must be shadowed
+    // by an included sibling of the same label.
+    for &n in nodes {
+        let included_labels: FxHashSet<Symbol> = tree
+            .node(n)
+            .children
+            .iter()
+            .filter(|c| set.contains(c))
+            .map(|&c| tree.node(c).label)
+            .collect();
+        for &child in &tree.node(n).children {
+            if !set.contains(&child) && !included_labels.contains(&tree.node(child).label) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{NodeKind, XmlTree, S_LABEL};
+    use cxk_util::Interner;
+
+    /// The DBLP tree of Fig. 2(b): two `inproceedings`, the first having two
+    /// authors. Expected tuples per Fig. 3: three.
+    fn dblp_example(interner: &mut Interner) -> XmlTree {
+        let dblp = interner.intern("dblp");
+        let inpro = interner.intern("inproceedings");
+        let key = interner.intern("key");
+        let author = interner.intern("author");
+        let title = interner.intern("title");
+        let year = interner.intern("year");
+        let booktitle = interner.intern("booktitle");
+        let pages = interner.intern("pages");
+        let s = interner.intern(S_LABEL);
+
+        let mut tree = XmlTree::with_root(dblp);
+        let p1 = tree.add_element(tree.root(), inpro);
+        tree.add_attribute(p1, key, "conf/kdd/ZakiA03".into());
+        for name in ["M.J. Zaki", "C.C. Aggarwal"] {
+            let a = tree.add_element(p1, author);
+            tree.add_text(a, s, name.into());
+        }
+        for (tag, text) in [
+            (title, "XRules: an effective ..."),
+            (year, "2003"),
+            (booktitle, "KDD"),
+            (pages, "316-325"),
+        ] {
+            let e = tree.add_element(p1, tag);
+            tree.add_text(e, s, text.into());
+        }
+        let p2 = tree.add_element(tree.root(), inpro);
+        tree.add_attribute(p2, key, "conf/kdd/Zaki02".into());
+        for (tag, text) in [
+            (author, "M.J. Zaki"),
+            (title, "Efficiently mining ..."),
+            (year, "2002"),
+            (booktitle, "KDD"),
+            (pages, "71-80"),
+        ] {
+            let e = tree.add_element(p2, tag);
+            tree.add_text(e, s, text.into());
+        }
+        tree
+    }
+
+    #[test]
+    fn dblp_example_yields_three_tuples() {
+        let mut interner = Interner::new();
+        let tree = dblp_example(&mut interner);
+        assert_eq!(count_tree_tuples(&tree), 3);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        assert_eq!(tuples.len(), 3);
+        // Fig. 4: every tuple of this document has exactly 6 leaf items.
+        for tuple in &tuples {
+            assert_eq!(tuple.leaves.len(), 6);
+        }
+    }
+
+    #[test]
+    fn tuples_partition_authorship() {
+        let mut interner = Interner::new();
+        let tree = dblp_example(&mut interner);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        let author_values: Vec<Vec<String>> = tuples
+            .iter()
+            .map(|t| {
+                t.leaves
+                    .iter()
+                    .filter(|&&l| {
+                        matches!(tree.node(l).kind, NodeKind::Text(_))
+                            && interner.resolve(
+                                tree.node(tree.node(l).parent.unwrap()).label,
+                            ) == "author"
+                    })
+                    .map(|&l| tree.node(l).value().unwrap().to_string())
+                    .collect()
+            })
+            .collect();
+        // Each tuple carries exactly one author (paths are unique).
+        for authors in &author_values {
+            assert_eq!(authors.len(), 1);
+        }
+        let flat: Vec<String> = author_values.into_iter().flatten().collect();
+        assert!(flat.contains(&"C.C. Aggarwal".to_string()));
+        assert_eq!(
+            flat.iter().filter(|a| a.as_str() == "M.J. Zaki").count(),
+            2
+        );
+    }
+
+    #[test]
+    fn every_enumerated_tuple_validates() {
+        let mut interner = Interner::new();
+        let tree = dblp_example(&mut interner);
+        for tuple in extract_tree_tuples(&tree, &TupleLimits::default()) {
+            assert!(is_tree_tuple(&tree, &tuple.nodes));
+        }
+    }
+
+    #[test]
+    fn pruned_tuple_is_not_maximal() {
+        let mut interner = Interner::new();
+        let tree = dblp_example(&mut interner);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        // Paper Example 1: dropping the @key leaf breaks maximality.
+        let mut nodes = tuples[0].nodes.clone();
+        let key_leaf = *tuples[0]
+            .leaves
+            .iter()
+            .find(|&&l| matches!(tree.node(l).kind, NodeKind::Attribute(_)))
+            .unwrap();
+        nodes.retain(|&n| n != key_leaf);
+        assert!(!is_tree_tuple(&tree, &nodes));
+    }
+
+    #[test]
+    fn tuple_without_root_is_invalid() {
+        let mut interner = Interner::new();
+        let tree = dblp_example(&mut interner);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        let nodes: Vec<NodeId> = tuples[0]
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| n != tree.root())
+            .collect();
+        assert!(!is_tree_tuple(&tree, &nodes));
+    }
+
+    #[test]
+    fn single_node_tree_has_one_tuple() {
+        let mut interner = Interner::new();
+        let root = interner.intern("lonely");
+        let tree = XmlTree::with_root(root);
+        assert_eq!(count_tree_tuples(&tree), 1);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].nodes, vec![tree.root()]);
+        assert!(tuples[0].leaves.is_empty());
+    }
+
+    #[test]
+    fn unique_paths_give_single_tuple() {
+        let mut interner = Interner::new();
+        let s = interner.intern(S_LABEL);
+        let labels: Vec<_> = ["r", "a", "b", "c"]
+            .iter()
+            .map(|l| interner.intern(l))
+            .collect();
+        let mut tree = XmlTree::with_root(labels[0]);
+        let mut parent = tree.root();
+        for &l in &labels[1..] {
+            parent = tree.add_element(parent, l);
+        }
+        tree.add_text(parent, s, "x".into());
+        assert_eq!(count_tree_tuples(&tree), 1);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        assert_eq!(tuples[0].nodes.len(), tree.len());
+    }
+
+    #[test]
+    fn repeated_groups_multiply() {
+        // root with 3 x-children and 2 y-children -> 3 * 2 = 6 tuples.
+        let mut interner = Interner::new();
+        let s = interner.intern(S_LABEL);
+        let r = interner.intern("r");
+        let x = interner.intern("x");
+        let y = interner.intern("y");
+        let mut tree = XmlTree::with_root(r);
+        for i in 0..3 {
+            let e = tree.add_element(tree.root(), x);
+            tree.add_text(e, s, format!("x{i}"));
+        }
+        for i in 0..2 {
+            let e = tree.add_element(tree.root(), y);
+            tree.add_text(e, s, format!("y{i}"));
+        }
+        assert_eq!(count_tree_tuples(&tree), 6);
+        let tuples = extract_tree_tuples(&tree, &TupleLimits::default());
+        assert_eq!(tuples.len(), 6);
+        for t in &tuples {
+            assert!(is_tree_tuple(&tree, &t.nodes));
+            assert_eq!(t.leaves.len(), 2); // one x text + one y text
+        }
+    }
+
+    #[test]
+    fn nested_repetition_multiplies_through_levels() {
+        // r -> 2 a; each a -> 2 b(S). Tuples: choose one a (2) then one b (2) = 4.
+        let mut interner = Interner::new();
+        let s = interner.intern(S_LABEL);
+        let r = interner.intern("r");
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let mut tree = XmlTree::with_root(r);
+        for i in 0..2 {
+            let ea = tree.add_element(tree.root(), a);
+            for j in 0..2 {
+                let eb = tree.add_element(ea, b);
+                tree.add_text(eb, s, format!("v{i}{j}"));
+            }
+        }
+        assert_eq!(count_tree_tuples(&tree), 4);
+        assert_eq!(extract_tree_tuples(&tree, &TupleLimits::default()).len(), 4);
+    }
+
+    #[test]
+    fn limit_caps_enumeration() {
+        let mut interner = Interner::new();
+        let s = interner.intern(S_LABEL);
+        let r = interner.intern("r");
+        let mut tree = XmlTree::with_root(r);
+        // 2^10 = 1024 tuples from ten independent binary groups.
+        for g in 0..10 {
+            let label = interner.intern(&format!("g{g}"));
+            for v in 0..2 {
+                let e = tree.add_element(tree.root(), label);
+                tree.add_text(e, s, format!("{g}-{v}"));
+            }
+        }
+        assert_eq!(count_tree_tuples(&tree), 1024);
+        let limits = TupleLimits {
+            max_tuples_per_tree: 100,
+        };
+        let tuples = extract_tree_tuples(&tree, &limits);
+        assert_eq!(tuples.len(), 100);
+        for t in &tuples {
+            assert!(is_tree_tuple(&tree, &t.nodes));
+        }
+    }
+
+    #[test]
+    fn count_saturates_instead_of_overflowing() {
+        let mut interner = Interner::new();
+        let s = interner.intern(S_LABEL);
+        let r = interner.intern("r");
+        let mut tree = XmlTree::with_root(r);
+        // 70 groups of 2 -> 2^70 > u64::MAX/2 but count must not panic.
+        for g in 0..70 {
+            let label = interner.intern(&format!("g{g}"));
+            for v in 0..2 {
+                let e = tree.add_element(tree.root(), label);
+                tree.add_text(e, s, format!("{g}-{v}"));
+            }
+        }
+        let n = count_tree_tuples(&tree);
+        assert!(n >= 1 << 62);
+    }
+}

@@ -1,0 +1,110 @@
+//! Heterogeneous sources: semantic tag matching across markup dialects.
+//!
+//! ```text
+//! cargo run -p cxk-core --release --example heterogeneous_sources
+//! ```
+//!
+//! The paper's introduction motivates XML similarity that tolerates
+//! *different markup vocabularies for the same logical content*: peers
+//! sharing software descriptions each author their own tags. This example
+//! builds such a catalog — two sources describing games and editors, one
+//! using `application/developer/review`, the other `software/vendor/
+//! comments` — and clusters it by structure and content twice: with the
+//! paper's exact tag matching, and with a synonym thesaurus
+//! (`cxk-semantic`). Exact matching keeps the two sources apart; the
+//! thesaurus groups by what the records *mean*.
+
+use cxk_core::{run_centralized, CxkConfig};
+use cxk_eval::f_measure;
+use cxk_semantic::Thesaurus;
+use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+
+/// (xml, topic label) — topic 0 = games, topic 1 = editors.
+fn catalog() -> Vec<(String, u32)> {
+    // (name, developer, genre, review, topic)
+    let records = [
+        ("Nebula Racer", "A. Vance", "arcade racing game",
+         "fast racing game with split screen multiplayer races", 0),
+        ("Dungeon Forge", "B. Holt", "roguelike dungeon game",
+         "dungeon crawler game with procedural levels and loot", 0),
+        ("TextSmith", "C. Reyes", "programmer text editor",
+         "text editor with syntax highlighting and code folding", 1),
+        ("MarkPad", "D. Osei", "markdown text editor",
+         "markdown editor with live preview and editing themes", 1),
+        ("Star Drift", "E. Lindqvist", "space racing game",
+         "racing game with online multiplayer seasons and drift races", 0),
+        ("Cavern Quest", "F. Moreau", "dungeon exploration game",
+         "dungeon exploration game with handcrafted levels and secrets", 0),
+        ("CodeCarver", "G. Tanaka", "fast code editor",
+         "code editor with syntax highlighting and plugin support", 1),
+        ("NotePress", "H. Abara", "markdown note editor",
+         "markdown editor with preview pane and note linking", 1),
+    ];
+
+    let mut docs = Vec::new();
+    for (i, (name, dev, genre, review, topic)) in records.iter().enumerate() {
+        // The first four records come from source A (text-centric markup),
+        // the rest from source B, which authors its own tag vocabulary.
+        let xml = if i < 4 {
+            format!(
+                "<catalog><application><name>{name}</name>\
+                 <developer>{dev}</developer><genre>{genre}</genre>\
+                 <review>{review}</review></application></catalog>"
+            )
+        } else {
+            format!(
+                "<catalog><software><title>{name}</title>\
+                 <vendor>{dev}</vendor><category>{genre}</category>\
+                 <comments>{review}</comments></software></catalog>"
+            )
+        };
+        docs.push((xml, *topic));
+    }
+    docs
+}
+
+fn main() {
+    let docs = catalog();
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for (xml, _) in &docs {
+        builder.add_xml(xml).expect("well-formed XML");
+    }
+    let mut dataset = builder.finish();
+    let labels: Vec<u32> = docs.iter().map(|(_, t)| *t).collect();
+    // One transaction per document here (single record, single review).
+    assert_eq!(dataset.transactions.len(), labels.len());
+
+    let mut config = CxkConfig::new(2);
+    config.seed = 2;
+    config.params = SimParams::new(0.5, 0.55);
+
+    let exact = run_centralized(&dataset, &config);
+    let exact_f = f_measure(&labels, &exact.assignments);
+    println!("exact tag matching:    F = {exact_f:.3}   assignments = {:?}", exact.assignments);
+
+    // The knowledge base a catalog integrator would write: one ring per
+    // logical field across the two sources.
+    let mut thesaurus = Thesaurus::new();
+    thesaurus.add_ring(&["application", "software"]);
+    thesaurus.add_ring(&["name", "title"]);
+    thesaurus.add_ring(&["developer", "vendor"]);
+    thesaurus.add_ring(&["genre", "category"]);
+    thesaurus.add_ring(&["review", "comments"]);
+    let matcher = thesaurus.matcher(&dataset.labels);
+    dataset.rebuild_tag_sim(&matcher);
+
+    let semantic = run_centralized(&dataset, &config);
+    let semantic_f = f_measure(&labels, &semantic.assignments);
+    println!("thesaurus matching:    F = {semantic_f:.3}   assignments = {:?}", semantic.assignments);
+
+    println!();
+    if semantic_f >= exact_f {
+        println!(
+            "semantic matching recovered the topical grouping across markup \
+             dialects (+{:.3} F)",
+            semantic_f - exact_f
+        );
+    } else {
+        println!("unexpected: exact matching won on this tiny catalog");
+    }
+}

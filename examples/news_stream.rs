@@ -1,0 +1,114 @@
+//! News stream: incremental clustering with drift-triggered refresh.
+//!
+//! ```text
+//! cargo run -p cxk-stream --release --example news_stream
+//! ```
+//!
+//! The paper's introduction motivates the whole framework with "Web news
+//! services that need to apply clustering algorithms to articles in XML
+//! format … with a frequency of few minutes". This example plays that
+//! scenario end to end: a service bootstraps on sports and politics
+//! coverage, folds arriving articles into the live clustering in
+//! O(article) time, and when a *new* desk (technology) starts publishing,
+//! the drift detector notices the trash build-up and pays for one full
+//! refresh — after which the new desk has a cluster of its own.
+
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::SimParams;
+
+fn article(id: usize, desk: &str, headline: &str, body: &str) -> String {
+    format!(
+        "<feed><article id=\"a{id}\"><desk>{desk}</desk>\
+         <headline>{headline}</headline><body>{body}</body></article></feed>"
+    )
+}
+
+fn sports(id: usize) -> String {
+    let stories = [
+        ("league final goes to overtime", "the championship match entered overtime after a late equalizer goal"),
+        ("sprinter breaks national record", "the national sprint record fell at the athletics championship meeting"),
+        ("injury sidelines star striker", "the striker faces weeks out after a hamstring injury in training"),
+        ("derby ends in heated draw", "the city derby finished level after two disallowed goals and a red card"),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "sports", h, b)
+}
+
+fn politics(id: usize) -> String {
+    let stories = [
+        ("parliament debates budget bill", "the finance committee sent the budget bill to a full parliament vote"),
+        ("coalition talks stall again", "coalition negotiations stalled over ministry allocations and policy terms"),
+        ("election commission sets date", "the commission announced the election date and registration deadlines"),
+        ("senate passes trade measure", "the senate approved the trade measure after amendments on tariffs"),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "politics", h, b)
+}
+
+fn tech(id: usize) -> String {
+    let stories = [
+        ("chipmaker unveils new processor", "the processor doubles cache and adds vector instructions for inference"),
+        ("open source database hits milestone", "the database project shipped replication and columnar storage support"),
+        ("startup launches satellite network", "the constellation promises low latency links for remote regions"),
+        ("browser patches zero day", "the vendor shipped an emergency patch for the exploited sandbox escape"),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "technology", h, b)
+}
+
+fn main() {
+    // Bootstrap: two desks, with one spare cluster provisioned (k = 3) so
+    // a future desk can claim it after a refresh.
+    let bootstrap: Vec<String> = (0..6).map(sports).chain((0..6).map(politics)).collect();
+    let refs: Vec<&str> = bootstrap.iter().map(String::as_str).collect();
+
+    let mut opts = StreamOptions::new(3);
+    opts.config.params = SimParams::new(0.3, 0.5);
+    opts.config.seed = 6;
+    opts.policy = RefreshPolicy::on_drift(0.4, 3);
+    let mut service = StreamClusterer::new(&refs, opts).expect("bootstrap");
+    println!(
+        "bootstrap: {} articles -> {} transactions in 3 clusters (one spare)",
+        service.document_count(),
+        service.dataset().stats.transactions
+    );
+
+    // Tick 1: more of the same desks — cheap assignment, no refresh.
+    for i in 6..9 {
+        let report = service.push(&sports(i)).expect("well-formed");
+        println!(
+            "tick: sports article {:>2} -> cluster {:?}  (trash {}, refreshed {})",
+            i, report.assignments, report.trash, report.refreshed
+        );
+    }
+
+    // Tick 2: the technology desk comes online. The frozen representatives
+    // know nothing about it, so its articles land in the trash — until the
+    // drift policy triggers a refresh.
+    for i in 0..5 {
+        let report = service.push(&tech(100 + i)).expect("well-formed");
+        println!(
+            "tick: tech   article {:>2} -> cluster {:?}  (trash {}, refreshed {})",
+            100 + i,
+            report.assignments,
+            report.trash,
+            report.refreshed
+        );
+        if report.refreshed {
+            println!("      drift detected -> full refresh performed");
+        }
+    }
+
+    let trash = service
+        .assignments()
+        .iter()
+        .filter(|&&a| a == 3)
+        .count();
+    println!(
+        "final: {} documents, {} transactions, {} in trash after {} refresh(es)",
+        service.document_count(),
+        service.dataset().stats.transactions,
+        trash,
+        service.stats().refreshes
+    );
+}

@@ -1,0 +1,186 @@
+//! End-to-end pipeline integration: synthetic corpus → XML parsing → tree
+//! tuples → transactions → clustering → F-measure, across all four corpora.
+
+use cxk_bench::{prepare, CorpusKind};
+use cxk_core::{run_centralized, run_collaborative, CxkConfig};
+use cxk_corpus::{partition_equal, partition_unequal};
+use cxk_eval::f_measure;
+use cxk_p2p::CostModel;
+use cxk_transact::SimParams;
+
+fn config(k: usize, f: f64, gamma: f64) -> CxkConfig {
+    CxkConfig {
+        k,
+        params: SimParams::new(f, gamma),
+        max_rounds: 15,
+        max_inner: 10,
+        seed: 3,
+        cost: CostModel::default(),
+        weighted_merge: true,
+    }
+}
+
+#[test]
+fn all_corpora_build_datasets() {
+    for kind in CorpusKind::all() {
+        let p = prepare(kind, 0.06, 11);
+        assert!(
+            p.dataset.stats.transactions > 0,
+            "{} produced no transactions",
+            kind.name()
+        );
+        assert!(p.dataset.stats.items > 0);
+        assert!(p.dataset.stats.vocabulary > 0);
+        assert_eq!(p.content_labels.len(), p.dataset.stats.transactions);
+        // Tag-path table covers every item.
+        for item in &p.dataset.items {
+            assert!(
+                p.dataset.tag_sim.rank_of(item.tag_path).is_some(),
+                "unregistered tag path in {}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn dblp_structure_clustering_is_accurate_centralized() {
+    let p = prepare(CorpusKind::Dblp, 0.25, 12);
+    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.8, 0.6));
+    let f = f_measure(&p.structure_labels, &outcome.assignments);
+    assert!(f > 0.8, "structure-driven F = {f}");
+}
+
+#[test]
+fn dblp_content_clustering_beats_chance() {
+    let p = prepare(CorpusKind::Dblp, 0.25, 13);
+    let outcome = run_centralized(&p.dataset, &config(p.k_content, 0.2, 0.45));
+    let f = f_measure(&p.content_labels, &outcome.assignments);
+    // Random assignment over 6 classes scores ~0.27 on this corpus.
+    assert!(f > 0.4, "content-driven F = {f}");
+}
+
+#[test]
+fn wikipedia_content_clustering_works() {
+    let p = prepare(CorpusKind::Wikipedia, 0.2, 14);
+    let outcome = run_centralized(&p.dataset, &config(p.k_content, 0.1, 0.5));
+    let f = f_measure(&p.content_labels, &outcome.assignments);
+    assert!(f > 0.5, "wikipedia content F = {f}");
+}
+
+#[test]
+fn ieee_structure_clustering_separates_templates() {
+    // γ = 0.7 is the calibrated threshold for IEEE structure clustering
+    // (below it, cross-template paragraph paths γ-match and blur the two
+    // templates).
+    let p = prepare(CorpusKind::Ieee, 0.5, 15);
+    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.7));
+    let f = f_measure(&p.structure_labels, &outcome.assignments);
+    assert!(f > 0.75, "ieee structure F = {f}");
+}
+
+#[test]
+fn distributed_assignment_is_total_on_every_corpus() {
+    for kind in CorpusKind::all() {
+        let p = prepare(kind, 0.06, 16);
+        let n = p.dataset.stats.transactions;
+        let partition = partition_equal(n, 3, 1);
+        let outcome = run_collaborative(&p.dataset, &partition, &config(4, 0.5, 0.6));
+        assert_eq!(outcome.assignments.len(), n);
+        assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
+    }
+}
+
+#[test]
+fn unequal_partition_runs_and_scores() {
+    let p = prepare(CorpusKind::Dblp, 0.2, 17);
+    let n = p.dataset.stats.transactions;
+    let outcome = run_collaborative(
+        &p.dataset,
+        &partition_unequal(n, 4, 2),
+        &config(p.k_structure, 0.8, 0.6),
+    );
+    let f = f_measure(&p.structure_labels, &outcome.assignments);
+    assert!(f > 0.5, "unequal-partition F = {f}");
+}
+
+#[test]
+fn shakespeare_long_documents_round_trip() {
+    let p = prepare(CorpusKind::Shakespeare, 0.5, 18);
+    // 12 plays, many transactions each.
+    assert_eq!(p.dataset.stats.documents, 12);
+    assert!(
+        p.dataset.stats.transactions > 20 * p.dataset.stats.documents,
+        "plays must be long: {} transactions",
+        p.dataset.stats.transactions
+    );
+    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.55));
+    let f = f_measure(&p.structure_labels, &outcome.assignments);
+    assert!(f > 0.5, "shakespeare structure F = {f}");
+}
+
+#[test]
+fn simulated_time_drops_from_centralized_to_small_network() {
+    // The headline claim of Fig. 7: a few collaborating peers beat m = 1.
+    let p = prepare(CorpusKind::Dblp, 0.4, 19);
+    let n = p.dataset.stats.transactions;
+    let cfg = config(p.k_hybrid, 0.5, 0.6);
+    let central = run_centralized(&p.dataset, &cfg);
+    let distributed = run_collaborative(&p.dataset, &partition_equal(n, 5, 3), &cfg);
+    assert!(
+        distributed.simulated_seconds < central.simulated_seconds,
+        "distributed {:.4}s !< centralized {:.4}s",
+        distributed.simulated_seconds,
+        central.simulated_seconds
+    );
+}
+
+#[test]
+fn persisted_dataset_clusters_identically() {
+    // Save → load → cluster must give exactly the same partition: the
+    // persistence format round-trips vectors bit-exactly and the
+    // similarity table is derived state.
+    let p = prepare(CorpusKind::Dblp, 0.15, 27);
+    let text = cxk_transact::save_dataset(&p.dataset);
+    let reloaded = cxk_transact::load_dataset(&text).expect("reload");
+    let cfg = config(p.k_structure, 0.8, 0.6);
+    let original = run_centralized(&p.dataset, &cfg);
+    let reran = run_centralized(&reloaded, &cfg);
+    assert_eq!(original.assignments, reran.assignments);
+    assert_eq!(original.rounds, reran.rounds);
+}
+
+#[test]
+fn unweighted_merge_changes_only_the_combination() {
+    let p = prepare(CorpusKind::Dblp, 0.2, 28);
+    let n = p.dataset.stats.transactions;
+    let partition = partition_equal(n, 4, 6);
+    let mut cfg = config(p.k_hybrid, 0.5, 0.6);
+    let weighted = run_collaborative(&p.dataset, &partition, &cfg);
+    cfg.weighted_merge = false;
+    let unweighted = run_collaborative(&p.dataset, &partition, &cfg);
+    // Both produce total assignments; the ablation flag must not break the
+    // protocol (same round bounds, full coverage).
+    assert_eq!(weighted.assignments.len(), n);
+    assert_eq!(unweighted.assignments.len(), n);
+    assert_eq!(unweighted.cluster_sizes().iter().sum::<usize>(), n);
+}
+
+#[test]
+fn transaction_counts_scale_with_documents() {
+    // Tree-tuple decomposition must yield more transactions than documents
+    // on corpora with repeated sibling groups.
+    for (kind, min_ratio) in [
+        (CorpusKind::Dblp, 1.2),
+        (CorpusKind::Ieee, 8.0),
+        (CorpusKind::Wikipedia, 5.0),
+    ] {
+        let p = prepare(kind, 0.1, 29);
+        let ratio = p.dataset.stats.transactions as f64 / p.dataset.stats.documents as f64;
+        assert!(
+            ratio > min_ratio,
+            "{}: ratio {ratio} too small",
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Collaborative-protocol integration: the threaded (real message-passing)
+//! runner against the simulated driver, traffic accounting, and lockstep
+//! robustness across network shapes.
+
+use cxk_bench::{prepare, CorpusKind};
+use cxk_core::{run_collaborative, run_collaborative_threaded, CxkConfig};
+use cxk_corpus::partition_equal;
+use cxk_p2p::CostModel;
+use cxk_transact::SimParams;
+
+fn config(k: usize) -> CxkConfig {
+    CxkConfig {
+        k,
+        params: SimParams::new(0.5, 0.6),
+        max_rounds: 12,
+        max_inner: 10,
+        seed: 5,
+        cost: CostModel::default(),
+        weighted_merge: true,
+    }
+}
+
+#[test]
+fn threaded_and_simulated_agree_on_dblp() {
+    let p = prepare(CorpusKind::Dblp, 0.15, 21);
+    let n = p.dataset.stats.transactions;
+    for m in [1, 2, 4] {
+        let partition = partition_equal(n, m, 7);
+        let cfg = config(p.k_structure);
+        let simulated = run_collaborative(&p.dataset, &partition, &cfg);
+        let threaded = run_collaborative_threaded(&p.dataset, &partition, &cfg);
+        assert_eq!(
+            simulated.assignments, threaded.assignments,
+            "partitions diverge at m = {m}"
+        );
+        assert_eq!(simulated.rounds, threaded.rounds, "rounds diverge at m = {m}");
+        assert_eq!(simulated.converged, threaded.converged);
+    }
+}
+
+#[test]
+fn threaded_handles_more_peers_than_clusters() {
+    let p = prepare(CorpusKind::Dblp, 0.1, 22);
+    let n = p.dataset.stats.transactions;
+    // k = 2 but m = 6: four peers own no cluster and must not deadlock.
+    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, 6, 1), &config(2));
+    assert_eq!(outcome.assignments.len(), n);
+}
+
+#[test]
+fn threaded_handles_starved_peers() {
+    let p = prepare(CorpusKind::Dblp, 0.05, 23);
+    let n = p.dataset.stats.transactions;
+    // More peers than is sensible for the data: some peers hold 1-2
+    // transactions, exercising empty local clusters.
+    let m = (n / 2).clamp(2, 12);
+    let outcome =
+        run_collaborative_threaded(&p.dataset, &partition_equal(n, m, 2), &config(3));
+    assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
+}
+
+#[test]
+fn traffic_grows_with_network_size() {
+    let p = prepare(CorpusKind::Dblp, 0.15, 24);
+    let n = p.dataset.stats.transactions;
+    let cfg = config(p.k_structure);
+    let small = run_collaborative(&p.dataset, &partition_equal(n, 2, 3), &cfg);
+    let large = run_collaborative(&p.dataset, &partition_equal(n, 8, 3), &cfg);
+    let small_rate = small.total_bytes as f64 / small.rounds.max(1) as f64;
+    let large_rate = large.total_bytes as f64 / large.rounds.max(1) as f64;
+    assert!(
+        large_rate > small_rate,
+        "per-round traffic must grow with m: {small_rate} vs {large_rate}"
+    );
+}
+
+#[test]
+fn threaded_traffic_matches_message_census() {
+    // Every byte in the ledger belongs to a message, and message count is
+    // positive whenever m > 1.
+    let p = prepare(CorpusKind::Dblp, 0.1, 25);
+    let n = p.dataset.stats.transactions;
+    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, 3, 4), &config(3));
+    assert!(outcome.total_messages > 0);
+    assert!(outcome.total_bytes >= outcome.total_messages * 16);
+}
+
+#[test]
+fn deterministic_across_repeated_threaded_runs() {
+    let p = prepare(CorpusKind::Dblp, 0.1, 26);
+    let n = p.dataset.stats.transactions;
+    let partition = partition_equal(n, 3, 5);
+    let a = run_collaborative_threaded(&p.dataset, &partition, &config(4));
+    let b = run_collaborative_threaded(&p.dataset, &partition, &config(4));
+    assert_eq!(a.assignments, b.assignments);
+    assert_eq!(a.total_bytes, b.total_bytes);
+}

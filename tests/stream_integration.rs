@@ -1,0 +1,135 @@
+//! Streaming-layer integration at corpus scale: approximation quality,
+//! refresh equivalence, and drift behaviour on generated DBLP data.
+
+use cxk_corpus::dblp::{generate, DblpConfig};
+use cxk_corpus::{transaction_labels, ClusteringSetting};
+use cxk_eval::f_measure;
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::SimParams;
+
+fn dblp_docs(documents: usize, seed: u64) -> (Vec<String>, Vec<u32>, usize) {
+    let corpus = generate(&DblpConfig {
+        documents,
+        seed,
+        dialects: 1,
+    });
+    let (labels, k) = corpus.labels_for(ClusteringSetting::Hybrid);
+    (corpus.documents.clone(), labels.to_vec(), k)
+}
+
+fn options(k: usize, policy: RefreshPolicy) -> StreamOptions {
+    let mut opts = StreamOptions::new(k);
+    opts.config.params = SimParams::new(0.5, 0.6);
+    opts.config.seed = 17;
+    opts.policy = policy;
+    opts
+}
+
+#[test]
+fn streamed_accuracy_tracks_batch_accuracy() {
+    let (docs, doc_labels, k) = dblp_docs(120, 31);
+    let split = 60;
+    let bootstrap: Vec<&str> = docs[..split].iter().map(String::as_str).collect();
+
+    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual()))
+        .expect("bootstrap");
+    for doc in &docs[split..] {
+        s.push(doc).expect("well-formed");
+    }
+    let labels = transaction_labels(&doc_labels, &s.dataset().doc_of);
+    let streamed_f = f_measure(&labels, s.assignments());
+
+    // The same documents, batch-clustered.
+    s.refresh();
+    let batch_f = f_measure(&labels, s.assignments());
+
+    // Frozen representatives cost some accuracy but must stay in the same
+    // band (the arrivals come from the same distribution).
+    assert!(
+        streamed_f > batch_f - 0.2,
+        "streamed {streamed_f:.3} fell too far below batch {batch_f:.3}"
+    );
+}
+
+#[test]
+fn refresh_counts_and_counters_stay_consistent() {
+    let (docs, _, k) = dblp_docs(60, 32);
+    let bootstrap: Vec<&str> = docs[..30].iter().map(String::as_str).collect();
+    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::every(10)))
+        .expect("bootstrap");
+
+    let mut auto_refreshes = 0;
+    for doc in &docs[30..] {
+        let report = s.push(doc).expect("well-formed");
+        auto_refreshes += usize::from(report.refreshed);
+        assert_eq!(s.assignments().len(), s.dataset().stats.transactions);
+        assert!(s.stats().documents_since_refresh < 10);
+    }
+    assert_eq!(auto_refreshes, 3, "30 arrivals / refresh-every-10");
+    assert_eq!(s.stats().refreshes, 3);
+    assert_eq!(s.document_count(), 60);
+}
+
+#[test]
+fn trash_fraction_decreases_after_drift_refresh() {
+    // Bootstrap on two structural record types only; stream the other two.
+    let (docs, _, _) = dblp_docs(80, 33);
+    let bootstrap: Vec<&str> = docs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 < 2)
+        .map(|(_, d)| d.as_str())
+        .collect();
+    let arrivals: Vec<&str> = docs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 4 >= 2)
+        .map(|(_, d)| d.as_str())
+        .collect();
+
+    let mut s = StreamClusterer::new(&bootstrap, options(8, RefreshPolicy::manual()))
+        .expect("bootstrap");
+    for doc in &arrivals {
+        s.push(doc).expect("well-formed");
+    }
+    let trash_before = s
+        .assignments()
+        .iter()
+        .filter(|&&a| a == 8)
+        .count();
+    s.refresh();
+    let trash_after = s.assignments().iter().filter(|&&a| a == 8).count();
+    assert!(
+        trash_after <= trash_before,
+        "refresh must not grow the trash: {trash_before} -> {trash_after}"
+    );
+}
+
+#[test]
+fn push_cost_does_not_grow_with_history() {
+    // The push path must stay O(document), not O(corpus): fold 40 arrivals
+    // and compare the first and last quarter's wall time. Generous factor
+    // to stay robust on noisy CI machines.
+    let (docs, _, k) = dblp_docs(140, 34);
+    let bootstrap: Vec<&str> = docs[..100].iter().map(String::as_str).collect();
+    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual()))
+        .expect("bootstrap");
+
+    let t0 = std::time::Instant::now();
+    for doc in &docs[100..110] {
+        s.push(doc).unwrap();
+    }
+    let first = t0.elapsed();
+    for doc in &docs[110..130] {
+        s.push(doc).unwrap();
+    }
+    let t1 = std::time::Instant::now();
+    for doc in &docs[130..140] {
+        s.push(doc).unwrap();
+    }
+    let last = t1.elapsed();
+    assert!(
+        last < first * 8,
+        "push latency grew with history: {first:?} -> {last:?}"
+    );
+}
