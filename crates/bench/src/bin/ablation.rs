@@ -3,7 +3,7 @@
 //! CXK-means' accuracy edge over the non-collaborative baseline (§5.5.3).
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin ablation -- [--corpus dblp]
+//! cargo run -p cxk_bench --release --bin ablation -- [--corpus dblp]
 //!     [--ms 3,5,7,9] [--runs 3] [--scale 1.0]
 //! ```
 

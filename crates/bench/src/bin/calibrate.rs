@@ -5,7 +5,7 @@
 //! recorded in `experiments::default_gamma` and `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin calibrate -- [--scale 0.5] [--runs 2]
+//! cargo run -p cxk_bench --release --bin calibrate -- [--scale 0.5] [--runs 2]
 //! ```
 
 use cxk_bench::args::Flags;
@@ -42,7 +42,9 @@ fn main() {
             if kind == CorpusKind::Wikipedia && setting != ClusteringSetting::Content {
                 continue;
             }
-            for gamma in [0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85] {
+            for gamma in [
+                0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85,
+            ] {
                 let opts = ExperimentOptions {
                     gamma,
                     runs,

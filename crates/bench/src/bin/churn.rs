@@ -8,7 +8,7 @@
 //! less data.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin churn -- [--corpus dblp]
+//! cargo run -p cxk_bench --release --bin churn -- [--corpus dblp]
 //!     [--m 8] [--departures 0,1,2,4] [--runs 3] [--scale 1.0]
 //! ```
 
@@ -16,7 +16,8 @@ use cxk_bench::args::{parse_usize_list, Flags};
 use cxk_bench::experiments::{churn_resilience, default_gamma, ExperimentOptions};
 use cxk_bench::{prepare, CorpusKind};
 
-const USAGE: &str = "churn --corpus <name|all> --m <n> --departures <list> --runs <n> --scale <f64>";
+const USAGE: &str =
+    "churn --corpus <name|all> --m <n> --departures <list> --runs <n> --scale <f64>";
 
 fn main() {
     let flags = Flags::from_env(USAGE);

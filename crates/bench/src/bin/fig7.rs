@@ -3,7 +3,7 @@
 //! equal partitioning).
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin fig7 -- [--corpus all] [--scale 1.0]
+//! cargo run -p cxk_bench --release --bin fig7 -- [--corpus all] [--scale 1.0]
 //!     [--ms 1,3,5,7,9,11,13,15,17,19] [--runs 3] [--gamma per-corpus] [--full-f 0]
 //! ```
 

@@ -3,7 +3,7 @@
 //! (CXK-means ≈ PK-means + small margin).
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin fig8 -- [--corpus dblp,ieee]
+//! cargo run -p cxk_bench --release --bin fig8 -- [--corpus dblp,ieee]
 //!     [--ms 1,3,5,7,9,11,13,15,17,19] [--runs 3] [--scale 1.0]
 //! ```
 

@@ -3,7 +3,7 @@
 //! optimum `m*` of the paper's cost function `f(m)`.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin saturation -- [--corpus all]
+//! cargo run -p cxk_bench --release --bin saturation -- [--corpus all]
 //!     [--ms 1,2,3,4,5,6,7,8,9,10,12,14,16,19] [--runs 2] [--scale 1.0]
 //! ```
 

@@ -4,10 +4,10 @@
 //! DBLP corpora are generated with 1–3 markup dialects (synonym tag
 //! vocabularies per source; `cxk_corpus::dialect`). Structure-driven
 //! clustering is scored with the paper's exact Dirichlet `Δ` and with the
-//! synonym-ring `Δ` of `cxk-semantic`.
+//! synonym-ring `Δ` of `cxk_semantic`.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin semantic -- [--ms 1,3,5]
+//! cargo run -p cxk_bench --release --bin semantic -- [--ms 1,3,5]
 //!     [--dialects 1,2,3] [--runs 3] [--scale 1.0]
 //! ```
 

@@ -12,7 +12,7 @@
 //!   re-clustering after every single document.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin stream -- [--scale 0.5]
+//! cargo run -p cxk_bench --release --bin stream -- [--scale 0.5]
 //!     [--bootstrap 0.4] [--refresh 16] [--gamma 0.6]
 //! ```
 
@@ -39,11 +39,18 @@ fn main() {
         dialects: 1,
     });
     let split = ((corpus.len() as f64) * bootstrap_frac).round() as usize;
-    let bootstrap: Vec<&str> = corpus.documents[..split].iter().map(String::as_str).collect();
+    let bootstrap: Vec<&str> = corpus.documents[..split]
+        .iter()
+        .map(String::as_str)
+        .collect();
     let arrivals = &corpus.documents[split..];
     let (doc_labels, k) = corpus.labels_for(ClusteringSetting::Hybrid);
 
-    println!("# Streaming: {} bootstrap docs, {} arrivals, k = {k}", split, arrivals.len());
+    println!(
+        "# Streaming: {} bootstrap docs, {} arrivals, k = {k}",
+        split,
+        arrivals.len()
+    );
     println!("variant\tarrivals\tseconds\tdocs_per_sec\trefreshes\tF_final");
 
     let variants: Vec<(&str, RefreshPolicy)> = vec![

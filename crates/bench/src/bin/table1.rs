@@ -3,7 +3,7 @@
 //! settings.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin table1 -- [--setting all]
+//! cargo run -p cxk_bench --release --bin table1 -- [--setting all]
 //!     [--corpus all] [--ms 1,3,5,7,9] [--runs 3] [--scale 1.0] [--full-f 0]
 //! ```
 

@@ -3,7 +3,7 @@
 //! other half, §5.1).
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin table2 -- [--setting all]
+//! cargo run -p cxk_bench --release --bin table2 -- [--setting all]
 //!     [--corpus all] [--ms 1,3,5,7,9] [--runs 3] [--scale 1.0]
 //! ```
 

@@ -1,9 +1,9 @@
 //! Baseline comparison: centralized CXK-means vs. flat vector-space
-//! K-means ([13]/[34] of the paper's related work) on every corpus and
+//! K-means (\[13\]/\[34\] of the paper's related work) on every corpus and
 //! clustering setting.
 //!
 //! ```text
-//! cargo run -p cxk-bench --release --bin vsm -- [--corpus all]
+//! cargo run -p cxk_bench --release --bin vsm -- [--corpus all]
 //!     [--runs 3] [--scale 1.0]
 //! ```
 

@@ -135,8 +135,8 @@ fn generate(kind: CorpusKind, scale: f64, seed: u64) -> Corpus {
         CorpusKind::Dblp => dblp::generate(&DblpConfig {
             documents: scaled(600),
             seed,
-        dialects: 1,
-    }),
+            dialects: 1,
+        }),
         CorpusKind::Ieee => ieee::generate(&IeeeConfig {
             documents: scaled(90),
             seed,

@@ -424,7 +424,7 @@ pub fn dialect_thesaurus() -> cxk_semantic::Thesaurus {
 /// Measures what semantic tag matching buys on heterogeneous markup:
 /// structure-driven clustering of a DBLP corpus whose documents are
 /// authored in `dialects` synonym vocabularies, with the paper's exact
-/// `Δ` versus a synonym-ring `Δ` (`cxk-semantic`). With one dialect the
+/// `Δ` versus a synonym-ring `Δ` (`cxk_semantic`). With one dialect the
 /// two must coincide; with several, exact matching splits each structural
 /// class into per-dialect fragments while the thesaurus re-unifies them.
 pub fn semantic_ablation(
@@ -540,10 +540,8 @@ pub fn churn_resilience(
                 rounds.push(churned.outcome.rounds as f64);
 
                 // Static comparison: same surviving partitions, no churn.
-                let survivors: Vec<Vec<usize>> =
-                    partition[..m - departures].to_vec();
-                let static_run =
-                    run_collaborative(&prepared.dataset, &survivors, &config);
+                let survivors: Vec<Vec<usize>> = partition[..m - departures].to_vec();
+                let static_run = run_collaborative(&prepared.dataset, &survivors, &config);
                 let (sl, sa): (Vec<u32>, Vec<u32>) = labels
                     .iter()
                     .zip(&static_run.assignments)
@@ -594,18 +592,11 @@ pub struct SaturationReport {
 
 /// Measures the runtime curve and compares its knee with the analytic
 /// optimum.
-pub fn saturation(
-    prepared: &Prepared,
-    ms: &[usize],
-    opts: &ExperimentOptions,
-) -> SaturationReport {
+pub fn saturation(prepared: &Prepared, ms: &[usize], opts: &ExperimentOptions) -> SaturationReport {
     let (_, k) = prepared.setting(ClusteringSetting::Hybrid);
     let rows = fig7(prepared, "full", ms, opts);
     let curve: Vec<(usize, f64)> = rows.iter().map(|r| (r.m, r.seconds)).collect();
-    let min_time = curve
-        .iter()
-        .map(|&(_, s)| s)
-        .fold(f64::INFINITY, f64::min);
+    let min_time = curve.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
     let measured_knee = curve
         .iter()
         .find(|&&(_, s)| s <= 1.05 * min_time)
@@ -622,7 +613,11 @@ pub fn saturation(
     let sizes = central.cluster_sizes();
     let sum_sq: f64 = sizes[..k].iter().map(|&s| (s * s) as f64).sum();
     let n = prepared.dataset.stats.transactions as f64;
-    let h_estimate = if sum_sq > 0.0 { (n * n / sum_sq).min(k as f64) } else { 1.0 };
+    let h_estimate = if sum_sq > 0.0 {
+        (n * n / sum_sq).min(k as f64)
+    } else {
+        1.0
+    };
 
     let analytic_m_star = analytic_optimum_m(
         prepared.dataset.stats.transactions,

@@ -5,9 +5,7 @@
 
 use crate::flags::Parsed;
 use cxk_core::{run_collaborative, run_pk_means, run_vsm_kmeans, CxkConfig, PkConfig, VsmConfig};
-use cxk_transact::{
-    load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams,
-};
+use cxk_transact::{load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -133,7 +131,9 @@ pub fn cluster(args: &[String]) -> Result<String, String> {
 /// fold the new documents in, printing each arrival's clusters.
 pub fn assign(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
-    let base_input = parsed.get_str("base").ok_or("assign needs --base <inputs>")?;
+    let base_input = parsed
+        .get_str("base")
+        .ok_or("assign needs --base <inputs>")?;
     let new_input = parsed.get_str("new").ok_or("assign needs --new <inputs>")?;
     let k: usize = parsed.get("k", 2)?;
     let f: f64 = parsed.get("f", 0.5)?;
@@ -335,7 +335,10 @@ mod tests {
             "--quiet".into(),
         ]))
         .expect("cluster");
-        assert!(out.starts_with("# algorithm"), "quiet prints only the summary: {out}");
+        assert!(
+            out.starts_with("# algorithm"),
+            "quiet prints only the summary: {out}"
+        );
     }
 
     #[test]
@@ -363,16 +366,20 @@ mod tests {
         let dir = scratch("errors");
         write_corpus(&dir);
         let dir_arg = dir.to_str().unwrap().to_string();
-        assert!(build(std::slice::from_ref(&dir_arg)).unwrap_err().contains("-o"));
+        assert!(build(std::slice::from_ref(&dir_arg))
+            .unwrap_err()
+            .contains("-o"));
         assert!(cluster(&args(&["/nonexistent/x.xml".into()]))
             .unwrap_err()
             .contains("cannot read"));
         assert!(cluster(&args(&[dir_arg.clone(), "--k".into(), "0".into()]))
             .unwrap_err()
             .contains("--k"));
-        assert!(cluster(&args(&[dir_arg.clone(), "--gamma".into(), "2".into()]))
-            .unwrap_err()
-            .contains("gamma"));
+        assert!(
+            cluster(&args(&[dir_arg.clone(), "--gamma".into(), "2".into()]))
+                .unwrap_err()
+                .contains("gamma")
+        );
         assert!(
             cluster(&args(&[dir_arg, "--algorithm".into(), "magic".into()]))
                 .unwrap_err()

@@ -17,9 +17,19 @@ fn scratch(name: &str) -> PathBuf {
 fn write_corpus(dir: &std::path::Path, n: usize) {
     for i in 0..n {
         let (tag, venue_tag, venue, words) = if i % 2 == 0 {
-            ("inproceedings", "booktitle", "KDD", "mining clustering frequent patterns")
+            (
+                "inproceedings",
+                "booktitle",
+                "KDD",
+                "mining clustering frequent patterns",
+            )
         } else {
-            ("article", "journal", "Networking", "routing congestion packet protocols")
+            (
+                "article",
+                "journal",
+                "Networking",
+                "routing congestion packet protocols",
+            )
         };
         let doc = format!(
             r#"<dblp><{tag} key="k{i}"><author>Person {i}</author><title>{words} study {i}</title><{venue_tag}>{venue}</{venue_tag}></{tag}></dblp>"#
@@ -38,7 +48,11 @@ fn binary_builds_inspects_and_clusters() {
         .args(["build", dir.to_str().unwrap(), "-o", ds.to_str().unwrap()])
         .output()
         .expect("run cxk build");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("8 documents"));
 
     let out = cxk()
@@ -63,9 +77,17 @@ fn binary_builds_inspects_and_clusters() {
         ])
         .output()
         .expect("run cxk cluster");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(stdout.lines().count(), 10, "8 rows + 2 summary lines:\n{stdout}");
+    assert_eq!(
+        stdout.lines().count(),
+        10,
+        "8 rows + 2 summary lines:\n{stdout}"
+    );
     assert!(stdout.contains("# algorithm=cxk k=2 m=3"));
 }
 

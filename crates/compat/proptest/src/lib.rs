@@ -1,0 +1,790 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest) implementing
+//! the subset of its API this workspace's property tests use: the
+//! [`proptest!`] macro, the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple and regex-string
+//! strategies, [`collection::vec()`](collection::vec), [`prop_oneof!`], `Just`, `any`, and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Each test runs `ProptestConfig::cases` iterations with inputs drawn from
+//! a SplitMix64 generator seeded from the test's name, so failures are
+//! deterministic and reproducible across runs and machines. Unlike real
+//! proptest there is **no shrinking**: a failing case panics with the
+//! standard assertion message (inputs are printed by value via `Debug` in
+//! the panic payload where the assertion macros include them).
+
+#![warn(missing_docs)]
+
+/// Test-runner configuration and the deterministic source of randomness.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is interpreted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` iterations per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's name (FNV-1a hash), so every
+        /// test draws an independent, reproducible input sequence.
+        pub fn for_test(name: &str) -> Self {
+            let mut hash = 0xcbf2_9ce4_8422_2325u64;
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                state: hash ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift bounded sampling; bias is < 2^-32 for the small
+            // bounds property tests use, far below observable levels.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `map_fn`.
+        fn prop_map<O, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                inner: self,
+                map_fn,
+            }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a strategy for
+        /// the inner level and wraps it one level deeper, up to `depth`
+        /// levels. (`desired_size`/`expected_branch_size` are accepted for
+        /// API compatibility and do not affect this implementation.)
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = OneOf::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            strat
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Arc<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map_fn)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of strategies; backs [`prop_oneof!`](crate::prop_oneof).
+    pub struct OneOf<V> {
+        options: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Self {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, strat) in &self.options {
+                if pick < *weight as u64 {
+                    return strat.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            self.options[self.options.len() - 1].1.generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                    let offset = if span == u64::MAX {
+                        rng.next_u64()
+                    } else {
+                        rng.below(span + 1)
+                    };
+                    (*self.start() as i128 + offset as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start() <= self.end(), "empty range strategy");
+            // unit_f64 is in [0, 1); scale by the next-up factor so the end
+            // point is reachable, then clamp for safety.
+            let x = self.start() + rng.unit_f64() * (self.end() - self.start());
+            x.clamp(*self.start(), *self.end())
+        }
+    }
+
+    /// `&str` literals act as regex strategies generating matching strings.
+    /// Parsed patterns are memoized per thread so repeated `generate` calls
+    /// (256 cases × vec elements in a typical property) parse only once.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            use std::cell::RefCell;
+            use std::collections::HashMap;
+            use std::rc::Rc;
+            thread_local! {
+                static PARSED: RefCell<HashMap<&'static str, Rc<crate::string::RegexGeneratorStrategy>>> =
+                    RefCell::new(HashMap::new());
+            }
+            let strat = PARSED.with(|cache| {
+                Rc::clone(cache.borrow_mut().entry(self).or_insert_with(|| {
+                    Rc::new(
+                        crate::string::string_regex(self)
+                            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}")),
+                    )
+                }))
+            });
+            strat.generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Strategy for `any::<T>()`; see [`Arbitrary`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value spanning the type's full range.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        /// Unlike real proptest, draws only from `[0, 1)` — no negatives,
+        /// large magnitudes or non-finite values. Use an explicit range
+        /// strategy (e.g. `-1e9f64..1e9`) when wider coverage matters.
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self {
+                lo: range.start,
+                hi: range.end - 1,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies from regex-like patterns.
+pub mod string {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Error from parsing an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported regex pattern: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One repeatable unit of the pattern: a pool of candidate chars plus
+    /// inclusive repetition bounds.
+    struct Atom {
+        pool: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a simple regex. Supported
+    /// syntax: literal chars, `[...]` classes with ranges, `\P<cat>` /
+    /// `\p<cat>` single-letter Unicode category escapes (approximated by a
+    /// printable-character pool), and the quantifiers `{m}`, `{m,n}`, `*`,
+    /// `+`, `?`. This covers every pattern used in the workspace's tests.
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = if atom.max == atom.min {
+                    atom.min
+                } else {
+                    atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+                };
+                for _ in 0..n {
+                    out.push(atom.pool[rng.below(atom.pool.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Printable pool used for `\PC`-style category escapes: ASCII printable
+    /// plus a spread of Latin-1 and Greek letters (no control characters).
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (' '..='~').collect();
+        pool.extend('À'..='ö');
+        pool.extend('α'..='ω');
+        pool
+    }
+
+    fn parse(pattern: &str) -> Result<Vec<Atom>, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let pool = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error(format!("unterminated class in {pattern:?}")))?
+                        + i;
+                    let mut pool = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if chars[j] == '\\' && j + 1 < close {
+                            pool.push(chars[j + 1]);
+                            j += 2;
+                        } else if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            if lo > hi {
+                                return Err(Error(format!("bad range {lo}-{hi}")));
+                            }
+                            pool.extend(lo..=hi);
+                            j += 3;
+                        } else {
+                            pool.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    if pool.is_empty() {
+                        return Err(Error(format!("empty class in {pattern:?}")));
+                    }
+                    i = close + 1;
+                    pool
+                }
+                '\\' => {
+                    let escape = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?;
+                    match escape {
+                        'P' | 'p' => {
+                            if chars.get(i + 2).is_none() {
+                                return Err(Error(format!("dangling category in {pattern:?}")));
+                            }
+                            i += 3;
+                            printable_pool()
+                        }
+                        'd' => {
+                            i += 2;
+                            ('0'..='9').collect()
+                        }
+                        'w' => {
+                            i += 2;
+                            let mut pool: Vec<char> = ('a'..='z').collect();
+                            pool.extend('A'..='Z');
+                            pool.extend('0'..='9');
+                            pool.push('_');
+                            pool
+                        }
+                        other => {
+                            i += 2;
+                            vec![other]
+                        }
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    printable_pool()
+                }
+                literal => {
+                    i += 1;
+                    vec![literal]
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close =
+                        chars[i..].iter().position(|&c| c == '}').ok_or_else(|| {
+                            Error(format!("unterminated quantifier in {pattern:?}"))
+                        })? + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let parse_n = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier {body:?}")))
+                    };
+                    let bounds = match body.split_once(',') {
+                        Some((lo, hi)) => (parse_n(lo)?, parse_n(hi)?),
+                        None => {
+                            let n = parse_n(&body)?;
+                            (n, n)
+                        }
+                    };
+                    i = close + 1;
+                    bounds
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error(format!("inverted quantifier in {pattern:?}")));
+            }
+            atoms.push(Atom { pool, min, max });
+        }
+        Ok(atoms)
+    }
+
+    /// Builds a strategy generating strings that match `pattern`.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Ok(RegexGeneratorStrategy {
+            atoms: parse(pattern)?,
+        })
+    }
+}
+
+/// The usual glob import for tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `cases` random iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one function at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr);) => {};
+    (($config:expr); $(#[$meta:meta])* fn $name:ident(
+        $($arg:pat_param in $strategy:expr),+ $(,)?
+    ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                __case += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                { $body }
+            }
+        }
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, panicking with context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_respect_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        let strat = crate::collection::vec((0u8..4, 0.5f64..=1.0), 3..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!((0.5..=1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_their_class() {
+        let mut rng = crate::test_runner::TestRng::for_test("regex");
+        for _ in 0..200 {
+            let s = "[a-c]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+
+            let t = crate::string::string_regex("[ -~<>&\"']{0,9}")
+                .unwrap()
+                .generate(&mut rng);
+            assert!(t.chars().count() <= 9);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let u = "\\PC{0,12}".generate(&mut rng);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_and_recursive_terminates() {
+        let mut rng = crate::test_runner::TestRng::for_test("oneof");
+        let strat = prop_oneof![
+            4 => (0u8..1).prop_map(|_| true),
+            1 => Just(false),
+        ];
+        let trues = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!((600..1000).contains(&trues), "got {trues} trues");
+
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        let tree = Just(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        for _ in 0..200 {
+            assert!(depth(&tree.generate(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (0u32..10, 10u32..20), extra in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            prop_assume!(extra != 0);
+            prop_assert_ne!(extra, 0);
+            prop_assert_eq!(a + b, b + a, "addition commutes for {} and {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the [rand](https://docs.rs/rand) trait surface used
+//! by this workspace: [`RngCore`], [`SeedableRng`], the [`Rng`] extension
+//! trait (`gen`, `gen_range`), and [`Error`]. Concrete generators live in
+//! the sibling `rand_chacha` stand-in; algorithms here are self-contained
+//! and deterministic, which is all `cxk_util::DetRng` requires.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+/// Opaque RNG error type (the infallible generators here never produce one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random number generator error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator: raw 32/64-bit output and byte fill.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a 64-bit seed, expanded with the same
+    /// PCG32 sequence rand_core 0.6 uses, so seeds produce byte-identical
+    /// states to the upstream crate (the workspace's accuracy tests are
+    /// calibrated against those exact streams).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            for (dst, src) in chunk.iter_mut().zip(x.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A type that can be drawn uniformly from the generator's full output range.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (rand's convention).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A type samplable uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws one value in `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                // rand 0.8's UniformInt::sample_single: widening multiply
+                // with an on-the-fly rejection zone. Reproduced exactly so
+                // sampling consumes the same stream values as upstream.
+                let range = (hi as i128).wrapping_sub(lo as i128) as u64;
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let wide = v as u128 * range as u128;
+                    let (hi_part, lo_part) = ((wide >> 64) as u64, wide as u64);
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as Self);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its full range (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from the half-open `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence: uniform enough for the range-arithmetic tests.
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(bytes) {
+                    *dst = src;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..2000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = Counter(42);
+        for _ in 0..2000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_expands_distinctly() {
+        struct Grab([u8; 32]);
+        impl RngCore for Grab {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+        }
+        impl SeedableRng for Grab {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Grab(seed)
+            }
+        }
+        let a = Grab::seed_from_u64(1).0;
+        let b = Grab::seed_from_u64(2).0;
+        assert_ne!(a, b);
+        assert_ne!(a, [0u8; 32]);
+    }
+}

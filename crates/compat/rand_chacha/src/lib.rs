@@ -1,0 +1,177 @@
+//! Offline stand-in for [rand_chacha](https://docs.rs/rand_chacha) providing
+//! [`ChaCha8Rng`]: a genuine ChaCha keystream generator with 8 rounds, a
+//! 64-bit block counter and a 64-bit stream id. It implements the `rand`
+//! stand-in's `RngCore`/`SeedableRng` and the `set_stream`/`set_word_pos`
+//! methods `cxk_util::DetRng` relies on for deriving independent substreams.
+//!
+//! The keystream is a faithful ChaCha8 (RFC 8439 quarter-round over a
+//! 16-word state with 4 double-rounds); output is *not* guaranteed to be
+//! byte-identical to the upstream crate's, which is acceptable here because
+//! the workspace only requires determinism and stream independence, not
+//! cross-crate reproducibility of historical seeds.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// Number of 32-bit words in a ChaCha block.
+const BLOCK_WORDS: usize = 16;
+/// "expand 32-byte k" — the standard ChaCha constants.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+/// A deterministic ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// 64-bit stream id (words 14–15 of the state).
+    stream: u64,
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread word in `buffer`; `BLOCK_WORDS` means "refill needed".
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Selects the keystream: streams with distinct ids never overlap.
+    pub fn set_stream(&mut self, stream: u64) {
+        self.stream = stream;
+        self.index = BLOCK_WORDS;
+    }
+
+    /// Repositions the generator at an absolute word offset in its stream.
+    pub fn set_word_pos(&mut self, word_offset: u128) {
+        self.counter = (word_offset / BLOCK_WORDS as u128) as u64;
+        self.refill();
+        self.index = (word_offset % BLOCK_WORDS as u128) as usize;
+    }
+
+    /// Runs the ChaCha8 block function for the current counter, advancing it.
+    fn refill(&mut self) {
+        let mut state = [0u32; BLOCK_WORDS];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = self.stream as u32;
+        state[15] = (self.stream >> 32) as u32;
+        let input = state;
+        for _ in 0..4 {
+            // One double round: column round + diagonal round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            stream: 0,
+            buffer: [0; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            for (dst, src) in chunk.iter_mut().zip(bytes) {
+                *dst = src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_output() {
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let base = ChaCha8Rng::seed_from_u64(5);
+        let mut s1 = base.clone();
+        s1.set_stream(1);
+        let mut s2 = base.clone();
+        s2.set_stream(2);
+        let xs: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| s2.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn set_word_pos_rewinds_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        rng.set_word_pos(0);
+        let again: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+        assert_eq!(first, again);
+        rng.set_word_pos(17);
+        assert_eq!(rng.next_u32(), first[17]);
+    }
+
+    #[test]
+    fn keystream_is_not_degenerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let words: std::collections::BTreeSet<u32> = (0..256).map(|_| rng.next_u32()).collect();
+        assert!(words.len() > 250, "collisions suggest a broken keystream");
+    }
+}

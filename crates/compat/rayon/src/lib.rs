@@ -1,0 +1,118 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) used when the real
+//! crate cannot be fetched (this workspace builds with no network access).
+//!
+//! The adapter methods (`par_iter`, `par_iter_mut`, `into_par_iter`,
+//! `par_chunks_mut`) return the corresponding **sequential** standard-library
+//! iterators, so every downstream combinator (`map`, `filter`, `for_each`,
+//! `collect`, …) is the ordinary `Iterator` method. Semantics are identical
+//! to rayon's for the pure element-wise pipelines this workspace uses; only
+//! the parallel speedup is absent. Swapping in the real rayon later is a
+//! one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+
+/// Sequential re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSliceMut,
+    };
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`; yields a sequential iterator.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Converts `self` into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'data;
+    /// Iterates `&self` sequentially.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: 'data;
+    /// Iterates `&mut self` sequentially.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut` (`.par_chunks_mut()`).
+pub trait ParallelSliceMut<T> {
+    /// Sequential equivalent of rayon's parallel mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapters_behave_like_std_iterators() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(w, vec![11, 12, 13]);
+
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9]);
+
+        let mut grid = vec![0u8; 6];
+        grid.par_chunks_mut(2).enumerate().for_each(|(i, row)| {
+            for cell in row.iter_mut() {
+                *cell = i as u8;
+            }
+        });
+        assert_eq!(grid, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

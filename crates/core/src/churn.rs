@@ -184,7 +184,12 @@ pub fn run_collaborative_with_churn(
 
     // The protocol is a continuous service: a round may only declare
     // convergence once no further membership changes are scheduled.
-    let last_event_round = schedule.events.iter().map(ChurnEvent::round).max().unwrap_or(0);
+    let last_event_round = schedule
+        .events
+        .iter()
+        .map(ChurnEvent::round)
+        .max()
+        .unwrap_or(0);
 
     let mut traces: Vec<RoundTrace> = Vec::new();
     let mut converged = false;
@@ -543,7 +548,10 @@ mod tests {
         let mut cfg = config(2);
         cfg.max_rounds = 30;
         let churned = run_collaborative_with_churn(&ds, &partition, &cfg, &schedule);
-        assert!((churned.coverage() - 1.0).abs() < 1e-12, "rejoined data is covered");
+        assert!(
+            (churned.coverage() - 1.0).abs() < 1e-12,
+            "rejoined data is covered"
+        );
         assert_eq!(churned.final_alive, 3);
     }
 

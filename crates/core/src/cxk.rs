@@ -12,7 +12,7 @@
 //! representative changed), or at the round cap.
 //!
 //! Every phase's main-memory work and traffic is metered into the
-//! `cxk-p2p` [`SimClock`], whose per-round time is the maximum over peers —
+//! `cxk_p2p` [`SimClock`], whose per-round time is the maximum over peers —
 //! the quantity the paper's Fig. 7/8 report.
 
 use crate::globalrep::compute_global_representative;
@@ -383,7 +383,7 @@ pub(crate) struct Relocation {
     /// Transactions that changed cluster.
     pub relocations: u64,
     /// The local clustering objective: `Σ_tr simγJ(tr, rep_assigned(tr))` —
-    /// the similarity analogue of the SSE that [11] reduces globally.
+    /// the similarity analogue of the SSE that \[11\] reduces globally.
     pub objective: f64,
 }
 

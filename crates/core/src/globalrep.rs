@@ -150,10 +150,8 @@ mod tests {
         // tr2.
         let g = compute_global_representative(&ctx, &[(l1, 100), (l2, 1)], &mut w);
         let views = g.views();
-        let to_tr0 =
-            cxk_transact::txsim::sim_gamma_j(&ctx, &ds.views(&ds.transactions[0]), &views);
-        let to_tr2 =
-            cxk_transact::txsim::sim_gamma_j(&ctx, &ds.views(&ds.transactions[2]), &views);
+        let to_tr0 = cxk_transact::txsim::sim_gamma_j(&ctx, &ds.views(&ds.transactions[0]), &views);
+        let to_tr2 = cxk_transact::txsim::sim_gamma_j(&ctx, &ds.views(&ds.transactions[2]), &views);
         assert!(to_tr0 >= to_tr2, "tr0 {to_tr0} vs tr2 {to_tr2}");
     }
 

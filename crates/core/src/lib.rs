@@ -21,11 +21,11 @@
 //!   collaborative simulated-clock execution with full work/traffic
 //!   accounting.
 //! * [`threaded`] — the same protocol over real peer threads and the
-//!   `cxk-p2p` message network.
+//!   `cxk_p2p` message network.
 //! * [`pkmeans`] — the non-collaborative parallel K-means baseline of
 //!   §5.5.3 (Dhillon–Modha adapted to XML transactions).
 //! * [`vsm`] — the flat vector-space K-means baseline of the related-work
-//!   family ([13]/[34]), for accuracy comparisons.
+//!   family (\[13\]/\[34\]), for accuracy comparisons.
 //! * [`churn`] — the collaborative protocol under peer departures and
 //!   rejoins (extension quantifying the §1.1 reliability claim).
 //! * [`outcome`] — shared result types.

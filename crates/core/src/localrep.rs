@@ -253,8 +253,7 @@ mod tests {
                 )
             })
             .collect();
-        let members: Vec<Vec<ItemView<'_>>> =
-            ds.transactions.iter().map(|t| ds.views(t)).collect();
+        let members: Vec<Vec<ItemView<'_>>> = ds.transactions.iter().map(|t| ds.views(t)).collect();
         let rep = generate_tree_tuple(&ctx, all, &members, 3, &mut work);
         assert!(rep.len() <= 3);
     }

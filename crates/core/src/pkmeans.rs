@@ -201,11 +201,7 @@ pub fn run_pk_means(
         // every other peer.
         if m > 1 {
             for (i, peer) in peers.iter().enumerate() {
-                let payload: u64 = peer
-                    .summaries
-                    .iter()
-                    .map(|r| r.wire_size() as u64)
-                    .sum();
+                let payload: u64 = peer.summaries.iter().map(|r| r.wire_size() as u64).sum();
                 samples[i].comm_bytes += payload * (m as u64 - 1);
                 samples[i].messages += m as u64 - 1;
                 round_bytes += payload * (m as u64 - 1);

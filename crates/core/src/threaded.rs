@@ -1,4 +1,4 @@
-//! CXK-means over real peer threads and the `cxk-p2p` message network.
+//! CXK-means over real peer threads and the `cxk_p2p` message network.
 //!
 //! Each peer is an OS thread owning its local transactions; representatives
 //! and status flags travel as typed messages over crossbeam channels, with
@@ -165,8 +165,7 @@ fn peer_main(
     let me = net.id.index();
     let owner = |j: usize| j % m;
     let owned: Vec<usize> = (0..k).filter(|&j| owner(j) == me).collect();
-    let owners_present: Vec<usize> =
-        (0..m).filter(|&i| (0..k).any(|j| owner(j) == i)).collect();
+    let owners_present: Vec<usize> = (0..m).filter(|&i| (0..k).any(|j| owner(j) == i)).collect();
 
     let mut assignments = vec![k as u32; local.len()];
     let mut local_reps: Vec<Representative> = vec![Representative::empty(); k];
@@ -265,9 +264,7 @@ fn peer_main(
             let all_status = statuses.iter().all(Option::is_some);
             if all_status {
                 let need_more = !owned.is_empty()
-                    && (0..m).any(|i| {
-                        i != me && statuses[i] == Some(false) && !got_reps[i]
-                    });
+                    && (0..m).any(|i| i != me && statuses[i] == Some(false) && !got_reps[i]);
                 if !need_more {
                     break;
                 }
@@ -340,9 +337,11 @@ fn peer_main(
         let mut got_global = vec![false; m];
         got_global[me] = true;
         while owners_present.iter().any(|&o| o != me && !got_global[o]) {
-            let (from, msg) = recv_matching(&net, &mut inbox, |m| {
-                matches!(m, CxkMsg::GlobalReps { round: r, .. } if *r == round)
-            });
+            let (from, msg) = recv_matching(
+                &net,
+                &mut inbox,
+                |m| matches!(m, CxkMsg::GlobalReps { round: r, .. } if *r == round),
+            );
             match msg {
                 CxkMsg::GlobalReps { reps, .. } => {
                     for (j, g) in reps {

@@ -1,5 +1,5 @@
 //! Vector-space model baseline — the related-work family the paper argues
-//! against (§2: [13] bag-of-words/bag-of-tags K-means, [34] combined
+//! against (§2: \[13\] bag-of-words/bag-of-tags K-means, \[34\] combined
 //! term/path vectors).
 //!
 //! Each XML transaction is flattened into a single sparse vector over two
@@ -9,7 +9,7 @@
 //! as Eq. (1), so `f = 0` is a pure bag-of-words and `f = 1` a pure
 //! bag-of-tag-paths representation. Clustering is spherical K-means
 //! (cosine assignment, mean centroids re-normalized) — the standard
-//! document-clustering setup of [13]/[31].
+//! document-clustering setup of \[13\]/\[31\].
 //!
 //! What the flattening loses, by construction, is the paper's central
 //! claim: the *pairing* of a path with its answer. Two transactions using

@@ -13,17 +13,33 @@ use proptest::prelude::*;
 /// Random mini-corpus: record specs (structure 0/1, topic 0/1, word picks).
 fn corpus_strategy() -> impl Strategy<Value = Vec<(bool, bool, Vec<u8>)>> {
     proptest::collection::vec(
-        (any::<bool>(), any::<bool>(), proptest::collection::vec(0u8..8, 3..8)),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            proptest::collection::vec(0u8..8, 3..8),
+        ),
         3..14,
     )
 }
 
 static TOPIC_A: [&str; 8] = [
-    "mining", "clustering", "patterns", "frequent", "transactional", "itemsets", "trees",
+    "mining",
+    "clustering",
+    "patterns",
+    "frequent",
+    "transactional",
+    "itemsets",
+    "trees",
     "centroids",
 ];
 static TOPIC_B: [&str; 8] = [
-    "routing", "congestion", "protocols", "networks", "packets", "latency", "wireless",
+    "routing",
+    "congestion",
+    "protocols",
+    "networks",
+    "packets",
+    "latency",
+    "wireless",
     "bandwidth",
 ];
 
@@ -31,7 +47,10 @@ fn build_dataset(specs: &[(bool, bool, Vec<u8>)]) -> Dataset {
     let mut builder = DatasetBuilder::new(BuildOptions::default());
     for (i, (is_article, topic_b, words)) in specs.iter().enumerate() {
         let pool: &[&str] = if *topic_b { &TOPIC_B } else { &TOPIC_A };
-        let title: Vec<&str> = words.iter().map(|&w| pool[w as usize % pool.len()]).collect();
+        let title: Vec<&str> = words
+            .iter()
+            .map(|&w| pool[w as usize % pool.len()])
+            .collect();
         let title = title.join(" ");
         let doc = if *is_article {
             format!(
@@ -129,9 +148,8 @@ fn rep_items() -> impl Strategy<Value = Vec<RepItem>> {
             .into_iter()
             .enumerate()
             .map(|(i, (path, pairs))| {
-                let vector = SparseVec::from_pairs(
-                    pairs.into_iter().map(|(t, w)| (Symbol(t), w)).collect(),
-                );
+                let vector =
+                    SparseVec::from_pairs(pairs.into_iter().map(|(t, w)| (Symbol(t), w)).collect());
                 RepItem {
                     path: PathId(path),
                     tag_path: PathId(path),

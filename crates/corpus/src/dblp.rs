@@ -102,7 +102,8 @@ fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usiz
     // Real records occasionally drift into a neighbouring topic's
     // vocabulary (interdisciplinary papers); ~10% of the text draws from a
     // second topic so content classes overlap like the real collection's.
-    let alt_words = DBLP_TOPICS[(topic + 1 + rng.below(DBLP_TOPICS.len() - 1)) % DBLP_TOPICS.len()].1;
+    let alt_words =
+        DBLP_TOPICS[(topic + 1 + rng.below(DBLP_TOPICS.len() - 1)) % DBLP_TOPICS.len()].1;
     let topical = |rng: &mut DetRng| -> &'static [&'static str] {
         if rng.chance(0.10) {
             alt_words
@@ -131,8 +132,8 @@ fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usiz
 
     let author_tag = interner.intern(dt("author"));
     let n_authors = match structure {
-        2 => rng.range(1, 3),      // books: 1-2 authors
-        _ => rng.range(1, 4),      // otherwise 1-3
+        2 => rng.range(1, 3), // books: 1-2 authors
+        _ => rng.range(1, 4), // otherwise 1-3
     };
     for _ in 0..n_authors {
         let a = tree.add_element(record, author_tag);
@@ -164,18 +165,38 @@ fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usiz
         0 => {
             push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
             let journal_pool = topical(rng);
-            push_field(&mut tree, &mut interner, dt("journal"), textgen::venue(rng, journal_pool));
+            push_field(
+                &mut tree,
+                &mut interner,
+                dt("journal"),
+                textgen::venue(rng, journal_pool),
+            );
             if rng.chance(0.7) {
-                push_field(&mut tree, &mut interner, dt("volume"), format!("{}", 1 + rng.below(40)));
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    dt("volume"),
+                    format!("{}", 1 + rng.below(40)),
+                );
             }
             if rng.chance(0.4) {
-                push_field(&mut tree, &mut interner, dt("number"), format!("{}", 1 + rng.below(12)));
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    dt("number"),
+                    format!("{}", 1 + rng.below(12)),
+                );
             }
         }
         1 => {
             push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
             let booktitle_pool = topical(rng);
-            push_field(&mut tree, &mut interner, dt("booktitle"), textgen::venue(rng, booktitle_pool));
+            push_field(
+                &mut tree,
+                &mut interner,
+                dt("booktitle"),
+                textgen::venue(rng, booktitle_pool),
+            );
             if rng.chance(0.3) {
                 push_field(
                     &mut tree,
@@ -201,13 +222,23 @@ fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usiz
                 );
             }
             if rng.chance(0.4) {
-                push_field(&mut tree, &mut interner, dt("series"), textgen::venue(rng, words));
+                push_field(
+                    &mut tree,
+                    &mut interner,
+                    dt("series"),
+                    textgen::venue(rng, words),
+                );
             }
         }
         _ => {
             push_field(&mut tree, &mut interner, dt("pages"), textgen::pages(rng));
             let booktitle_pool = topical(rng);
-            push_field(&mut tree, &mut interner, dt("booktitle"), textgen::venue(rng, booktitle_pool));
+            push_field(
+                &mut tree,
+                &mut interner,
+                dt("booktitle"),
+                textgen::venue(rng, booktitle_pool),
+            );
             if rng.chance(0.5) {
                 push_field(
                     &mut tree,
@@ -220,7 +251,11 @@ fn make_document(rng: &mut DetRng, structure: usize, topic: usize, dialect: usiz
     }
     if rng.chance(0.35) {
         let e = tree.add_element(record, interner.intern(dt("url")));
-        tree.add_text(e, s, format!("db/{}/{}.html", RECORD_TYPES[structure], rng.choose(words)));
+        tree.add_text(
+            e,
+            s,
+            format!("db/{}/{}.html", RECORD_TYPES[structure], rng.choose(words)),
+        );
     }
 
     to_xml_string(&tree, &interner, Layout::Compact)
@@ -235,8 +270,8 @@ mod tests {
         let corpus = generate(&DblpConfig {
             documents: 40,
             seed: 1,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         assert_eq!(corpus.len(), 40);
         assert_eq!(corpus.structure_class.len(), 40);
         assert_eq!(corpus.k_structure, 4);
@@ -249,13 +284,13 @@ mod tests {
         let a = generate(&DblpConfig {
             documents: 10,
             seed: 7,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         let b = generate(&DblpConfig {
             documents: 10,
             seed: 7,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         assert_eq!(a.documents, b.documents);
         assert_eq!(a.content_class, b.content_class);
     }
@@ -265,13 +300,13 @@ mod tests {
         let a = generate(&DblpConfig {
             documents: 10,
             seed: 1,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         let b = generate(&DblpConfig {
             documents: 10,
             seed: 2,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         assert_ne!(a.documents, b.documents);
     }
 
@@ -280,16 +315,13 @@ mod tests {
         let corpus = generate(&DblpConfig {
             documents: 30,
             seed: 3,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         let mut interner = Interner::new();
         for doc in &corpus.documents {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .expect("well-formed");
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .expect("well-formed");
             assert!(tree.len() > 5);
         }
     }
@@ -299,8 +331,8 @@ mod tests {
         let corpus = generate(&DblpConfig {
             documents: 16,
             seed: 4,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         for class in 0..4u32 {
             assert!(corpus.structure_class.contains(&class));
         }
@@ -315,13 +347,16 @@ mod tests {
         let corpus = generate(&DblpConfig {
             documents: 200,
             seed: 5,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         for i in 0..corpus.len() {
             let structure = corpus.structure_class[i] as usize;
             let hybrid = corpus.hybrid_class[i] as usize;
             let slot = hybrid - structure * 4;
-            assert_eq!(ALLOWED_TOPICS[structure][slot] as u32, corpus.content_class[i]);
+            assert_eq!(
+                ALLOWED_TOPICS[structure][slot] as u32,
+                corpus.content_class[i]
+            );
         }
         // All 16 hybrid classes appear in a large enough sample.
         let mut seen: Vec<u32> = corpus.hybrid_class.clone();
@@ -338,7 +373,10 @@ mod tests {
             dialects: 1,
         });
         for doc in &corpus.documents {
-            assert!(!doc.contains("<creator>"), "dialect tag in 1-dialect corpus");
+            assert!(
+                !doc.contains("<creator>"),
+                "dialect tag in 1-dialect corpus"
+            );
             assert!(!doc.contains("<heading>"));
         }
     }
@@ -381,17 +419,14 @@ mod tests {
         let corpus = generate(&DblpConfig {
             documents: 50,
             seed: 6,
-        dialects: 1,
-    });
+            dialects: 1,
+        });
         let mut interner = Interner::new();
         let mut total_tuples = 0u64;
         for doc in &corpus.documents {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .unwrap();
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .unwrap();
             let n = cxk_xml::count_tree_tuples(&tree);
             let authors = doc.matches("<author>").count() as u64;
             assert_eq!(n, authors.max(1));

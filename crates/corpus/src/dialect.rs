@@ -9,7 +9,7 @@
 //! byte-for-byte.
 //!
 //! [`synonym_rings`] exposes the variant groups so harnesses can compile a
-//! matching `cxk-semantic` thesaurus without duplicating the table.
+//! matching `cxk_semantic` thesaurus without duplicating the table.
 
 /// Number of available dialects.
 pub const DIALECT_COUNT: usize = 3;

@@ -86,9 +86,17 @@ fn make_article(rng: &mut DetRng, transactions: bool, topic: usize) -> String {
     // Front matter: shared skeleton, discriminatory details per template.
     let fm = tree.add_element(root, interner.intern("fm"));
     if transactions {
-        tree.add_attribute(fm, interner.intern("fno"), format!("T{}", 1000 + rng.below(9000)));
+        tree.add_attribute(
+            fm,
+            interner.intern("fno"),
+            format!("T{}", 1000 + rng.below(9000)),
+        );
         let doi = tree.add_element(fm, interner.intern("doi"));
-        tree.add_text(doi, s, format!("10.1109/{}.{}", 100 + rng.below(900), rng.below(100000)));
+        tree.add_text(
+            doi,
+            s,
+            format!("10.1109/{}.{}", 100 + rng.below(900), rng.below(100000)),
+        );
     }
     let hdr = tree.add_element(fm, interner.intern("hdr"));
     let ti = tree.add_element(hdr, interner.intern("ti"));
@@ -118,7 +126,11 @@ fn make_article(rng: &mut DetRng, transactions: bool, topic: usize) -> String {
     for sec_idx in 0..n_secs {
         let sec = tree.add_element(bdy, interner.intern("sec"));
         let st = tree.add_element(sec, interner.intern("st"));
-        tree.add_text(st, s, format!("{} {}", sec_idx + 1, textgen::title(rng, words)));
+        tree.add_text(
+            st,
+            s,
+            format!("{} {}", sec_idx + 1, textgen::title(rng, words)),
+        );
         if transactions {
             for _ in 0..rng.range(3, 7) {
                 let p = tree.add_element(sec, interner.intern("p"));
@@ -178,12 +190,9 @@ mod tests {
         });
         let mut interner = Interner::new();
         for (doc, &sc) in corpus.documents.iter().zip(&corpus.structure_class) {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .unwrap();
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .unwrap();
             let depth = tree.depth();
             if sc == 0 {
                 // transactions: article.bdy.sec.p.S
@@ -203,12 +212,9 @@ mod tests {
         });
         let mut interner = Interner::new();
         for doc in &corpus.documents {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .unwrap();
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .unwrap();
             let n = cxk_xml::count_tree_tuples(&tree);
             assert!((9..=42).contains(&n), "tuples per doc = {n}");
         }

@@ -129,7 +129,10 @@ mod tests {
     fn transaction_labels_follow_doc_of() {
         let doc_labels = vec![10, 20, 30];
         let doc_of = vec![0, 0, 2, 1];
-        assert_eq!(transaction_labels(&doc_labels, &doc_of), vec![10, 10, 30, 20]);
+        assert_eq!(
+            transaction_labels(&doc_labels, &doc_of),
+            vec![10, 10, 30, 20]
+        );
     }
 
     #[test]

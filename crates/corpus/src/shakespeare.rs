@@ -114,7 +114,11 @@ fn make_play(
 
     let title_tag = interner.intern("title");
     let t = tree.add_element(root, title_tag);
-    tree.add_text(t, s, format!("The Tragedie of {}", textgen::title(rng, words)));
+    tree.add_text(
+        t,
+        s,
+        format!("The Tragedie of {}", textgen::title(rng, words)),
+    );
 
     // Personae: one repeated group.
     let personae = tree.add_element(root, interner.intern("personae"));
@@ -126,7 +130,11 @@ fn make_play(
         .collect();
     for name in &speakers {
         let p = tree.add_element(personae, persona_tag);
-        tree.add_text(p, s, format!("{name}, {}", textgen::sentence(rng, words, 3, 6, 0.6)));
+        tree.add_text(
+            p,
+            s,
+            format!("{name}, {}", textgen::sentence(rng, words, 3, 6, 0.6)),
+        );
     }
     if variant == StructureVariant::PGroup {
         let pgroup = tree.add_element(personae, interner.intern("pgroup"));
@@ -147,7 +155,11 @@ fn make_play(
     for act_idx in 0..3 {
         let act = tree.add_element(root, act_tag);
         let at = tree.add_element(act, title_tag);
-        tree.add_text(at, s, format!("Actus {}", ["Primus", "Secundus", "Tertius"][act_idx]));
+        tree.add_text(
+            at,
+            s,
+            format!("Actus {}", ["Primus", "Secundus", "Tertius"][act_idx]),
+        );
         if variant == StructureVariant::PrologueEpilogue && act_idx == 0 {
             let prologue = tree.add_element(act, interner.intern("prologue"));
             let pl = tree.add_element(prologue, line_tag);
@@ -219,12 +231,9 @@ mod tests {
         let corpus = generate(&config);
         let mut interner = Interner::new();
         for doc in &corpus.documents {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .unwrap();
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .unwrap();
             let tuples = cxk_xml::count_tree_tuples(&tree);
             // personae-choices × Σ_act Σ_scene speeches — long documents.
             assert!(tuples >= 100, "tuples = {tuples}");

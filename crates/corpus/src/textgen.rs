@@ -8,7 +8,11 @@ use cxk_util::DetRng;
 pub fn words(rng: &mut DetRng, topic: &[&str], n: usize, topic_ratio: f64) -> Vec<String> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let pool: &[&str] = if rng.chance(topic_ratio) { topic } else { GENERAL };
+        let pool: &[&str] = if rng.chance(topic_ratio) {
+            topic
+        } else {
+            GENERAL
+        };
         out.push((*rng.choose(pool)).to_string());
     }
     out
@@ -21,7 +25,13 @@ pub fn title(rng: &mut DetRng, topic: &[&str]) -> String {
 }
 
 /// A sentence of `lo..hi` words ending with a period.
-pub fn sentence(rng: &mut DetRng, topic: &[&str], lo: usize, hi: usize, topic_ratio: f64) -> String {
+pub fn sentence(
+    rng: &mut DetRng,
+    topic: &[&str],
+    lo: usize,
+    hi: usize,
+    topic_ratio: f64,
+) -> String {
     let n = rng.range(lo, hi);
     let mut s = words(rng, topic, n, topic_ratio).join(" ");
     s.push('.');

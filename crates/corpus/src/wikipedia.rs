@@ -118,7 +118,14 @@ mod tests {
         });
         // Every document uses the same element set regardless of topic.
         for doc in &corpus.documents {
-            for tag in ["<article>", "<name>", "<body>", "<section>", "<heading>", "<p>"] {
+            for tag in [
+                "<article>",
+                "<name>",
+                "<body>",
+                "<section>",
+                "<heading>",
+                "<p>",
+            ] {
                 assert!(doc.contains(tag), "missing {tag}");
             }
         }
@@ -132,12 +139,9 @@ mod tests {
         });
         let mut interner = Interner::new();
         for doc in &corpus.documents {
-            let tree = cxk_xml::parse_document(
-                doc,
-                &mut interner,
-                &cxk_xml::ParseOptions::default(),
-            )
-            .unwrap();
+            let tree =
+                cxk_xml::parse_document(doc, &mut interner, &cxk_xml::ParseOptions::default())
+                    .unwrap();
             let tuples = cxk_xml::count_tree_tuples(&tree);
             // Σ over sections of paragraph count: roughly 6..20.
             assert!((6..=20).contains(&tuples), "tuples = {tuples}");

@@ -155,12 +155,7 @@ pub fn adjusted_rand_index(truth: &[u32], pred: &[u32]) -> f64 {
         return 0.0;
     }
     let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
-    let sum_cells: f64 = table
-        .counts
-        .iter()
-        .flatten()
-        .map(|&c| choose2(c))
-        .sum();
+    let sum_cells: f64 = table.counts.iter().flatten().map(|&c| choose2(c)).sum();
     let sum_classes: f64 = table.class_sizes.iter().map(|&a| choose2(a)).sum();
     let sum_clusters: f64 = table.cluster_sizes.iter().map(|&b| choose2(b)).sum();
     let expected = sum_classes * sum_clusters / choose2(n);

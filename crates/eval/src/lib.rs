@@ -20,7 +20,6 @@ pub mod fmeasure;
 pub mod stats;
 
 pub use fmeasure::{
-    adjusted_rand_index, contingency, f_measure, normalized_mutual_information, purity,
-    Contingency,
+    adjusted_rand_index, contingency, f_measure, normalized_mutual_information, purity, Contingency,
 };
 pub use stats::RunStats;

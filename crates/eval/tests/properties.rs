@@ -4,8 +4,7 @@ use cxk_eval::{adjusted_rand_index, f_measure, normalized_mutual_information, pu
 use proptest::prelude::*;
 
 fn assignments() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
-    proptest::collection::vec((0u32..5, 0u32..6), 1..60)
-        .prop_map(|pairs| pairs.into_iter().unzip())
+    proptest::collection::vec((0u32..5, 0u32..6), 1..60).prop_map(|pairs| pairs.into_iter().unzip())
 }
 
 proptest! {

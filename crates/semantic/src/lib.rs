@@ -4,7 +4,7 @@
 //! exact-match function `Δ` and remarks that "information on structural
 //! similarity could be semantically enriched with the support of a
 //! knowledge base, like in our previous works" (Tagarelli & Greco, TOIS
-//! 2010, reference [33]). This crate supplies that enrichment as two
+//! 2010, reference \[33\]). This crate supplies that enrichment as two
 //! knowledge-base substrates, each exposed as a
 //! [`cxk_transact::TagMatcher`] that plugs straight into the similarity
 //! pipeline via [`cxk_transact::Dataset::rebuild_tag_sim`]:
@@ -14,7 +14,7 @@
 //! * [`Taxonomy`] / [`TaxonomyMatcher`] — an is-a concept hierarchy with
 //!   Wu–Palmer similarity between the concepts two tags denote.
 //! * [`bibliographic_thesaurus`] — a built-in thesaurus for the
-//!   bibliographic markup dialects emitted by `cxk-corpus`, used by the
+//!   bibliographic markup dialects emitted by `cxk_corpus`, used by the
 //!   semantic ablation harness.
 //!
 //! Why this matters: the motivating scenario in the paper's introduction
@@ -55,7 +55,7 @@ pub use taxonomy::{Taxonomy, TaxonomyMatcher};
 pub use thesaurus::{SynonymMatcher, Thesaurus};
 
 /// A built-in thesaurus covering the bibliographic markup dialects of
-/// `cxk-corpus` (and common DBLP-style variants): one ring per logical
+/// `cxk_corpus` (and common DBLP-style variants): one ring per logical
 /// field. Ring members are matched case-sensitively as whole tag names.
 pub fn bibliographic_thesaurus() -> Thesaurus {
     let mut t = Thesaurus::new();

@@ -11,7 +11,7 @@
 //! with the root at depth 1 so that `wup` of two top-level concepts is
 //! positive only through the root when they share it. Tags assigned to the
 //! same concept score `1`; tags not assigned anywhere fall back to exact
-//! matching. This mirrors how the authors' earlier semantic work [33]
+//! matching. This mirrors how the authors' earlier semantic work \[33\]
 //! scores element names through WordNet hypernym paths.
 
 use cxk_transact::TagMatcher;

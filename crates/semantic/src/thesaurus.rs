@@ -4,7 +4,7 @@
 //! denote the same concept in different markup dialects. A ring behaves
 //! like a WordNet synset restricted to element names. The derived
 //! [`SynonymMatcher`] grades two distinct tags at `ring_score` (default
-//! `1.0`, a full match as in [33]) when they share a ring and `0.0`
+//! `1.0`, a full match as in \[33\]) when they share a ring and `0.0`
 //! otherwise, and resolves symbols through a precomputed map so `delta`
 //! stays O(1) inside the Eq. (3) inner loop.
 
@@ -177,7 +177,11 @@ mod tests {
         thesaurus.add_ring(&["author", "creator"]);
         let matcher = thesaurus.matcher(&interner);
         assert_eq!(matcher.delta_of(a, c), 0.6);
-        assert_eq!(matcher.delta_of(a, a), 1.0, "identity overrides the ring score");
+        assert_eq!(
+            matcher.delta_of(a, a),
+            1.0,
+            "identity overrides the ring score"
+        );
     }
 
     #[test]
@@ -191,7 +195,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "already belongs to another synonym ring")]
-    fn overlapping_rings_are_rejected()  {
+    fn overlapping_rings_are_rejected() {
         let mut thesaurus = Thesaurus::new();
         thesaurus.add_ring(&["author", "creator"]);
         thesaurus.add_ring(&["creator", "maker"]);
@@ -200,12 +204,21 @@ mod tests {
     #[test]
     fn dialect_paths_become_similar_under_the_matcher() {
         let (mut interner, matcher) = setup();
-        let p1: Vec<Symbol> = ["dblp", "author"].iter().map(|t| interner.intern(t)).collect();
-        let p2: Vec<Symbol> = ["dblp", "creator"].iter().map(|t| interner.intern(t)).collect();
+        let p1: Vec<Symbol> = ["dblp", "author"]
+            .iter()
+            .map(|t| interner.intern(t))
+            .collect();
+        let p2: Vec<Symbol> = ["dblp", "creator"]
+            .iter()
+            .map(|t| interner.intern(t))
+            .collect();
         let exact = tag_path_similarity(&p1, &p2);
         let semantic = tag_path_similarity_with(&p1, &p2, &matcher);
         assert!((exact - 0.5).abs() < 1e-12, "only dblp matches exactly");
-        assert!((semantic - 1.0).abs() < 1e-12, "synonym ring unifies the paths");
+        assert!(
+            (semantic - 1.0).abs() < 1e-12,
+            "synonym ring unifies the paths"
+        );
     }
 
     #[test]

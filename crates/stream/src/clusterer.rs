@@ -280,11 +280,13 @@ impl StreamClusterer {
         self.ds.stats.vocabulary = self.ds.vocabulary.len();
         self.ds.stats.total_tcus = self.ds.term_stats.total_tcus();
         self.ds.stats.max_depth = self.ds.stats.max_depth.max(tree.depth());
-        self.ds.stats.max_transaction_len = self
-            .ds
-            .stats
-            .max_transaction_len
-            .max(new_transactions.iter().map(|&t| self.ds.transactions[t].len()).max().unwrap_or(0));
+        self.ds.stats.max_transaction_len = self.ds.stats.max_transaction_len.max(
+            new_transactions
+                .iter()
+                .map(|&t| self.ds.transactions[t].len())
+                .max()
+                .unwrap_or(0),
+        );
 
         // Assign the new transactions against the frozen representatives.
         let ctx = self.ds.sim_ctx(self.opts.config.params);

@@ -45,7 +45,10 @@ fn options(policy: RefreshPolicy) -> StreamOptions {
 }
 
 fn bootstrap(policy: RefreshPolicy) -> StreamClusterer {
-    let docs: Vec<String> = (0..3).map(|i| doc(0, i)).chain((0..3).map(|i| doc(1, i))).collect();
+    let docs: Vec<String> = (0..3)
+        .map(|i| doc(0, i))
+        .chain((0..3).map(|i| doc(1, i)))
+        .collect();
     let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
     StreamClusterer::new(&refs, options(policy)).expect("bootstrap")
 }

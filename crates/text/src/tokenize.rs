@@ -55,7 +55,10 @@ mod tests {
 
     #[test]
     fn keeps_digits_and_mixed_tokens() {
-        assert_eq!(tokenize("pages 316-325 (2003)"), vec!["pages", "316", "325", "2003"]);
+        assert_eq!(
+            tokenize("pages 316-325 (2003)"),
+            vec!["pages", "316", "325", "2003"]
+        );
         assert_eq!(tokenize("mp3 x86"), vec!["mp3", "x86"]);
     }
 

@@ -16,7 +16,7 @@
 //!
 //! The collection-level counts are accumulated with [`TermStatsBuilder`];
 //! tuple- and document-level counts are cheap enough to recompute at
-//! vectorization time (done in `cxk-transact`).
+//! vectorization time (done in `cxk_transact`).
 
 use cxk_util::Symbol;
 

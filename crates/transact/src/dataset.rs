@@ -294,10 +294,8 @@ impl DatasetBuilder {
         let mut max_tcu_nnz = 0usize;
         for (i, item) in items.iter_mut().enumerate() {
             let n = f64::from(occ_count[i].max(1));
-            let pairs: Vec<(Symbol, f64)> = weight_acc[i]
-                .iter()
-                .map(|(&t, &w)| (t, w / n))
-                .collect();
+            let pairs: Vec<(Symbol, f64)> =
+                weight_acc[i].iter().map(|(&t, &w)| (t, w / n)).collect();
             item.vector = SparseVec::from_pairs(pairs);
             max_tcu_nnz = max_tcu_nnz.max(item.vector.nnz());
         }

@@ -7,7 +7,7 @@
 //!
 //! Identity is by *(path, answer)*; a 64-bit [`Item::fingerprint`] of that
 //! pair gives every item — including the synthetic items created by
-//! representative conflation in `cxk-core` — a uniform identity usable for
+//! representative conflation in `cxk_core` — a uniform identity usable for
 //! set unions across dataset and representative items.
 
 use crate::pathsim::TagPathSimTable;
@@ -70,7 +70,7 @@ pub fn synthetic_fingerprint(path: PathId, vector: &SparseVec) -> u64 {
 }
 
 /// A borrowed, uniform view of an item: enough to compute similarities and
-/// identities. Both dataset [`Item`]s and `cxk-core` representative items
+/// identities. Both dataset [`Item`]s and `cxk_core` representative items
 /// project into this.
 #[derive(Debug, Clone, Copy)]
 pub struct ItemView<'a> {

@@ -44,7 +44,10 @@ impl SimParams {
 impl Default for SimParams {
     /// Hybrid structure/content setting with the paper's best threshold.
     fn default() -> Self {
-        Self { f: 0.5, gamma: 0.85 }
+        Self {
+            f: 0.5,
+            gamma: 0.85,
+        }
     }
 }
 

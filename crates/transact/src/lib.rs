@@ -1,6 +1,6 @@
 //! The XML transactional model and similarity measures of the paper.
 //!
-//! Tree tuples (extracted by `cxk-xml`) are flattened into *XML
+//! Tree tuples (extracted by `cxk_xml`) are flattened into *XML
 //! transactions*: sets of *tree tuple items* `⟨complete-path, answer⟩`
 //! (§3.3, Fig. 4). Items embed both structure (the tag path) and content
 //! (the `ttf.itf`-weighted TCU vector of the answer text).

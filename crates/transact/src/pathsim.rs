@@ -24,7 +24,7 @@ use rayon::prelude::*;
 /// The paper evaluates the Dirichlet (exact-match) function and names
 /// knowledge-base-backed semantic enrichment as future work (§4.1.1, §6).
 /// Implementations of this trait supply that enrichment — e.g. the synonym
-/// and taxonomy matchers in `cxk-semantic` — by returning a graded degree
+/// and taxonomy matchers in `cxk_semantic` — by returning a graded degree
 /// of match in `[0, 1]` instead of the 0/1 indicator.
 pub trait TagMatcher: Sync {
     /// Degree of match between two tag labels, in `[0, 1]`. Must be
@@ -229,7 +229,15 @@ mod tests {
         let ps = paths(
             &mut interner,
             &[
-                "a", "a.b", "a.b.c", "a.c.b", "c.b.a", "x.b", "a.x.c.d.e", "b", "b.a",
+                "a",
+                "a.b",
+                "a.b.c",
+                "a.c.b",
+                "c.b.a",
+                "x.b",
+                "a.x.c.d.e",
+                "b",
+                "b.a",
             ],
         );
         for p in &ps {
@@ -252,7 +260,11 @@ mod tests {
     fn table_matches_direct_computation() {
         let mut interner = Interner::new();
         let mut table = PathTable::new();
-        let specs = ["dblp.article.title", "dblp.inproceedings.title", "dblp.book"];
+        let specs = [
+            "dblp.article.title",
+            "dblp.inproceedings.title",
+            "dblp.book",
+        ];
         let ids: Vec<PathId> = specs
             .iter()
             .map(|s| {

@@ -29,7 +29,11 @@ pub struct PersistError {
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "dataset load error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dataset load error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -170,7 +174,7 @@ pub fn load(text: &str) -> Result<Dataset, PersistError> {
     }
 
     let read_section = |lines: &mut dyn Iterator<Item = (usize, &str)>,
-                            name: &str|
+                        name: &str|
      -> Result<Vec<(usize, String)>, PersistError> {
         let (line_no, head) = lines
             .next()

@@ -81,10 +81,7 @@ mod tests {
     fn construction_sorts_and_dedups() {
         let t = tx(&[3, 1, 2, 3, 1]);
         assert_eq!(t.len(), 3);
-        assert_eq!(
-            t.items(),
-            &[ItemId(1), ItemId(2), ItemId(3)]
-        );
+        assert_eq!(t.items(), &[ItemId(1), ItemId(2), ItemId(3)]);
     }
 
     #[test]

@@ -20,7 +20,11 @@ use crate::itemsim::SimCtx;
 use cxk_util::FxHashSet;
 
 /// Computes `matchγ(tr1, tr2)` as a fingerprint set.
-pub fn gamma_shared(ctx: &SimCtx<'_>, tr1: &[ItemView<'_>], tr2: &[ItemView<'_>]) -> FxHashSet<u64> {
+pub fn gamma_shared(
+    ctx: &SimCtx<'_>,
+    tr1: &[ItemView<'_>],
+    tr2: &[ItemView<'_>],
+) -> FxHashSet<u64> {
     let mut shared = FxHashSet::default();
     if tr1.is_empty() || tr2.is_empty() {
         return shared;

@@ -65,10 +65,7 @@ type FixtureSpec = (Vec<Vec<u8>>, Vec<Vec<(u8, u8)>>);
 fn fixture_strategy() -> impl Strategy<Value = FixtureSpec> {
     (
         proptest::collection::vec(path_strategy(), 1..5),
-        proptest::collection::vec(
-            proptest::collection::vec((0u8..12, 1u8..10), 0..5),
-            1..5,
-        ),
+        proptest::collection::vec(proptest::collection::vec((0u8..12, 1u8..10), 0..5), 1..5),
     )
 }
 

@@ -72,7 +72,10 @@ impl DetRng {
     /// Panics if all weights are zero or `weights` is empty.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "weighted_index() requires positive total weight");
+        assert!(
+            total > 0.0,
+            "weighted_index() requires positive total weight"
+        );
         let mut target = self.unit() * total;
         for (i, &w) in weights.iter().enumerate() {
             target -= w;

@@ -25,7 +25,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -161,9 +165,8 @@ impl<'a, 'b> Parser<'a, 'b> {
     fn parse_name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
-            let ok = c.is_ascii_alphanumeric()
-                || matches!(c, b'_' | b'-' | b'.' | b':')
-                || c >= 0x80;
+            let ok =
+                c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') || c >= 0x80;
             if !ok {
                 break;
             }
@@ -534,8 +537,8 @@ mod tests {
     #[test]
     fn rejects_mismatched_end_tag() {
         let mut interner = Interner::new();
-        let err = parse_document("<a><b></a></b>", &mut interner, &ParseOptions::default())
-            .unwrap_err();
+        let err =
+            parse_document("<a><b></a></b>", &mut interner, &ParseOptions::default()).unwrap_err();
         assert!(err.message.contains("mismatched end tag"), "{err}");
     }
 
@@ -565,8 +568,7 @@ mod tests {
     #[test]
     fn rejects_bad_name_start() {
         let mut interner = Interner::new();
-        let err =
-            parse_document("<1a/>", &mut interner, &ParseOptions::default()).unwrap_err();
+        let err = parse_document("<1a/>", &mut interner, &ParseOptions::default()).unwrap_err();
         assert!(err.message.contains("invalid name start"), "{err}");
     }
 

@@ -125,7 +125,8 @@ fn tuples_below(tree: &XmlTree, node: NodeId, cap: usize) -> Vec<Vec<NodeId>> {
                 break;
             }
         }
-        let mut next = Vec::with_capacity(partial.len().saturating_mul(alternatives.len()).min(cap));
+        let mut next =
+            Vec::with_capacity(partial.len().saturating_mul(alternatives.len()).min(cap));
         'outer: for base in &partial {
             for alt in &alternatives {
                 let mut combined = base.clone();
@@ -259,9 +260,8 @@ mod tests {
                     .iter()
                     .filter(|&&l| {
                         matches!(tree.node(l).kind, NodeKind::Text(_))
-                            && interner.resolve(
-                                tree.node(tree.node(l).parent.unwrap()).label,
-                            ) == "author"
+                            && interner.resolve(tree.node(tree.node(l).parent.unwrap()).label)
+                                == "author"
                     })
                     .map(|&l| tree.node(l).value().unwrap().to_string())
                     .collect()
@@ -273,10 +273,7 @@ mod tests {
         }
         let flat: Vec<String> = author_values.into_iter().flatten().collect();
         assert!(flat.contains(&"C.C. Aggarwal".to_string()));
-        assert_eq!(
-            flat.iter().filter(|a| a.as_str() == "M.J. Zaki").count(),
-            2
-        );
+        assert_eq!(flat.iter().filter(|a| a.as_str() == "M.J. Zaki").count(), 2);
     }
 
     #[test]

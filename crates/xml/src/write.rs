@@ -72,9 +72,7 @@ fn write_element(
     for &child in &content_children {
         match &tree.node(child).kind {
             NodeKind::Text(text) => out.push_str(&escape_text(text)),
-            NodeKind::Element => {
-                write_element(tree, child, interner, layout, depth + 1, out)
-            }
+            NodeKind::Element => write_element(tree, child, interner, layout, depth + 1, out),
             NodeKind::Attribute(_) => unreachable!("attributes handled above"),
         }
     }

@@ -6,9 +6,7 @@ use cxk_xml::parser::decode_entities;
 use cxk_xml::tree::{NodeKind, XmlTree, S_LABEL};
 use cxk_xml::tuple::is_tree_tuple;
 use cxk_xml::write::{escape_attr, escape_text, to_xml_string, Layout};
-use cxk_xml::{
-    count_tree_tuples, extract_tree_tuples, parse_document, ParseOptions, TupleLimits,
-};
+use cxk_xml::{count_tree_tuples, extract_tree_tuples, parse_document, ParseOptions, TupleLimits};
 use proptest::prelude::*;
 
 /// A recipe for building a random tree: a nested list of element specs.

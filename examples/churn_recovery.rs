@@ -1,7 +1,7 @@
 //! Churn recovery: the collaborative protocol surviving peer departures.
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example churn_recovery
+//! cargo run -p cxk_bench --release --example churn_recovery
 //! ```
 //!
 //! Six peers cluster a bibliographic collection collaboratively. At the

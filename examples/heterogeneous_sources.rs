@@ -1,7 +1,7 @@
 //! Heterogeneous sources: semantic tag matching across markup dialects.
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example heterogeneous_sources
+//! cargo run -p cxk_bench --release --example heterogeneous_sources
 //! ```
 //!
 //! The paper's introduction motivates XML similarity that tolerates
@@ -11,7 +11,7 @@
 //! using `application/developer/review`, the other `software/vendor/
 //! comments` — and clusters it by structure and content twice: with the
 //! paper's exact tag matching, and with a synonym thesaurus
-//! (`cxk-semantic`). Exact matching keeps the two sources apart; the
+//! (`cxk_semantic`). Exact matching keeps the two sources apart; the
 //! thesaurus groups by what the records *mean*.
 
 use cxk_core::{run_centralized, CxkConfig};
@@ -23,22 +23,62 @@ use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 fn catalog() -> Vec<(String, u32)> {
     // (name, developer, genre, review, topic)
     let records = [
-        ("Nebula Racer", "A. Vance", "arcade racing game",
-         "fast racing game with split screen multiplayer races", 0),
-        ("Dungeon Forge", "B. Holt", "roguelike dungeon game",
-         "dungeon crawler game with procedural levels and loot", 0),
-        ("TextSmith", "C. Reyes", "programmer text editor",
-         "text editor with syntax highlighting and code folding", 1),
-        ("MarkPad", "D. Osei", "markdown text editor",
-         "markdown editor with live preview and editing themes", 1),
-        ("Star Drift", "E. Lindqvist", "space racing game",
-         "racing game with online multiplayer seasons and drift races", 0),
-        ("Cavern Quest", "F. Moreau", "dungeon exploration game",
-         "dungeon exploration game with handcrafted levels and secrets", 0),
-        ("CodeCarver", "G. Tanaka", "fast code editor",
-         "code editor with syntax highlighting and plugin support", 1),
-        ("NotePress", "H. Abara", "markdown note editor",
-         "markdown editor with preview pane and note linking", 1),
+        (
+            "Nebula Racer",
+            "A. Vance",
+            "arcade racing game",
+            "fast racing game with split screen multiplayer races",
+            0,
+        ),
+        (
+            "Dungeon Forge",
+            "B. Holt",
+            "roguelike dungeon game",
+            "dungeon crawler game with procedural levels and loot",
+            0,
+        ),
+        (
+            "TextSmith",
+            "C. Reyes",
+            "programmer text editor",
+            "text editor with syntax highlighting and code folding",
+            1,
+        ),
+        (
+            "MarkPad",
+            "D. Osei",
+            "markdown text editor",
+            "markdown editor with live preview and editing themes",
+            1,
+        ),
+        (
+            "Star Drift",
+            "E. Lindqvist",
+            "space racing game",
+            "racing game with online multiplayer seasons and drift races",
+            0,
+        ),
+        (
+            "Cavern Quest",
+            "F. Moreau",
+            "dungeon exploration game",
+            "dungeon exploration game with handcrafted levels and secrets",
+            0,
+        ),
+        (
+            "CodeCarver",
+            "G. Tanaka",
+            "fast code editor",
+            "code editor with syntax highlighting and plugin support",
+            1,
+        ),
+        (
+            "NotePress",
+            "H. Abara",
+            "markdown note editor",
+            "markdown editor with preview pane and note linking",
+            1,
+        ),
     ];
 
     let mut docs = Vec::new();
@@ -80,7 +120,10 @@ fn main() {
 
     let exact = run_centralized(&dataset, &config);
     let exact_f = f_measure(&labels, &exact.assignments);
-    println!("exact tag matching:    F = {exact_f:.3}   assignments = {:?}", exact.assignments);
+    println!(
+        "exact tag matching:    F = {exact_f:.3}   assignments = {:?}",
+        exact.assignments
+    );
 
     // The knowledge base a catalog integrator would write: one ring per
     // logical field across the two sources.
@@ -95,7 +138,10 @@ fn main() {
 
     let semantic = run_centralized(&dataset, &config);
     let semantic_f = f_measure(&labels, &semantic.assignments);
-    println!("thesaurus matching:    F = {semantic_f:.3}   assignments = {:?}", semantic.assignments);
+    println!(
+        "thesaurus matching:    F = {semantic_f:.3}   assignments = {:?}",
+        semantic.assignments
+    );
 
     println!();
     if semantic_f >= exact_f {

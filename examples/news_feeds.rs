@@ -5,7 +5,7 @@
 //! regardless of the feed's markup dialect.
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example news_feeds
+//! cargo run -p cxk_bench --release --example news_feeds
 //! ```
 //!
 //! Articles arrive in two dialects (RSS-like `item` vs. Atom-like `entry`)
@@ -19,9 +19,38 @@ use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 use cxk_util::DetRng;
 
 const TOPICS: [(&str, &[&str]); 3] = [
-    ("markets", &["stocks", "inflation", "earnings", "shares", "investors", "trading", "economy", "rates"]),
-    ("football", &["match", "goal", "league", "striker", "transfer", "penalty", "keeper", "derby"]),
-    ("weather", &["storm", "rainfall", "forecast", "flooding", "temperatures", "heatwave", "winds", "snowfall"]),
+    (
+        "markets",
+        &[
+            "stocks",
+            "inflation",
+            "earnings",
+            "shares",
+            "investors",
+            "trading",
+            "economy",
+            "rates",
+        ],
+    ),
+    (
+        "football",
+        &[
+            "match", "goal", "league", "striker", "transfer", "penalty", "keeper", "derby",
+        ],
+    ),
+    (
+        "weather",
+        &[
+            "storm",
+            "rainfall",
+            "forecast",
+            "flooding",
+            "temperatures",
+            "heatwave",
+            "winds",
+            "snowfall",
+        ],
+    ),
 ];
 
 fn sentence(rng: &mut DetRng, topic: &[&str], n: usize) -> String {

@@ -1,7 +1,7 @@
 //! News stream: incremental clustering with drift-triggered refresh.
 //!
 //! ```text
-//! cargo run -p cxk-stream --release --example news_stream
+//! cargo run -p cxk_bench --release --example news_stream
 //! ```
 //!
 //! The paper's introduction motivates the whole framework with "Web news
@@ -25,10 +25,22 @@ fn article(id: usize, desk: &str, headline: &str, body: &str) -> String {
 
 fn sports(id: usize) -> String {
     let stories = [
-        ("league final goes to overtime", "the championship match entered overtime after a late equalizer goal"),
-        ("sprinter breaks national record", "the national sprint record fell at the athletics championship meeting"),
-        ("injury sidelines star striker", "the striker faces weeks out after a hamstring injury in training"),
-        ("derby ends in heated draw", "the city derby finished level after two disallowed goals and a red card"),
+        (
+            "league final goes to overtime",
+            "the championship match entered overtime after a late equalizer goal",
+        ),
+        (
+            "sprinter breaks national record",
+            "the national sprint record fell at the athletics championship meeting",
+        ),
+        (
+            "injury sidelines star striker",
+            "the striker faces weeks out after a hamstring injury in training",
+        ),
+        (
+            "derby ends in heated draw",
+            "the city derby finished level after two disallowed goals and a red card",
+        ),
     ];
     let (h, b) = stories[id % stories.len()];
     article(id, "sports", h, b)
@@ -36,10 +48,22 @@ fn sports(id: usize) -> String {
 
 fn politics(id: usize) -> String {
     let stories = [
-        ("parliament debates budget bill", "the finance committee sent the budget bill to a full parliament vote"),
-        ("coalition talks stall again", "coalition negotiations stalled over ministry allocations and policy terms"),
-        ("election commission sets date", "the commission announced the election date and registration deadlines"),
-        ("senate passes trade measure", "the senate approved the trade measure after amendments on tariffs"),
+        (
+            "parliament debates budget bill",
+            "the finance committee sent the budget bill to a full parliament vote",
+        ),
+        (
+            "coalition talks stall again",
+            "coalition negotiations stalled over ministry allocations and policy terms",
+        ),
+        (
+            "election commission sets date",
+            "the commission announced the election date and registration deadlines",
+        ),
+        (
+            "senate passes trade measure",
+            "the senate approved the trade measure after amendments on tariffs",
+        ),
     ];
     let (h, b) = stories[id % stories.len()];
     article(id, "politics", h, b)
@@ -47,10 +71,22 @@ fn politics(id: usize) -> String {
 
 fn tech(id: usize) -> String {
     let stories = [
-        ("chipmaker unveils new processor", "the processor doubles cache and adds vector instructions for inference"),
-        ("open source database hits milestone", "the database project shipped replication and columnar storage support"),
-        ("startup launches satellite network", "the constellation promises low latency links for remote regions"),
-        ("browser patches zero day", "the vendor shipped an emergency patch for the exploited sandbox escape"),
+        (
+            "chipmaker unveils new processor",
+            "the processor doubles cache and adds vector instructions for inference",
+        ),
+        (
+            "open source database hits milestone",
+            "the database project shipped replication and columnar storage support",
+        ),
+        (
+            "startup launches satellite network",
+            "the constellation promises low latency links for remote regions",
+        ),
+        (
+            "browser patches zero day",
+            "the vendor shipped an emergency patch for the exploited sandbox escape",
+        ),
     ];
     let (h, b) = stories[id % stories.len()];
     article(id, "technology", h, b)
@@ -99,11 +135,7 @@ fn main() {
         }
     }
 
-    let trash = service
-        .assignments()
-        .iter()
-        .filter(|&&a| a == 3)
-        .count();
+    let trash = service.assignments().iter().filter(|&&a| a == 3).count();
     println!(
         "final: {} documents, {} transactions, {} in trash after {} refresh(es)",
         service.document_count(),

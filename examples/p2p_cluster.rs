@@ -3,7 +3,7 @@
 //! collaborative network (the experiment of the paper's Fig. 1 overview).
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example p2p_cluster [m]
+//! cargo run -p cxk_bench --release --example p2p_cluster [m]
 //! ```
 
 use cxk_core::{run_centralized, run_collaborative_threaded, CxkConfig};

@@ -1,7 +1,7 @@
 //! Quickstart: cluster a handful of XML documents by structure and content.
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example quickstart
+//! cargo run -p cxk_bench --release --example quickstart
 //! ```
 //!
 //! The pipeline: XML text → tree tuples → transactions → centralized

@@ -6,7 +6,7 @@
 //! Hybrid structure/content clustering finds the partial matchings.
 //!
 //! ```text
-//! cargo run -p cxk-core --release --example software_catalog
+//! cargo run -p cxk_bench --release --example software_catalog
 //! ```
 
 use cxk_core::{run_collaborative, CxkConfig};
@@ -16,13 +16,49 @@ use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 use cxk_util::DetRng;
 
 const CATEGORIES: [(&str, &[&str]); 3] = [
-    ("databases", &["database", "query", "index", "transactions", "storage", "sql", "replication"]),
-    ("games", &["game", "graphics", "multiplayer", "level", "physics", "rendering", "controller"]),
-    ("editors", &["editor", "syntax", "highlighting", "plugins", "keybindings", "buffers", "completion"]),
+    (
+        "databases",
+        &[
+            "database",
+            "query",
+            "index",
+            "transactions",
+            "storage",
+            "sql",
+            "replication",
+        ],
+    ),
+    (
+        "games",
+        &[
+            "game",
+            "graphics",
+            "multiplayer",
+            "level",
+            "physics",
+            "rendering",
+            "controller",
+        ],
+    ),
+    (
+        "editors",
+        &[
+            "editor",
+            "syntax",
+            "highlighting",
+            "plugins",
+            "keybindings",
+            "buffers",
+            "completion",
+        ],
+    ),
 ];
 
 fn words(rng: &mut DetRng, pool: &[&str], n: usize) -> String {
-    (0..n).map(|_| *rng.choose(pool)).collect::<Vec<_>>().join(" ")
+    (0..n)
+        .map(|_| *rng.choose(pool))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Text-centric source: flat repeated reviews with embedded ratings.

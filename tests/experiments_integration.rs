@@ -59,19 +59,17 @@ fn fig7_half_corpus_is_faster_than_full() {
 fn table_scores_stay_in_unit_interval_and_m1_is_strong() {
     let kind = CorpusKind::Dblp;
     let p = prepare(kind, 0.3, 43);
-    let rows = accuracy_table(
-        &p,
-        ClusteringSetting::Structure,
-        &[1, 5],
-        true,
-        &opts(kind),
-    );
+    let rows = accuracy_table(&p, ClusteringSetting::Structure, &[1, 5], true, &opts(kind));
     for row in &rows {
         assert!((0.0..=1.0).contains(&row.f_mean));
     }
     // Centralized structure-driven clustering on DBLP is near-perfect in
     // the paper (0.991); the reproduction should be strong too.
-    assert!(rows[0].f_mean > 0.75, "m=1 structure F = {}", rows[0].f_mean);
+    assert!(
+        rows[0].f_mean > 0.75,
+        "m=1 structure F = {}",
+        rows[0].f_mean
+    );
 }
 
 #[test]

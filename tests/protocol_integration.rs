@@ -33,7 +33,10 @@ fn threaded_and_simulated_agree_on_dblp() {
             simulated.assignments, threaded.assignments,
             "partitions diverge at m = {m}"
         );
-        assert_eq!(simulated.rounds, threaded.rounds, "rounds diverge at m = {m}");
+        assert_eq!(
+            simulated.rounds, threaded.rounds,
+            "rounds diverge at m = {m}"
+        );
         assert_eq!(simulated.converged, threaded.converged);
     }
 }
@@ -54,8 +57,7 @@ fn threaded_handles_starved_peers() {
     // More peers than is sensible for the data: some peers hold 1-2
     // transactions, exercising empty local clusters.
     let m = (n / 2).clamp(2, 12);
-    let outcome =
-        run_collaborative_threaded(&p.dataset, &partition_equal(n, m, 2), &config(3));
+    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, m, 2), &config(3));
     assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
 }
 

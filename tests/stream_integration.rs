@@ -31,8 +31,8 @@ fn streamed_accuracy_tracks_batch_accuracy() {
     let split = 60;
     let bootstrap: Vec<&str> = docs[..split].iter().map(String::as_str).collect();
 
-    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual()))
-        .expect("bootstrap");
+    let mut s =
+        StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual())).expect("bootstrap");
     for doc in &docs[split..] {
         s.push(doc).expect("well-formed");
     }
@@ -55,8 +55,8 @@ fn streamed_accuracy_tracks_batch_accuracy() {
 fn refresh_counts_and_counters_stay_consistent() {
     let (docs, _, k) = dblp_docs(60, 32);
     let bootstrap: Vec<&str> = docs[..30].iter().map(String::as_str).collect();
-    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::every(10)))
-        .expect("bootstrap");
+    let mut s =
+        StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::every(10))).expect("bootstrap");
 
     let mut auto_refreshes = 0;
     for doc in &docs[30..] {
@@ -87,16 +87,12 @@ fn trash_fraction_decreases_after_drift_refresh() {
         .map(|(_, d)| d.as_str())
         .collect();
 
-    let mut s = StreamClusterer::new(&bootstrap, options(8, RefreshPolicy::manual()))
-        .expect("bootstrap");
+    let mut s =
+        StreamClusterer::new(&bootstrap, options(8, RefreshPolicy::manual())).expect("bootstrap");
     for doc in &arrivals {
         s.push(doc).expect("well-formed");
     }
-    let trash_before = s
-        .assignments()
-        .iter()
-        .filter(|&&a| a == 8)
-        .count();
+    let trash_before = s.assignments().iter().filter(|&&a| a == 8).count();
     s.refresh();
     let trash_after = s.assignments().iter().filter(|&&a| a == 8).count();
     assert!(
@@ -112,8 +108,8 @@ fn push_cost_does_not_grow_with_history() {
     // to stay robust on noisy CI machines.
     let (docs, _, k) = dblp_docs(140, 34);
     let bootstrap: Vec<&str> = docs[..100].iter().map(String::as_str).collect();
-    let mut s = StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual()))
-        .expect("bootstrap");
+    let mut s =
+        StreamClusterer::new(&bootstrap, options(k, RefreshPolicy::manual())).expect("bootstrap");
 
     let t0 = std::time::Instant::now();
     for doc in &docs[100..110] {
