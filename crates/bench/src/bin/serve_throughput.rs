@@ -1,0 +1,150 @@
+//! Measures online classification throughput (docs/sec) against a trained
+//! model, three ways: direct indexed, direct brute-force, and over the
+//! live HTTP server with concurrent clients.
+//!
+//! ```text
+//! cargo run -p cxk_bench --release --bin serve_throughput -- \
+//!     [--train-docs 200] [--classify-docs 400] [--k 4] [--f 0.5] [--gamma 0.4]
+//!     [--dialects 3] [--threads 4] [--clients 8] [--seed 3]
+//! ```
+//!
+//! The corpus is the synthetic DBLP generator (4 record types × 4 topics),
+//! split into a training half and a classification stream. Expect the
+//! indexed path to dominate brute force as `k` grows and representatives
+//! diversify — the index skips every representative sharing no tag label
+//! and no term with the query, so its advantage shows on *heterogeneous*
+//! markup (`--dialects 2..3`); on single-dialect corpora every document
+//! shares the `dblp` label with every representative and the index
+//! degenerates to brute force (the `candidates_per_doc` column makes the
+//! pruning rate visible either way).
+
+use cxk_bench::args::Flags;
+use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+use cxk_corpus::dblp::{self, DblpConfig};
+use cxk_serve::{Classifier, ServeOptions, Server};
+use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+const USAGE: &str = "serve_throughput --train-docs <n> --classify-docs <n> \
+--k <n> --f <f64> --gamma <f64> --dialects <1-3> --threads <n> --clients <n> --seed <u64>";
+
+fn main() {
+    let flags = Flags::from_env(USAGE);
+    let train_docs: usize = flags.get("train-docs", 200);
+    let classify_docs: usize = flags.get("classify-docs", 400);
+    let k: usize = flags.get("k", 4);
+    let f: f64 = flags.get("f", 0.5);
+    let gamma: f64 = flags.get("gamma", 0.4);
+    let dialects: usize = flags.get("dialects", 3);
+    let threads: usize = flags.get("threads", 4);
+    let clients: usize = flags.get("clients", 8);
+    let seed: u64 = flags.get("seed", 3);
+
+    let corpus = dblp::generate(&DblpConfig {
+        documents: train_docs + classify_docs,
+        seed: 0xD0C5 ^ seed,
+        dialects,
+    });
+    let (train, stream) = corpus.documents.split_at(train_docs);
+
+    eprintln!("[serve_throughput] building dataset over {train_docs} documents");
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for doc in train {
+        builder.add_xml(doc).expect("generated XML is well-formed");
+    }
+    let ds = builder.finish();
+
+    let mut config = CxkConfig::new(k);
+    config.params = SimParams::new(f, gamma);
+    config.seed = seed;
+    eprintln!(
+        "[serve_throughput] clustering {} transactions into k={k}",
+        ds.stats.transactions
+    );
+    let outcome = run_centralized(&ds, &config);
+    let model =
+        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
+    eprintln!(
+        "[serve_throughput] trained: rounds={} converged={} trash={}",
+        outcome.rounds,
+        outcome.converged,
+        outcome.trash_count()
+    );
+
+    println!("# serve_throughput: {classify_docs} docs, k={k}, f={f}, gamma={gamma}");
+    println!("mode\tdocs\tseconds\tdocs_per_sec\ttrash\tcandidates_per_doc");
+
+    // Direct classification, indexed vs brute force.
+    for (mode, brute) in [("indexed", false), ("brute", true)] {
+        let mut classifier = Classifier::new(model.clone());
+        let start = Instant::now();
+        let mut trash = 0usize;
+        let mut candidates = 0usize;
+        let mut tuples = 0usize;
+        for doc in stream {
+            let report = if brute {
+                classifier.classify_brute(doc)
+            } else {
+                classifier.classify(doc)
+            }
+            .expect("classify");
+            trash += usize::from(report.cluster == classifier.trash_id());
+            candidates += report.tuples.iter().map(|t| t.candidates).sum::<usize>();
+            tuples += report.tuples.len();
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        println!(
+            "{mode}\t{}\t{seconds:.4}\t{:.1}\t{trash}\t{:.2}",
+            stream.len(),
+            stream.len() as f64 / seconds,
+            candidates as f64 / tuples.max(1) as f64,
+        );
+    }
+
+    // Over HTTP with concurrent clients.
+    let server = Server::start(
+        model,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads,
+            brute_force: false,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    let start = Instant::now();
+    let chunk = stream.len().div_ceil(clients.max(1));
+    let handles: Vec<_> = stream
+        .chunks(chunk)
+        .map(|docs| {
+            let docs: Vec<String> = docs.to_vec();
+            std::thread::spawn(move || {
+                for doc in &docs {
+                    let request = format!(
+                        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{doc}",
+                        doc.len()
+                    );
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.write_all(request.as_bytes()).expect("send");
+                    let mut response = String::new();
+                    conn.read_to_string(&mut response).expect("receive");
+                    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client");
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let (_, classified, trash, errors) = server.stats();
+    assert_eq!(errors, 0, "no server-side errors expected");
+    println!(
+        "http(threads={threads},clients={clients})\t{classified}\t{seconds:.4}\t{:.1}\t{trash}\t-",
+        classified as f64 / seconds,
+    );
+    server.shutdown();
+}

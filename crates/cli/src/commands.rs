@@ -1,10 +1,17 @@
-//! The `build` / `info` / `cluster` command implementations.
+//! The `build` / `info` / `cluster` / `assign` / `train` / `classify` /
+//! `serve` command implementations.
 //!
 //! Commands return their stdout as a `String` (and errors as `String`) so
-//! unit tests drive them directly without spawning processes.
+//! unit tests drive them directly without spawning processes. The one
+//! exception is [`serve`], which runs a foreground server and only returns
+//! on failure.
 
 use crate::flags::Parsed;
-use cxk_core::{run_collaborative, run_pk_means, run_vsm_kmeans, CxkConfig, PkConfig, VsmConfig};
+use cxk_core::{
+    load_model, run_collaborative, run_pk_means, run_vsm_kmeans, save_model, CxkConfig, PkConfig,
+    TrainedModel, VsmConfig,
+};
+use cxk_serve::{Classifier, ServeOptions, Server};
 use cxk_transact::{load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -12,10 +19,7 @@ use std::path::{Path, PathBuf};
 /// `cxk build <inputs>... -o <out.cxkds>`.
 pub fn build(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
-    let out_path = parsed
-        .get_str("o")
-        .or_else(|| parsed.get_str("out"))
-        .ok_or("build needs -o <out.cxkds>")?;
+    let out_path = parsed.output().ok_or("build needs -o <out.cxkds>")?;
     let ds = dataset_from_xml_inputs(parsed.positional())?;
     std::fs::write(out_path, save_dataset(&ds))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
@@ -196,6 +200,132 @@ pub fn assign(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "{}\t{}", file.display(), clusters.join(","));
     }
     Ok(out)
+}
+
+/// `cxk train <inputs>... --k N [--f F] [--gamma G] [--m M] [--seed S]
+/// -o <model.cxkmodel>` — cluster the corpus and snapshot the servable
+/// model (representatives + frozen preprocessing context).
+pub fn train(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let out_path = parsed.output().ok_or("train needs -o <model.cxkmodel>")?;
+    let ds = dataset_from_any_inputs(parsed.positional())?;
+    if ds.transactions.is_empty() {
+        return Err("nothing to train on: the input has no transactions".into());
+    }
+    let k: usize = parsed.get("k", 2)?;
+    let f: f64 = parsed.get("f", 0.5)?;
+    let gamma: f64 = parsed.get("gamma", 0.7)?;
+    let m: usize = parsed.get("m", 1)?;
+    let seed: u64 = parsed.get("seed", 0)?;
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if m == 0 {
+        return Err("--m must be at least 1".into());
+    }
+    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
+        return Err("--f and --gamma must lie in [0, 1]".into());
+    }
+
+    let mut config = CxkConfig::new(k);
+    config.params = SimParams::new(f, gamma);
+    config.seed = seed;
+    let partition = round_robin_partition(ds.transactions.len(), m);
+    let outcome = run_collaborative(&ds, &partition, &config);
+    let model =
+        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
+    let bytes = save_model(&model);
+    std::fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let sizes = outcome.cluster_sizes();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trained k={k} m={m} f={f} gamma={gamma} rounds={} converged={}",
+        outcome.rounds, outcome.converged
+    );
+    let _ = writeln!(out, "sizes={:?} trash={}", &sizes[..k], sizes[k]);
+    let _ = writeln!(
+        out,
+        "wrote {out_path}: {} bytes, {} representatives over {} documents",
+        bytes.len(),
+        model.k(),
+        model.trained_documents
+    );
+    Ok(out)
+}
+
+/// `cxk classify <model.cxkmodel> <inputs>... [--brute]` — assign each XML
+/// document to a trained model's cluster. Prints one
+/// `file ⟨TAB⟩ cluster ⟨TAB⟩ score` row per document.
+pub fn classify(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let (model_path, inputs) = parsed
+        .positional()
+        .split_first()
+        .ok_or("classify needs <model.cxkmodel> and XML inputs")?;
+    let model = read_model(model_path)?;
+    let trash = model.trash_id();
+    let mut classifier = Classifier::new(model);
+    let files = expand_inputs(inputs)?;
+    if files.is_empty() {
+        return Err("no input XML files".into());
+    }
+    let brute = parsed.has("brute");
+
+    let mut out = String::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let report = if brute {
+            classifier.classify_brute(&text)
+        } else {
+            classifier.classify(&text)
+        }
+        .map_err(|e| format!("{}: {e}", file.display()))?;
+        let cluster = if report.cluster == trash {
+            "trash".to_string()
+        } else {
+            report.cluster.to_string()
+        };
+        let _ = writeln!(out, "{}\t{cluster}\t{:.6}", file.display(), report.score);
+    }
+    Ok(out)
+}
+
+/// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--brute]` — run
+/// the classification server in the foreground. Only returns on error.
+pub fn serve(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    let [model_path] = parsed.positional() else {
+        return Err("serve needs exactly one <model.cxkmodel>".into());
+    };
+    let port: u16 = parsed.get("port", 7070)?;
+    let threads: usize = parsed.get("threads", 4)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let model = read_model(model_path)?;
+    let opts = ServeOptions {
+        threads,
+        brute_force: parsed.has("brute"),
+        ..ServeOptions::default()
+    };
+    let k = model.k();
+    let server = Server::start(model, ("127.0.0.1", port), opts)
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    eprintln!(
+        "cxk: serving k={k} model on http://{} with {threads} threads (POST /classify, GET /model, GET /stats)",
+        server.addr()
+    );
+    server.join();
+    Ok(String::new())
+}
+
+/// Loads and validates a `.cxkmodel` snapshot.
+fn read_model(path: &str) -> Result<TrainedModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_model(&bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Builds a dataset from XML files and directories.
@@ -422,6 +552,96 @@ mod tests {
         assert_eq!(lines.len(), 2, "{out}");
         assert!(!lines[0].ends_with("trash"), "{out}");
         assert!(lines[1].ends_with("trash"), "{out}");
+    }
+
+    #[test]
+    fn train_then_classify_round_trip() {
+        let dir = scratch("train");
+        write_corpus(&dir);
+        let model_path = dir.join("model.cxkmodel");
+
+        // --out alias must work wherever -o does.
+        let out = train(&args(&[
+            dir.to_str().unwrap().to_string(),
+            "--out".into(),
+            model_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--gamma".into(),
+            "0.5".into(),
+            "--seed".into(),
+            "1".into(),
+        ]))
+        .expect("train");
+        assert!(out.contains("trained k=2"), "{out}");
+        assert!(out.contains("2 representatives"), "{out}");
+        assert!(model_path.exists());
+
+        // Classify a fresh mining-flavored document and a clear alien.
+        let fresh = scratch("train-new");
+        std::fs::write(
+            fresh.join("new0.xml"),
+            r#"<dblp><inproceedings key="m9"><author>A. Miner</author><title>clustering mining new patterns</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+        )
+        .unwrap();
+        std::fs::write(
+            fresh.join("new1.xml"),
+            r#"<recipes><recipe id="r1"><chef>Q. Cook</chef><dish>braised stew</dish></recipe></recipes>"#,
+        )
+        .unwrap();
+        for brute in [false, true] {
+            let mut cmd = vec![
+                model_path.to_str().unwrap().to_string(),
+                fresh.to_str().unwrap().to_string(),
+            ];
+            if brute {
+                cmd.push("--brute".into());
+            }
+            let out = classify(&args(&cmd)).expect("classify");
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 2, "{out}");
+            let cluster_of = |row: &str| row.split('\t').nth(1).unwrap().to_string();
+            assert_ne!(cluster_of(lines[0]), "trash", "{out}");
+            assert_eq!(cluster_of(lines[1]), "trash", "{out}");
+        }
+    }
+
+    #[test]
+    fn train_and_classify_errors() {
+        let dir = scratch("train-errors");
+        write_corpus(&dir);
+        let dir_arg = dir.to_str().unwrap().to_string();
+        assert!(train(std::slice::from_ref(&dir_arg))
+            .unwrap_err()
+            .contains("-o"));
+        assert!(train(&args(&[
+            dir_arg.clone(),
+            "-o".into(),
+            dir.join("m.cxkmodel").to_str().unwrap().to_string(),
+            "--k".into(),
+            "0".into()
+        ]))
+        .unwrap_err()
+        .contains("--k"));
+        assert!(classify(&args(&[])).is_err());
+        // A dataset file is not a model snapshot.
+        let ds_path = dir.join("corpus.cxkds");
+        build(&args(&[
+            dir_arg.clone(),
+            "-o".into(),
+            ds_path.to_str().unwrap().to_string(),
+        ]))
+        .unwrap();
+        let e = classify(&args(&[
+            ds_path.to_str().unwrap().to_string(),
+            dir_arg.clone(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("model load error"), "{e}");
+        assert!(serve(&args(&["/nonexistent.cxkmodel".into()]))
+            .unwrap_err()
+            .contains("cannot read"));
+        assert!(serve(&args(&[])).unwrap_err().contains("exactly one"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 1] = ["quiet"];
+const BOOLEAN_FLAGS: [&str; 2] = ["quiet", "brute"];
 
 impl Parsed {
     /// Parses `args`.
@@ -51,6 +51,15 @@ impl Parsed {
     /// Whether a boolean flag is present.
     pub fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The output path: `-o` or its long alias `--out` (last one wins).
+    pub fn output(&self) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == "o" || n == "out")
+            .and_then(|(_, v)| v.as_deref())
     }
 
     /// The last value of a string flag.
@@ -121,5 +130,25 @@ mod tests {
     fn repeated_flag_keeps_last() {
         let p = Parsed::parse(&args(&["--k", "2", "--k", "5"])).unwrap();
         assert_eq!(p.get::<usize>("k", 1).unwrap(), 5);
+    }
+
+    #[test]
+    fn out_aliases_o() {
+        assert_eq!(
+            Parsed::parse(&args(&["--out", "x"])).unwrap().output(),
+            Some("x")
+        );
+        assert_eq!(
+            Parsed::parse(&args(&["-o", "y"])).unwrap().output(),
+            Some("y")
+        );
+        // Last one wins across both spellings.
+        assert_eq!(
+            Parsed::parse(&args(&["-o", "y", "--out", "z"]))
+                .unwrap()
+                .output(),
+            Some("z")
+        );
+        assert_eq!(Parsed::parse(&args(&[])).unwrap().output(), None);
     }
 }

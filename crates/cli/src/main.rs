@@ -5,13 +5,18 @@
 //! cxk info   dataset.cxkds                          # corpus statistics
 //! cxk cluster dataset.cxkds --k 4 --f 0.5 --gamma 0.7 --m 3
 //! cxk cluster docs/ --k 8                           # directly from XML
+//! cxk train  docs/ --k 4 -o model.cxkmodel          # cluster + snapshot
+//! cxk classify model.cxkmodel new-doc.xml           # assign new documents
+//! cxk serve  model.cxkmodel --port 7070 --threads 8 # classification server
 //! ```
 //!
-//! `build`/`cluster` accept XML file paths and directories (scanned for
-//! `*.xml`); `info` and `cluster` also accept a saved `.cxkds` dataset.
-//! Clustering prints one `transaction ⟨TAB⟩ document ⟨TAB⟩ cluster` row
-//! per transaction (cluster `trash` is the `(k+1)`-th cluster of the
-//! paper) followed by a `#`-prefixed summary.
+//! `build`/`cluster`/`train` accept XML file paths and directories (scanned
+//! for `*.xml`); `info`, `cluster` and `train` also accept a saved
+//! `.cxkds` dataset. Clustering prints one
+//! `transaction ⟨TAB⟩ document ⟨TAB⟩ cluster` row per transaction (cluster
+//! `trash` is the `(k+1)`-th cluster of the paper) followed by a
+//! `#`-prefixed summary. Everywhere an output path is taken, `-o` and
+//! `--out` are interchangeable.
 
 mod commands;
 mod flags;
@@ -19,17 +24,26 @@ mod flags;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cxk <command> [args]
+usage: cxk <command> [args]   (cxk --help | cxk --version)
 
 commands:
-  build   <xml-file|dir>... -o <out.cxkds>    preprocess XML into a dataset
-  info    <dataset.cxkds | xml-file|dir>...   print corpus statistics
-  cluster <dataset.cxkds | xml-file|dir>...   cluster transactions
-          [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
-          [--algorithm cxk|pk|vsm] [--quiet]
-  assign  --base <xml-file|dir> --new <xml-file|dir>
-          [--k N] [--f 0.5] [--gamma 0.7] [--seed 0]
-          assign arriving documents to a base clustering
+  build    <xml-file|dir>... -o <out.cxkds>    preprocess XML into a dataset
+  info     <dataset.cxkds | xml-file|dir>...   print corpus statistics
+  cluster  <dataset.cxkds | xml-file|dir>...   cluster transactions
+           [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
+           [--algorithm cxk|pk|vsm] [--quiet]
+  assign   --base <xml-file|dir> --new <xml-file|dir>
+           [--k N] [--f 0.5] [--gamma 0.7] [--seed 0]
+           assign arriving documents to a base clustering
+  train    <dataset.cxkds | xml-file|dir>... -o <model.cxkmodel>
+           [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
+           cluster and snapshot a servable model
+  classify <model.cxkmodel> <xml-file|dir>... [--brute]
+           assign new documents to a trained model's clusters
+  serve    <model.cxkmodel> [--port 7070] [--threads 4] [--brute]
+           run the HTTP classification server (POST /classify)
+
+`-o` and `--out` are interchangeable wherever an output path is taken.
 ";
 
 fn main() -> ExitCode {
@@ -56,7 +70,11 @@ fn run(args: &[String]) -> Result<String, String> {
         "info" => commands::info(rest),
         "cluster" => commands::cluster(rest),
         "assign" => commands::assign(rest),
+        "train" => commands::train(rest),
+        "classify" => commands::classify(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "version" | "--version" | "-V" => Ok(format!("cxk {}\n", env!("CARGO_PKG_VERSION"))),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     }
 }
@@ -84,5 +102,19 @@ mod tests {
     fn unknown_command_errors() {
         let e = run(&args(&["frobnicate"])).unwrap_err();
         assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn top_level_help_and_version() {
+        for spelling in ["--help", "-h", "help"] {
+            let out = run(&args(&[spelling])).expect("help works");
+            assert!(out.contains("usage: cxk"), "{spelling}: {out}");
+            assert!(out.contains("train"), "{spelling} lists train: {out}");
+            assert!(out.contains("serve"), "{spelling} lists serve: {out}");
+        }
+        for spelling in ["--version", "-V", "version"] {
+            let out = run(&args(&[spelling])).expect("version works");
+            assert_eq!(out, format!("cxk {}\n", env!("CARGO_PKG_VERSION")));
+        }
     }
 }

@@ -1,13 +1,19 @@
 //! Offline stand-in for [crossbeam-channel](https://docs.rs/crossbeam-channel)
-//! backed by `std::sync::mpsc`. Provides the unbounded MPSC surface the
-//! `cxk_p2p` network uses — `unbounded`, cloneable [`Sender`], [`Receiver`]
-//! with blocking / timed / non-blocking receive — with crossbeam's error
-//! types. (`select!` and bounded channels are not needed and not provided.)
+//! backed by a `Mutex<VecDeque>` + `Condvar`. Provides the unbounded MPMC
+//! surface the `cxk_p2p` network and the `cxk_serve` worker pool use —
+//! `unbounded`, cloneable [`Sender`] *and* [`Receiver`] with blocking /
+//! timed / non-blocking receive — with crossbeam's error types. Each
+//! message is delivered to exactly one receiver clone, and the lock is
+//! never held across a blocking wait, so `try_recv` returns immediately
+//! and `recv_timeout` honors its deadline even while other clones are
+//! parked in `recv()` (the contracts real crossbeam guarantees).
+//! (`select!` and bounded channels are not needed and not provided.)
 
 #![warn(missing_docs)]
 
-use std::sync::mpsc;
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] when the receiver has disconnected;
 /// carries the unsent message.
@@ -36,60 +42,156 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// State shared by every sender and receiver clone.
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    /// Signaled on every send and on the last sender disconnecting.
+    available: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    senders: usize,
+}
+
+impl<T> Shared<T> {
+    /// A poisoned mutex only means another clone panicked mid-operation,
+    /// which cannot leave the queue inconsistent.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 /// The sending half of an unbounded channel. Cloneable.
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
         Self {
-            inner: self.inner.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            // Wake every parked receiver so it can observe disconnection.
+            self.shared.available.notify_all();
         }
     }
 }
 
 impl<T> Sender<T> {
     /// Sends `msg`, never blocking (the channel is unbounded).
+    ///
+    /// Like crossbeam, sending only fails once every receiver is gone;
+    /// this shim's workspace consumers keep a receiver alive for the
+    /// channel's lifetime, so the check is on the `Arc` count.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(m)| SendError(m))
+        let mut inner = self.shared.lock();
+        if Arc::strong_count(&self.shared) == inner.senders {
+            // Only senders hold the shared state: no receiver remains.
+            return Err(SendError(msg));
+        }
+        inner.items.push_back(msg);
+        drop(inner);
+        self.shared.available.notify_one();
+        Ok(())
     }
 }
 
-/// The receiving half of an unbounded channel.
+/// The receiving half of an unbounded channel. Cloneable; clones compete
+/// for messages (each message is received by exactly one clone).
 pub struct Receiver<T> {
-    inner: mpsc::Receiver<T>,
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
 }
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives or every sender disconnects.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv().map_err(|_| RecvError)
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.items.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Blocks for at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.inner.recv_timeout(timeout).map_err(|e| match e {
-            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
-            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-        })
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(msg) = inner.items.pop_front() {
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .shared
+                .available
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if result.timed_out() && inner.items.is_empty() && inner.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
     }
 
     /// Returns immediately with a message if one is queued.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv().map_err(|e| match e {
-            mpsc::TryRecvError::Empty => TryRecvError::Empty,
-            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-        })
+        let mut inner = self.shared.lock();
+        match inner.items.pop_front() {
+            Some(msg) => Ok(msg),
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
     }
 }
 
 /// Creates an unbounded channel, returning the `(sender, receiver)` pair.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            items: VecDeque::new(),
+            senders: 1,
+        }),
+        available: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
 }
 
 #[cfg(test)]
@@ -112,6 +214,63 @@ mod tests {
         let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn cloned_receivers_compete_for_messages() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        // Each message is delivered to exactly one clone.
+        let mut got = Vec::new();
+        while let Ok(v) = if got.len() % 2 == 0 {
+            rx.try_recv()
+        } else {
+            rx2.try_recv()
+        } {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_stays_nonblocking_while_a_clone_is_parked_in_recv() {
+        let (tx, rx) = unbounded::<u8>();
+        let parked = rx.clone();
+        let handle = std::thread::spawn(move || parked.recv());
+        // Give the spawned clone time to park inside recv().
+        std::thread::sleep(Duration::from_millis(30));
+
+        // try_recv must return immediately and recv_timeout must honor its
+        // deadline even though another clone holds a blocking receive.
+        let start = std::time::Instant::now();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "non-blocking calls must not wait for the parked clone"
+        );
+
+        tx.send(9).unwrap();
+        assert_eq!(handle.join().unwrap(), Ok(9));
+    }
+
+    #[test]
+    fn send_fails_once_every_receiver_is_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        let rx2 = rx.clone();
+        drop(rx);
+        tx.send(1).expect("one receiver clone still alive");
+        assert_eq!(rx2.try_recv(), Ok(1));
+        drop(rx2);
+        assert_eq!(tx.send(2), Err(SendError(2)));
     }
 
     #[test]

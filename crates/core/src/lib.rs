@@ -29,6 +29,9 @@
 //! * [`churn`] — the collaborative protocol under peer departures and
 //!   rejoins (extension quantifying the §1.1 reliability claim).
 //! * [`outcome`] — shared result types.
+//! * [`model`] — servable model snapshots: the converged representatives
+//!   plus the frozen preprocessing context, with a versioned binary
+//!   save/load format (`*.cxkmodel`) consumed by `cxk_serve`.
 //!
 //! # Example
 //!
@@ -57,6 +60,7 @@ pub mod churn;
 pub mod cxk;
 pub mod globalrep;
 pub mod localrep;
+pub mod model;
 pub mod outcome;
 pub mod pkmeans;
 pub mod rep;
@@ -67,6 +71,7 @@ pub use churn::{run_collaborative_with_churn, ChurnEvent, ChurnOutcome, ChurnSch
 pub use cxk::{run_centralized, run_collaborative, CxkConfig};
 pub use globalrep::compute_global_representative;
 pub use localrep::{compute_local_representative, generate_tree_tuple};
+pub use model::{load_model, save_model, ModelError, TrainedModel, MODEL_FORMAT_VERSION};
 pub use outcome::{ClusteringOutcome, RoundTrace};
 pub use pkmeans::{run_pk_means, PkConfig};
 pub use rep::{conflate_items, RepItem, Representative};

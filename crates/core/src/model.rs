@@ -1,0 +1,557 @@
+//! Model snapshots — the servable artifact of a finished clustering run.
+//!
+//! The collaborative protocol ends with `k` converged global
+//! representatives, but a [`crate::ClusteringOutcome`] only records the
+//! partition of the *training* transactions. A [`TrainedModel`] captures
+//! everything an online classifier needs to place a *new* XML document into
+//! one of those clusters:
+//!
+//! * the `k` cluster [`Representative`]s in tree-tuple form,
+//! * the [`SimParams`] the model was trained with (`f` and `γ`),
+//! * the label and term interners plus the path table, so incoming
+//!   documents resolve their tags, paths and terms to the same symbols, and
+//! * the corpus-level `ttf.itf` statistics (`N_T`, per-term `n_{j,T}`), so
+//!   arriving TCUs are weighted against the *frozen* training collection —
+//!   the same approximation the streaming extension documents.
+//!
+//! [`save_model`] / [`load_model`] round-trip the model through a compact
+//! versioned binary format (conventionally stored as `*.cxkmodel`):
+//! little-endian fields, length-prefixed UTF-8 strings, `f64`s as raw IEEE
+//! bits so weights (and therefore synthetic fingerprints) survive
+//! bit-exactly, and a trailing FxHash checksum over the payload. The
+//! tag-path similarity table is *not* stored — it is derived state, rebuilt
+//! by consumers (`cxk_serve`) over the representative tag paths.
+
+use crate::localrep::compute_local_representative;
+use crate::outcome::ClusteringOutcome;
+use crate::rep::{RepItem, Representative};
+use cxk_text::{SparseVec, TermStatsBuilder};
+use cxk_transact::item::ItemId;
+use cxk_transact::{BuildOptions, Dataset, SimParams};
+use cxk_util::{FxHasher, Interner, Symbol};
+use cxk_xml::path::{PathId, PathTable};
+use std::hash::Hasher;
+
+/// Snapshot format magic bytes.
+const MAGIC: &[u8; 4] = b"CXKM";
+/// Current snapshot format version.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+/// Sentinel encoding `RepItem::source = None`.
+const NO_SOURCE: u32 = u32::MAX;
+
+/// A servable model: converged representatives plus the frozen
+/// preprocessing context of the training corpus.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// Similarity parameters (`f`, `γ`) the model was trained with.
+    pub params: SimParams,
+    /// Preprocessing options; classification must reuse them so incoming
+    /// documents are parsed, tokenized and tuple-limited like the corpus.
+    pub build: BuildOptions,
+    /// Label interner (tags, attribute names, `S`).
+    pub labels: Interner,
+    /// Term vocabulary.
+    pub vocabulary: Interner,
+    /// Interned complete and tag paths.
+    pub paths: PathTable,
+    /// The `k` cluster representatives (trash has none — it is the implicit
+    /// `(k+1)`-th cluster, id [`TrainedModel::trash_id`]).
+    pub reps: Vec<Representative>,
+    /// Frozen collection-level term statistics for `ttf.itf` weighting of
+    /// arriving TCUs.
+    pub term_stats: TermStatsBuilder,
+    /// Documents in the training corpus (metadata).
+    pub trained_documents: u64,
+    /// Transactions in the training corpus (metadata).
+    pub trained_transactions: u64,
+}
+
+impl TrainedModel {
+    /// Extracts a model from a finished clustering run: each proper cluster
+    /// of the final assignment is condensed into its representative (the
+    /// same `ComputeLocalRepresentative` the protocol's last round used —
+    /// with `m = 1` this *is* the converged global representative).
+    pub fn from_clustering(
+        ds: &Dataset,
+        outcome: &ClusteringOutcome,
+        params: SimParams,
+        build: BuildOptions,
+    ) -> Self {
+        let k = outcome.k;
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (t, &a) in outcome.assignments.iter().enumerate() {
+            if (a as usize) < k {
+                clusters[a as usize].push(t);
+            }
+        }
+        let ctx = ds.sim_ctx(params);
+        let mut work = 0u64;
+        let reps = clusters
+            .iter()
+            .map(|c| compute_local_representative(ds, &ctx, c, &mut work))
+            .collect();
+        Self {
+            params,
+            build,
+            labels: ds.labels.clone(),
+            vocabulary: ds.vocabulary.clone(),
+            paths: ds.paths.clone(),
+            reps,
+            term_stats: ds.term_stats.clone(),
+            trained_documents: ds.stats.documents as u64,
+            trained_transactions: ds.stats.transactions as u64,
+        }
+    }
+
+    /// Number of proper clusters `k`.
+    pub fn k(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// The trash cluster's id (`k`).
+    pub fn trash_id(&self) -> u32 {
+        self.reps.len() as u32
+    }
+
+    /// The distinct tag paths appearing in the representatives, sorted —
+    /// the base domain of the derived structural-similarity table.
+    pub fn rep_tag_paths(&self) -> Vec<PathId> {
+        let mut tag_paths: Vec<PathId> = self
+            .reps
+            .iter()
+            .flat_map(|r| r.items.iter().map(|i| i.tag_path))
+            .collect();
+        tag_paths.sort_unstable();
+        tag_paths.dedup();
+        tag_paths
+    }
+}
+
+/// Errors from [`load_model`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelError {
+    /// Byte offset where the problem was found.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model load error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write(payload);
+    hasher.finish()
+}
+
+/// Serializes a model to the versioned binary snapshot format.
+pub fn save_model(model: &TrainedModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, MODEL_FORMAT_VERSION);
+
+    put_f64(&mut out, model.params.f);
+    put_f64(&mut out, model.params.gamma);
+
+    out.push(u8::from(model.build.parse.keep_whitespace_text));
+    out.push(u8::from(model.build.parse.trim_text));
+    out.push(u8::from(model.build.parse.coalesce_text));
+    out.push(u8::from(model.build.pipeline.remove_stopwords));
+    out.push(u8::from(model.build.pipeline.stem));
+    put_u64(&mut out, model.build.limits.max_tuples_per_tree as u64);
+
+    put_u64(&mut out, model.trained_documents);
+    put_u64(&mut out, model.trained_transactions);
+
+    put_interner(&mut out, &model.labels);
+    put_interner(&mut out, &model.vocabulary);
+
+    put_u32(&mut out, model.paths.len() as u32);
+    for (_, labels) in model.paths.iter() {
+        put_u32(&mut out, labels.len() as u32);
+        for sym in labels {
+            put_u32(&mut out, sym.0);
+        }
+    }
+
+    put_u64(&mut out, model.term_stats.total_tcus());
+    put_u32(&mut out, model.term_stats.counts().len() as u32);
+    for &count in model.term_stats.counts() {
+        put_u64(&mut out, count);
+    }
+
+    put_u32(&mut out, model.reps.len() as u32);
+    for rep in &model.reps {
+        put_u32(&mut out, rep.items.len() as u32);
+        for item in &rep.items {
+            put_u32(&mut out, item.path.0);
+            put_u32(&mut out, item.tag_path.0);
+            put_u64(&mut out, item.fingerprint);
+            put_u32(&mut out, item.source.map_or(NO_SOURCE, |id| id.0));
+            put_u32(&mut out, item.vector.nnz() as u32);
+            for (term, weight) in item.vector.iter() {
+                put_u32(&mut out, term.0);
+                put_f64(&mut out, weight);
+            }
+        }
+    }
+
+    let digest = checksum(&out);
+    put_u64(&mut out, digest);
+    out
+}
+
+/// Deserializes a model snapshot, verifying the magic, version, checksum
+/// and the internal consistency of every id.
+pub fn load_model(bytes: &[u8]) -> Result<TrainedModel, ModelError> {
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(err(0, "truncated snapshot"));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if checksum(payload) != stored {
+        return Err(err(bytes.len() - 8, "checksum mismatch (corrupt snapshot)"));
+    }
+
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(err(0, "bad magic (not a .cxkmodel snapshot)"));
+    }
+    let version = r.u32()?;
+    if version != MODEL_FORMAT_VERSION {
+        return Err(err(
+            r.pos,
+            format!("unsupported format version {version} (expected {MODEL_FORMAT_VERSION})"),
+        ));
+    }
+
+    let f = r.f64()?;
+    let gamma = r.f64()?;
+    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
+        return Err(err(r.pos, "similarity parameters out of [0, 1]"));
+    }
+    let params = SimParams::new(f, gamma);
+
+    let mut build = BuildOptions::default();
+    build.parse.keep_whitespace_text = r.bool()?;
+    build.parse.trim_text = r.bool()?;
+    build.parse.coalesce_text = r.bool()?;
+    build.pipeline.remove_stopwords = r.bool()?;
+    build.pipeline.stem = r.bool()?;
+    build.limits.max_tuples_per_tree = r.u64()? as usize;
+
+    let trained_documents = r.u64()?;
+    let trained_transactions = r.u64()?;
+
+    let labels = r.interner()?;
+    let vocabulary = r.interner()?;
+
+    let path_count = r.len(4)?;
+    let mut paths = PathTable::new();
+    for _ in 0..path_count {
+        let len = r.len(4)?;
+        let mut symbols = Vec::with_capacity(len);
+        for _ in 0..len {
+            let sym = r.u32()?;
+            if sym as usize >= labels.len() {
+                return Err(err(r.pos, format!("path label symbol {sym} out of range")));
+            }
+            symbols.push(Symbol(sym));
+        }
+        paths.intern(&symbols);
+    }
+
+    let total_tcus = r.u64()?;
+    let count_len = r.len(8)?;
+    let mut counts = Vec::with_capacity(count_len);
+    for _ in 0..count_len {
+        counts.push(r.u64()?);
+    }
+    if counts.len() > vocabulary.len() {
+        return Err(err(r.pos, "term statistics exceed the vocabulary"));
+    }
+    let term_stats = TermStatsBuilder::from_parts(total_tcus, counts);
+
+    let k = r.len(4)?;
+    let mut reps = Vec::with_capacity(k);
+    for _ in 0..k {
+        let item_count = r.len(24)?;
+        let mut items = Vec::with_capacity(item_count);
+        for _ in 0..item_count {
+            let path = r.u32()?;
+            let tag_path = r.u32()?;
+            if path as usize >= paths.len() || tag_path as usize >= paths.len() {
+                return Err(err(r.pos, "representative item path id out of range"));
+            }
+            let fingerprint = r.u64()?;
+            let source = r.u32()?;
+            let nnz = r.len(12)?;
+            let mut pairs = Vec::with_capacity(nnz);
+            for _ in 0..nnz {
+                let term = r.u32()?;
+                if term as usize >= vocabulary.len() {
+                    return Err(err(r.pos, format!("vector term {term} out of range")));
+                }
+                pairs.push((Symbol(term), r.f64()?));
+            }
+            items.push(RepItem {
+                path: PathId(path),
+                tag_path: PathId(tag_path),
+                vector: SparseVec::from_pairs(pairs),
+                fingerprint,
+                source: (source != NO_SOURCE).then_some(ItemId(source)),
+            });
+        }
+        reps.push(Representative { items });
+    }
+
+    if r.pos != payload.len() {
+        return Err(err(r.pos, "trailing bytes after the representatives"));
+    }
+
+    Ok(TrainedModel {
+        params,
+        build,
+        labels,
+        vocabulary,
+        paths,
+        reps,
+        term_stats,
+        trained_documents,
+        trained_transactions,
+    })
+}
+
+fn err(offset: usize, message: impl Into<String>) -> ModelError {
+    ModelError {
+        offset,
+        message: message.into(),
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_interner(out: &mut Vec<u8>, interner: &Interner) {
+    put_u32(out, interner.len() as u32);
+    for (_, text) in interner.iter() {
+        put_u32(out, text.len() as u32);
+        out.extend_from_slice(text.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over the snapshot payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ModelError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| err(self.pos, "unexpected end of snapshot"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ModelError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ModelError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, ModelError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(err(self.pos - 1, format!("bad boolean byte {other}"))),
+        }
+    }
+
+    /// Reads an element count and sanity-checks it against the remaining
+    /// payload (`min_elem` bytes per element), so hostile counts cannot
+    /// trigger huge allocations.
+    fn len(&mut self, min_elem: usize) -> Result<usize, ModelError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_elem) > self.bytes.len() - self.pos {
+            return Err(err(self.pos, format!("count {count} exceeds the payload")));
+        }
+        Ok(count)
+    }
+
+    fn interner(&mut self) -> Result<Interner, ModelError> {
+        let count = self.len(4)?;
+        let mut interner = Interner::with_capacity(count);
+        for _ in 0..count {
+            let len = self.len(1)?;
+            let bytes = self.take(len)?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| err(self.pos, "interned string is not UTF-8"))?;
+            interner.intern(text);
+        }
+        Ok(interner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cxk::{run_centralized, CxkConfig};
+    use cxk_transact::DatasetBuilder;
+
+    fn trained() -> TrainedModel {
+        let docs = [
+            r#"<dblp><inproceedings key="m1"><author>A. Miner</author><title>mining clustering patterns trees</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><inproceedings key="m2"><author>A. Miner</author><title>frequent mining clustering streams</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><article key="n1"><author>B. Netter</author><title>routing congestion networks protocols</title><journal>Networking</journal></article></dblp>"#,
+            r#"<dblp><article key="n2"><author>B. Netter</author><title>packet routing networks latency</title><journal>Networking</journal></article></dblp>"#,
+        ];
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        for doc in docs {
+            builder.add_xml(doc).unwrap();
+        }
+        let ds = builder.finish();
+        let mut config = CxkConfig::new(2);
+        config.params = SimParams::new(0.5, 0.5);
+        config.seed = 1;
+        let outcome = run_centralized(&ds, &config);
+        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default())
+    }
+
+    fn assert_models_equal(a: &TrainedModel, b: &TrainedModel) {
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.reps.len(), b.reps.len());
+        for (ra, rb) in a.reps.iter().zip(&b.reps) {
+            assert_eq!(ra.items, rb.items, "items must round-trip bit-exactly");
+        }
+        assert_eq!(a.term_stats.total_tcus(), b.term_stats.total_tcus());
+        assert_eq!(a.term_stats.counts(), b.term_stats.counts());
+        assert_eq!(a.labels.len(), b.labels.len());
+        for (sym, text) in a.labels.iter() {
+            assert_eq!(b.labels.resolve(sym), text);
+        }
+        for (sym, text) in a.vocabulary.iter() {
+            assert_eq!(b.vocabulary.resolve(sym), text);
+        }
+        assert_eq!(a.paths.len(), b.paths.len());
+        for (id, labels) in a.paths.iter() {
+            assert_eq!(b.paths.resolve(id), labels);
+        }
+        assert_eq!(a.trained_documents, b.trained_documents);
+        assert_eq!(a.trained_transactions, b.trained_transactions);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let model = trained();
+        assert_eq!(model.k(), 2);
+        assert!(model.reps.iter().any(|r| !r.is_empty()));
+        let bytes = save_model(&model);
+        let loaded = load_model(&bytes).expect("loads");
+        assert_models_equal(&model, &loaded);
+    }
+
+    #[test]
+    fn from_clustering_covers_every_proper_cluster() {
+        let model = trained();
+        // Both topical clusters are populated, so both reps carry items.
+        assert!(model.reps.iter().all(|r| !r.is_empty()));
+        assert_eq!(model.trained_documents, 4);
+        assert_eq!(model.trash_id(), 2);
+        assert!(!model.rep_tag_paths().is_empty());
+    }
+
+    #[test]
+    fn rejects_corruption_and_truncation() {
+        let model = trained();
+        let bytes = save_model(&model);
+
+        // Flip one payload byte: the checksum must catch it.
+        let mut corrupt = bytes.clone();
+        corrupt[MAGIC.len() + 6] ^= 0xFF;
+        assert!(load_model(&corrupt)
+            .unwrap_err()
+            .message
+            .contains("checksum"));
+
+        // Truncation.
+        assert!(load_model(&bytes[..bytes.len() / 2]).is_err());
+        assert!(load_model(&[]).is_err());
+
+        // Wrong magic (checksum recomputed so the magic check itself fires).
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        let body_len = wrong.len() - 8;
+        let digest = checksum(&wrong[..body_len]);
+        wrong[body_len..].copy_from_slice(&digest.to_le_bytes());
+        assert!(load_model(&wrong).unwrap_err().message.contains("magic"));
+
+        // Unsupported version.
+        let mut vers = bytes;
+        vers[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = vers.len() - 8;
+        let digest = checksum(&vers[..body_len]);
+        vers[body_len..].copy_from_slice(&digest.to_le_bytes());
+        assert!(load_model(&vers).unwrap_err().message.contains("version"));
+    }
+
+    #[test]
+    fn empty_model_round_trips() {
+        let ds = DatasetBuilder::new(BuildOptions::default()).finish();
+        let outcome = ClusteringOutcome {
+            assignments: Vec::new(),
+            k: 3,
+            m: 1,
+            rounds: 0,
+            converged: true,
+            simulated_seconds: 0.0,
+            total_work: 0,
+            total_bytes: 0,
+            total_messages: 0,
+            per_round: Vec::new(),
+        };
+        let model = TrainedModel::from_clustering(
+            &ds,
+            &outcome,
+            SimParams::default(),
+            BuildOptions::default(),
+        );
+        assert_eq!(model.k(), 3);
+        assert!(model.reps.iter().all(Representative::is_empty));
+        let loaded = load_model(&save_model(&model)).expect("loads");
+        assert_models_equal(&model, &loaded);
+    }
+}

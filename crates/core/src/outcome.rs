@@ -1,4 +1,11 @@
 //! Shared result types for the clustering drivers.
+//!
+//! A run's durable artifact — the converged representatives plus the frozen
+//! preprocessing context — lives in [`crate::model`]; its snapshot APIs are
+//! re-exported here so `outcome` is the one-stop module for everything a
+//! finished run produces.
+
+pub use crate::model::{load_model, save_model, ModelError, TrainedModel};
 
 /// Per-round diagnostics.
 #[derive(Debug, Clone, Default)]

@@ -1,0 +1,481 @@
+//! Online classification of XML documents against a trained model.
+//!
+//! A [`Classifier`] owns a [`TrainedModel`] plus two pieces of derived
+//! state: the precomputed tag-path similarity table (extended lazily as
+//! unseen markup arrives, exactly like the streaming clusterer) and the
+//! [`TagPathIndex`] over the representatives. Classification mirrors the
+//! training pipeline with **frozen corpus statistics**: the incoming
+//! document is parsed, its tree tuples extracted, and every TCU weighted
+//! with `ttf.itf` against the training collection's `N_T` / `n_{j,T}` —
+//! the document does *not* join the collection, so classification is
+//! read-only with respect to the model's statistics and any arrival order
+//! of requests yields identical scores. (Unseen terms get `n_{j,T} = 0`
+//! and weight 0; unseen tags only ever exact-match themselves, so the
+//! symbols they intern into the classifier's private interners cannot
+//! affect similarities either.)
+//!
+//! Each tree tuple is assigned by the paper's relocation rule — argmax of
+//! `simγJ` over the representatives, trash when every similarity is zero —
+//! and the document aggregates its tuples by summed similarity per
+//! cluster. [`Classifier::classify`] consults the index first;
+//! [`Classifier::classify_brute`] scores every representative. The two are
+//! guaranteed to agree exactly (see `index` module docs).
+
+use crate::index::{Candidates, TagPathIndex};
+use cxk_core::rep::RepItem;
+use cxk_core::TrainedModel;
+use cxk_text::{preprocess, ttf_itf, SparseVec};
+use cxk_transact::item::{item_fingerprint, ItemView};
+use cxk_transact::txsim::sim_gamma_j;
+use cxk_transact::{SimCtx, TagPathSimTable};
+use cxk_util::{FxHashMap, FxHashSet, Symbol};
+use cxk_xml::parser::{parse_document, XmlError};
+use cxk_xml::path::{leaf_tag_path, PathId};
+use cxk_xml::tuple::extract_tree_tuples;
+
+/// Assignment of one tree tuple (transaction) of the document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleAssignment {
+    /// Cluster id; `k` is the trash cluster.
+    pub cluster: u32,
+    /// `simγJ` against the winning representative (0 for trash).
+    pub similarity: f64,
+    /// Representatives actually scored (≤ `k`; the index pruned the rest).
+    pub candidates: usize,
+}
+
+/// Document-level assignment: the aggregate over the document's tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentAssignment {
+    /// Winning cluster id; `k` (trash) when no tuple γ-matched anything.
+    pub cluster: u32,
+    /// Summed `simγJ` of the tuples assigned to the winning cluster.
+    pub score: f64,
+    /// Per-tuple assignments, in tree-tuple extraction order.
+    pub tuples: Vec<TupleAssignment>,
+}
+
+/// A classification session over a trained model.
+///
+/// The classifier is single-threaded by design (`&mut self`: its interners
+/// grow as unseen markup arrives); servers give each worker its own
+/// instance built from a shared model.
+pub struct Classifier {
+    model: TrainedModel,
+    tag_sim: TagPathSimTable,
+    /// The representatives' tag paths — the permanent base of `tag_sim`.
+    base_tag_paths: Vec<PathId>,
+    /// Tag paths currently covered by `tag_sim` (base + query paths seen
+    /// since the last reset).
+    known_tag_paths: FxHashSet<PathId>,
+    /// Cap on `known_tag_paths`: the `sim_S` table is dense (`P²` cells,
+    /// `O(P²·d²)` to rebuild), so a stream of documents with ever-fresh
+    /// markup must not grow it without bound. Past the cap the cache
+    /// resets to the base paths; re-arriving paths just re-enter it.
+    tag_path_cap: usize,
+    index: TagPathIndex,
+}
+
+impl Classifier {
+    /// Builds the derived state (similarity table over the representative
+    /// tag paths, inverted index) for `model`.
+    pub fn new(model: TrainedModel) -> Self {
+        let rep_tag_paths = model.rep_tag_paths();
+        let tag_sim = TagPathSimTable::build(&rep_tag_paths, &model.paths);
+        let index = TagPathIndex::build(&model.reps, &model.paths, model.params);
+        Self {
+            tag_sim,
+            known_tag_paths: rep_tag_paths.iter().copied().collect(),
+            tag_path_cap: (rep_tag_paths.len() * 4).max(1024),
+            base_tag_paths: rep_tag_paths,
+            model,
+            index,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The inverted index (diagnostics).
+    pub fn index(&self) -> &TagPathIndex {
+        &self.index
+    }
+
+    /// Number of proper clusters `k`.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// The trash cluster's id (`k`).
+    pub fn trash_id(&self) -> u32 {
+        self.model.trash_id()
+    }
+
+    /// Classifies one XML document using the inverted index.
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the classifier stays usable.
+    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        self.classify_impl(xml, true)
+    }
+
+    /// Classifies one XML document scoring every representative (the
+    /// reference the index must agree with).
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the classifier stays usable.
+    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        self.classify_impl(xml, false)
+    }
+
+    fn classify_impl(&mut self, xml: &str, indexed: bool) -> Result<DocumentAssignment, XmlError> {
+        let tuples = self.extract_query(xml)?;
+        let k = self.model.k();
+        let ctx = SimCtx::new(&self.tag_sim, self.model.params);
+        let rep_views: Vec<Vec<ItemView<'_>>> = self.model.reps.iter().map(|r| r.views()).collect();
+
+        let mut assignments = Vec::with_capacity(tuples.len());
+        for tuple in &tuples {
+            let views: Vec<ItemView<'_>> = tuple.iter().map(RepItem::view).collect();
+            let candidates = if indexed {
+                self.index.candidates(&views, &self.model.paths)
+            } else {
+                Candidates::All
+            };
+            let ids = candidates.ids(k);
+            let mut best_j = k as u32;
+            let mut best_s = 0.0f64;
+            for &j in &ids {
+                let s = sim_gamma_j(&ctx, &views, &rep_views[j as usize]);
+                if s > best_s {
+                    best_s = s;
+                    best_j = j;
+                }
+            }
+            let cluster = if best_s == 0.0 { k as u32 } else { best_j };
+            assignments.push(TupleAssignment {
+                cluster,
+                similarity: best_s,
+                candidates: ids.len(),
+            });
+        }
+
+        // Document aggregate: summed similarity per proper cluster, ties to
+        // the lowest id; all-trash documents are trash.
+        let mut totals = vec![0.0f64; k];
+        for t in &assignments {
+            if (t.cluster as usize) < k {
+                totals[t.cluster as usize] += t.similarity;
+            }
+        }
+        let mut cluster = k as u32;
+        let mut score = 0.0f64;
+        for (j, &total) in totals.iter().enumerate() {
+            if total > score {
+                score = total;
+                cluster = j as u32;
+            }
+        }
+        Ok(DocumentAssignment {
+            cluster,
+            score,
+            tuples: assignments,
+        })
+    }
+
+    /// Parses `xml` and produces its query transactions: per tree tuple, a
+    /// list of items weighted against the frozen corpus statistics.
+    fn extract_query(&mut self, xml: &str) -> Result<Vec<Vec<RepItem>>, XmlError> {
+        let model = &mut self.model;
+        let tree = parse_document(xml, &mut model.labels, &model.build.parse)?;
+        let tuples = extract_tree_tuples(&tree, &model.build.limits);
+
+        // Per-leaf preprocessing, mirroring the batch builder.
+        struct Leaf {
+            path: PathId,
+            tag_path: PathId,
+            raw: String,
+            terms: Vec<Symbol>,
+            distinct: Vec<Symbol>,
+        }
+        let mut leaves: Vec<Leaf> = Vec::new();
+        let mut leaf_index: FxHashMap<cxk_xml::tree::NodeId, u32> = FxHashMap::default();
+        let mut term_doc_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+        let mut new_tag_paths = false;
+        for leaf in tree.leaves() {
+            let complete = tree.label_path(leaf);
+            let path = model.paths.intern(&complete);
+            let tag = leaf_tag_path(&tree, leaf);
+            let tag_path = model.paths.intern(&tag);
+            new_tag_paths |= self.known_tag_paths.insert(tag_path);
+            let raw = tree.node(leaf).value().unwrap_or_default().to_string();
+            let terms = preprocess(&raw, &mut model.vocabulary, &model.build.pipeline);
+            let mut distinct = terms.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            // The document does NOT join the collection statistics — but
+            // its own document-level counts participate in ttf.itf.
+            for &t in &distinct {
+                *term_doc_counts.entry(t).or_insert(0) += 1;
+            }
+            leaf_index.insert(leaf, leaves.len() as u32);
+            leaves.push(Leaf {
+                path,
+                tag_path,
+                raw,
+                terms,
+                distinct,
+            });
+        }
+
+        if new_tag_paths {
+            // Unseen markup: extend the precomputed structural table so
+            // sim_S lookups cover the query paths (the index is over the
+            // representatives only and needs no rebuild).
+            if self.known_tag_paths.len() > self.tag_path_cap {
+                // Past the cap, restart the cache from the representatives'
+                // paths plus this request's — scores are unaffected (the
+                // table always covers rep × query pairs; evicted paths
+                // simply rebuild on their next appearance).
+                self.known_tag_paths = self.base_tag_paths.iter().copied().collect();
+                self.known_tag_paths
+                    .extend(leaves.iter().map(|l| l.tag_path));
+            }
+            let mut all: Vec<PathId> = self.known_tag_paths.iter().copied().collect();
+            all.sort_unstable();
+            self.tag_sim = TagPathSimTable::build(&all, &model.paths);
+        }
+
+        let n_xt = leaves.len() as u32;
+        let n_t = model.term_stats.total_tcus();
+
+        // Document-wide item domain keyed by (path, answer), averaging the
+        // ttf.itf weights over the item's occurrences within the document —
+        // the batch builder's reconciliation scoped to one document.
+        let mut domain: FxHashMap<(PathId, Box<str>), u32> = FxHashMap::default();
+        struct QueryItem {
+            item: RepItem,
+            acc: FxHashMap<Symbol, f64>,
+            occurrences: u32,
+        }
+        let mut items: Vec<QueryItem> = Vec::new();
+        let mut tuple_item_ids: Vec<Vec<u32>> = Vec::with_capacity(tuples.len());
+
+        for tuple in &tuples {
+            let n_tau = tuple.leaves.len() as u32;
+            let mut tuple_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+            for leaf in &tuple.leaves {
+                let li = leaf_index[leaf] as usize;
+                for &t in &leaves[li].distinct {
+                    *tuple_counts.entry(t).or_insert(0) += 1;
+                }
+            }
+
+            let mut ids: Vec<u32> = Vec::with_capacity(tuple.leaves.len());
+            for leaf in &tuple.leaves {
+                let li = leaf_index[leaf] as usize;
+                let leaf_data = &leaves[li];
+                let key = (leaf_data.path, leaf_data.raw.clone().into_boxed_str());
+                let id = *domain.entry(key).or_insert_with(|| {
+                    items.push(QueryItem {
+                        item: RepItem {
+                            path: leaf_data.path,
+                            tag_path: leaf_data.tag_path,
+                            vector: SparseVec::new(),
+                            fingerprint: item_fingerprint(leaf_data.path, &leaf_data.raw),
+                            source: None,
+                        },
+                        acc: FxHashMap::default(),
+                        occurrences: 0,
+                    });
+                    (items.len() - 1) as u32
+                });
+                ids.push(id);
+
+                let entry = &mut items[id as usize];
+                entry.occurrences += 1;
+                let mut tf: FxHashMap<Symbol, u32> = FxHashMap::default();
+                for &t in &leaf_data.terms {
+                    *tf.entry(t).or_insert(0) += 1;
+                }
+                for (&term, &count) in &tf {
+                    let nj_tau = tuple_counts.get(&term).copied().unwrap_or(0);
+                    let nj_xt = term_doc_counts.get(&term).copied().unwrap_or(0);
+                    let nj_t = model.term_stats.tcus_containing(term);
+                    let w = ttf_itf(count, nj_tau, n_tau, nj_xt, n_xt, nj_t, n_t);
+                    *entry.acc.entry(term).or_insert(0.0) += w;
+                }
+            }
+            tuple_item_ids.push(ids);
+        }
+
+        let items: Vec<RepItem> = items
+            .into_iter()
+            .map(|q| {
+                let n = f64::from(q.occurrences.max(1));
+                let pairs: Vec<(Symbol, f64)> = q.acc.iter().map(|(&t, &w)| (t, w / n)).collect();
+                RepItem {
+                    vector: SparseVec::from_pairs(pairs),
+                    ..q.item
+                }
+            })
+            .collect();
+
+        Ok(tuple_item_ids
+            .into_iter()
+            .map(|ids| {
+                // Transactions are item *sets*: deduplicate repeated items.
+                let mut seen: FxHashSet<u32> = FxHashSet::default();
+                ids.into_iter()
+                    .filter(|&id| seen.insert(id))
+                    .map(|id| items[id as usize].clone())
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+    use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+
+    fn mining_doc(i: usize) -> String {
+        let titles = [
+            "mining frequent patterns clustering trees",
+            "clustering transactional data mining streams",
+            "frequent subtree mining patterns forest",
+            "partitional clustering centroids mining",
+            "itemset mining patterns association clustering",
+            "tree mining clustering xml patterns",
+        ];
+        format!(
+            r#"<dblp><inproceedings key="m{i}"><author>A. Miner</author><title>{}</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            titles[i % titles.len()]
+        )
+    }
+
+    fn networking_doc(i: usize) -> String {
+        let titles = [
+            "routing congestion protocols networks",
+            "packet routing networks latency congestion",
+            "congestion control protocols bandwidth networks",
+            "network routing topology protocols packets",
+            "wireless networks routing protocols handoff",
+            "multicast routing networks congestion packets",
+        ];
+        format!(
+            r#"<dblp><article key="n{i}"><author>B. Netter</author><title>{}</title><journal>Networking</journal></article></dblp>"#,
+            titles[i % titles.len()]
+        )
+    }
+
+    fn model() -> TrainedModel {
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        for i in 0..6 {
+            builder.add_xml(&mining_doc(i)).unwrap();
+        }
+        for i in 0..6 {
+            builder.add_xml(&networking_doc(i)).unwrap();
+        }
+        let ds = builder.finish();
+        let mut config = CxkConfig::new(2);
+        config.params = SimParams::new(0.5, 0.6);
+        config.seed = 7;
+        let outcome = run_centralized(&ds, &config);
+        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default())
+    }
+
+    #[test]
+    fn classifies_into_the_topical_cluster() {
+        let mut c = Classifier::new(model());
+        let mining = c.classify(&mining_doc(17)).expect("classify");
+        let networking = c.classify(&networking_doc(17)).expect("classify");
+        assert_ne!(mining.cluster, c.trash_id());
+        assert_ne!(networking.cluster, c.trash_id());
+        assert_ne!(mining.cluster, networking.cluster);
+        assert!(mining.score > 0.0);
+        assert!(!mining.tuples.is_empty());
+    }
+
+    #[test]
+    fn indexed_matches_brute_force_exactly() {
+        let mut c = Classifier::new(model());
+        let docs = [
+            mining_doc(9),
+            networking_doc(9),
+            r#"<recipes><recipe id="r1"><chef>Q. Cook</chef><dish>braised seitan stew</dish></recipe></recipes>"#.to_string(),
+        ];
+        for doc in &docs {
+            let indexed = c.classify(doc).expect("indexed");
+            let brute = c.classify_brute(doc).expect("brute");
+            assert_eq!(indexed.cluster, brute.cluster, "{doc}");
+            assert_eq!(indexed.score, brute.score, "bit-for-bit: {doc}");
+            assert_eq!(indexed.tuples.len(), brute.tuples.len());
+            for (a, b) in indexed.tuples.iter().zip(&brute.tuples) {
+                assert_eq!(a.cluster, b.cluster);
+                assert_eq!(a.similarity, b.similarity);
+                assert!(a.candidates <= b.candidates);
+            }
+        }
+    }
+
+    #[test]
+    fn alien_document_is_trash_and_pruned_to_nothing() {
+        let mut c = Classifier::new(model());
+        let alien = r#"<menu><entree id="e1"><flavor>umami</flavor></entree></menu>"#;
+        let report = c.classify(alien).expect("classify");
+        assert_eq!(report.cluster, c.trash_id());
+        assert_eq!(report.score, 0.0);
+        // Nothing shares a tag or a term with the bibliographic model: the
+        // index prunes every representative.
+        assert!(report.tuples.iter().all(|t| t.candidates == 0));
+    }
+
+    #[test]
+    fn unseen_markup_does_not_poison_later_requests() {
+        let mut c = Classifier::new(model());
+        let before = c.classify(&mining_doc(3)).unwrap();
+        // An alien document interns new labels, paths and terms…
+        let _ = c
+            .classify(r#"<menu><entree id="e1"><flavor>umami braised</flavor></entree></menu>"#)
+            .unwrap();
+        // …and the same mining document still scores identically.
+        let after = c.classify(&mining_doc(3)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn tag_path_cache_stays_bounded_under_ever_fresh_markup() {
+        let mut c = Classifier::new(model());
+        c.tag_path_cap = 8; // shrink so the test exercises the reset cheaply
+        let before = c.classify(&mining_doc(1)).unwrap();
+        // A hostile stream where every document invents new markup must not
+        // grow the dense sim_S table without bound.
+        for i in 0..50 {
+            let doc = format!("<r{i}><leaf{i}>word{i}</leaf{i}></r{i}>");
+            let report = c.classify(&doc).unwrap();
+            assert_eq!(report.cluster, c.trash_id());
+            assert!(
+                c.known_tag_paths.len() <= c.tag_path_cap + 4,
+                "cache must reset: {} paths after doc {i}",
+                c.known_tag_paths.len()
+            );
+        }
+        // Evicted paths re-enter on their next appearance with identical
+        // scores.
+        let after = c.classify(&mining_doc(1)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn parse_errors_leave_the_classifier_usable() {
+        let mut c = Classifier::new(model());
+        assert!(c.classify("<broken><xml>").is_err());
+        let report = c.classify(&mining_doc(0)).expect("still works");
+        assert_ne!(report.cluster, c.trash_id());
+    }
+}

@@ -1,0 +1,452 @@
+//! A minimal multi-threaded HTTP/1.1 classification server.
+//!
+//! No external dependencies: `std::net::TcpListener` accepts connections
+//! and hands them to a fixed pool of worker threads over a
+//! `crossbeam-channel`; each worker owns its **own** [`Classifier`] built
+//! from the shared model, so request handling is lock-free (the classifier
+//! needs `&mut self` because its interners grow with unseen markup — per
+//! the `classify` module docs that growth never changes scores).
+//!
+//! Endpoints (responses are JSON, `Connection: close`):
+//!
+//! * `POST /classify` — body: one XML document. `200` with the document's
+//!   cluster, score and per-tuple assignments; `400` on malformed XML.
+//! * `GET /model` — model metadata (k, parameters, sizes).
+//! * `GET /stats` — server counters (requests, classifications, errors,
+//!   trash rate) and index diagnostics.
+//!
+//! The protocol subset is deliberately tiny: request line + headers,
+//! `Content-Length` bodies only (no chunked encoding, no keep-alive). The
+//! point is a dependency-free serving path whose throughput the
+//! `serve_throughput` bench bin can measure; a production transport is a
+//! ROADMAP item.
+
+use crate::classify::{Classifier, DocumentAssignment};
+use cxk_core::{TrainedModel, MODEL_FORMAT_VERSION};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Upper bound on accepted request bodies (64 MiB), so a hostile
+/// `Content-Length` cannot exhaust memory.
+const MAX_BODY_BYTES: u64 = 64 << 20;
+
+/// Upper bound on the request line plus all headers (16 KiB). Without it a
+/// client sending an endless header stream would grow worker memory
+/// without bound — `MAX_BODY_BYTES` only constrains the declared body.
+const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads (each with its own classifier). Clamped to ≥ 1.
+    pub threads: usize,
+    /// Score every representative instead of consulting the index
+    /// (diagnostics / benchmarking the index's benefit).
+    pub brute_force: bool,
+    /// Per-connection read/write timeout. An idle or trickling client
+    /// would otherwise pin its worker forever (and block shutdown).
+    pub io_timeout: std::time::Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            brute_force: false,
+            io_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+/// Monotonic server counters, shared by all workers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// HTTP requests accepted (including malformed ones).
+    pub requests: AtomicU64,
+    /// Successful classifications.
+    pub classified: AtomicU64,
+    /// Classifications that landed in the trash cluster.
+    pub trash: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+}
+
+/// A running classification server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `("127.0.0.1", 0)` for an ephemeral port) and
+    /// starts the acceptor plus `opts.threads` workers.
+    ///
+    /// # Errors
+    /// Returns the bind error.
+    pub fn start(
+        model: TrainedModel,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let threads = opts.threads.max(1);
+
+        let (tx, rx) = crossbeam_channel::unbounded::<TcpStream>();
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let model = model.clone();
+            let stats = Arc::clone(&stats);
+            let brute = opts.brute_force;
+            let io_timeout = opts.io_timeout;
+            workers.push(std::thread::spawn(move || {
+                let mut classifier = Classifier::new(model);
+                while let Ok(stream) = rx.recv() {
+                    // A slow or idle client must not pin this worker: cap
+                    // every read and write. Zero would mean "no timeout"
+                    // to the socket API, so clamp it away.
+                    let timeout = Some(io_timeout.max(std::time::Duration::from_millis(1)));
+                    let _ = stream.set_read_timeout(timeout);
+                    let _ = stream.set_write_timeout(timeout);
+                    handle_connection(stream, &mut classifier, &stats, brute);
+                }
+            }));
+        }
+        drop(rx);
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // Workers all exited only after tx is dropped; a
+                        // send can't fail while this loop runs.
+                        let _ = tx.send(stream);
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            stats,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the counters: `(requests, classified, trash, errors)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.stats.requests.load(Ordering::Relaxed),
+            self.stats.classified.load(Ordering::Relaxed),
+            self.stats.trash.load(Ordering::Relaxed),
+            self.stats.errors.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Blocks until the server shuts down (for a foreground `cxk serve`).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Stops accepting, drains in-flight work and joins every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort: a dropped (not shut down) server stops accepting.
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Parsed request head.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one `\n`-terminated line, failing once the head budget is spent —
+/// `BufReader::read_line` alone would buffer a newline-free byte stream
+/// without bound.
+fn read_line_capped(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    what: &str,
+) -> Result<String, String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if *budget == 0 {
+                    return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(format!("read {what}: {e}")),
+        }
+    }
+    String::from_utf8(line).map_err(|_| format!("{what} is not UTF-8"))
+}
+
+/// Reads one HTTP/1.1 request (head + `Content-Length` body).
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut budget = MAX_HEAD_BYTES;
+    let line = read_line_capped(&mut reader, &mut budget, "request line")?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".into());
+    }
+
+    let mut content_length = 0u64;
+    loop {
+        let header = read_line_capped(&mut reader, &mut budget, "header")?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body exceeds {MAX_BODY_BYTES} bytes"));
+    }
+
+    let mut body = vec![0u8; content_length as usize];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("read body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
+    let tuples: Vec<String> = report
+        .tuples
+        .iter()
+        .map(|t| {
+            format!(
+                r#"{{"cluster":{},"trash":{},"similarity":{},"candidates":{}}}"#,
+                t.cluster,
+                t.cluster == trash_id,
+                t.similarity,
+                t.candidates
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"cluster":{},"trash":{},"score":{},"tuples":[{}]}}"#,
+        report.cluster,
+        report.cluster == trash_id,
+        report.score,
+        tuples.join(",")
+    )
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    classifier: &mut Classifier,
+    stats: &ServerStats,
+    brute: bool,
+) {
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(message) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
+            respond(&mut stream, "400 Bad Request", &body);
+            return;
+        }
+    };
+
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/classify") => {
+            let xml = match std::str::from_utf8(&request.body) {
+                Ok(xml) => xml,
+                Err(_) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        &mut stream,
+                        "400 Bad Request",
+                        r#"{"error":"body is not UTF-8"}"#,
+                    );
+                    return;
+                }
+            };
+            let result = if brute {
+                classifier.classify_brute(xml)
+            } else {
+                classifier.classify(xml)
+            };
+            match result {
+                Ok(report) => {
+                    stats.classified.fetch_add(1, Ordering::Relaxed);
+                    if report.cluster == classifier.trash_id() {
+                        stats.trash.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let body = assignment_json(&report, classifier.trash_id());
+                    respond(&mut stream, "200 OK", &body);
+                }
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()));
+                    respond(&mut stream, "400 Bad Request", &body);
+                }
+            }
+        }
+        ("GET", "/model") => {
+            let model = classifier.model();
+            let rep_items: Vec<String> = model.reps.iter().map(|r| r.len().to_string()).collect();
+            let body = format!(
+                r#"{{"format_version":{},"k":{},"f":{},"gamma":{},"labels":{},"vocabulary":{},"paths":{},"rep_items":[{}],"trained_documents":{},"trained_transactions":{}}}"#,
+                MODEL_FORMAT_VERSION,
+                model.k(),
+                model.params.f,
+                model.params.gamma,
+                model.labels.len(),
+                model.vocabulary.len(),
+                model.paths.len(),
+                rep_items.join(","),
+                model.trained_documents,
+                model.trained_transactions,
+            );
+            respond(&mut stream, "200 OK", &body);
+        }
+        ("GET", "/stats") => {
+            let body = format!(
+                r#"{{"requests":{},"classified":{},"trash":{},"errors":{},"index_postings":{},"brute_force":{}}}"#,
+                stats.requests.load(Ordering::Relaxed),
+                stats.classified.load(Ordering::Relaxed),
+                stats.trash.load(Ordering::Relaxed),
+                stats.errors.load(Ordering::Relaxed),
+                classifier.index().posting_entries(),
+                brute,
+            );
+            respond(&mut stream, "200 OK", &body);
+        }
+        _ => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            respond(
+                &mut stream,
+                "404 Not Found",
+                r#"{"error":"no such endpoint (POST /classify, GET /model, GET /stats)"}"#,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::TupleAssignment;
+
+    #[test]
+    fn json_escaping_handles_hostile_strings() {
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape("line\nbreak\ttab\\"), r"line\nbreak\ttab\\");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn assignment_json_shape() {
+        let report = DocumentAssignment {
+            cluster: 1,
+            score: 0.5,
+            tuples: vec![TupleAssignment {
+                cluster: 1,
+                similarity: 0.5,
+                candidates: 2,
+            }],
+        };
+        let json = assignment_json(&report, 4);
+        assert_eq!(
+            json,
+            r#"{"cluster":1,"trash":false,"score":0.5,"tuples":[{"cluster":1,"trash":false,"similarity":0.5,"candidates":2}]}"#
+        );
+        let trash = DocumentAssignment {
+            cluster: 4,
+            score: 0.0,
+            tuples: Vec::new(),
+        };
+        assert!(assignment_json(&trash, 4).contains(r#""trash":true"#));
+    }
+}

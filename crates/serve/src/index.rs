@@ -1,0 +1,384 @@
+//! The inverted tag-path index: sound candidate pruning for classification.
+//!
+//! Classifying a transaction means computing `simγJ` against all `k`
+//! representatives and taking the argmax. `simγJ(tr, rep) > 0` requires at
+//! least one item pair with `sim(e, e') ≥ γ`, and under the paper's exact
+//! (Dirichlet) tag matcher `sim(e, e') > 0` decomposes:
+//!
+//! * `sim_S > 0` iff the two *tag paths share at least one tag label*
+//!   (Eq. 3's `Δ` is an exact-match indicator, so every positional term is
+//!   zero unless some tag coincides), or both tag paths are empty;
+//! * `sim_C > 0` iff the two TCU vectors *share a term with nonzero
+//!   product*, or both are empty (the documented "no content vs. no
+//!   content matches" convention).
+//!
+//! So a representative sharing **no tag label, no term, and no
+//! empty-against-empty pairing** with the query transaction is provably at
+//! `simγJ = 0` whenever `γ > 0` — skipping it cannot change the argmax
+//! (zero-similarity representatives never win; the trash cluster takes
+//! those transactions). [`TagPathIndex`] stores postings from tag labels
+//! and terms to representative ids and returns the complement of that
+//! provably-zero set. Pruning is *sound, never lossy*: the candidates are
+//! evaluated with the full `simγJ`, so indexed assignment agrees
+//! bit-for-bit with brute force (asserted by the integration tests).
+//!
+//! Degenerate settings fall back to evaluating everything: `γ = 0` (any
+//! pair γ-matches) and empty query transactions (`simγJ(∅, ∅) = 1`).
+//!
+//! Note the postings are keyed by tag *labels*, not whole tag paths: an
+//! exact-path index would wrongly prune representatives that γ-match
+//! through partially overlapping paths (e.g. `dblp.article.title` vs
+//! `dblp.inproceedings.title`). Keying on labels is the tightest relaxation
+//! that stays sound under Eq. 3. The soundness argument assumes the exact
+//! tag matcher — a semantically enriched `Δ` (cxk_semantic) would need
+//! synonym-closed postings, which is future work (see ROADMAP).
+
+use cxk_core::Representative;
+use cxk_transact::item::ItemView;
+use cxk_transact::SimParams;
+use cxk_util::{FxHashMap, FxHashSet, Symbol};
+use cxk_xml::path::PathTable;
+
+/// The candidate set for one query transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Candidates {
+    /// Pruning is unsound for this query/parameter combination — evaluate
+    /// every representative.
+    All,
+    /// Only these representative ids (ascending) can have `simγJ > 0`.
+    Some(Vec<u32>),
+}
+
+impl Candidates {
+    /// The representative ids to evaluate, given `k` total.
+    pub fn ids(&self, k: usize) -> Vec<u32> {
+        match self {
+            Candidates::All => (0..k as u32).collect(),
+            Candidates::Some(ids) => ids.clone(),
+        }
+    }
+
+    /// Number of candidates, given `k` total.
+    pub fn len(&self, k: usize) -> usize {
+        match self {
+            Candidates::All => k,
+            Candidates::Some(ids) => ids.len(),
+        }
+    }
+}
+
+/// Inverted index over the items of a model's representatives.
+#[derive(Debug, Clone, Default)]
+pub struct TagPathIndex {
+    /// Number of representatives indexed.
+    k: usize,
+    /// Structure channel: tag label → representative ids (ascending).
+    tag_postings: FxHashMap<Symbol, Vec<u32>>,
+    /// Content channel: term → representative ids (ascending).
+    term_postings: FxHashMap<Symbol, Vec<u32>>,
+    /// Representatives holding an item with an empty TCU vector (they
+    /// content-match any empty query TCU).
+    empty_vector_reps: Vec<u32>,
+    /// Representatives holding an item with an empty tag path (they
+    /// structure-match any empty query tag path). Real corpora never
+    /// produce these; kept for soundness on arbitrary representatives.
+    empty_tag_path_reps: Vec<u32>,
+    /// The parameters classification uses; `f` selects which channels can
+    /// contribute and `γ = 0` disables pruning entirely.
+    params: SimParams,
+}
+
+impl TagPathIndex {
+    /// Builds the index over `reps`; `paths` must resolve every item's tag
+    /// path, and `params` must be the parameters classification will use.
+    pub fn build(reps: &[Representative], paths: &PathTable, params: SimParams) -> Self {
+        let mut tag_postings: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+        let mut term_postings: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+        let mut empty_vector_reps = Vec::new();
+        let mut empty_tag_path_reps = Vec::new();
+
+        for (j, rep) in reps.iter().enumerate() {
+            let j = j as u32;
+            let mut tags: FxHashSet<Symbol> = FxHashSet::default();
+            let mut terms: FxHashSet<Symbol> = FxHashSet::default();
+            let mut has_empty_vector = false;
+            let mut has_empty_tag_path = false;
+            for item in &rep.items {
+                let labels = paths.resolve(item.tag_path);
+                if labels.is_empty() {
+                    has_empty_tag_path = true;
+                }
+                tags.extend(labels.iter().copied());
+                if item.vector.is_empty() {
+                    has_empty_vector = true;
+                }
+                terms.extend(item.vector.iter().map(|(t, _)| t));
+            }
+            for tag in tags {
+                tag_postings.entry(tag).or_default().push(j);
+            }
+            for term in terms {
+                term_postings.entry(term).or_default().push(j);
+            }
+            if has_empty_vector {
+                empty_vector_reps.push(j);
+            }
+            if has_empty_tag_path {
+                empty_tag_path_reps.push(j);
+            }
+        }
+        // Postings are built in ascending j order already; assert in debug.
+        debug_assert!(tag_postings
+            .values()
+            .all(|v| v.windows(2).all(|w| w[0] < w[1])));
+
+        Self {
+            k: reps.len(),
+            tag_postings,
+            term_postings,
+            empty_vector_reps,
+            empty_tag_path_reps,
+            params,
+        }
+    }
+
+    /// Number of representatives indexed.
+    pub fn len(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the index covers no representatives.
+    pub fn is_empty(&self) -> bool {
+        self.k == 0
+    }
+
+    /// Total posting entries (diagnostic, surfaced by `GET /stats`).
+    pub fn posting_entries(&self) -> usize {
+        self.tag_postings.values().map(Vec::len).sum::<usize>()
+            + self.term_postings.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// The candidate representatives for one query transaction. `paths`
+    /// must resolve the query items' tag paths (the classifier's table,
+    /// which extends the model's as unseen markup arrives).
+    pub fn candidates(&self, query: &[ItemView<'_>], paths: &PathTable) -> Candidates {
+        if query.is_empty() || self.params.gamma <= 0.0 {
+            // simγJ(∅, ∅) = 1 and γ = 0 matches any pair: no sound pruning.
+            return Candidates::All;
+        }
+        let structure = self.params.f > 0.0;
+        let content = self.params.f < 1.0;
+
+        let mut set: FxHashSet<u32> = FxHashSet::default();
+        for item in query {
+            if structure {
+                let labels = paths.resolve(item.tag_path);
+                if labels.is_empty() {
+                    set.extend(self.empty_tag_path_reps.iter().copied());
+                }
+                for label in labels {
+                    if let Some(post) = self.tag_postings.get(label) {
+                        set.extend(post.iter().copied());
+                    }
+                }
+            }
+            if content {
+                if item.vector.is_empty() {
+                    set.extend(self.empty_vector_reps.iter().copied());
+                }
+                for (term, _) in item.vector.iter() {
+                    if let Some(post) = self.term_postings.get(&term) {
+                        set.extend(post.iter().copied());
+                    }
+                }
+            }
+        }
+        let mut ids: Vec<u32> = set.into_iter().collect();
+        ids.sort_unstable();
+        Candidates::Some(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxk_core::rep::RepItem;
+    use cxk_text::SparseVec;
+    use cxk_util::Interner;
+    use cxk_xml::path::PathId;
+
+    struct Fixture {
+        paths: PathTable,
+        path_ids: Vec<PathId>,
+        vectors: Vec<SparseVec>,
+    }
+
+    /// Paths: 0 = dblp.article.title, 1 = dblp.inproceedings.title,
+    /// 2 = play.act.scene, 3 = empty. Vectors: 0 = {t0,t1}, 1 = {t2},
+    /// 2 = empty.
+    fn fixture() -> Fixture {
+        let mut interner = Interner::new();
+        let mut paths = PathTable::new();
+        let specs: [&[&str]; 4] = [
+            &["dblp", "article", "title"],
+            &["dblp", "inproceedings", "title"],
+            &["play", "act", "scene"],
+            &[],
+        ];
+        let path_ids = specs
+            .iter()
+            .map(|spec| {
+                let labels: Vec<Symbol> = spec.iter().map(|t| interner.intern(t)).collect();
+                paths.intern(&labels)
+            })
+            .collect();
+        let vectors = vec![
+            SparseVec::from_pairs(vec![(Symbol(0), 1.0), (Symbol(1), 1.0)]),
+            SparseVec::from_pairs(vec![(Symbol(2), 1.0)]),
+            SparseVec::new(),
+        ];
+        Fixture {
+            paths,
+            path_ids,
+            vectors,
+        }
+    }
+
+    fn rep(fx: &Fixture, path: usize, vector: usize, fp: u64) -> Representative {
+        Representative {
+            items: vec![RepItem {
+                path: fx.path_ids[path],
+                tag_path: fx.path_ids[path],
+                vector: fx.vectors[vector].clone(),
+                fingerprint: fp,
+                source: None,
+            }],
+        }
+    }
+
+    fn view<'a>(fx: &'a Fixture, path: usize, vector: usize, fp: u64) -> ItemView<'a> {
+        ItemView {
+            tag_path: fx.path_ids[path],
+            vector: &fx.vectors[vector],
+            fingerprint: fp,
+        }
+    }
+
+    #[test]
+    fn shared_tag_label_is_a_candidate() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 0, 1), rep(&fx, 2, 1, 2)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.5, 0.8));
+        // Query path dblp.inproceedings.title shares `dblp`/`title` with rep
+        // 0 but nothing with rep 1 (play.act.scene, disjoint vector).
+        let query = [view(&fx, 1, 1, 9)];
+        // Vector 1 = {t2} matches rep 1's vector {t2} through the content
+        // channel, so rep 1 *is* a candidate; drop content by querying with
+        // the structure-only parameterization.
+        let structure_only = TagPathIndex::build(&reps, &fx.paths, SimParams::new(1.0, 0.8));
+        assert_eq!(
+            structure_only.candidates(&query, &fx.paths),
+            Candidates::Some(vec![0])
+        );
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![0, 1])
+        );
+    }
+
+    #[test]
+    fn disjoint_rep_is_pruned() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 0, 1), rep(&fx, 2, 1, 2)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.5, 0.8));
+        // Query shares tags and terms with rep 0 only.
+        let query = [view(&fx, 0, 0, 9)];
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn gamma_zero_disables_pruning() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 0, 1), rep(&fx, 2, 1, 2)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.5, 0.0));
+        let query = [view(&fx, 0, 0, 9)];
+        assert_eq!(index.candidates(&query, &fx.paths), Candidates::All);
+        assert_eq!(index.candidates(&query, &fx.paths).ids(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_query_disables_pruning() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 0, 1)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.5, 0.8));
+        assert_eq!(index.candidates(&[], &fx.paths), Candidates::All);
+    }
+
+    #[test]
+    fn empty_vector_bucket_catches_content_matches() {
+        let fx = fixture();
+        // Rep 0 carries an empty vector: an empty query TCU has sim_C = 1
+        // with it despite sharing no term.
+        let reps = vec![rep(&fx, 2, 2, 1)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.0, 0.9));
+        let query = [view(&fx, 0, 2, 9)];
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn structure_only_ignores_terms() {
+        let fx = fixture();
+        // f = 1: content cannot contribute, so a shared term alone must not
+        // make a candidate.
+        let reps = vec![rep(&fx, 2, 0, 1)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(1.0, 0.5));
+        let query = [view(&fx, 0, 0, 9)]; // same vector, disjoint tags
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![])
+        );
+    }
+
+    #[test]
+    fn content_only_ignores_tags() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 1, 1)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.0, 0.5));
+        let query = [view(&fx, 1, 0, 9)]; // shared tags, disjoint vectors
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![])
+        );
+    }
+
+    #[test]
+    fn empty_tag_path_bucket() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 3, 1, 1)]; // empty tag path
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(1.0, 0.5));
+        let query = [view(&fx, 3, 0, 9)];
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn diagnostics() {
+        let fx = fixture();
+        let reps = vec![rep(&fx, 0, 0, 1), rep(&fx, 1, 1, 2)];
+        let index = TagPathIndex::build(&reps, &fx.paths, SimParams::default());
+        assert_eq!(index.len(), 2);
+        assert!(!index.is_empty());
+        // Tags: dblp/article/title + dblp/inproceedings/title = 6 entries;
+        // terms: t0, t1, t2 = 3 entries.
+        assert_eq!(index.posting_entries(), 9);
+        assert!(TagPathIndex::build(&[], &fx.paths, SimParams::default()).is_empty());
+    }
+}

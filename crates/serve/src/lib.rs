@@ -1,0 +1,62 @@
+//! **cxk_serve** — turn a finished CXK-means run into a running service.
+//!
+//! The paper's protocol ends when the global representatives converge; this
+//! crate is the layer that makes that result *servable*, the repo's path
+//! from reproduction to production:
+//!
+//! * [`classify`] — an online [`Classifier`] that
+//!   parses an incoming XML document with the trained model's interners,
+//!   weights its TCUs against the frozen corpus statistics, and assigns
+//!   each tree tuple by the relocation rule (argmax `simγJ`, trash when
+//!   nothing γ-matches).
+//! * [`index`] — the inverted tag-path/term index
+//!   ([`TagPathIndex`]) that prunes the
+//!   representatives a query must be scored against. Pruning is provably
+//!   sound under the paper's exact tag matcher: indexed and brute-force
+//!   assignments agree bit-for-bit.
+//! * [`http`] — a dependency-free multi-threaded HTTP/1.1 server
+//!   ([`Server`]) exposing `POST /classify`, `GET /model`
+//!   and `GET /stats`, with one classifier per worker thread.
+//!
+//! Model snapshots themselves (`*.cxkmodel`) live in `cxk_core::model`;
+//! this crate consumes a [`cxk_core::TrainedModel`] however it was
+//! obtained — trained in-process or loaded from disk.
+//!
+//! # Example
+//!
+//! ```
+//! use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+//! use cxk_serve::Classifier;
+//! use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+//!
+//! let mut builder = DatasetBuilder::new(BuildOptions::default());
+//! builder.add_xml(r#"<dblp><inproceedings key="a"><author>M. Zaki</author>
+//!     <title>mining frequent trees</title></inproceedings></dblp>"#)?;
+//! builder.add_xml(r#"<dblp><article key="b"><author>V. Jacobson</author>
+//!     <title>congestion avoidance and control</title></article></dblp>"#)?;
+//! let dataset = builder.finish();
+//!
+//! let mut config = CxkConfig::new(2);
+//! config.params = SimParams::new(0.5, 0.4);
+//! let outcome = run_centralized(&dataset, &config);
+//! let model =
+//!     TrainedModel::from_clustering(&dataset, &outcome, config.params, BuildOptions::default());
+//!
+//! let mut classifier = Classifier::new(model);
+//! let report = classifier.classify(
+//!     r#"<dblp><inproceedings key="c"><author>A. Nother</author>
+//!     <title>mining frequent patterns</title></inproceedings></dblp>"#,
+//! )?;
+//! assert!(report.cluster <= classifier.trash_id());
+//! # Ok::<(), cxk_xml::parser::XmlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod http;
+pub mod index;
+
+pub use classify::{Classifier, DocumentAssignment, TupleAssignment};
+pub use http::{ServeOptions, Server, ServerStats};
+pub use index::{Candidates, TagPathIndex};

@@ -1,0 +1,257 @@
+//! End-to-end test of the serving pipeline (ISSUE 2's acceptance
+//! criterion): train on `samples/`, snapshot to disk, reload, classify
+//! held-out documents — indexed assignments must match brute-force
+//! `sim_gamma_j` assignments exactly — and a live HTTP server round-trip
+//! over localhost must return the same cluster ids.
+
+use cxk_core::{load_model, run_centralized, save_model, CxkConfig, TrainedModel};
+use cxk_serve::{Classifier, ServeOptions, Server};
+use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn samples_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../samples")
+}
+
+fn read_sample(name: &str) -> String {
+    std::fs::read_to_string(samples_dir().join(name)).expect("sample exists")
+}
+
+/// Trains on ten of the twelve samples, holding out one per topic.
+fn train_held_out() -> (TrainedModel, Vec<(String, String)>) {
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for i in 1..=5 {
+        builder
+            .add_xml(&read_sample(&format!("mining{i}.xml")))
+            .unwrap();
+        builder
+            .add_xml(&read_sample(&format!("network{i}.xml")))
+            .unwrap();
+    }
+    let ds = builder.finish();
+    let mut config = CxkConfig::new(2);
+    config.params = SimParams::new(0.5, 0.5);
+    // Seed 3 starts the two representatives in distinct topics on this
+    // corpus, giving the clean two-cluster model the assertions expect.
+    config.seed = 3;
+    let outcome = run_centralized(&ds, &config);
+    assert!(outcome.converged, "training must converge");
+    let model =
+        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
+    let held_out = vec![
+        ("mining6.xml".to_string(), read_sample("mining6.xml")),
+        ("network6.xml".to_string(), read_sample("network6.xml")),
+    ];
+    (model, held_out)
+}
+
+/// One blocking HTTP request against the test server.
+fn http_request(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    (head.to_string(), body.to_string())
+}
+
+fn post_classify(addr: std::net::SocketAddr, xml: &str) -> (String, String) {
+    let request = format!(
+        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{xml}",
+        xml.len()
+    );
+    http_request(addr, &request)
+}
+
+/// Pulls `"field":value` out of the flat JSON the server emits.
+fn json_field(body: &str, field: &str) -> String {
+    let key = format!("\"{field}\":");
+    let start = body
+        .find(&key)
+        .unwrap_or_else(|| panic!("{field} in {body}"))
+        + key.len();
+    let rest = &body[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("delimiter after {field} in {body}"));
+    rest[..end].to_string()
+}
+
+#[test]
+fn snapshot_reload_classify_and_serve_round_trip() {
+    let (model, held_out) = train_held_out();
+
+    // Snapshot to disk and reload: the model must survive bit-exactly.
+    let path = std::env::temp_dir().join(format!("cxk-serve-it-{}.cxkmodel", std::process::id()));
+    std::fs::write(&path, save_model(&model)).expect("write snapshot");
+    let reloaded = load_model(&std::fs::read(&path).expect("read snapshot")).expect("load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(reloaded.reps.len(), model.reps.len());
+    for (a, b) in reloaded.reps.iter().zip(&model.reps) {
+        assert_eq!(a.items, b.items, "representatives must round-trip");
+    }
+
+    // Classify the held-out documents from the *reloaded* model: indexed
+    // and brute-force assignments agree exactly, and the two topics land
+    // in two distinct proper clusters.
+    let mut classifier = Classifier::new(reloaded);
+    let mut clusters = Vec::new();
+    for (name, xml) in &held_out {
+        let indexed = classifier.classify(xml).expect("classify");
+        let brute = classifier.classify_brute(xml).expect("brute");
+        assert_eq!(indexed.cluster, brute.cluster, "{name}");
+        assert_eq!(indexed.score, brute.score, "bit-for-bit score: {name}");
+        for (a, b) in indexed.tuples.iter().zip(&brute.tuples) {
+            assert_eq!(a.cluster, b.cluster, "{name}");
+            assert_eq!(a.similarity, b.similarity, "{name}");
+            assert!(a.candidates <= b.candidates, "{name}: index may only prune");
+        }
+        assert_ne!(
+            indexed.cluster,
+            classifier.trash_id(),
+            "{name} must join a proper cluster"
+        );
+        clusters.push(indexed.cluster);
+    }
+    assert_ne!(
+        clusters[0], clusters[1],
+        "mining and networking hold-outs separate"
+    );
+
+    // Live server round-trip over localhost: same cluster ids.
+    let server = Server::start(
+        model,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            brute_force: false,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    for ((name, xml), &expected) in held_out.iter().zip(&clusters) {
+        let (head, body) = post_classify(addr, xml);
+        assert!(head.starts_with("HTTP/1.1 200"), "{name}: {head}");
+        assert_eq!(
+            json_field(&body, "cluster"),
+            expected.to_string(),
+            "{name}: server and local classification agree ({body})"
+        );
+        assert_eq!(json_field(&body, "trash"), "false", "{name}");
+    }
+
+    // Malformed XML → 400 with an error payload.
+    let (head, body) = post_classify(addr, "<broken><xml>");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    assert!(body.contains("error"), "{body}");
+
+    // GET /model reports the trained shape.
+    let (head, body) = http_request(
+        addr,
+        "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "k"), "2");
+    assert_eq!(json_field(&body, "trained_documents"), "10");
+
+    // GET /stats counts what we did: 3 classify calls, 1 of them an error.
+    let (head, body) = http_request(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "classified"), "2");
+    assert_eq!(json_field(&body, "errors"), "1");
+
+    // Unknown endpoint → 404.
+    let (head, _) = http_request(
+        addr,
+        "GET /nope HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    // An oversized request head (here one 64 KiB header) must be rejected,
+    // not buffered without bound. The server may close mid-send, so write
+    // errors are ignored and only the response matters.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let huge = format!(
+            "GET /model HTTP/1.1\r\nX-Flood: {}\r\n\r\n",
+            "a".repeat(64 << 10)
+        );
+        let _ = stream.write_all(huge.as_bytes());
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.starts_with("HTTP/1.1 400"),
+            "oversized head must 400: {response}"
+        );
+        assert!(response.contains("exceeds"), "{response}");
+    }
+
+    // An idle connection (no bytes sent) must not wedge its worker: with
+    // the read timeout the server answers 400 and the next request still
+    // gets through.
+    {
+        let idle = TcpStream::connect(addr).expect("connect idle");
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let (head, _) = http_request(
+            addr,
+            "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+        );
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        drop(idle);
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn server_handles_concurrent_clients() {
+    let (model, held_out) = train_held_out();
+    let mut classifier = Classifier::new(model.clone());
+    let expected: Vec<u32> = held_out
+        .iter()
+        .map(|(_, xml)| classifier.classify(xml).unwrap().cluster)
+        .collect();
+
+    let server = Server::start(
+        model,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 4,
+            brute_force: false,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let (_, xml) = held_out[i % held_out.len()].clone();
+            let want = expected[i % expected.len()];
+            std::thread::spawn(move || {
+                let (head, body) = post_classify(addr, &xml);
+                assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                assert_eq!(json_field(&body, "cluster"), want.to_string(), "{body}");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let (requests, classified, trash, errors) = server.stats();
+    assert_eq!(requests, 8);
+    assert_eq!(classified, 8);
+    assert_eq!(trash, 0);
+    assert_eq!(errors, 0);
+    server.shutdown();
+}
