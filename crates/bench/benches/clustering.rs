@@ -3,9 +3,22 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cxk_bench::{prepare, CorpusKind};
-use cxk_core::{run_collaborative, run_pk_means, CxkConfig, PkConfig};
+use cxk_core::{Algorithm, Backend, Engine, EngineBuilder};
 use cxk_corpus::partition_equal;
-use cxk_transact::SimParams;
+
+/// Builds the engine once per benchmark; iterations measure `fit` alone.
+fn engine(k: usize, f: f64, gamma: f64, algorithm: Algorithm, partition: &[Vec<usize>]) -> Engine {
+    EngineBuilder::new(k)
+        .similarity(f, gamma)
+        .max_rounds(10)
+        .algorithm(algorithm)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("valid bench config")
+}
 
 fn bench_cxk_network_sizes(c: &mut Criterion) {
     let p = prepare(CorpusKind::Dblp, 0.25, 9);
@@ -14,10 +27,8 @@ fn bench_cxk_network_sizes(c: &mut Criterion) {
     for m in [1usize, 3, 7] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
             let partition = partition_equal(n, m, 1);
-            let mut config = CxkConfig::new(p.k_structure);
-            config.params = SimParams::new(0.8, 0.6);
-            config.max_rounds = 10;
-            b.iter(|| black_box(run_collaborative(&p.dataset, &partition, &config)))
+            let engine = engine(p.k_structure, 0.8, 0.6, Algorithm::CxkMeans, &partition);
+            b.iter(|| black_box(engine.fit(&p.dataset).expect("fits")))
         });
     }
     group.finish();
@@ -29,16 +40,12 @@ fn bench_cxk_vs_pk(c: &mut Criterion) {
     let partition = partition_equal(n, 5, 2);
     let mut group = c.benchmark_group("cxk_vs_pk_m5");
     group.bench_function("cxk", |b| {
-        let mut config = CxkConfig::new(p.k_structure);
-        config.params = SimParams::new(0.5, 0.6);
-        config.max_rounds = 10;
-        b.iter(|| black_box(run_collaborative(&p.dataset, &partition, &config)))
+        let engine = engine(p.k_structure, 0.5, 0.6, Algorithm::CxkMeans, &partition);
+        b.iter(|| black_box(engine.fit(&p.dataset).expect("fits")))
     });
     group.bench_function("pk", |b| {
-        let mut config = PkConfig::new(p.k_structure);
-        config.params = SimParams::new(0.5, 0.6);
-        config.max_rounds = 10;
-        b.iter(|| black_box(run_pk_means(&p.dataset, &partition, &config)))
+        let engine = engine(p.k_structure, 0.5, 0.6, Algorithm::PkMeans, &partition);
+        b.iter(|| black_box(engine.fit(&p.dataset).expect("fits")))
     });
     group.finish();
 }

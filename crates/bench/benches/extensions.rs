@@ -6,10 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cxk_bench::data::prepare_dblp_dialects;
 use cxk_bench::experiments::dialect_thesaurus;
 use cxk_bench::{prepare, CorpusKind};
-use cxk_core::{
-    run_collaborative_with_churn, run_vsm_kmeans, transaction_vectors, ChurnSchedule, CxkConfig,
-    VsmConfig,
-};
+use cxk_core::{transaction_vectors, Backend, ChurnSchedule, CxkConfig, EngineBuilder, VsmConfig};
 use cxk_corpus::dblp::{generate, DblpConfig};
 use cxk_corpus::partition_equal;
 use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
@@ -26,8 +23,11 @@ fn bench_vsm(c: &mut Criterion) {
         max_rounds: 50,
         seed: 3,
     };
+    let engine = EngineBuilder::from_vsm_config(&config)
+        .build()
+        .expect("valid bench config");
     c.bench_function("vsm_kmeans_full", |b| {
-        b.iter(|| black_box(run_vsm_kmeans(&p.dataset, &config)))
+        b.iter(|| black_box(engine.fit(&p.dataset).expect("fits")))
     });
 }
 
@@ -92,12 +92,16 @@ fn bench_churn_run(c: &mut Criterion) {
     config.seed = 5;
     config.max_rounds = 12;
     let schedule = ChurnSchedule::mass_departure(2, &[6, 7]);
-    c.bench_function("churn_run_m8_2departures", |b| {
-        b.iter(|| {
-            black_box(run_collaborative_with_churn(
-                &p.dataset, &partition, &config, &schedule,
-            ))
+    let engine = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::Churn {
+            peers: partition.len(),
+            schedule,
         })
+        .partition(partition.clone())
+        .build()
+        .expect("valid bench config");
+    c.bench_function("churn_run_m8_2departures", |b| {
+        b.iter(|| black_box(engine.fit(&p.dataset).expect("fits")))
     });
 }
 

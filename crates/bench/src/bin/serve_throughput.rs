@@ -19,10 +19,10 @@
 //! pruning rate visible either way).
 
 use cxk_bench::args::Flags;
-use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+use cxk_core::EngineBuilder;
 use cxk_corpus::dblp::{self, DblpConfig};
 use cxk_serve::{Classifier, ServeOptions, Server};
-use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+use cxk_transact::{BuildOptions, DatasetBuilder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Instant;
@@ -56,22 +56,24 @@ fn main() {
     }
     let ds = builder.finish();
 
-    let mut config = CxkConfig::new(k);
-    config.params = SimParams::new(f, gamma);
-    config.seed = seed;
     eprintln!(
         "[serve_throughput] clustering {} transactions into k={k}",
         ds.stats.transactions
     );
-    let outcome = run_centralized(&ds, &config);
-    let model =
-        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
+    let fit = EngineBuilder::new(k)
+        .similarity(f, gamma)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("serve_throughput flags: {e}"))
+        .fit(&ds)
+        .expect("training runs");
     eprintln!(
         "[serve_throughput] trained: rounds={} converged={} trash={}",
-        outcome.rounds,
-        outcome.converged,
-        outcome.trash_count()
+        fit.rounds,
+        fit.converged,
+        fit.trash_count()
     );
+    let model = fit.into_model(&ds, BuildOptions::default());
 
     println!("# serve_throughput: {classify_docs} docs, k={k}, f={f}, gamma={gamma}");
     println!("mode\tdocs\tseconds\tdocs_per_sec\ttrash\tcandidates_per_doc");

@@ -1,11 +1,76 @@
 //! The experiment implementations behind every table and figure.
 
 use crate::data::{CorpusKind, Prepared};
-use cxk_core::{run_collaborative, run_pk_means, CxkConfig, PkConfig};
+use cxk_core::{
+    Backend, ChurnOutcome, ChurnSchedule, ClusteringOutcome, CxkConfig, EngineBuilder, PkConfig,
+};
 use cxk_corpus::{partition_equal, partition_unequal, ClusteringSetting};
 use cxk_eval::{f_measure, RunStats};
 use cxk_p2p::simclock::{analytic_optimum_m, CostModel};
-use cxk_transact::SimParams;
+use cxk_transact::{Dataset, SimParams};
+
+/// Engine-backed collaborative CXK-means over an explicit partition — the
+/// shape every experiment uses.
+fn fit_collaborative(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("experiment configuration is valid")
+        .fit(ds)
+        .expect("experiment fit succeeds")
+        .into_outcome()
+}
+
+/// Engine-backed centralized CXK-means.
+fn fit_centralized(ds: &Dataset, config: &CxkConfig) -> ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .build()
+        .expect("experiment configuration is valid")
+        .fit(ds)
+        .expect("experiment fit succeeds")
+        .into_outcome()
+}
+
+/// Engine-backed PK-means over an explicit partition.
+fn fit_pk(ds: &Dataset, partition: &[Vec<usize>], config: &PkConfig) -> ClusteringOutcome {
+    EngineBuilder::from_pk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("experiment configuration is valid")
+        .fit(ds)
+        .expect("experiment fit succeeds")
+        .into_outcome()
+}
+
+/// Engine-backed churned run over an explicit partition.
+fn fit_churn(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+    schedule: &ChurnSchedule,
+) -> ChurnOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::Churn {
+            peers: partition.len(),
+            schedule: schedule.clone(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("experiment configuration is valid")
+        .fit(ds)
+        .expect("experiment fit succeeds")
+        .into_churn_outcome()
+}
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -127,7 +192,7 @@ pub fn fig7(
                 let run_seed = opts.seed + (run * fs.len() + fi) as u64;
                 let partition = partition_equal(n, m, run_seed);
                 let config = make_config(k, f, run_seed, opts);
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 secs.push(outcome.simulated_seconds);
                 rounds.push(outcome.rounds as f64);
                 bytes.push(outcome.total_bytes as f64);
@@ -190,7 +255,7 @@ pub fn accuracy_table(
                     partition_unequal(n, m, run_seed)
                 };
                 let config = make_config(k, f, run_seed, opts);
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 stats.push(f_measure(labels, &outcome.assignments));
             }
         }
@@ -258,8 +323,8 @@ pub fn fig8(prepared: &Prepared, ms: &[usize], opts: &ExperimentOptions) -> Vec<
                     seed: run_seed,
                     cost: opts.cost,
                 };
-                let cxk = run_collaborative(&prepared.dataset, &partition, &cxk_config);
-                let pk = run_pk_means(&prepared.dataset, &partition, &pk_config);
+                let cxk = fit_collaborative(&prepared.dataset, &partition, &cxk_config);
+                let pk = fit_pk(&prepared.dataset, &partition, &pk_config);
                 cxk_secs.push(cxk.simulated_seconds);
                 pk_secs.push(pk.simulated_seconds);
                 cxk_bytes.push(cxk.total_bytes as f64);
@@ -320,10 +385,10 @@ pub fn weighting_ablation(
                 let run_seed = opts.seed + (run * fs.len() + fi) as u64;
                 let partition = partition_equal(n, m, run_seed);
                 let mut config = make_config(k, f, run_seed, opts);
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 weighted.push(f_measure(labels, &outcome.assignments));
                 config.weighted_merge = false;
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 unweighted.push(f_measure(labels, &outcome.assignments));
             }
         }
@@ -373,7 +438,7 @@ pub fn vsm_comparison(
         for (fi, &f) in fs.iter().enumerate() {
             let run_seed = opts.seed + (run * fs.len() + fi) as u64;
             let config = make_config(k, f, run_seed, opts);
-            let cxk = cxk_core::run_centralized(&prepared.dataset, &config);
+            let cxk = fit_centralized(&prepared.dataset, &config);
             cxk_stats.push(f_measure(labels, &cxk.assignments));
 
             let vsm_config = cxk_core::VsmConfig {
@@ -382,7 +447,12 @@ pub fn vsm_comparison(
                 max_rounds: opts.max_rounds,
                 seed: run_seed,
             };
-            let vsm = cxk_core::run_vsm_kmeans(&prepared.dataset, &vsm_config);
+            let vsm = EngineBuilder::from_vsm_config(&vsm_config)
+                .build()
+                .expect("experiment configuration is valid")
+                .fit(&prepared.dataset)
+                .expect("experiment fit succeeds")
+                .into_outcome();
             vsm_stats.push(f_measure(labels, &vsm.assignments));
         }
     }
@@ -450,11 +520,11 @@ pub fn semantic_ablation(
                 let config = make_config(k, f, run_seed, opts);
 
                 prepared.dataset.rebuild_tag_sim(&cxk_transact::ExactMatch);
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 exact.push(f_measure(&labels, &outcome.assignments));
 
                 prepared.dataset.rebuild_tag_sim(&matcher);
-                let outcome = run_collaborative(&prepared.dataset, &partition, &config);
+                let outcome = fit_collaborative(&prepared.dataset, &partition, &config);
                 thesaurus.push(f_measure(&labels, &outcome.assignments));
             }
         }
@@ -505,7 +575,6 @@ pub fn churn_resilience(
     departure_counts: &[usize],
     opts: &ExperimentOptions,
 ) -> Vec<ChurnRow> {
-    use cxk_core::{run_collaborative_with_churn, ChurnSchedule};
     let (labels, k) = prepared.setting(ClusteringSetting::Hybrid);
     let n = prepared.dataset.stats.transactions;
     let fs = f_values(ClusteringSetting::Hybrid, opts.full_f_grid);
@@ -524,8 +593,7 @@ pub fn churn_resilience(
                 // The last `departures` peers leave at the start of round 2.
                 let leavers: Vec<usize> = (m - departures..m).collect();
                 let schedule = ChurnSchedule::mass_departure(2, &leavers);
-                let churned =
-                    run_collaborative_with_churn(&prepared.dataset, &partition, &config, &schedule);
+                let churned = fit_churn(&prepared.dataset, &partition, &config, &schedule);
                 coverage.push(churned.coverage());
                 let (cl, ca): (Vec<u32>, Vec<u32>) = labels
                     .iter()
@@ -541,7 +609,7 @@ pub fn churn_resilience(
 
                 // Static comparison: same surviving partitions, no churn.
                 let survivors: Vec<Vec<usize>> = partition[..m - departures].to_vec();
-                let static_run = run_collaborative(&prepared.dataset, &survivors, &config);
+                let static_run = fit_collaborative(&prepared.dataset, &survivors, &config);
                 let (sl, sa): (Vec<u32>, Vec<u32>) = labels
                     .iter()
                     .zip(&static_run.assignments)
@@ -605,11 +673,7 @@ pub fn saturation(prepared: &Prepared, ms: &[usize], opts: &ExperimentOptions) -
 
     // Estimate h from the centralized clustering's cluster sizes.
     let config = make_config(k, ClusteringSetting::Hybrid.f_mid(), opts.seed, opts);
-    let central = run_collaborative(
-        &prepared.dataset,
-        &[(0..prepared.dataset.stats.transactions).collect()],
-        &config,
-    );
+    let central = fit_centralized(&prepared.dataset, &config);
     let sizes = central.cluster_sizes();
     let sum_sq: f64 = sizes[..k].iter().map(|&s| (s * s) as f64).sum();
     let n = prepared.dataset.stats.transactions as f64;

@@ -8,13 +8,62 @@
 
 use crate::flags::Parsed;
 use cxk_core::{
-    load_model, run_collaborative, run_pk_means, run_vsm_kmeans, save_model, CxkConfig, PkConfig,
-    TrainedModel, VsmConfig,
+    load_model_file, save_model_file, Algorithm, Backend, CxkError, EngineBuilder, TrainedModel,
 };
-use cxk_serve::{Classifier, ServeOptions, Server};
+use cxk_serve::{assignment_json, json_escape, Classifier, ServeOptions, Server};
 use cxk_transact::{load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+/// Renders a [`CxkError`] as a CLI message, mapping engine configuration
+/// fields back onto the flags that set them so the user sees `--k`, `--m`,
+/// `--gamma`, … instead of internal field names. Commands print these to
+/// stderr and exit with code 1 — typed errors, never panics.
+fn cli_error(e: CxkError) -> String {
+    match e {
+        CxkError::Config { field, message } => {
+            let flag = match field {
+                "peers" => "m",
+                "backend" => "algorithm",
+                other => other,
+            };
+            format!("--{flag}: {message}")
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Builds the engine every training-flavored command shares: `--k`, `--f`,
+/// `--gamma`, `--m`, `--seed`, `--algorithm` are validated together and
+/// reported as flag errors.
+fn engine_from_flags(parsed: &Parsed) -> Result<cxk_core::Engine, String> {
+    let k: usize = parsed.get("k", 2)?;
+    let f: f64 = parsed.get("f", 0.5)?;
+    let gamma: f64 = parsed.get("gamma", 0.7)?;
+    let m: usize = parsed.get("m", 1)?;
+    let seed: u64 = parsed.get("seed", 0)?;
+    let algorithm = match parsed.get_str("algorithm").unwrap_or("cxk") {
+        "cxk" => Algorithm::CxkMeans,
+        "pk" => Algorithm::PkMeans,
+        "vsm" => Algorithm::VsmKmeans,
+        other => return Err(format!("unknown algorithm `{other}` (cxk|pk|vsm)")),
+    };
+    let backend = if m == 1 {
+        Backend::Centralized
+    } else {
+        Backend::SimulatedP2p { peers: m }
+    };
+    let mut builder = EngineBuilder::new(k)
+        .algorithm(algorithm)
+        .backend(backend)
+        .similarity(f, gamma)
+        .seed(seed);
+    if algorithm == Algorithm::VsmKmeans {
+        // The VSM baseline has always run with its own (higher) round cap.
+        builder = builder.max_rounds(50);
+    }
+    builder.build().map_err(cli_error)
+}
 
 /// `cxk build <inputs>... -o <out.cxkds>`.
 pub fn build(args: &[String]) -> Result<String, String> {
@@ -56,52 +105,11 @@ pub fn cluster(args: &[String]) -> Result<String, String> {
     if ds.transactions.is_empty() {
         return Err("nothing to cluster: the input has no transactions".into());
     }
-    let k: usize = parsed.get("k", 2)?;
-    let f: f64 = parsed.get("f", 0.5)?;
-    let gamma: f64 = parsed.get("gamma", 0.7)?;
-    let m: usize = parsed.get("m", 1)?;
-    let seed: u64 = parsed.get("seed", 0)?;
-    let algorithm = parsed.get_str("algorithm").unwrap_or("cxk");
-    if k == 0 {
-        return Err("--k must be at least 1".into());
-    }
-    if m == 0 {
-        return Err("--m must be at least 1".into());
-    }
-    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
-        return Err("--f and --gamma must lie in [0, 1]".into());
-    }
-
-    let partition = round_robin_partition(ds.transactions.len(), m);
-    let outcome = match algorithm {
-        "cxk" => {
-            let mut config = CxkConfig::new(k);
-            config.params = SimParams::new(f, gamma);
-            config.seed = seed;
-            run_collaborative(&ds, &partition, &config)
-        }
-        "pk" => {
-            let config = PkConfig {
-                k,
-                params: SimParams::new(f, gamma),
-                max_rounds: 30,
-                max_inner: 2,
-                seed,
-                cost: Default::default(),
-            };
-            run_pk_means(&ds, &partition, &config)
-        }
-        "vsm" => {
-            let config = VsmConfig {
-                k,
-                f,
-                max_rounds: 50,
-                seed,
-            };
-            run_vsm_kmeans(&ds, &config)
-        }
-        other => return Err(format!("unknown algorithm `{other}` (cxk|pk|vsm)")),
-    };
+    let engine = engine_from_flags(&parsed)?;
+    let outcome = engine.fit(&ds).map_err(cli_error)?;
+    let config = engine.config();
+    let (k, m) = (config.k, engine.backend().peers());
+    let (f, gamma) = (config.params.f, config.params.gamma);
 
     let mut out = String::new();
     if !parsed.has("quiet") {
@@ -117,8 +125,10 @@ pub fn cluster(args: &[String]) -> Result<String, String> {
     let sizes = outcome.cluster_sizes();
     let _ = writeln!(
         out,
-        "# algorithm={algorithm} k={k} m={m} f={f} gamma={gamma} rounds={} converged={}",
-        outcome.rounds, outcome.converged
+        "# algorithm={} k={k} m={m} f={f} gamma={gamma} rounds={} converged={}",
+        engine.algorithm().name(),
+        outcome.rounds,
+        outcome.converged
     );
     let _ = writeln!(
         out,
@@ -212,52 +222,37 @@ pub fn train(args: &[String]) -> Result<String, String> {
     if ds.transactions.is_empty() {
         return Err("nothing to train on: the input has no transactions".into());
     }
-    let k: usize = parsed.get("k", 2)?;
-    let f: f64 = parsed.get("f", 0.5)?;
-    let gamma: f64 = parsed.get("gamma", 0.7)?;
-    let m: usize = parsed.get("m", 1)?;
-    let seed: u64 = parsed.get("seed", 0)?;
-    if k == 0 {
-        return Err("--k must be at least 1".into());
-    }
-    if m == 0 {
-        return Err("--m must be at least 1".into());
-    }
-    if !(0.0..=1.0).contains(&f) || !(0.0..=1.0).contains(&gamma) {
-        return Err("--f and --gamma must lie in [0, 1]".into());
-    }
+    let engine = engine_from_flags(&parsed)?;
+    let fit = engine.fit(&ds).map_err(cli_error)?;
+    let config = engine.config();
+    let (k, m) = (config.k, engine.backend().peers());
+    let (f, gamma) = (config.params.f, config.params.gamma);
+    let (rounds, converged) = (fit.rounds, fit.converged);
+    let sizes = fit.cluster_sizes();
+    let model = fit.into_model(&ds, BuildOptions::default());
+    let bytes = save_model_file(&model, out_path).map_err(cli_error)?;
 
-    let mut config = CxkConfig::new(k);
-    config.params = SimParams::new(f, gamma);
-    config.seed = seed;
-    let partition = round_robin_partition(ds.transactions.len(), m);
-    let outcome = run_collaborative(&ds, &partition, &config);
-    let model =
-        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
-    let bytes = save_model(&model);
-    std::fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-
-    let sizes = outcome.cluster_sizes();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "trained k={k} m={m} f={f} gamma={gamma} rounds={} converged={}",
-        outcome.rounds, outcome.converged
+        "trained k={k} m={m} f={f} gamma={gamma} rounds={rounds} converged={converged}"
     );
     let _ = writeln!(out, "sizes={:?} trash={}", &sizes[..k], sizes[k]);
     let _ = writeln!(
         out,
-        "wrote {out_path}: {} bytes, {} representatives over {} documents",
-        bytes.len(),
+        "wrote {out_path}: {bytes} bytes, {} representatives over {} documents",
         model.k(),
         model.trained_documents
     );
     Ok(out)
 }
 
-/// `cxk classify <model.cxkmodel> <inputs>... [--brute]` — assign each XML
-/// document to a trained model's cluster. Prints one
-/// `file ⟨TAB⟩ cluster ⟨TAB⟩ score` row per document.
+/// `cxk classify <model.cxkmodel> <inputs>... [--brute] [--jsonl]` —
+/// assign each XML document to a trained model's cluster. Prints one
+/// `file ⟨TAB⟩ cluster ⟨TAB⟩ score` row per document, or — with `--jsonl` —
+/// one JSON object per line (`file`, `cluster`, `trash`, `score`,
+/// `tuples`), the bulk-scoring format that pairs with the server's batch
+/// `POST /classify`.
 pub fn classify(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
     let (model_path, inputs) = parsed
@@ -272,6 +267,7 @@ pub fn classify(args: &[String]) -> Result<String, String> {
         return Err("no input XML files".into());
     }
     let brute = parsed.has("brute");
+    let jsonl = parsed.has("jsonl");
 
     let mut out = String::new();
     for file in &files {
@@ -283,12 +279,25 @@ pub fn classify(args: &[String]) -> Result<String, String> {
             classifier.classify(&text)
         }
         .map_err(|e| format!("{}: {e}", file.display()))?;
-        let cluster = if report.cluster == trash {
-            "trash".to_string()
+        if jsonl {
+            // One object per line: a `file` field spliced onto the exact
+            // assignment JSON the server's /classify endpoint answers
+            // with, so bulk pipelines can consume either surface.
+            let assignment = assignment_json(&report, trash);
+            let _ = writeln!(
+                out,
+                r#"{{"file":"{}",{}"#,
+                json_escape(&file.display().to_string()),
+                &assignment[1..]
+            );
         } else {
-            report.cluster.to_string()
-        };
-        let _ = writeln!(out, "{}\t{cluster}\t{:.6}", file.display(), report.score);
+            let cluster = if report.cluster == trash {
+                "trash".to_string()
+            } else {
+                report.cluster.to_string()
+            };
+            let _ = writeln!(out, "{}\t{cluster}\t{:.6}", file.display(), report.score);
+        }
     }
     Ok(out)
 }
@@ -322,10 +331,10 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     Ok(String::new())
 }
 
-/// Loads and validates a `.cxkmodel` snapshot.
+/// Loads and validates a `.cxkmodel` snapshot, surfacing I/O and decode
+/// failures as typed [`CxkError`]s rendered for the CLI.
 fn read_model(path: &str) -> Result<TrainedModel, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    load_model(&bytes).map_err(|e| format!("{path}: {e}"))
+    load_model_file(path).map_err(cli_error)
 }
 
 /// Builds a dataset from XML files and directories.
@@ -374,15 +383,6 @@ fn expand_inputs(inputs: &[String]) -> Result<Vec<PathBuf>, String> {
         }
     }
     Ok(files)
-}
-
-/// Deterministic transaction partition for `--m` peers.
-fn round_robin_partition(n: usize, m: usize) -> Vec<Vec<usize>> {
-    let mut partition = vec![Vec::new(); m];
-    for t in 0..n {
-        partition[t % m].push(t);
-    }
-    partition
 }
 
 #[cfg(test)]
@@ -475,13 +475,13 @@ mod tests {
     fn all_algorithms_run() {
         let dir = scratch("algos");
         write_corpus(&dir);
-        for algorithm in ["cxk", "pk", "vsm"] {
+        for (algorithm, m) in [("cxk", "2"), ("pk", "2"), ("vsm", "1")] {
             let out = cluster(&args(&[
                 dir.to_str().unwrap().to_string(),
                 "--k".into(),
                 "2".into(),
                 "--m".into(),
-                "2".into(),
+                m.into(),
                 "--algorithm".into(),
                 algorithm.into(),
                 "--quiet".into(),
@@ -489,6 +489,27 @@ mod tests {
             .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
             assert!(out.contains(&format!("algorithm={algorithm}")));
         }
+    }
+
+    #[test]
+    fn invalid_flag_combinations_error_instead_of_panicking() {
+        let dir = scratch("combos");
+        write_corpus(&dir);
+        let dir_arg = dir.to_str().unwrap().to_string();
+        // The VSM baseline is centralized-only: --m 2 is a typed error now,
+        // not a silently ignored flag.
+        let e = cluster(&args(&[
+            dir_arg.clone(),
+            "--algorithm".into(),
+            "vsm".into(),
+            "--m".into(),
+            "2".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("centralized-only"), "{e}");
+        // Engine validation surfaces --m 0 as a flag error.
+        let e = cluster(&args(&[dir_arg, "--m".into(), "0".into()])).unwrap_err();
+        assert!(e.contains("--m"), "{e}");
     }
 
     #[test]
@@ -604,6 +625,42 @@ mod tests {
             assert_ne!(cluster_of(lines[0]), "trash", "{out}");
             assert_eq!(cluster_of(lines[1]), "trash", "{out}");
         }
+    }
+
+    #[test]
+    fn classify_jsonl_emits_one_object_per_file() {
+        let dir = scratch("jsonl");
+        write_corpus(&dir);
+        let model_path = dir.join("model.cxkmodel");
+        train(&args(&[
+            dir.to_str().unwrap().to_string(),
+            "-o".into(),
+            model_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--gamma".into(),
+            "0.5".into(),
+            "--seed".into(),
+            "1".into(),
+        ]))
+        .expect("train");
+
+        let out = classify(&args(&[
+            model_path.to_str().unwrap().to_string(),
+            dir.join("doc0.xml").to_str().unwrap().to_string(),
+            "--jsonl".into(),
+        ]))
+        .expect("classify --jsonl");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "{out}");
+        assert!(lines[0].starts_with(r#"{"file":"#), "{out}");
+        assert!(lines[0].contains(r#""cluster":"#), "{out}");
+        assert!(lines[0].contains(r#""trash":false"#), "{out}");
+        assert!(lines[0].contains(r#""score":"#), "{out}");
+        // Same assignment shape as the server's /classify endpoint: the
+        // tuples field is an array of per-tuple objects, not a count.
+        assert!(lines[0].contains(r#""tuples":[{"cluster":"#), "{out}");
+        assert!(lines[0].ends_with('}'), "{out}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 2] = ["quiet", "brute"];
+const BOOLEAN_FLAGS: [&str; 3] = ["quiet", "brute", "jsonl"];
 
 impl Parsed {
     /// Parses `args`.

@@ -15,8 +15,14 @@
 //! `.cxkds` dataset. Clustering prints one
 //! `transaction ⟨TAB⟩ document ⟨TAB⟩ cluster` row per transaction (cluster
 //! `trash` is the `(k+1)`-th cluster of the paper) followed by a
-//! `#`-prefixed summary. Everywhere an output path is taken, `-o` and
-//! `--out` are interchangeable.
+//! `#`-prefixed summary. `classify --jsonl` prints one JSON object per
+//! document for bulk-scoring pipelines. Everywhere an output path is
+//! taken, `-o` and `--out` are interchangeable.
+//!
+//! Training commands run through `cxk_core`'s Engine API: invalid flags
+//! and flag combinations (`--k 0`, `--gamma 2`, `--algorithm vsm --m 3`)
+//! come back as `cxk: --flag: reason` messages with exit code 1, never as
+//! panics.
 
 mod commands;
 mod flags;
@@ -38,8 +44,9 @@ commands:
   train    <dataset.cxkds | xml-file|dir>... -o <model.cxkmodel>
            [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
            cluster and snapshot a servable model
-  classify <model.cxkmodel> <xml-file|dir>... [--brute]
+  classify <model.cxkmodel> <xml-file|dir>... [--brute] [--jsonl]
            assign new documents to a trained model's clusters
+           (--jsonl prints one JSON object per document)
   serve    <model.cxkmodel> [--port 7070] [--threads 4] [--brute]
            run the HTTP classification server (POST /classify)
 

@@ -21,6 +21,8 @@
 //! attributable to membership changes alone.
 
 use crate::cxk::{local_clustering_phase, select_initial_reps, CxkConfig};
+use crate::engine::{Backend, EngineBuilder};
+use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
 use crate::rep::Representative;
@@ -52,7 +54,7 @@ pub enum ChurnEvent {
 }
 
 impl ChurnEvent {
-    fn round(&self) -> usize {
+    pub(crate) fn round(&self) -> usize {
         match *self {
             ChurnEvent::Leave { round, .. } | ChurnEvent::Rejoin { round, .. } => round,
         }
@@ -60,7 +62,7 @@ impl ChurnEvent {
 }
 
 /// A membership-change schedule.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChurnSchedule {
     /// The events, in any order (applied by round).
     pub events: Vec<ChurnEvent>,
@@ -122,26 +124,37 @@ struct PeerState {
     alive: bool,
 }
 
-/// Runs collaborative CXK-means under a churn schedule.
-///
-/// # Panics
-/// Panics if the schedule names a peer outside the partition, asks a dead
-/// peer to leave, or asks an alive peer to rejoin.
-pub fn run_collaborative_with_churn(
+/// Runs collaborative CXK-means under a churn schedule. This is the driver
+/// behind [`crate::engine::Backend::Churn`]; schedule consistency (peer
+/// bounds, leave/rejoin ordering) is validated by `EngineBuilder::build`,
+/// and the driver re-checks the invariants it depends on.
+pub(crate) fn drive_churn(
     ds: &Dataset,
     partition: &[Vec<usize>],
     config: &CxkConfig,
     schedule: &ChurnSchedule,
-) -> ChurnOutcome {
+) -> Result<ChurnOutcome, CxkError> {
     let m = partition.len();
     let k = config.k;
-    assert!(m > 0, "at least one peer");
-    assert!(k > 0, "at least one cluster");
+    if m == 0 {
+        return Err(CxkError::config("peers", "need at least one peer, got 0"));
+    }
+    if k == 0 {
+        return Err(CxkError::config(
+            "k",
+            "need at least one cluster, got k = 0",
+        ));
+    }
     for event in &schedule.events {
         let peer = match *event {
             ChurnEvent::Leave { peer, .. } | ChurnEvent::Rejoin { peer, .. } => peer,
         };
-        assert!(peer < m, "schedule names peer {peer} of {m}");
+        if peer >= m {
+            return Err(CxkError::config(
+                "schedule",
+                format!("schedule names peer {peer} of {m}"),
+            ));
+        }
     }
     let ctx = ds.sim_ctx(config.params);
 
@@ -395,7 +408,7 @@ pub fn run_collaborative_with_churn(
     }
     let final_alive = peers.iter().filter(|p| p.alive).count();
 
-    ChurnOutcome {
+    Ok(ChurnOutcome {
         outcome: ClusteringOutcome {
             assignments,
             k,
@@ -410,14 +423,82 @@ pub fn run_collaborative_with_churn(
         },
         covered,
         final_alive,
-    }
+    })
+}
+
+/// Runs collaborative CXK-means under a churn schedule.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the schedule names a peer
+/// outside the partition, asks a departed peer to leave, or asks an alive
+/// peer to rejoin. Note one deliberate tightening over the historical
+/// function: the Engine validates the **entire** schedule statically
+/// before running, so an inconsistent event at a round the run would
+/// never have reached (past convergence or `max_rounds`) now panics where
+/// it used to be silently ignored. The Engine API reports all of these as
+/// typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` with `Backend::Churn { peers, schedule }` \
+            and an explicit `.partition(...)` — `build()?.fit(&dataset)?` \
+            (coverage is on the returned `FitOutcome`)"
+)]
+pub fn run_collaborative_with_churn(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+    schedule: &ChurnSchedule,
+) -> ChurnOutcome {
+    let fit = EngineBuilder::from_cxk_config(config)
+        .backend(Backend::Churn {
+            peers: partition.len(),
+            schedule: schedule.clone(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"));
+    fit.into_churn_outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cxk::run_collaborative;
     use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+
+    /// Engine-backed churned run over an explicit partition.
+    fn fit_churn(
+        ds: &Dataset,
+        partition: &[Vec<usize>],
+        config: &CxkConfig,
+        schedule: &ChurnSchedule,
+    ) -> ChurnOutcome {
+        EngineBuilder::from_cxk_config(config)
+            .backend(Backend::Churn {
+                peers: partition.len(),
+                schedule: schedule.clone(),
+            })
+            .partition(partition.to_vec())
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("churned fit succeeds")
+            .into_churn_outcome()
+    }
+
+    /// Engine-backed plain collaborative run (the churn-free comparison).
+    fn fit_plain(ds: &Dataset, partition: &[Vec<usize>], config: &CxkConfig) -> ClusteringOutcome {
+        EngineBuilder::from_cxk_config(config)
+            .backend(Backend::SimulatedP2p {
+                peers: partition.len(),
+            })
+            .partition(partition.to_vec())
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("fit succeeds")
+            .into_outcome()
+    }
 
     fn dataset() -> (Dataset, Vec<u32>) {
         let mining = [
@@ -466,9 +547,8 @@ mod tests {
         let (ds, _) = dataset();
         for m in [1, 3, 4] {
             let partition = cxk_corpus::partition_equal(ds.transactions.len(), m, 3);
-            let plain = run_collaborative(&ds, &partition, &config(2));
-            let churned =
-                run_collaborative_with_churn(&ds, &partition, &config(2), &ChurnSchedule::none());
+            let plain = fit_plain(&ds, &partition, &config(2));
+            let churned = fit_churn(&ds, &partition, &config(2), &ChurnSchedule::none());
             assert_eq!(plain.assignments, churned.outcome.assignments, "m = {m}");
             assert_eq!(plain.rounds, churned.outcome.rounds);
             assert_eq!(plain.total_bytes, churned.outcome.total_bytes);
@@ -483,7 +563,7 @@ mod tests {
         let (ds, labels) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 4, 3);
         let schedule = ChurnSchedule::mass_departure(2, &[1, 3]);
-        let churned = run_collaborative_with_churn(&ds, &partition, &config(2), &schedule);
+        let churned = fit_churn(&ds, &partition, &config(2), &schedule);
         assert!(churned.outcome.converged);
         assert_eq!(churned.final_alive, 2);
         assert!(churned.coverage() < 1.0 && churned.coverage() > 0.0);
@@ -512,7 +592,7 @@ mod tests {
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 3, 1);
         // Peer 0 owns cluster 0 (0 mod 3); it leaves after round 1.
         let schedule = ChurnSchedule::mass_departure(2, &[0]);
-        let churned = run_collaborative_with_churn(&ds, &partition, &config(2), &schedule);
+        let churned = fit_churn(&ds, &partition, &config(2), &schedule);
         assert!(churned.outcome.converged);
         // The surviving peers' transactions are all assigned (not trash).
         let trash = churned
@@ -530,7 +610,7 @@ mod tests {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 4, 5);
         let schedule = ChurnSchedule::mass_departure(2, &[0, 1, 2]);
-        let churned = run_collaborative_with_churn(&ds, &partition, &config(2), &schedule);
+        let churned = fit_churn(&ds, &partition, &config(2), &schedule);
         assert!(churned.outcome.converged);
         assert_eq!(churned.final_alive, 1);
     }
@@ -547,7 +627,7 @@ mod tests {
         };
         let mut cfg = config(2);
         cfg.max_rounds = 30;
-        let churned = run_collaborative_with_churn(&ds, &partition, &cfg, &schedule);
+        let churned = fit_churn(&ds, &partition, &cfg, &schedule);
         assert!(
             (churned.coverage() - 1.0).abs() < 1e-12,
             "rejoined data is covered"
@@ -560,19 +640,21 @@ mod tests {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 2, 2);
         let schedule = ChurnSchedule::mass_departure(2, &[0, 1]);
-        let churned = run_collaborative_with_churn(&ds, &partition, &config(2), &schedule);
+        let churned = fit_churn(&ds, &partition, &config(2), &schedule);
         assert!(!churned.outcome.converged);
         assert_eq!(churned.final_alive, 0);
         assert!((churned.coverage() - 0.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "schedule names peer")]
-    fn schedule_bounds_are_checked() {
-        let (ds, _) = dataset();
-        let partition = cxk_corpus::partition_equal(ds.transactions.len(), 2, 2);
+    fn schedule_bounds_are_a_typed_error() {
         let schedule = ChurnSchedule::mass_departure(1, &[7]);
-        let _ = run_collaborative_with_churn(&ds, &partition, &config(2), &schedule);
+        let err = EngineBuilder::new(2)
+            .backend(Backend::Churn { peers: 2, schedule })
+            .build()
+            .expect_err("out-of-range peer must be rejected");
+        assert_eq!(err.config_field(), Some("schedule"));
+        assert!(err.to_string().contains("schedule names peer"), "{err}");
     }
 
     #[test]
@@ -580,8 +662,8 @@ mod tests {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 4, 9);
         let schedule = ChurnSchedule::mass_departure(3, &[2]);
-        let a = run_collaborative_with_churn(&ds, &partition, &config(3), &schedule);
-        let b = run_collaborative_with_churn(&ds, &partition, &config(3), &schedule);
+        let a = fit_churn(&ds, &partition, &config(3), &schedule);
+        let b = fit_churn(&ds, &partition, &config(3), &schedule);
         assert_eq!(a.outcome.assignments, b.outcome.assignments);
         assert_eq!(a.outcome.rounds, b.outcome.rounds);
     }

@@ -15,6 +15,8 @@
 //! `cxk_p2p` [`SimClock`], whose per-round time is the maximum over peers —
 //! the quantity the paper's Fig. 7/8 report.
 
+use crate::engine::{Backend, EngineBuilder};
+use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::localrep::compute_local_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
@@ -85,16 +87,26 @@ struct PeerState {
 
 /// Runs collaborative CXK-means over an explicit peer partition (lists of
 /// transaction indices). `partition.len()` is the network size `m`;
-/// `m = 1` is the centralized baseline.
-pub fn run_collaborative(
+/// `m = 1` is the centralized baseline. This is the simulated-clock driver
+/// behind [`crate::engine::Backend::SimulatedP2p`]; input validation
+/// happens in `EngineBuilder::build`, but the driver re-checks the
+/// invariants it depends on and reports them as typed errors.
+pub(crate) fn drive_collaborative(
     ds: &Dataset,
     partition: &[Vec<usize>],
     config: &CxkConfig,
-) -> ClusteringOutcome {
+) -> Result<ClusteringOutcome, CxkError> {
     let m = partition.len();
     let k = config.k;
-    assert!(m > 0, "at least one peer");
-    assert!(k > 0, "at least one cluster");
+    if m == 0 {
+        return Err(CxkError::config("peers", "need at least one peer, got 0"));
+    }
+    if k == 0 {
+        return Err(CxkError::config(
+            "k",
+            "need at least one cluster, got k = 0",
+        ));
+    }
     let ctx = ds.sim_ctx(config.params);
 
     // N0 startup: Z_i = {j : j mod m = i} (trivial, charged as serial work).
@@ -306,7 +318,7 @@ pub fn run_collaborative(
         }
     }
 
-    ClusteringOutcome {
+    Ok(ClusteringOutcome {
         assignments,
         k,
         m,
@@ -317,13 +329,54 @@ pub fn run_collaborative(
         total_bytes: clock.total_bytes() / 2, // samples count send + receive
         total_messages: clock.total_messages(),
         per_round: traces,
-    }
+    })
+}
+
+/// Runs collaborative CXK-means over an explicit peer partition.
+///
+/// # Panics
+/// Panics on any configuration `EngineBuilder::build` rejects. This is
+/// stricter than the historical asserts (`m = 0`, `k = 0`): degenerate
+/// values the old driver tolerated, such as `max_rounds = 0`, now panic
+/// too. The Engine API reports all of these as typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` with `Backend::SimulatedP2p { peers }` \
+            and an explicit `.partition(...)` — `build()?.fit(&dataset)?`"
+)]
+pub fn run_collaborative(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_outcome()
 }
 
 /// Runs the centralized setting (`m = 1`), the paper's baseline.
+///
+/// # Panics
+/// Panics on any configuration `EngineBuilder::build` rejects — stricter
+/// than the historical `k = 0` assert (e.g. `max_rounds = 0` now panics
+/// too). The Engine API reports all of these as typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` (the default `Backend::Centralized`) — \
+            `build()?.fit(&dataset)?`"
+)]
 pub fn run_centralized(ds: &Dataset, config: &CxkConfig) -> ClusteringOutcome {
-    let all: Vec<usize> = (0..ds.transactions.len()).collect();
-    run_collaborative(ds, &[all], config)
+    EngineBuilder::from_cxk_config(config)
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_outcome()
 }
 
 /// Initial global representatives: the owner of cluster `j` (`j mod m`)
@@ -523,6 +576,33 @@ mod tests {
     use super::*;
     use cxk_transact::{BuildOptions, DatasetBuilder};
 
+    /// Engine-backed equivalents of the old free functions.
+    fn fit_centralized(ds: &Dataset, config: &CxkConfig) -> ClusteringOutcome {
+        EngineBuilder::from_cxk_config(config)
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("fit succeeds")
+            .into_outcome()
+    }
+
+    fn fit_collaborative(
+        ds: &Dataset,
+        partition: &[Vec<usize>],
+        config: &CxkConfig,
+    ) -> ClusteringOutcome {
+        EngineBuilder::from_cxk_config(config)
+            .backend(Backend::SimulatedP2p {
+                peers: partition.len(),
+            })
+            .partition(partition.to_vec())
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("fit succeeds")
+            .into_outcome()
+    }
+
     /// Two well-separated groups: KDD data-mining papers and networking
     /// articles (different record tags AND disjoint topical vocabulary).
     fn dataset() -> (Dataset, Vec<u32>) {
@@ -578,7 +658,7 @@ mod tests {
     #[test]
     fn centralized_recovers_two_clusters() {
         let (ds, labels) = dataset();
-        let outcome = run_centralized(&ds, &config(2));
+        let outcome = fit_centralized(&ds, &config(2));
         assert!(outcome.converged, "should converge");
         assert_eq!(outcome.assignments.len(), ds.transactions.len());
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
@@ -592,7 +672,7 @@ mod tests {
         let (ds, labels) = dataset();
         let n = ds.transactions.len();
         let partition = cxk_corpus::partition_equal(n, 3, 1);
-        let outcome = run_collaborative(&ds, &partition, &config(2));
+        let outcome = fit_collaborative(&ds, &partition, &config(2));
         assert!(outcome.rounds <= 20);
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
         assert!(f > 0.7, "F-measure = {f}");
@@ -605,7 +685,7 @@ mod tests {
         let (ds, _) = dataset();
         let n = ds.transactions.len();
         let partition = cxk_corpus::partition_equal(n, 4, 2);
-        let outcome = run_collaborative(&ds, &partition, &config(3));
+        let outcome = fit_collaborative(&ds, &partition, &config(3));
         assert_eq!(outcome.assignments.len(), n);
         for &a in &outcome.assignments {
             assert!(a <= outcome.trash_id());
@@ -619,8 +699,8 @@ mod tests {
         let (ds, _) = dataset();
         let n = ds.transactions.len();
         let partition = cxk_corpus::partition_equal(n, 3, 5);
-        let a = run_collaborative(&ds, &partition, &config(2));
-        let b = run_collaborative(&ds, &partition, &config(2));
+        let a = fit_collaborative(&ds, &partition, &config(2));
+        let b = fit_collaborative(&ds, &partition, &config(2));
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.simulated_seconds, b.simulated_seconds);
@@ -631,8 +711,8 @@ mod tests {
     fn more_peers_less_critical_path_work() {
         let (ds, _) = dataset();
         let n = ds.transactions.len();
-        let solo = run_centralized(&ds, &config(2));
-        let spread = run_collaborative(&ds, &cxk_corpus::partition_equal(n, 4, 3), &config(2));
+        let solo = fit_centralized(&ds, &config(2));
+        let spread = fit_collaborative(&ds, &cxk_corpus::partition_equal(n, 4, 3), &config(2));
         // Per-round critical-path work must shrink when data is spread.
         let solo_max = solo.per_round.iter().map(|r| r.max_work).max().unwrap();
         let spread_max = spread.per_round.iter().map(|r| r.max_work).max().unwrap();
@@ -645,7 +725,7 @@ mod tests {
     #[test]
     fn simulated_time_positive_and_rounds_traced() {
         let (ds, _) = dataset();
-        let outcome = run_centralized(&ds, &config(2));
+        let outcome = fit_centralized(&ds, &config(2));
         assert!(outcome.simulated_seconds > 0.0);
         assert_eq!(outcome.per_round.len(), outcome.rounds);
         assert_eq!(
@@ -662,7 +742,7 @@ mod tests {
         // γ = 1 with mixed content: nothing matches representatives except
         // identical items; most transactions share nothing identical enough.
         cfg.params = SimParams::new(0.5, 1.0);
-        let outcome = run_centralized(&ds, &cfg);
+        let outcome = fit_centralized(&ds, &cfg);
         // The initial representatives themselves still match (they are
         // transactions), but a large share lands in the trash cluster.
         assert!(
@@ -677,7 +757,7 @@ mod tests {
         let (ds, _) = dataset();
         let n = ds.transactions.len();
         let cfg = config(n + 3);
-        let outcome = run_centralized(&ds, &cfg);
+        let outcome = fit_centralized(&ds, &cfg);
         assert_eq!(outcome.assignments.len(), n);
         let sizes = outcome.cluster_sizes();
         assert_eq!(sizes.iter().sum::<usize>(), n);
@@ -690,7 +770,7 @@ mod tests {
             .add_xml("<a><b>lonely content here</b></a>")
             .unwrap();
         let ds = builder.finish();
-        let outcome = run_centralized(&ds, &config(1));
+        let outcome = fit_centralized(&ds, &config(1));
         assert_eq!(outcome.assignments, vec![0]);
         assert!(outcome.converged);
     }

@@ -10,8 +10,20 @@
 //! solution. A `(k+1)`-th *trash cluster* collects transactions that
 //! γ-match no representative.
 //!
+//! Training has **one front door**: the [`engine`] module. An
+//! [`EngineBuilder`] validates the configuration (`build()` returns a
+//! typed [`CxkError`] instead of panicking), a [`Backend`] picks where the
+//! protocol runs (centralized, simulated clock, real peer threads, or
+//! under churn), an [`Algorithm`] picks what runs (CXK-means or the
+//! PK-means/VSM baselines), and [`Engine::fit`] returns a [`FitOutcome`]
+//! that flows straight into a servable [`TrainedModel`]. The historical
+//! free functions (`run_centralized`, `run_collaborative`, …) remain as
+//! deprecated shims over the engine.
+//!
 //! Modules:
 //!
+//! * [`engine`] — the typed training API: `EngineBuilder` → `Engine::fit`.
+//! * [`error`] — the workspace-wide [`CxkError`].
 //! * [`rep`] — cluster representatives in tree-tuple form, including the
 //!   `conflateItems` procedure.
 //! * [`localrep`] — `ComputeLocalRepresentative` and `GenerateTreeTuple`.
@@ -19,15 +31,15 @@
 //!   meta-representatives).
 //! * [`cxk`] — the CXK-means driver: centralized (`m = 1`) and
 //!   collaborative simulated-clock execution with full work/traffic
-//!   accounting.
+//!   accounting ([`Backend::Centralized`] / [`Backend::SimulatedP2p`]).
 //! * [`threaded`] — the same protocol over real peer threads and the
-//!   `cxk_p2p` message network.
+//!   `cxk_p2p` message network ([`Backend::ThreadedP2p`]).
 //! * [`pkmeans`] — the non-collaborative parallel K-means baseline of
-//!   §5.5.3 (Dhillon–Modha adapted to XML transactions).
+//!   §5.5.3 ([`Algorithm::PkMeans`]).
 //! * [`vsm`] — the flat vector-space K-means baseline of the related-work
-//!   family (\[13\]/\[34\]), for accuracy comparisons.
+//!   family (\[13\]/\[34\]) ([`Algorithm::VsmKmeans`]).
 //! * [`churn`] — the collaborative protocol under peer departures and
-//!   rejoins (extension quantifying the §1.1 reliability claim).
+//!   rejoins ([`Backend::Churn`]).
 //! * [`outcome`] — shared result types.
 //! * [`model`] — servable model snapshots: the converged representatives
 //!   plus the frozen preprocessing context, with a versioned binary
@@ -36,8 +48,8 @@
 //! # Example
 //!
 //! ```
-//! use cxk_core::{run_centralized, CxkConfig};
-//! use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+//! use cxk_core::EngineBuilder;
+//! use cxk_transact::{BuildOptions, DatasetBuilder};
 //!
 //! let mut builder = DatasetBuilder::new(BuildOptions::default());
 //! builder.add_xml(r#"<dblp><inproceedings key="a"><author>M. Zaki</author>
@@ -46,11 +58,13 @@
 //!     <title>congestion avoidance and control</title></article></dblp>"#)?;
 //! let dataset = builder.finish();
 //!
-//! let mut config = CxkConfig::new(2);
-//! config.params = SimParams::new(0.5, 0.4); // f = 0.5, γ = 0.4
-//! let outcome = run_centralized(&dataset, &config);
-//! assert_eq!(outcome.assignments.len(), dataset.transactions.len());
-//! assert!(outcome.converged);
+//! let engine = EngineBuilder::new(2)
+//!     .similarity(0.5, 0.4) // f = 0.5, γ = 0.4
+//!     .build()
+//!     .expect("a valid configuration");
+//! let fit = engine.fit(&dataset).expect("training runs");
+//! assert_eq!(fit.assignments.len(), dataset.transactions.len());
+//! assert!(fit.converged);
 //! # Ok::<(), cxk_xml::parser::XmlError>(())
 //! ```
 
@@ -58,6 +72,8 @@
 
 pub mod churn;
 pub mod cxk;
+pub mod engine;
+pub mod error;
 pub mod globalrep;
 pub mod localrep;
 pub mod model;
@@ -67,13 +83,31 @@ pub mod rep;
 pub mod threaded;
 pub mod vsm;
 
-pub use churn::{run_collaborative_with_churn, ChurnEvent, ChurnOutcome, ChurnSchedule};
-pub use cxk::{run_centralized, run_collaborative, CxkConfig};
+pub use churn::{ChurnEvent, ChurnOutcome, ChurnSchedule};
+pub use cxk::CxkConfig;
+pub use engine::{Algorithm, Backend, Engine, EngineBuilder, FitOutcome};
+pub use error::CxkError;
 pub use globalrep::compute_global_representative;
 pub use localrep::{compute_local_representative, generate_tree_tuple};
-pub use model::{load_model, save_model, ModelError, TrainedModel, MODEL_FORMAT_VERSION};
+pub use model::{
+    load_model, load_model_file, save_model, save_model_file, ModelError, TrainedModel,
+    MODEL_FORMAT_VERSION,
+};
 pub use outcome::{ClusteringOutcome, RoundTrace};
-pub use pkmeans::{run_pk_means, PkConfig};
+pub use pkmeans::PkConfig;
 pub use rep::{conflate_items, RepItem, Representative};
+pub use vsm::{transaction_vectors, VsmConfig};
+
+// The deprecated free-function shims stay importable from the crate root
+// so downstream code keeps compiling; each one points at its Engine
+// replacement.
+#[allow(deprecated)]
+pub use churn::run_collaborative_with_churn;
+#[allow(deprecated)]
+pub use cxk::{run_centralized, run_collaborative};
+#[allow(deprecated)]
+pub use pkmeans::run_pk_means;
+#[allow(deprecated)]
 pub use threaded::run_collaborative_threaded;
-pub use vsm::{run_vsm_kmeans, transaction_vectors, VsmConfig};
+#[allow(deprecated)]
+pub use vsm::run_vsm_kmeans;

@@ -22,6 +22,7 @@
 //! tag-path similarity table is *not* stored — it is derived state, rebuilt
 //! by consumers (`cxk_serve`) over the representative tag paths.
 
+use crate::error::CxkError;
 use crate::localrep::compute_local_representative;
 use crate::outcome::ClusteringOutcome;
 use crate::rep::{RepItem, Representative};
@@ -31,6 +32,7 @@ use cxk_transact::{BuildOptions, Dataset, SimParams};
 use cxk_util::{FxHasher, Interner, Symbol};
 use cxk_xml::path::{PathId, PathTable};
 use std::hash::Hasher;
+use std::path::Path;
 
 /// Snapshot format magic bytes.
 const MAGIC: &[u8; 4] = b"CXKM";
@@ -336,6 +338,41 @@ pub fn load_model(bytes: &[u8]) -> Result<TrainedModel, ModelError> {
     })
 }
 
+/// Serializes a model and writes it to `path` (conventionally
+/// `*.cxkmodel`), returning the snapshot's byte count.
+///
+/// # Errors
+/// Returns [`CxkError::Io`] when the file cannot be written.
+pub fn save_model_file(model: &TrainedModel, path: impl AsRef<Path>) -> Result<usize, CxkError> {
+    let path = path.as_ref();
+    let bytes = save_model(model);
+    std::fs::write(path, &bytes).map_err(|source| CxkError::Io {
+        op: "write",
+        path: path.to_path_buf(),
+        source,
+    })?;
+    Ok(bytes.len())
+}
+
+/// Reads and decodes a model snapshot from `path`, attributing both I/O
+/// and decode failures to the file.
+///
+/// # Errors
+/// Returns [`CxkError::Io`] when the file cannot be read and
+/// [`CxkError::Model`] when its contents are not a valid snapshot.
+pub fn load_model_file(path: impl AsRef<Path>) -> Result<TrainedModel, CxkError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|source| CxkError::Io {
+        op: "read",
+        path: path.to_path_buf(),
+        source,
+    })?;
+    load_model(&bytes).map_err(|source| CxkError::Model {
+        path: Some(path.to_path_buf()),
+        source,
+    })
+}
+
 fn err(offset: usize, message: impl Into<String>) -> ModelError {
     ModelError {
         offset,
@@ -429,7 +466,8 @@ impl<'a> Reader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cxk::{run_centralized, CxkConfig};
+    use crate::cxk::CxkConfig;
+    use crate::engine::EngineBuilder;
     use cxk_transact::DatasetBuilder;
 
     fn trained() -> TrainedModel {
@@ -447,8 +485,12 @@ mod tests {
         let mut config = CxkConfig::new(2);
         config.params = SimParams::new(0.5, 0.5);
         config.seed = 1;
-        let outcome = run_centralized(&ds, &config);
-        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default())
+        EngineBuilder::from_cxk_config(&config)
+            .build()
+            .expect("valid test config")
+            .fit(&ds)
+            .expect("fit succeeds")
+            .into_model(&ds, BuildOptions::default())
     }
 
     fn assert_models_equal(a: &TrainedModel, b: &TrainedModel) {
@@ -492,6 +534,30 @@ mod tests {
         assert_eq!(model.trained_documents, 4);
         assert_eq!(model.trash_id(), 2);
         assert!(!model.rep_tag_paths().is_empty());
+    }
+
+    #[test]
+    fn file_helpers_round_trip_and_type_their_errors() {
+        let model = trained();
+        let path =
+            std::env::temp_dir().join(format!("cxk-model-file-{}.cxkmodel", std::process::id()));
+        save_model_file(&model, &path).expect("writes");
+        let loaded = load_model_file(&path).expect("loads");
+        assert_models_equal(&model, &loaded);
+
+        // Corrupt file → Model error carrying the path.
+        std::fs::write(&path, b"not a snapshot at all").unwrap();
+        match load_model_file(&path).unwrap_err() {
+            CxkError::Model { path: Some(p), .. } => assert_eq!(p, path),
+            other => panic!("expected a model error, got {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file → Io error.
+        match load_model_file(&path).unwrap_err() {
+            CxkError::Io { op: "read", .. } => {}
+            other => panic!("expected an I/O error, got {other}"),
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 pub use crate::model::{load_model, save_model, ModelError, TrainedModel};
 
 /// Per-round diagnostics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundTrace {
     /// Round number (1-based).
     pub round: usize,
@@ -23,7 +23,7 @@ pub struct RoundTrace {
 }
 
 /// The result of a clustering run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusteringOutcome {
     /// Cluster id per dataset transaction: `0..k` proper clusters, `k` is
     /// the trash cluster (§4.2's `(k+1)`-th cluster).

@@ -20,6 +20,8 @@
 //!   weighted global representatives provide (§5.5.3 reports ≈ 0.03 F).
 
 use crate::cxk::{local_clustering_phase, select_initial_reps};
+use crate::engine::{Backend, EngineBuilder};
+use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
 use crate::rep::Representative;
@@ -75,15 +77,24 @@ struct PkPeer {
     objective: f64,
 }
 
-/// Runs PK-means over an explicit peer partition.
-pub fn run_pk_means(
+/// Runs PK-means over an explicit peer partition. This is the driver
+/// behind [`crate::engine::Algorithm::PkMeans`].
+pub(crate) fn drive_pk_means(
     ds: &Dataset,
     partition: &[Vec<usize>],
     config: &PkConfig,
-) -> ClusteringOutcome {
+) -> Result<ClusteringOutcome, CxkError> {
     let m = partition.len();
     let k = config.k;
-    assert!(m > 0 && k > 0);
+    if m == 0 {
+        return Err(CxkError::config("peers", "need at least one peer, got 0"));
+    }
+    if k == 0 {
+        return Err(CxkError::config(
+            "k",
+            "need at least one cluster, got k = 0",
+        ));
+    }
     let ctx = ds.sim_ctx(config.params);
 
     let mut global_reps = select_initial_reps(ds, partition, k, config.seed);
@@ -268,7 +279,7 @@ pub fn run_pk_means(
         }
     }
 
-    ClusteringOutcome {
+    Ok(ClusteringOutcome {
         assignments,
         k,
         m,
@@ -279,14 +290,57 @@ pub fn run_pk_means(
         total_bytes: clock.total_bytes() / 2,
         total_messages: clock.total_messages(),
         per_round: traces,
-    }
+    })
+}
+
+/// Runs PK-means over an explicit peer partition.
+///
+/// # Panics
+/// Panics on any configuration `EngineBuilder::build` rejects — stricter
+/// than the historical asserts (`m = 0`, `k = 0`); e.g. `max_rounds = 0`
+/// now panics too. The Engine API reports all of these as typed errors
+/// instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` with `Algorithm::PkMeans`, \
+            `Backend::SimulatedP2p { peers }` and an explicit `.partition(...)` — \
+            `build()?.fit(&dataset)?`"
+)]
+pub fn run_pk_means(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &PkConfig,
+) -> ClusteringOutcome {
+    EngineBuilder::from_pk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cxk::{run_collaborative, CxkConfig};
+    use crate::cxk::CxkConfig;
     use cxk_transact::{BuildOptions, DatasetBuilder};
+
+    /// Engine-backed PK-means over an explicit partition.
+    fn fit_pk(ds: &Dataset, partition: &[Vec<usize>], config: &PkConfig) -> ClusteringOutcome {
+        EngineBuilder::from_pk_config(config)
+            .backend(Backend::SimulatedP2p {
+                peers: partition.len(),
+            })
+            .partition(partition.to_vec())
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("pk fit succeeds")
+            .into_outcome()
+    }
 
     fn dataset() -> (Dataset, Vec<u32>) {
         let mining = [
@@ -333,7 +387,7 @@ mod tests {
     fn pk_means_clusters_separable_data() {
         let (ds, labels) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 2, 1);
-        let outcome = run_pk_means(&ds, &partition, &pk_config(2));
+        let outcome = fit_pk(&ds, &partition, &pk_config(2));
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
         assert!(f > 0.7, "F = {f}");
         assert!(outcome.converged);
@@ -344,13 +398,20 @@ mod tests {
         let (ds, _) = dataset();
         let m = 4;
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), m, 2);
-        let pk = run_pk_means(&ds, &partition, &pk_config(2));
-        let cxk = run_collaborative(&ds, &partition, &{
+        let pk = fit_pk(&ds, &partition, &pk_config(2));
+        let cxk = {
             let mut c = CxkConfig::new(2);
             c.params = SimParams::new(0.5, 0.6);
             c.seed = 7;
-            c
-        });
+            EngineBuilder::from_cxk_config(&c)
+                .backend(Backend::SimulatedP2p { peers: m })
+                .partition(partition.clone())
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+                .into_outcome()
+        };
         // Normalize per round: PK's all-to-all must out-traffic CXK's
         // owner-routed exchange.
         let pk_per_round = pk.total_bytes as f64 / pk.rounds.max(1) as f64;
@@ -365,8 +426,8 @@ mod tests {
     fn pk_is_deterministic() {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 3, 3);
-        let a = run_pk_means(&ds, &partition, &pk_config(2));
-        let b = run_pk_means(&ds, &partition, &pk_config(2));
+        let a = fit_pk(&ds, &partition, &pk_config(2));
+        let b = fit_pk(&ds, &partition, &pk_config(2));
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.total_bytes, b.total_bytes);
     }
@@ -375,7 +436,7 @@ mod tests {
     fn pk_single_peer_has_no_traffic() {
         let (ds, _) = dataset();
         let all: Vec<usize> = (0..ds.transactions.len()).collect();
-        let outcome = run_pk_means(&ds, &[all], &pk_config(2));
+        let outcome = fit_pk(&ds, &[all], &pk_config(2));
         assert_eq!(outcome.total_bytes, 0);
         assert!(outcome.converged);
     }
@@ -384,7 +445,7 @@ mod tests {
     fn pk_assignment_is_total() {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 3, 4);
-        let outcome = run_pk_means(&ds, &partition, &pk_config(3));
+        let outcome = fit_pk(&ds, &partition, &pk_config(3));
         assert_eq!(outcome.assignments.len(), ds.transactions.len());
         assert_eq!(
             outcome.cluster_sizes().iter().sum::<usize>(),

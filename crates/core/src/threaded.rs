@@ -16,6 +16,8 @@
 //! protocol integration tests.
 
 use crate::cxk::{local_clustering_phase, select_initial_reps, CxkConfig};
+use crate::engine::{Backend, EngineBuilder};
+use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
 use crate::rep::Representative;
@@ -77,18 +79,25 @@ struct PeerResult {
 
 /// Runs the collaborative protocol with one real thread per peer. Returns
 /// the same outcome type as the simulated runner; `simulated_seconds`
-/// carries measured wall-clock seconds.
-///
-/// # Panics
-/// Panics if a peer thread panics or the network drops messages.
-pub fn run_collaborative_threaded(
+/// carries measured wall-clock seconds. This is the driver behind
+/// [`crate::engine::Backend::ThreadedP2p`]; a peer thread dying mid-run
+/// surfaces as [`CxkError::Protocol`].
+pub(crate) fn drive_threaded(
     ds: &Dataset,
     partition: &[Vec<usize>],
     config: &CxkConfig,
-) -> ClusteringOutcome {
+) -> Result<ClusteringOutcome, CxkError> {
     let m = partition.len();
     let k = config.k;
-    assert!(m > 0 && k > 0);
+    if m == 0 {
+        return Err(CxkError::config("peers", "need at least one peer, got 0"));
+    }
+    if k == 0 {
+        return Err(CxkError::config(
+            "k",
+            "need at least one cluster, got k = 0",
+        ));
+    }
 
     let initial = select_initial_reps(ds, partition, k, config.seed);
     let (net, peer_handles) = Network::create::<CxkMsg>(m);
@@ -102,11 +111,18 @@ pub fn run_collaborative_threaded(
             let config = &*config;
             joins.push(scope.spawn(move || peer_main(ds, handle, local, initial, config, m, k)));
         }
-        joins
+        // Join every thread before converting to a result: a short-circuit
+        // would leave scoped threads to the scope's implicit join, which
+        // re-panics on a second panicked peer instead of reporting it.
+        let joined: Vec<_> = joins.into_iter().map(|j| j.join()).collect();
+        joined
             .into_iter()
-            .map(|j| j.join().expect("peer thread panicked"))
-            .collect()
-    });
+            .enumerate()
+            .map(|(i, r)| {
+                r.map_err(|_| CxkError::protocol(format!("peer thread {i} panicked mid-run")))
+            })
+            .collect::<Result<Vec<_>, CxkError>>()
+    })?;
     let elapsed = start.elapsed().as_secs_f64();
 
     let mut assignments = vec![k as u32; ds.transactions.len()];
@@ -135,7 +151,7 @@ pub fn run_collaborative_threaded(
         })
         .collect();
 
-    ClusteringOutcome {
+    Ok(ClusteringOutcome {
         assignments,
         k,
         m,
@@ -146,7 +162,35 @@ pub fn run_collaborative_threaded(
         total_bytes: net.ledger().bytes(),
         total_messages: net.ledger().messages(),
         per_round,
-    }
+    })
+}
+
+/// Runs the collaborative protocol with one real thread per peer.
+///
+/// # Panics
+/// Panics on any configuration `EngineBuilder::build` rejects (stricter
+/// than the historical `m > 0 && k > 0` assert — e.g. `max_rounds = 0`
+/// now panics too) and when a peer thread dies. The Engine API reports
+/// all of these as typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` with `Backend::ThreadedP2p { peers }` \
+            and an explicit `.partition(...)` — `build()?.fit(&dataset)?`"
+)]
+pub fn run_collaborative_threaded(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::ThreadedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_outcome()
 }
 
 /// The peer state machine: one iteration of the outer loop of Fig. 5 per
@@ -391,6 +435,24 @@ mod tests {
     use super::*;
     use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 
+    /// Engine-backed threaded run over an explicit partition.
+    fn fit_threaded(
+        ds: &Dataset,
+        partition: &[Vec<usize>],
+        config: &CxkConfig,
+    ) -> ClusteringOutcome {
+        EngineBuilder::from_cxk_config(config)
+            .backend(Backend::ThreadedP2p {
+                peers: partition.len(),
+            })
+            .partition(partition.to_vec())
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("threaded fit succeeds")
+            .into_outcome()
+    }
+
     fn dataset() -> (Dataset, Vec<u32>) {
         let mining = [
             "mining frequent patterns clustering trees",
@@ -433,8 +495,15 @@ mod tests {
     fn threaded_matches_simulated_partition() {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 3, 1);
-        let threaded = run_collaborative_threaded(&ds, &partition, &config(2));
-        let simulated = crate::cxk::run_collaborative(&ds, &partition, &config(2));
+        let threaded = fit_threaded(&ds, &partition, &config(2));
+        let simulated = EngineBuilder::from_cxk_config(&config(2))
+            .backend(Backend::SimulatedP2p { peers: 3 })
+            .partition(partition.clone())
+            .build()
+            .expect("valid")
+            .fit(&ds)
+            .expect("fits")
+            .into_outcome();
         assert_eq!(threaded.assignments, simulated.assignments);
         assert_eq!(threaded.rounds, simulated.rounds);
     }
@@ -443,7 +512,7 @@ mod tests {
     fn threaded_single_peer_works_without_messages() {
         let (ds, labels) = dataset();
         let all: Vec<usize> = (0..ds.transactions.len()).collect();
-        let outcome = run_collaborative_threaded(&ds, &[all], &config(2));
+        let outcome = fit_threaded(&ds, &[all], &config(2));
         assert!(outcome.converged);
         assert_eq!(outcome.total_messages, 0);
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
@@ -454,7 +523,7 @@ mod tests {
     fn threaded_traffic_is_metered() {
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 4, 2);
-        let outcome = run_collaborative_threaded(&ds, &partition, &config(2));
+        let outcome = fit_threaded(&ds, &partition, &config(2));
         assert!(outcome.total_bytes > 0);
         assert!(outcome.total_messages > 0);
         assert!(outcome.simulated_seconds > 0.0);
@@ -465,7 +534,7 @@ mod tests {
         // m > k: some peers own no cluster and must not deadlock phase F.
         let (ds, _) = dataset();
         let partition = cxk_corpus::partition_equal(ds.transactions.len(), 5, 3);
-        let outcome = run_collaborative_threaded(&ds, &partition, &config(2));
+        let outcome = fit_threaded(&ds, &partition, &config(2));
         assert_eq!(outcome.assignments.len(), ds.transactions.len());
         assert!(outcome.rounds >= 1);
     }

@@ -18,6 +18,8 @@
 //! keeps the combination intact. The `vsm` benchmark quantifies this on
 //! every corpus.
 
+use crate::engine::EngineBuilder;
+use crate::error::CxkError;
 use crate::outcome::ClusteringOutcome;
 use cxk_text::SparseVec;
 use cxk_transact::Dataset;
@@ -80,15 +82,27 @@ pub fn transaction_vectors(ds: &Dataset, f: f64) -> Vec<SparseVec> {
         .collect()
 }
 
-/// Runs spherical K-means over the flattened transaction vectors.
+/// Runs spherical K-means over the flattened transaction vectors. This is
+/// the driver behind [`crate::engine::Algorithm::VsmKmeans`].
 ///
 /// The outcome's `assignments` never use the trash id: the VSM baseline
 /// has no γ-matching, so every transaction lands in its nearest cluster
 /// (ties break toward the lowest cluster id; all-zero vectors join
 /// cluster 0).
-pub fn run_vsm_kmeans(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
+pub(crate) fn drive_vsm(ds: &Dataset, config: &VsmConfig) -> Result<ClusteringOutcome, CxkError> {
     let k = config.k;
-    assert!(k > 0, "k must be positive");
+    if k == 0 {
+        return Err(CxkError::config(
+            "k",
+            "need at least one cluster, got k = 0",
+        ));
+    }
+    if !(0.0..=1.0).contains(&config.f) {
+        return Err(CxkError::config(
+            "f",
+            format!("must lie in [0, 1], got {}", config.f),
+        ));
+    }
     let start = Instant::now();
     let vectors = transaction_vectors(ds, config.f);
     let n = vectors.len();
@@ -132,7 +146,7 @@ pub fn run_vsm_kmeans(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
         }
     }
 
-    ClusteringOutcome {
+    Ok(ClusteringOutcome {
         assignments,
         k,
         m: 1,
@@ -143,7 +157,28 @@ pub fn run_vsm_kmeans(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
         total_bytes: 0,
         total_messages: 0,
         per_round: Vec::new(),
-    }
+    })
+}
+
+/// Runs spherical K-means over the flattened transaction vectors.
+///
+/// # Panics
+/// Panics on any configuration `EngineBuilder::build` rejects. This is
+/// stricter than the historical behavior, which asserted only `k > 0` at
+/// the driver and `f ∈ [0, 1]` inside `transaction_vectors`: degenerate
+/// values like `max_rounds = 0` now panic too. The Engine API reports all
+/// of these as typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `cxk_core::EngineBuilder` with `Algorithm::VsmKmeans` — \
+            `build()?.fit(&dataset)?`"
+)]
+pub fn run_vsm_kmeans(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
+    EngineBuilder::from_vsm_config(config)
+        .build()
+        .and_then(|engine| engine.fit(ds))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .into_outcome()
 }
 
 /// Picks `k` seed vectors from transactions of distinct documents,
@@ -203,6 +238,16 @@ mod tests {
     use super::*;
     use cxk_transact::{BuildOptions, DatasetBuilder};
 
+    /// Engine-backed VSM run.
+    fn fit_vsm(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
+        EngineBuilder::from_vsm_config(config)
+            .build()
+            .expect("valid test config")
+            .fit(ds)
+            .expect("vsm fit succeeds")
+            .into_outcome()
+    }
+
     fn dataset() -> (Dataset, Vec<u32>) {
         let mining = [
             "mining frequent patterns clustering trees",
@@ -239,7 +284,7 @@ mod tests {
         let mut config = VsmConfig::new(2);
         config.f = 0.0;
         config.seed = 7;
-        let outcome = run_vsm_kmeans(&ds, &config);
+        let outcome = fit_vsm(&ds, &config);
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
         assert!(f > 0.8, "bag-of-words should split topics: F = {f}");
         assert!(outcome.converged);
@@ -251,7 +296,7 @@ mod tests {
         let mut config = VsmConfig::new(2);
         config.f = 1.0;
         config.seed = 7;
-        let outcome = run_vsm_kmeans(&ds, &config);
+        let outcome = fit_vsm(&ds, &config);
         // Structure and topic coincide in this fixture.
         let f = cxk_eval::f_measure(&labels, &outcome.assignments);
         assert!(f > 0.8, "bag-of-paths should split templates: F = {f}");
@@ -261,8 +306,8 @@ mod tests {
     fn deterministic_across_runs() {
         let (ds, _) = dataset();
         let config = VsmConfig::new(3);
-        let a = run_vsm_kmeans(&ds, &config);
-        let b = run_vsm_kmeans(&ds, &config);
+        let a = fit_vsm(&ds, &config);
+        let b = fit_vsm(&ds, &config);
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.rounds, b.rounds);
     }
@@ -270,7 +315,7 @@ mod tests {
     #[test]
     fn never_uses_the_trash_cluster() {
         let (ds, _) = dataset();
-        let outcome = run_vsm_kmeans(&ds, &VsmConfig::new(3));
+        let outcome = fit_vsm(&ds, &VsmConfig::new(3));
         assert!(outcome.assignments.iter().all(|&a| a < 3));
         assert_eq!(outcome.trash_count(), 0);
     }
@@ -278,7 +323,7 @@ mod tests {
     #[test]
     fn more_clusters_than_transactions_is_safe() {
         let (ds, _) = dataset();
-        let outcome = run_vsm_kmeans(&ds, &VsmConfig::new(64));
+        let outcome = fit_vsm(&ds, &VsmConfig::new(64));
         assert_eq!(outcome.assignments.len(), ds.transactions.len());
     }
 

@@ -2,7 +2,7 @@
 //! determinism, conflation invariants and centralized/collaborative
 //! consistency on randomly generated bibliographic corpora.
 
-use cxk_core::{conflate_items, run_centralized, run_collaborative, CxkConfig, RepItem};
+use cxk_core::{conflate_items, Backend, CxkConfig, EngineBuilder, RepItem};
 use cxk_p2p::CostModel;
 use cxk_text::SparseVec;
 use cxk_transact::{BuildOptions, Dataset, DatasetBuilder, SimParams};
@@ -78,6 +78,33 @@ fn config(k: usize, seed: u64) -> CxkConfig {
     }
 }
 
+/// Engine-backed equivalents of the old free functions.
+fn fit_centralized(ds: &Dataset, config: &CxkConfig) -> cxk_core::ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
+
+fn fit_collaborative(
+    ds: &Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> cxk_core::ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -88,8 +115,8 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let ds = build_dataset(&specs);
-        let outcome_a = run_centralized(&ds, &config(k, seed));
-        let outcome_b = run_centralized(&ds, &config(k, seed));
+        let outcome_a = fit_centralized(&ds, &config(k, seed));
+        let outcome_b = fit_centralized(&ds, &config(k, seed));
         prop_assert_eq!(&outcome_a.assignments, &outcome_b.assignments);
         prop_assert_eq!(outcome_a.assignments.len(), ds.transactions.len());
         for &a in &outcome_a.assignments {
@@ -110,7 +137,7 @@ proptest! {
         let ds = build_dataset(&specs);
         let n = ds.transactions.len();
         let partition = cxk_corpus::partition_equal(n, m, seed);
-        let outcome = run_collaborative(&ds, &partition, &config(2, seed));
+        let outcome = fit_collaborative(&ds, &partition, &config(2, seed));
         prop_assert_eq!(outcome.assignments.len(), n);
         prop_assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
         // Traffic only exists in real networks.
@@ -128,7 +155,7 @@ proptest! {
         let n = ds.transactions.len();
         let partition = cxk_corpus::partition_equal(n, m, 3);
         let cfg = config(2, 9);
-        let outcome = run_collaborative(&ds, &partition, &cfg);
+        let outcome = fit_collaborative(&ds, &partition, &cfg);
         prop_assert!(outcome.simulated_seconds > 0.0);
         prop_assert!(outcome.rounds >= 1 && outcome.rounds <= cfg.max_rounds);
         prop_assert_eq!(outcome.per_round.len(), outcome.rounds);

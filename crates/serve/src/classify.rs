@@ -340,7 +340,7 @@ impl Classifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+    use cxk_core::{CxkConfig, EngineBuilder, TrainedModel};
     use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 
     fn mining_doc(i: usize) -> String {
@@ -385,8 +385,12 @@ mod tests {
         let mut config = CxkConfig::new(2);
         config.params = SimParams::new(0.5, 0.6);
         config.seed = 7;
-        let outcome = run_centralized(&ds, &config);
-        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default())
+        EngineBuilder::from_cxk_config(&config)
+            .build()
+            .expect("valid test config")
+            .fit(&ds)
+            .expect("fit succeeds")
+            .into_model(&ds, BuildOptions::default())
     }
 
     #[test]

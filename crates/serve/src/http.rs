@@ -9,8 +9,13 @@
 //!
 //! Endpoints (responses are JSON, `Connection: close`):
 //!
-//! * `POST /classify` — body: one XML document. `200` with the document's
-//!   cluster, score and per-tuple assignments; `400` on malformed XML.
+//! * `POST /classify` — body: one XML document, **or** a JSON array of XML
+//!   document strings (batch classification, amortizing connection and
+//!   parse overhead for bulk scoring). A single document answers `200`
+//!   with its cluster, score and per-tuple assignments (`400` on malformed
+//!   XML); a batch answers `200` with a JSON array holding one assignment
+//!   object — or a per-document `{"error": …}` object — per input, in
+//!   order.
 //! * `GET /model` — model metadata (k, parameters, sizes).
 //! * `GET /stats` — server counters (requests, classifications, errors,
 //!   trash rate) and index diagnostics.
@@ -280,8 +285,10 @@ fn respond(stream: &mut TcpStream, status: &str, body: &str) {
     let _ = stream.flush();
 }
 
-/// Escapes a string for embedding in a JSON literal.
-fn json_escape(text: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared with the CLI's `--jsonl`
+/// output so every JSON the workspace emits escapes identically.
+pub fn json_escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {
@@ -297,7 +304,148 @@ fn json_escape(text: &str) -> String {
     out
 }
 
-fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
+/// Parses a JSON array of strings — the batch `POST /classify` body — with
+/// a dependency-free cursor. Accepts exactly `[ "s1", "s2", … ]` with the
+/// standard string escapes (`\" \\ \/ \b \f \n \r \t \uXXXX`, including
+/// surrogate pairs); anything else is an error naming the byte offset.
+fn parse_json_string_array(body: &str) -> Result<Vec<String>, String> {
+    let bytes = body.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    };
+    skip_ws(&mut pos);
+    if pos >= bytes.len() || bytes[pos] != b'[' {
+        return Err(format!("batch body must be a JSON array (byte {pos})"));
+    }
+    pos += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(&mut pos);
+        if pos < bytes.len() && bytes[pos] == b']' && out.is_empty() {
+            pos += 1;
+            break;
+        }
+        let (text, next) = parse_json_string(body, pos)?;
+        out.push(text);
+        pos = next;
+        skip_ws(&mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b']') => {
+                pos += 1;
+                break;
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content after the array (byte {pos})"));
+    }
+    Ok(out)
+}
+
+/// Parses one JSON string literal starting at `pos`; returns the decoded
+/// text and the byte offset past the closing quote.
+fn parse_json_string(body: &str, mut pos: usize) -> Result<(String, usize), String> {
+    let bytes = body.as_bytes();
+    if bytes.get(pos) != Some(&b'"') {
+        return Err(format!("expected a JSON string at byte {pos}"));
+    }
+    pos += 1;
+    let mut out = String::new();
+    let mut chars = body[pos..].char_indices();
+    let mut pending_high: Option<u16> = None;
+    while let Some((offset, c)) = chars.next() {
+        let flush_surrogate = |pending: &mut Option<u16>, out: &mut String| {
+            if pending.take().is_some() {
+                out.push(char::REPLACEMENT_CHARACTER);
+            }
+        };
+        match c {
+            '"' => {
+                flush_surrogate(&mut pending_high, &mut out);
+                return Ok((out, pos + offset + 1));
+            }
+            '\\' => {
+                let Some((esc_offset, esc)) = chars.next() else {
+                    return Err("unterminated escape".into());
+                };
+                let simple = match esc {
+                    '"' => Some('"'),
+                    '\\' => Some('\\'),
+                    '/' => Some('/'),
+                    'b' => Some('\u{8}'),
+                    'f' => Some('\u{c}'),
+                    'n' => Some('\n'),
+                    'r' => Some('\r'),
+                    't' => Some('\t'),
+                    'u' => None,
+                    other => {
+                        return Err(format!(
+                            "unknown escape `\\{other}` at byte {}",
+                            pos + esc_offset
+                        ))
+                    }
+                };
+                if let Some(ch) = simple {
+                    flush_surrogate(&mut pending_high, &mut out);
+                    out.push(ch);
+                    continue;
+                }
+                let mut code = 0u16;
+                for _ in 0..4 {
+                    let Some((_, h)) = chars.next() else {
+                        return Err("truncated \\u escape".into());
+                    };
+                    let digit = h
+                        .to_digit(16)
+                        .ok_or_else(|| format!("bad \\u digit `{h}`"))?;
+                    code = (code << 4) | digit as u16;
+                }
+                match (pending_high, code) {
+                    (Some(high), 0xDC00..=0xDFFF) => {
+                        let combined = 0x10000
+                            + ((u32::from(high) - 0xD800) << 10)
+                            + (u32::from(code) - 0xDC00);
+                        out.push(char::from_u32(combined).unwrap_or(char::REPLACEMENT_CHARACTER));
+                        pending_high = None;
+                    }
+                    (_, 0xD800..=0xDBFF) => {
+                        flush_surrogate(&mut pending_high, &mut out);
+                        pending_high = Some(code);
+                    }
+                    (_, _) => {
+                        flush_surrogate(&mut pending_high, &mut out);
+                        out.push(
+                            char::from_u32(u32::from(code)).unwrap_or(char::REPLACEMENT_CHARACTER),
+                        );
+                    }
+                }
+            }
+            c if (c as u32) < 0x20 => {
+                return Err(format!(
+                    "unescaped control character at byte {}",
+                    pos + offset
+                ));
+            }
+            c => {
+                flush_surrogate(&mut pending_high, &mut out);
+                out.push(c);
+            }
+        }
+    }
+    Err("unterminated JSON string".into())
+}
+
+/// Renders a [`DocumentAssignment`] as the canonical JSON object the
+/// server answers with (`cluster`, `trash`, `score`, `tuples: [...]`).
+/// Shared with the CLI's `--jsonl` output so both surfaces speak one
+/// format.
+pub fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
     let tuples: Vec<String> = report
         .tuples
         .iter()
@@ -339,8 +487,8 @@ fn handle_connection(
 
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/classify") => {
-            let xml = match std::str::from_utf8(&request.body) {
-                Ok(xml) => xml,
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(body) => body,
                 Err(_) => {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     respond(
@@ -351,10 +499,48 @@ fn handle_connection(
                     return;
                 }
             };
+            // A leading `[` cannot start well-formed XML, so it reliably
+            // selects the batch form: a JSON array of XML document strings.
+            if body.trim_start().starts_with('[') {
+                let docs = match parse_json_string_array(body) {
+                    Ok(docs) => docs,
+                    Err(message) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
+                        respond(&mut stream, "400 Bad Request", &body);
+                        return;
+                    }
+                };
+                let entries: Vec<String> = docs
+                    .iter()
+                    .map(|xml| {
+                        let result = if brute {
+                            classifier.classify_brute(xml)
+                        } else {
+                            classifier.classify(xml)
+                        };
+                        match result {
+                            Ok(report) => {
+                                stats.classified.fetch_add(1, Ordering::Relaxed);
+                                if report.cluster == classifier.trash_id() {
+                                    stats.trash.fetch_add(1, Ordering::Relaxed);
+                                }
+                                assignment_json(&report, classifier.trash_id())
+                            }
+                            Err(e) => {
+                                stats.errors.fetch_add(1, Ordering::Relaxed);
+                                format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()))
+                            }
+                        }
+                    })
+                    .collect();
+                respond(&mut stream, "200 OK", &format!("[{}]", entries.join(",")));
+                return;
+            }
             let result = if brute {
-                classifier.classify_brute(xml)
+                classifier.classify_brute(body)
             } else {
-                classifier.classify(xml)
+                classifier.classify(body)
             };
             match result {
                 Ok(report) => {
@@ -424,6 +610,51 @@ mod tests {
         assert_eq!(json_escape("line\nbreak\ttab\\"), r"line\nbreak\ttab\\");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn json_string_array_parses_the_batch_body() {
+        assert_eq!(
+            parse_json_string_array(r#"["<a/>", "<b/>"]"#).unwrap(),
+            vec!["<a/>".to_string(), "<b/>".to_string()]
+        );
+        assert_eq!(parse_json_string_array("[]").unwrap(), Vec::<String>::new());
+        assert_eq!(
+            parse_json_string_array(r#"  [ "x" ]  "#).unwrap(),
+            vec!["x".to_string()]
+        );
+        // Escapes, including \uXXXX and a surrogate pair.
+        assert_eq!(
+            parse_json_string_array(r#"["a\"b\\c\n\té😀"]"#).unwrap(),
+            vec!["a\"b\\c\n\t\u{e9}\u{1F600}".to_string()]
+        );
+        assert_eq!(
+            parse_json_string_array(r#"["\u00e9 \ud83d\ude00"]"#).unwrap(),
+            vec!["\u{e9} \u{1F600}".to_string()]
+        );
+    }
+
+    #[test]
+    fn json_string_array_rejects_malformed_bodies() {
+        for bad in [
+            "",
+            "[",
+            "[1, 2]",
+            r#"["a""#,
+            r#"["a",]"#,
+            r#"["a"] trailing"#,
+            r#"["bad \q escape"]"#,
+            "\"not an array\"",
+        ] {
+            assert!(
+                parse_json_string_array(bad).is_err(),
+                "must reject: {bad:?}"
+            );
+        }
+        // A lone surrogate decodes to the replacement character rather
+        // than corrupting the string.
+        let lone = parse_json_string_array(r#"["\ud83dx"]"#).unwrap();
+        assert_eq!(lone, vec!["\u{FFFD}x".to_string()]);
     }
 
     #[test]

@@ -25,9 +25,9 @@
 //! # Example
 //!
 //! ```
-//! use cxk_core::{run_centralized, CxkConfig, TrainedModel};
+//! use cxk_core::EngineBuilder;
 //! use cxk_serve::Classifier;
-//! use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+//! use cxk_transact::{BuildOptions, DatasetBuilder};
 //!
 //! let mut builder = DatasetBuilder::new(BuildOptions::default());
 //! builder.add_xml(r#"<dblp><inproceedings key="a"><author>M. Zaki</author>
@@ -36,11 +36,12 @@
 //!     <title>congestion avoidance and control</title></article></dblp>"#)?;
 //! let dataset = builder.finish();
 //!
-//! let mut config = CxkConfig::new(2);
-//! config.params = SimParams::new(0.5, 0.4);
-//! let outcome = run_centralized(&dataset, &config);
-//! let model =
-//!     TrainedModel::from_clustering(&dataset, &outcome, config.params, BuildOptions::default());
+//! let engine = EngineBuilder::new(2)
+//!     .similarity(0.5, 0.4)
+//!     .build()
+//!     .expect("valid configuration");
+//! let fit = engine.fit(&dataset).expect("training runs");
+//! let model = fit.into_model(&dataset, BuildOptions::default());
 //!
 //! let mut classifier = Classifier::new(model);
 //! let report = classifier.classify(
@@ -58,5 +59,5 @@ pub mod http;
 pub mod index;
 
 pub use classify::{Classifier, DocumentAssignment, TupleAssignment};
-pub use http::{ServeOptions, Server, ServerStats};
+pub use http::{assignment_json, json_escape, ServeOptions, Server, ServerStats};
 pub use index::{Candidates, TagPathIndex};

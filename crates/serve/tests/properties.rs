@@ -3,7 +3,7 @@
 //! repository's `samples/` corpus.
 
 use cxk_core::rep::{RepItem, Representative};
-use cxk_core::{load_model, run_centralized, save_model, CxkConfig, TrainedModel};
+use cxk_core::{load_model, save_model, CxkConfig, EngineBuilder, TrainedModel};
 use cxk_serve::Classifier;
 use cxk_text::{SparseVec, TermStatsBuilder};
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
@@ -181,8 +181,12 @@ fn train_on_samples(k: usize, f: f64, gamma: f64) -> TrainedModel {
     let mut config = CxkConfig::new(k);
     config.params = SimParams::new(f, gamma);
     config.seed = 1;
-    let outcome = run_centralized(&ds, &config);
-    TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default())
+    EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid sample config")
+        .fit(&ds)
+        .expect("fit succeeds")
+        .into_model(&ds, BuildOptions::default())
 }
 
 proptest! {

@@ -1,7 +1,7 @@
 //! The streaming clusterer: cheap per-document folds, periodic refreshes.
 
 use crate::policy::RefreshPolicy;
-use cxk_core::{compute_local_representative, run_centralized, CxkConfig, Representative};
+use cxk_core::{compute_local_representative, CxkConfig, EngineBuilder, Representative};
 use cxk_text::{preprocess, ttf_itf, SparseVec};
 use cxk_transact::item::{item_fingerprint, Item, ItemId, ItemView};
 use cxk_transact::txsim::sim_gamma_j;
@@ -374,7 +374,13 @@ impl StreamClusterer {
             self.reps = vec![Representative::empty(); k];
             (0, true)
         } else {
-            let outcome = run_centralized(&self.ds, &self.opts.config);
+            // The options were accepted at construction; an invalid config
+            // panics here exactly like the old assert-based driver did.
+            let outcome = EngineBuilder::from_cxk_config(&self.opts.config)
+                .build()
+                .and_then(|engine| engine.fit(&self.ds))
+                .unwrap_or_else(|e| panic!("{e}"))
+                .into_outcome();
             self.assignments = outcome.assignments;
             let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
             for (t, &a) in self.assignments.iter().enumerate() {
@@ -494,7 +500,12 @@ mod tests {
             builder.add_xml(doc).unwrap();
         }
         let batch = builder.finish();
-        let outcome = run_centralized(&batch, &options(2).config);
+        let outcome = EngineBuilder::from_cxk_config(&options(2).config)
+            .build()
+            .expect("valid test config")
+            .fit(&batch)
+            .expect("fit succeeds")
+            .into_outcome();
 
         assert_eq!(s.dataset().stats.items, batch.stats.items);
         assert_eq!(s.dataset().stats.transactions, batch.stats.transactions);

@@ -11,9 +11,7 @@
 //! folded back in. The example prints coverage and per-phase quality —
 //! the paper's §1.1 reliability argument, executed.
 
-use cxk_core::{
-    run_collaborative, run_collaborative_with_churn, ChurnEvent, ChurnSchedule, CxkConfig,
-};
+use cxk_core::{Backend, ChurnEvent, ChurnSchedule, CxkConfig, EngineBuilder};
 use cxk_corpus::dblp::{generate, DblpConfig};
 use cxk_corpus::{partition_equal, transaction_labels, ClusteringSetting};
 use cxk_eval::f_measure;
@@ -39,7 +37,13 @@ fn main() {
     let partition = partition_equal(dataset.stats.transactions, 6, 4);
 
     // Baseline: the static six-peer network.
-    let stable = run_collaborative(&dataset, &partition, &config);
+    let stable = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p { peers: 6 })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     println!(
         "static network:   m=6, rounds={}, F = {:.3}",
         stable.rounds,
@@ -54,12 +58,22 @@ fn main() {
             ChurnEvent::Rejoin { round: 4, peer: 4 },
         ],
     };
-    let churned = run_collaborative_with_churn(&dataset, &partition, &config, &schedule);
+    let churned = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::Churn { peers: 6, schedule })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
+    let coverage_mask = churned
+        .covered
+        .clone()
+        .expect("churn backend reports coverage");
 
     let covered: Vec<(u32, u32)> = labels
         .iter()
-        .zip(&churned.outcome.assignments)
-        .zip(&churned.covered)
+        .zip(&churned.assignments)
+        .zip(&coverage_mask)
         .filter(|(_, &c)| c)
         .map(|((&l, &a), _)| (l, a))
         .collect();
@@ -67,16 +81,16 @@ fn main() {
 
     println!(
         "churned network:  2 leave @r2, 1 rejoins @r4 -> rounds={}, converged={}",
-        churned.outcome.rounds, churned.outcome.converged
+        churned.rounds, churned.converged
     );
     println!(
         "                  final alive {}/6, coverage {:.1}%, F(covered) = {:.3}",
-        churned.final_alive,
+        churned.final_alive.unwrap_or(0),
         churned.coverage() * 100.0,
         f_measure(&cl, &ca)
     );
     println!(
         "                  transactions lost with the still-absent peer: {}",
-        churned.covered.iter().filter(|&&c| !c).count()
+        coverage_mask.iter().filter(|&&c| !c).count()
     );
 }

@@ -14,7 +14,7 @@
 //! (`cxk_semantic`). Exact matching keeps the two sources apart; the
 //! thesaurus groups by what the records *mean*.
 
-use cxk_core::{run_centralized, CxkConfig};
+use cxk_core::{CxkConfig, EngineBuilder};
 use cxk_eval::f_measure;
 use cxk_semantic::Thesaurus;
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
@@ -118,7 +118,11 @@ fn main() {
     config.seed = 2;
     config.params = SimParams::new(0.5, 0.55);
 
-    let exact = run_centralized(&dataset, &config);
+    let exact = EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let exact_f = f_measure(&labels, &exact.assignments);
     println!(
         "exact tag matching:    F = {exact_f:.3}   assignments = {:?}",
@@ -136,7 +140,11 @@ fn main() {
     let matcher = thesaurus.matcher(&dataset.labels);
     dataset.rebuild_tag_sim(&matcher);
 
-    let semantic = run_centralized(&dataset, &config);
+    let semantic = EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let semantic_f = f_measure(&labels, &semantic.assignments);
     println!(
         "thesaurus matching:    F = {semantic_f:.3}   assignments = {:?}",

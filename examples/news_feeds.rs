@@ -12,7 +12,7 @@
 //! over three topics; content-driven clustering (`f ∈ [0, 0.3]`) must
 //! recover the topics across dialects.
 
-use cxk_core::{run_collaborative, CxkConfig};
+use cxk_core::{Backend, CxkConfig, EngineBuilder};
 use cxk_corpus::partition_equal;
 use cxk_eval::f_measure;
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
@@ -107,7 +107,15 @@ fn main() {
     let mut config = CxkConfig::new(3);
     config.params = SimParams::new(0.1, 0.5); // f in the content band
     let partition = partition_equal(dataset.transactions.len(), 4, 7);
-    let outcome = run_collaborative(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
 
     let f = f_measure(&labels, &outcome.assignments);
     println!(
@@ -121,7 +129,15 @@ fn main() {
     // Show that structure-driven clustering instead separates the dialects.
     let mut config = CxkConfig::new(2);
     config.params = SimParams::new(0.9, 0.5); // f in the structure band
-    let outcome = run_collaborative(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let dialects: Vec<u32> = (0..dataset.transactions.len())
         .map(|t| {
             let item = &dataset.items[dataset.transactions[t].items()[0].index()];

@@ -6,7 +6,7 @@
 //! cargo run -p cxk_bench --release --example p2p_cluster [m]
 //! ```
 
-use cxk_core::{run_centralized, run_collaborative_threaded, CxkConfig};
+use cxk_core::{Backend, CxkConfig, EngineBuilder};
 use cxk_corpus::dblp::{generate, DblpConfig};
 use cxk_corpus::{partition_equal, transaction_labels, ClusteringSetting};
 use cxk_eval::f_measure;
@@ -39,7 +39,11 @@ fn main() {
     let mut config = CxkConfig::new(k);
     config.params = SimParams::new(0.5, 0.8);
 
-    let central = run_centralized(&dataset, &config);
+    let central = EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let f_central = f_measure(&labels, &central.assignments);
     println!(
         "centralized:      rounds = {}, F = {f_central:.3}, simulated {:.2} s",
@@ -47,7 +51,13 @@ fn main() {
     );
 
     let partition = partition_equal(dataset.transactions.len(), m, 99);
-    let outcome = run_collaborative_threaded(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::ThreadedP2p { peers: m })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let f_dist = f_measure(&labels, &outcome.assignments);
     println!(
         "{m} peer threads: rounds = {}, F = {f_dist:.3}, wall {:.2} s, \

@@ -1,14 +1,17 @@
-//! Quickstart: cluster a handful of XML documents by structure and content.
+//! Quickstart: cluster a handful of XML documents by structure and content
+//! through the typed Engine API, then snapshot the result as a servable
+//! model.
 //!
 //! ```text
 //! cargo run -p cxk_bench --release --example quickstart
 //! ```
 //!
-//! The pipeline: XML text → tree tuples → transactions → centralized
-//! CXK-means (`m = 1`), printing the resulting clusters.
+//! The pipeline: XML text → tree tuples → transactions →
+//! `EngineBuilder::build()` → `Engine::fit()` → clusters (+ a
+//! `TrainedModel` ready for `cxk serve`).
 
-use cxk_core::{run_centralized, CxkConfig};
-use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+use cxk_core::{Backend, EngineBuilder};
+use cxk_transact::{BuildOptions, DatasetBuilder};
 
 fn main() {
     let documents = [
@@ -35,21 +38,28 @@ fn main() {
         dataset.stats.vocabulary
     );
 
-    // 2. Cluster with k = 2, hybrid structure/content similarity.
-    let mut config = CxkConfig::new(2);
-    config.seed = 1;
-    config.params = SimParams::new(0.5, 0.3);
-    let outcome = run_centralized(&dataset, &config);
+    // 2. Configure the engine: k = 2 clusters, hybrid structure/content
+    //    similarity (f = 0.5, γ = 0.3), centralized backend. `build()`
+    //    validates every axis and returns a typed error instead of
+    //    panicking — swap the backend for `Backend::SimulatedP2p` or
+    //    `Backend::ThreadedP2p` to distribute the same run.
+    let engine = EngineBuilder::new(2)
+        .similarity(0.5, 0.3)
+        .seed(1)
+        .backend(Backend::Centralized)
+        .build()
+        .expect("a valid configuration");
+    let fit = engine.fit(&dataset).expect("training runs");
 
     // 3. Report.
     println!(
         "converged = {} after {} rounds; simulated time {:.3} ms",
-        outcome.converged,
-        outcome.rounds,
-        outcome.simulated_seconds * 1e3
+        fit.converged,
+        fit.rounds,
+        fit.simulated_seconds * 1e3
     );
-    for cluster in 0..=outcome.k {
-        let members: Vec<usize> = outcome
+    for cluster in 0..=fit.k {
+        let members: Vec<usize> = fit
             .assignments
             .iter()
             .enumerate()
@@ -59,7 +69,7 @@ fn main() {
         if members.is_empty() {
             continue;
         }
-        let name = if cluster == outcome.k {
+        let name = if cluster == fit.k {
             "trash".to_string()
         } else {
             format!("C{cluster}")
@@ -77,4 +87,14 @@ fn main() {
             println!("  tx{t} (doc {doc}): {title_item}");
         }
     }
+
+    // 4. The same fit flows straight into a servable snapshot — this is
+    //    what `cxk train` writes and `cxk serve` loads.
+    let model = fit.into_model(&dataset, BuildOptions::default());
+    let bytes = cxk_core::save_model(&model);
+    println!(
+        "servable model: {} representatives, {} snapshot bytes",
+        model.k(),
+        bytes.len()
+    );
 }

@@ -9,7 +9,7 @@
 //! cargo run -p cxk_bench --release --example software_catalog
 //! ```
 
-use cxk_core::{run_collaborative, CxkConfig};
+use cxk_core::{Backend, CxkConfig, EngineBuilder};
 use cxk_corpus::partition_equal;
 use cxk_eval::f_measure;
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
@@ -127,7 +127,15 @@ fn main() {
     let hybrid_truth = cxk_corpus::transaction_labels(&hybrid_truth, &dataset.doc_of);
     let mut config = CxkConfig::new(6);
     config.params = SimParams::new(0.5, 0.55);
-    let outcome = run_collaborative(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let f_hybrid = f_measure(&hybrid_truth, &outcome.assignments);
     println!("hybrid clustering (f = 0.5):   F = {f_hybrid:.3} over 6 classes");
 
@@ -135,7 +143,15 @@ fn main() {
     let content_truth = cxk_corpus::transaction_labels(&category_labels, &dataset.doc_of);
     let mut config = CxkConfig::new(3);
     config.params = SimParams::new(0.1, 0.55);
-    let outcome = run_collaborative(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let f_content = f_measure(&content_truth, &outcome.assignments);
     println!("content clustering (f = 0.1):  F = {f_content:.3} over 3 classes");
 
@@ -143,7 +159,15 @@ fn main() {
     let structure_truth = cxk_corpus::transaction_labels(&source_labels, &dataset.doc_of);
     let mut config = CxkConfig::new(2);
     config.params = SimParams::new(0.9, 0.55);
-    let outcome = run_collaborative(&dataset, &partition, &config);
+    let outcome = EngineBuilder::from_cxk_config(&config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.clone())
+        .build()
+        .expect("valid configuration")
+        .fit(&dataset)
+        .expect("training runs");
     let f_structure = f_measure(&structure_truth, &outcome.assignments);
     println!("structure clustering (f = 0.9): F = {f_structure:.3} over 2 classes");
 }

@@ -2,11 +2,38 @@
 //! tuples → transactions → clustering → F-measure, across all four corpora.
 
 use cxk_bench::{prepare, CorpusKind};
-use cxk_core::{run_centralized, run_collaborative, CxkConfig};
+use cxk_core::{Backend, CxkConfig, EngineBuilder};
 use cxk_corpus::{partition_equal, partition_unequal};
 use cxk_eval::f_measure;
 use cxk_p2p::CostModel;
 use cxk_transact::SimParams;
+
+/// Engine-backed equivalents of the old free functions.
+fn fit_centralized(ds: &cxk_transact::Dataset, config: &CxkConfig) -> cxk_core::ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
+
+fn fit_collaborative(
+    ds: &cxk_transact::Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> cxk_core::ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .backend(Backend::SimulatedP2p {
+            peers: partition.len(),
+        })
+        .partition(partition.to_vec())
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
 
 fn config(k: usize, f: f64, gamma: f64) -> CxkConfig {
     CxkConfig {
@@ -46,7 +73,7 @@ fn all_corpora_build_datasets() {
 #[test]
 fn dblp_structure_clustering_is_accurate_centralized() {
     let p = prepare(CorpusKind::Dblp, 0.25, 12);
-    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.8, 0.6));
+    let outcome = fit_centralized(&p.dataset, &config(p.k_structure, 0.8, 0.6));
     let f = f_measure(&p.structure_labels, &outcome.assignments);
     assert!(f > 0.8, "structure-driven F = {f}");
 }
@@ -54,7 +81,7 @@ fn dblp_structure_clustering_is_accurate_centralized() {
 #[test]
 fn dblp_content_clustering_beats_chance() {
     let p = prepare(CorpusKind::Dblp, 0.25, 13);
-    let outcome = run_centralized(&p.dataset, &config(p.k_content, 0.2, 0.45));
+    let outcome = fit_centralized(&p.dataset, &config(p.k_content, 0.2, 0.45));
     let f = f_measure(&p.content_labels, &outcome.assignments);
     // Random assignment over 6 classes scores ~0.27 on this corpus.
     assert!(f > 0.4, "content-driven F = {f}");
@@ -63,7 +90,7 @@ fn dblp_content_clustering_beats_chance() {
 #[test]
 fn wikipedia_content_clustering_works() {
     let p = prepare(CorpusKind::Wikipedia, 0.2, 14);
-    let outcome = run_centralized(&p.dataset, &config(p.k_content, 0.1, 0.5));
+    let outcome = fit_centralized(&p.dataset, &config(p.k_content, 0.1, 0.5));
     let f = f_measure(&p.content_labels, &outcome.assignments);
     assert!(f > 0.5, "wikipedia content F = {f}");
 }
@@ -74,7 +101,7 @@ fn ieee_structure_clustering_separates_templates() {
     // (below it, cross-template paragraph paths γ-match and blur the two
     // templates).
     let p = prepare(CorpusKind::Ieee, 0.5, 15);
-    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.7));
+    let outcome = fit_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.7));
     let f = f_measure(&p.structure_labels, &outcome.assignments);
     assert!(f > 0.75, "ieee structure F = {f}");
 }
@@ -85,7 +112,7 @@ fn distributed_assignment_is_total_on_every_corpus() {
         let p = prepare(kind, 0.06, 16);
         let n = p.dataset.stats.transactions;
         let partition = partition_equal(n, 3, 1);
-        let outcome = run_collaborative(&p.dataset, &partition, &config(4, 0.5, 0.6));
+        let outcome = fit_collaborative(&p.dataset, &partition, &config(4, 0.5, 0.6));
         assert_eq!(outcome.assignments.len(), n);
         assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
     }
@@ -95,7 +122,7 @@ fn distributed_assignment_is_total_on_every_corpus() {
 fn unequal_partition_runs_and_scores() {
     let p = prepare(CorpusKind::Dblp, 0.2, 17);
     let n = p.dataset.stats.transactions;
-    let outcome = run_collaborative(
+    let outcome = fit_collaborative(
         &p.dataset,
         &partition_unequal(n, 4, 2),
         &config(p.k_structure, 0.8, 0.6),
@@ -114,7 +141,7 @@ fn shakespeare_long_documents_round_trip() {
         "plays must be long: {} transactions",
         p.dataset.stats.transactions
     );
-    let outcome = run_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.55));
+    let outcome = fit_centralized(&p.dataset, &config(p.k_structure, 0.9, 0.55));
     let f = f_measure(&p.structure_labels, &outcome.assignments);
     assert!(f > 0.5, "shakespeare structure F = {f}");
 }
@@ -125,8 +152,8 @@ fn simulated_time_drops_from_centralized_to_small_network() {
     let p = prepare(CorpusKind::Dblp, 0.4, 19);
     let n = p.dataset.stats.transactions;
     let cfg = config(p.k_hybrid, 0.5, 0.6);
-    let central = run_centralized(&p.dataset, &cfg);
-    let distributed = run_collaborative(&p.dataset, &partition_equal(n, 5, 3), &cfg);
+    let central = fit_centralized(&p.dataset, &cfg);
+    let distributed = fit_collaborative(&p.dataset, &partition_equal(n, 5, 3), &cfg);
     assert!(
         distributed.simulated_seconds < central.simulated_seconds,
         "distributed {:.4}s !< centralized {:.4}s",
@@ -144,8 +171,8 @@ fn persisted_dataset_clusters_identically() {
     let text = cxk_transact::save_dataset(&p.dataset);
     let reloaded = cxk_transact::load_dataset(&text).expect("reload");
     let cfg = config(p.k_structure, 0.8, 0.6);
-    let original = run_centralized(&p.dataset, &cfg);
-    let reran = run_centralized(&reloaded, &cfg);
+    let original = fit_centralized(&p.dataset, &cfg);
+    let reran = fit_centralized(&reloaded, &cfg);
     assert_eq!(original.assignments, reran.assignments);
     assert_eq!(original.rounds, reran.rounds);
 }
@@ -156,9 +183,9 @@ fn unweighted_merge_changes_only_the_combination() {
     let n = p.dataset.stats.transactions;
     let partition = partition_equal(n, 4, 6);
     let mut cfg = config(p.k_hybrid, 0.5, 0.6);
-    let weighted = run_collaborative(&p.dataset, &partition, &cfg);
+    let weighted = fit_collaborative(&p.dataset, &partition, &cfg);
     cfg.weighted_merge = false;
-    let unweighted = run_collaborative(&p.dataset, &partition, &cfg);
+    let unweighted = fit_collaborative(&p.dataset, &partition, &cfg);
     // Both produce total assignments; the ablation flag must not break the
     // protocol (same round bounds, full coverage).
     assert_eq!(weighted.assignments.len(), n);

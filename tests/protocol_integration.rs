@@ -3,10 +3,49 @@
 //! robustness across network shapes.
 
 use cxk_bench::{prepare, CorpusKind};
-use cxk_core::{run_collaborative, run_collaborative_threaded, CxkConfig};
+use cxk_core::{Backend, CxkConfig, EngineBuilder};
 use cxk_corpus::partition_equal;
 use cxk_p2p::CostModel;
 use cxk_transact::SimParams;
+
+/// Engine-backed runs over an explicit partition.
+fn fit_backend(
+    ds: &cxk_transact::Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+    threaded: bool,
+) -> cxk_core::ClusteringOutcome {
+    let peers = partition.len();
+    let backend = if threaded {
+        Backend::ThreadedP2p { peers }
+    } else {
+        Backend::SimulatedP2p { peers }
+    };
+    EngineBuilder::from_cxk_config(config)
+        .backend(backend)
+        .partition(partition.to_vec())
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
+
+fn fit_collaborative(
+    ds: &cxk_transact::Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> cxk_core::ClusteringOutcome {
+    fit_backend(ds, partition, config, false)
+}
+
+fn fit_threaded(
+    ds: &cxk_transact::Dataset,
+    partition: &[Vec<usize>],
+    config: &CxkConfig,
+) -> cxk_core::ClusteringOutcome {
+    fit_backend(ds, partition, config, true)
+}
 
 fn config(k: usize) -> CxkConfig {
     CxkConfig {
@@ -27,8 +66,8 @@ fn threaded_and_simulated_agree_on_dblp() {
     for m in [1, 2, 4] {
         let partition = partition_equal(n, m, 7);
         let cfg = config(p.k_structure);
-        let simulated = run_collaborative(&p.dataset, &partition, &cfg);
-        let threaded = run_collaborative_threaded(&p.dataset, &partition, &cfg);
+        let simulated = fit_collaborative(&p.dataset, &partition, &cfg);
+        let threaded = fit_threaded(&p.dataset, &partition, &cfg);
         assert_eq!(
             simulated.assignments, threaded.assignments,
             "partitions diverge at m = {m}"
@@ -46,7 +85,7 @@ fn threaded_handles_more_peers_than_clusters() {
     let p = prepare(CorpusKind::Dblp, 0.1, 22);
     let n = p.dataset.stats.transactions;
     // k = 2 but m = 6: four peers own no cluster and must not deadlock.
-    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, 6, 1), &config(2));
+    let outcome = fit_threaded(&p.dataset, &partition_equal(n, 6, 1), &config(2));
     assert_eq!(outcome.assignments.len(), n);
 }
 
@@ -57,7 +96,7 @@ fn threaded_handles_starved_peers() {
     // More peers than is sensible for the data: some peers hold 1-2
     // transactions, exercising empty local clusters.
     let m = (n / 2).clamp(2, 12);
-    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, m, 2), &config(3));
+    let outcome = fit_threaded(&p.dataset, &partition_equal(n, m, 2), &config(3));
     assert_eq!(outcome.cluster_sizes().iter().sum::<usize>(), n);
 }
 
@@ -66,8 +105,8 @@ fn traffic_grows_with_network_size() {
     let p = prepare(CorpusKind::Dblp, 0.15, 24);
     let n = p.dataset.stats.transactions;
     let cfg = config(p.k_structure);
-    let small = run_collaborative(&p.dataset, &partition_equal(n, 2, 3), &cfg);
-    let large = run_collaborative(&p.dataset, &partition_equal(n, 8, 3), &cfg);
+    let small = fit_collaborative(&p.dataset, &partition_equal(n, 2, 3), &cfg);
+    let large = fit_collaborative(&p.dataset, &partition_equal(n, 8, 3), &cfg);
     let small_rate = small.total_bytes as f64 / small.rounds.max(1) as f64;
     let large_rate = large.total_bytes as f64 / large.rounds.max(1) as f64;
     assert!(
@@ -82,7 +121,7 @@ fn threaded_traffic_matches_message_census() {
     // positive whenever m > 1.
     let p = prepare(CorpusKind::Dblp, 0.1, 25);
     let n = p.dataset.stats.transactions;
-    let outcome = run_collaborative_threaded(&p.dataset, &partition_equal(n, 3, 4), &config(3));
+    let outcome = fit_threaded(&p.dataset, &partition_equal(n, 3, 4), &config(3));
     assert!(outcome.total_messages > 0);
     assert!(outcome.total_bytes >= outcome.total_messages * 16);
 }
@@ -92,8 +131,8 @@ fn deterministic_across_repeated_threaded_runs() {
     let p = prepare(CorpusKind::Dblp, 0.1, 26);
     let n = p.dataset.stats.transactions;
     let partition = partition_equal(n, 3, 5);
-    let a = run_collaborative_threaded(&p.dataset, &partition, &config(4));
-    let b = run_collaborative_threaded(&p.dataset, &partition, &config(4));
+    let a = fit_threaded(&p.dataset, &partition, &config(4));
+    let b = fit_threaded(&p.dataset, &partition, &config(4));
     assert_eq!(a.assignments, b.assignments);
     assert_eq!(a.total_bytes, b.total_bytes);
 }

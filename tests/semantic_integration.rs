@@ -3,10 +3,20 @@
 
 use cxk_bench::data::prepare_dblp_dialects;
 use cxk_bench::experiments::{dialect_thesaurus, semantic_ablation, ExperimentOptions};
-use cxk_core::{run_centralized, CxkConfig};
+use cxk_core::{CxkConfig, EngineBuilder};
 use cxk_eval::f_measure;
 use cxk_semantic::Taxonomy;
 use cxk_transact::{ExactMatch, SimParams};
+
+/// Engine-backed equivalents of the old free functions.
+fn fit_centralized(ds: &cxk_transact::Dataset, config: &CxkConfig) -> cxk_core::ClusteringOutcome {
+    EngineBuilder::from_cxk_config(config)
+        .build()
+        .expect("valid test config")
+        .fit(ds)
+        .expect("fit succeeds")
+        .into_outcome()
+}
 
 fn structure_config(k: usize, gamma: f64) -> CxkConfig {
     let mut config = CxkConfig::new(k);
@@ -22,12 +32,12 @@ fn thesaurus_recovers_structure_classes_across_dialects() {
     let labels = prepared.structure_labels.clone();
     let config = structure_config(prepared.k_structure, 0.6);
 
-    let exact = run_centralized(&prepared.dataset, &config);
+    let exact = fit_centralized(&prepared.dataset, &config);
     let exact_f = f_measure(&labels, &exact.assignments);
 
     let matcher = dialect_thesaurus().matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&matcher);
-    let semantic = run_centralized(&prepared.dataset, &config);
+    let semantic = fit_centralized(&prepared.dataset, &config);
     let semantic_f = f_measure(&labels, &semantic.assignments);
 
     assert!(
@@ -42,10 +52,10 @@ fn single_dialect_is_matcher_invariant() {
     let mut prepared = prepare_dblp_dialects(0.15, 7, 1);
     let config = structure_config(prepared.k_structure, 0.6);
 
-    let exact = run_centralized(&prepared.dataset, &config);
+    let exact = fit_centralized(&prepared.dataset, &config);
     let matcher = dialect_thesaurus().matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&matcher);
-    let semantic = run_centralized(&prepared.dataset, &config);
+    let semantic = fit_centralized(&prepared.dataset, &config);
 
     // Homogeneous markup: no synonym pair ever co-occurs, so the enriched
     // table equals the exact one and the clustering is identical.
@@ -56,12 +66,12 @@ fn single_dialect_is_matcher_invariant() {
 fn rebuild_tag_sim_round_trips() {
     let mut prepared = prepare_dblp_dialects(0.1, 3, 2);
     let config = structure_config(prepared.k_structure, 0.6);
-    let before = run_centralized(&prepared.dataset, &config);
+    let before = fit_centralized(&prepared.dataset, &config);
 
     let matcher = dialect_thesaurus().matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&matcher);
     prepared.dataset.rebuild_tag_sim(&ExactMatch);
-    let after = run_centralized(&prepared.dataset, &config);
+    let after = fit_centralized(&prepared.dataset, &config);
     assert_eq!(before.assignments, after.assignments);
 }
 
@@ -117,12 +127,12 @@ fn taxonomy_matcher_also_lifts_heterogeneous_accuracy() {
     let labels = prepared.structure_labels.clone();
     let config = structure_config(prepared.k_structure, 0.6);
 
-    let exact = run_centralized(&prepared.dataset, &config);
+    let exact = fit_centralized(&prepared.dataset, &config);
     let exact_f = f_measure(&labels, &exact.assignments);
 
     let matcher = bibliographic_taxonomy(0.5).matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&matcher);
-    let semantic = run_centralized(&prepared.dataset, &config);
+    let semantic = fit_centralized(&prepared.dataset, &config);
     let semantic_f = f_measure(&labels, &semantic.assignments);
 
     assert!(
@@ -143,12 +153,12 @@ fn unfloored_taxonomy_overgrades_and_underperforms() {
 
     let floored = bibliographic_taxonomy(0.5).matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&floored);
-    let with_floor = run_centralized(&prepared.dataset, &config);
+    let with_floor = fit_centralized(&prepared.dataset, &config);
     let floored_f = f_measure(&labels, &with_floor.assignments);
 
     let unfloored = bibliographic_taxonomy(0.0).matcher(&prepared.dataset.labels);
     prepared.dataset.rebuild_tag_sim(&unfloored);
-    let without_floor = run_centralized(&prepared.dataset, &config);
+    let without_floor = fit_centralized(&prepared.dataset, &config);
     let unfloored_f = f_measure(&labels, &without_floor.assignments);
 
     assert!(

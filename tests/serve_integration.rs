@@ -4,7 +4,7 @@
 //! `sim_gamma_j` assignments exactly — and a live HTTP server round-trip
 //! over localhost must return the same cluster ids.
 
-use cxk_core::{load_model, run_centralized, save_model, CxkConfig, TrainedModel};
+use cxk_core::{load_model, save_model, CxkConfig, EngineBuilder, TrainedModel};
 use cxk_serve::{Classifier, ServeOptions, Server};
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 use std::io::{Read, Write};
@@ -36,10 +36,13 @@ fn train_held_out() -> (TrainedModel, Vec<(String, String)>) {
     // Seed 3 starts the two representatives in distinct topics on this
     // corpus, giving the clean two-cluster model the assertions expect.
     config.seed = 3;
-    let outcome = run_centralized(&ds, &config);
-    assert!(outcome.converged, "training must converge");
-    let model =
-        TrainedModel::from_clustering(&ds, &outcome, config.params, BuildOptions::default());
+    let fit = EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid training config")
+        .fit(&ds)
+        .expect("training runs");
+    assert!(fit.converged, "training must converge");
+    let model = fit.into_model(&ds, BuildOptions::default());
     let held_out = vec![
         ("mining6.xml".to_string(), read_sample("mining6.xml")),
         ("network6.xml".to_string(), read_sample("network6.xml")),
@@ -168,6 +171,34 @@ fn snapshot_reload_classify_and_serve_round_trip() {
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     assert_eq!(json_field(&body, "classified"), "2");
     assert_eq!(json_field(&body, "errors"), "1");
+
+    // Batch classify: a JSON array of XML strings answers with one
+    // assignment object per document, in order, with the same cluster ids
+    // as the single-document requests.
+    {
+        let escape = cxk_serve::json_escape;
+        let batch = format!(
+            r#"["{}","{}","<broken><xml>"]"#,
+            escape(&held_out[0].1),
+            escape(&held_out[1].1)
+        );
+        let (head, body) = post_classify(addr, &batch);
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+        // First entry: the mining hold-out, same cluster as the
+        // single-document request; second entry follows after the first
+        // object's tuple array closes.
+        assert!(
+            body.starts_with(&format!(r#"[{{"cluster":{},"#, clusters[0])),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!(r#"]}},{{"cluster":{},"#, clusters[1])),
+            "{body}"
+        );
+        // The malformed third document errors inline, last.
+        assert!(body.contains(r#"]},{"error":"#), "{body}");
+    }
 
     // Unknown endpoint → 404.
     let (head, _) = http_request(
