@@ -142,8 +142,9 @@ fn main() {
         handle.join().expect("client");
     }
     let seconds = start.elapsed().as_secs_f64();
-    let (_, classified, trash, errors) = server.stats();
-    assert_eq!(errors, 0, "no server-side errors expected");
+    let stats = server.stats();
+    let (classified, trash) = (stats.classified, stats.trash);
+    assert_eq!(stats.errors, 0, "no server-side errors expected");
     println!(
         "http(threads={threads},clients={clients})\t{classified}\t{seconds:.4}\t{:.1}\t{trash}\t-",
         classified as f64 / seconds,

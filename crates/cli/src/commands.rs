@@ -302,8 +302,11 @@ pub fn classify(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--brute]` — run
-/// the classification server in the foreground. Only returns on error.
+/// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--brute]
+/// [--watch SECS]` — run the classification server in the foreground.
+/// With `--watch`, the snapshot file is polled every `SECS` seconds and
+/// hot-swapped into the running worker pool when it changes; `POST
+/// /reload` forces a swap at any time. Only returns on error.
 pub fn serve(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
     let [model_path] = parsed.positional() else {
@@ -314,17 +317,33 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let watch = match parsed.get_str("watch") {
+        None => None,
+        Some(_) => {
+            let secs: u64 = parsed.get("watch", 0)?;
+            if secs == 0 {
+                return Err("--watch must be at least 1 second".into());
+            }
+            Some(std::time::Duration::from_secs(secs))
+        }
+    };
     let model = read_model(model_path)?;
     let opts = ServeOptions {
         threads,
         brute_force: parsed.has("brute"),
+        model_path: Some(PathBuf::from(model_path)),
+        watch,
         ..ServeOptions::default()
     };
     let k = model.k();
+    let watching = match watch {
+        Some(interval) => format!(", watching {model_path} every {}s", interval.as_secs()),
+        None => String::new(),
+    };
     let server = Server::start(model, ("127.0.0.1", port), opts)
         .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     eprintln!(
-        "cxk: serving k={k} model on http://{} with {threads} threads (POST /classify, GET /model, GET /stats)",
+        "cxk: serving k={k} model on http://{} with {threads} threads (POST /classify, POST /reload, GET /model, GET /stats){watching}",
         server.addr()
     );
     server.join();
@@ -699,6 +718,21 @@ mod tests {
             .unwrap_err()
             .contains("cannot read"));
         assert!(serve(&args(&[])).unwrap_err().contains("exactly one"));
+        // --watch is validated before the model is even read.
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--watch".into(),
+            "0".into()
+        ]))
+        .unwrap_err()
+        .contains("--watch"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--watch".into(),
+            "soon".into()
+        ]))
+        .unwrap_err()
+        .contains("--watch"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! cxk train  docs/ --k 4 -o model.cxkmodel          # cluster + snapshot
 //! cxk classify model.cxkmodel new-doc.xml           # assign new documents
 //! cxk serve  model.cxkmodel --port 7070 --threads 8 # classification server
+//! cxk serve  model.cxkmodel --watch 30              # …with hot reload on change
 //! ```
 //!
 //! `build`/`cluster`/`train` accept XML file paths and directories (scanned
@@ -48,7 +49,10 @@ commands:
            assign new documents to a trained model's clusters
            (--jsonl prints one JSON object per document)
   serve    <model.cxkmodel> [--port 7070] [--threads 4] [--brute]
-           run the HTTP classification server (POST /classify)
+           [--watch SECS]
+           run the HTTP classification server (POST /classify);
+           POST /reload (or --watch) hot-swaps a retrained snapshot
+           into the running workers without dropping requests
 
 `-o` and `--out` are interchangeable wherever an output path is taken.
 ";

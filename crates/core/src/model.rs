@@ -92,6 +92,19 @@ impl TrainedModel {
             .iter()
             .map(|c| compute_local_representative(ds, &ctx, c, &mut work))
             .collect();
+        Self::from_representatives(ds, reps, params, build)
+    }
+
+    /// Builds a model from representatives that already exist — the
+    /// streaming clusterer maintains them across refreshes, so its periodic
+    /// retrain can snapshot a servable model (and hand it to a running
+    /// server's hot-reload seam) without recomputing anything.
+    pub fn from_representatives(
+        ds: &Dataset,
+        reps: Vec<Representative>,
+        params: SimParams,
+        build: BuildOptions,
+    ) -> Self {
         Self {
             params,
             build,
@@ -154,6 +167,35 @@ fn checksum(payload: &[u8]) -> u64 {
     let mut hasher = FxHasher::default();
     hasher.write(payload);
     hasher.finish()
+}
+
+/// The content digest a snapshot carries in its trailing checksum, without
+/// decoding the payload. `None` when `bytes` cannot be a snapshot (too
+/// short, or wrong magic). Two snapshots with equal digests encode the
+/// same model bit-for-bit, so hot-reload pollers use this to skip swaps
+/// when a re-written file's contents did not actually change.
+pub fn snapshot_digest(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < MAGIC.len() + 4 + 8 || !bytes.starts_with(MAGIC) {
+        return None;
+    }
+    let tail = &bytes[bytes.len() - 8..];
+    Some(u64::from_le_bytes(tail.try_into().expect("8-byte tail")))
+}
+
+/// The format version a snapshot declares, without decoding the payload.
+/// `None` when `bytes` is too short or does not start with the snapshot
+/// magic. Serving layers check it against [`MODEL_FORMAT_VERSION`] before
+/// attempting a hot swap, so an incompatible snapshot is rejected without
+/// disturbing the live model.
+pub fn peek_format_version(bytes: &[u8]) -> Option<u32> {
+    if bytes.len() < MAGIC.len() + 4 || !bytes.starts_with(MAGIC) {
+        return None;
+    }
+    Some(u32::from_le_bytes(
+        bytes[MAGIC.len()..MAGIC.len() + 4]
+            .try_into()
+            .expect("4-byte version"),
+    ))
 }
 
 /// Serializes a model to the versioned binary snapshot format.
@@ -592,6 +634,50 @@ mod tests {
         let digest = checksum(&vers[..body_len]);
         vers[body_len..].copy_from_slice(&digest.to_le_bytes());
         assert!(load_model(&vers).unwrap_err().message.contains("version"));
+    }
+
+    #[test]
+    fn snapshot_digest_and_version_peek_without_decoding() {
+        let model = trained();
+        let bytes = save_model(&model);
+        assert_eq!(peek_format_version(&bytes), Some(MODEL_FORMAT_VERSION));
+        let digest = snapshot_digest(&bytes).expect("digest");
+        // Serialization is deterministic: same model, same digest.
+        assert_eq!(snapshot_digest(&save_model(&model)), Some(digest));
+        // A different model has a different digest (collisions aside).
+        let mut other = model.clone();
+        other.trained_documents += 1;
+        assert_ne!(snapshot_digest(&save_model(&other)), Some(digest));
+        // Non-snapshots peek to None instead of garbage.
+        assert_eq!(snapshot_digest(b"short"), None);
+        assert_eq!(snapshot_digest(b"XXXX-not-a-snapshot-at-all"), None);
+        assert_eq!(peek_format_version(b"CXK"), None);
+        assert_eq!(peek_format_version(b"not a snapshot"), None);
+    }
+
+    #[test]
+    fn from_representatives_matches_from_clustering() {
+        let model = trained();
+        // Rebuilding from the model's own representatives over the same
+        // dataset context reproduces the frozen statistics verbatim.
+        let docs = [
+            r#"<dblp><inproceedings key="m1"><author>A. Miner</author><title>mining clustering patterns trees</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><inproceedings key="m2"><author>A. Miner</author><title>frequent mining clustering streams</title><booktitle>KDD</booktitle></inproceedings></dblp>"#,
+            r#"<dblp><article key="n1"><author>B. Netter</author><title>routing congestion networks protocols</title><journal>Networking</journal></article></dblp>"#,
+            r#"<dblp><article key="n2"><author>B. Netter</author><title>packet routing networks latency</title><journal>Networking</journal></article></dblp>"#,
+        ];
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        for doc in docs {
+            builder.add_xml(doc).unwrap();
+        }
+        let ds = builder.finish();
+        let rebuilt = TrainedModel::from_representatives(
+            &ds,
+            model.reps.clone(),
+            model.params,
+            BuildOptions::default(),
+        );
+        assert_models_equal(&model, &rebuilt);
     }
 
     #[test]

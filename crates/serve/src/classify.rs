@@ -59,7 +59,11 @@ pub struct DocumentAssignment {
 ///
 /// The classifier is single-threaded by design (`&mut self`: its interners
 /// grow as unseen markup arrives); servers give each worker its own
-/// instance built from a shared model.
+/// instance built from a shared model. Building one is the unit of hot
+/// reload, too: when the server swaps models, each worker constructs a
+/// fresh `Classifier` (interners, similarity table, index) from the new
+/// snapshot between requests — derived state is never patched in place,
+/// so a response can never mix two models' representatives.
 pub struct Classifier {
     model: TrainedModel,
     tag_sim: TagPathSimTable,

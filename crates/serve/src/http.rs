@@ -1,4 +1,5 @@
-//! A minimal multi-threaded HTTP/1.1 classification server.
+//! A minimal multi-threaded HTTP/1.1 classification server with hot model
+//! reload.
 //!
 //! No external dependencies: `std::net::TcpListener` accepts connections
 //! and hands them to a fixed pool of worker threads over a
@@ -7,7 +8,17 @@
 //! needs `&mut self` because its interners grow with unseen markup — per
 //! the `classify` module docs that growth never changes scores).
 //!
-//! Endpoints (responses are JSON, `Connection: close`):
+//! The model is *not* fixed for the server's lifetime: all workers share a
+//! [`ModelSlot`] (see the `slot` module) and lazily rebuild their
+//! classifier when they observe a newer epoch, so a freshly trained
+//! `.cxkmodel` swaps in without dropping a single request. Three surfaces
+//! drive the swap: `POST /reload`, an opt-in mtime poller
+//! ([`ServeOptions::watch`]), and the [`Server::reload`] library API that
+//! `cxk_stream`'s periodic retrain feeds directly.
+//!
+//! Endpoints (responses are JSON, `Connection: close`, and every response
+//! carries the answering worker's model epoch in an `X-Model-Epoch`
+//! header):
 //!
 //! * `POST /classify` — body: one XML document, **or** a JSON array of XML
 //!   document strings (batch classification, amortizing connection and
@@ -15,24 +26,42 @@
 //!   with its cluster, score and per-tuple assignments (`400` on malformed
 //!   XML); a batch answers `200` with a JSON array holding one assignment
 //!   object — or a per-document `{"error": …}` object — per input, in
-//!   order.
-//! * `GET /model` — model metadata (k, parameters, sizes).
-//! * `GET /stats` — server counters (requests, classifications, errors,
-//!   trash rate) and index diagnostics.
+//!   order. A whole request is answered against one epoch, never a mix.
+//! * `POST /reload` — body: the path to a `.cxkmodel` snapshot, or empty
+//!   to re-read the path the server was started from. The snapshot's
+//!   magic, format version and checksum are validated *before* the swap;
+//!   an incompatible or corrupt snapshot answers `409 Conflict` and the
+//!   live model is untouched. Success answers `200` with the new epoch.
+//! * `GET /model` — model metadata (epoch, k, parameters, sizes).
+//! * `GET /stats` — server counters (connections, requests,
+//!   classifications, errors, reloads, trash rate) and index diagnostics.
 //!
 //! The protocol subset is deliberately tiny: request line + headers,
-//! `Content-Length` bodies only (no chunked encoding, no keep-alive). The
-//! point is a dependency-free serving path whose throughput the
-//! `serve_throughput` bench bin can measure; a production transport is a
-//! ROADMAP item.
+//! `Content-Length` bodies only (no chunked encoding, no keep-alive;
+//! duplicate or non-digit `Content-Length` headers are rejected outright
+//! as request-smuggling hygiene). The point is a dependency-free serving
+//! path whose throughput the `serve_throughput` bench bin can measure; a
+//! production transport is a ROADMAP item.
+//!
+//! **Trust boundary:** the server has no authentication, and
+//! `POST /reload` in particular reads a server-side filesystem path named
+//! by the client (the error text reveals whether that path was readable).
+//! Expose it only to trusted clients — the CLI binds `127.0.0.1`
+//! exclusively; a [`Server::start`] on a wider address must sit behind a
+//! trusted network or proxy.
 
 use crate::classify::{Classifier, DocumentAssignment};
-use cxk_core::{TrainedModel, MODEL_FORMAT_VERSION};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use crate::slot::ModelSlot;
+use cxk_core::{
+    load_model, peek_format_version, snapshot_digest, TrainedModel, MODEL_FORMAT_VERSION,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Upper bound on accepted request bodies (64 MiB), so a hostile
 /// `Content-Length` cannot exhaust memory.
@@ -42,6 +71,10 @@ const MAX_BODY_BYTES: u64 = 64 << 20;
 /// client sending an endless header stream would grow worker memory
 /// without bound — `MAX_BODY_BYTES` only constrains the declared body.
 const MAX_HEAD_BYTES: usize = 16 << 10;
+
+/// How often the file watcher wakes to check the shutdown flag; the
+/// configured watch interval is quantized to multiples of this.
+const WATCH_TICK: Duration = Duration::from_millis(50);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -53,7 +86,13 @@ pub struct ServeOptions {
     pub brute_force: bool,
     /// Per-connection read/write timeout. An idle or trickling client
     /// would otherwise pin its worker forever (and block shutdown).
-    pub io_timeout: std::time::Duration,
+    pub io_timeout: Duration,
+    /// The snapshot path behind the model, if it came from disk: the
+    /// default `POST /reload` target and the file the watcher polls.
+    pub model_path: Option<PathBuf>,
+    /// Poll `model_path` at this interval and hot-swap the snapshot when
+    /// its mtime (and content digest) change. Requires `model_path`.
+    pub watch: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -61,7 +100,9 @@ impl Default for ServeOptions {
         Self {
             threads: 4,
             brute_force: false,
-            io_timeout: std::time::Duration::from_secs(10),
+            io_timeout: Duration::from_secs(10),
+            model_path: None,
+            watch: None,
         }
     }
 }
@@ -69,7 +110,11 @@ impl Default for ServeOptions {
 /// Monotonic server counters, shared by all workers.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// HTTP requests accepted (including malformed ones).
+    /// Connections accepted and handed to a worker (including ones that
+    /// never produced a parseable request).
+    pub connections: AtomicU64,
+    /// HTTP requests successfully parsed (head + body). Malformed or
+    /// timed-out connections count in `connections` and `errors` only.
     pub requests: AtomicU64,
     /// Successful classifications.
     pub classified: AtomicU64,
@@ -77,20 +122,58 @@ pub struct ServerStats {
     pub trash: AtomicU64,
     /// Requests answered with a 4xx/5xx status.
     pub errors: AtomicU64,
+    /// Successful model swaps (any surface: endpoint, watcher, library).
+    pub reloads: AtomicU64,
+    /// Rejected swap attempts (unreadable, corrupt or incompatible
+    /// snapshots); the live model was untouched.
+    pub reload_errors: AtomicU64,
+}
+
+/// A point-in-time copy of the counters plus the live model epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted and handed to a worker.
+    pub connections: u64,
+    /// HTTP requests successfully parsed.
+    pub requests: u64,
+    /// Successful classifications.
+    pub classified: u64,
+    /// Classifications that landed in the trash cluster.
+    pub trash: u64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: u64,
+    /// Successful model swaps.
+    pub reloads: u64,
+    /// Rejected swap attempts.
+    pub reload_errors: u64,
+    /// The live model epoch (1 = the boot model).
+    pub epoch: u64,
 }
 
 /// A running classification server.
 pub struct Server {
     addr: SocketAddr,
+    slot: Arc<ModelSlot>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
+}
+
+/// Everything a worker needs besides its own classifier.
+struct WorkerCtx {
+    slot: Arc<ModelSlot>,
+    stats: Arc<ServerStats>,
+    brute: bool,
+    model_path: Option<PathBuf>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `("127.0.0.1", 0)` for an ephemeral port) and
-    /// starts the acceptor plus `opts.threads` workers.
+    /// starts the acceptor plus `opts.threads` workers; `model` becomes
+    /// epoch 1. With `opts.watch` (and a `model_path`) a poller thread
+    /// hot-swaps the snapshot whenever the file changes on disk.
     ///
     /// # Errors
     /// Returns the bind error.
@@ -103,26 +186,38 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
+        let slot = Arc::new(ModelSlot::new(model));
         let threads = opts.threads.max(1);
 
         let (tx, rx) = crossbeam_channel::unbounded::<TcpStream>();
         let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
             let rx = rx.clone();
-            let model = model.clone();
-            let stats = Arc::clone(&stats);
-            let brute = opts.brute_force;
+            let ctx = WorkerCtx {
+                slot: Arc::clone(&slot),
+                stats: Arc::clone(&stats),
+                brute: opts.brute_force,
+                model_path: opts.model_path.clone(),
+            };
             let io_timeout = opts.io_timeout;
             workers.push(std::thread::spawn(move || {
-                let mut classifier = Classifier::new(model);
+                let mut current = ctx.slot.current();
+                let mut classifier = Classifier::new(current.model.clone());
                 while let Ok(stream) = rx.recv() {
+                    // Hot reload: observe a newer epoch *between* requests,
+                    // so in-flight work always finishes on the model it
+                    // started with and no lock is held while classifying.
+                    if ctx.slot.epoch() != current.epoch {
+                        current = ctx.slot.current();
+                        classifier = Classifier::new(current.model.clone());
+                    }
                     // A slow or idle client must not pin this worker: cap
                     // every read and write. Zero would mean "no timeout"
                     // to the socket API, so clamp it away.
-                    let timeout = Some(io_timeout.max(std::time::Duration::from_millis(1)));
+                    let timeout = Some(io_timeout.max(Duration::from_millis(1)));
                     let _ = stream.set_read_timeout(timeout);
                     let _ = stream.set_write_timeout(timeout);
-                    handle_connection(stream, &mut classifier, &stats, brute);
+                    handle_connection(stream, &mut classifier, current.epoch, &ctx);
                 }
             }));
         }
@@ -145,12 +240,25 @@ impl Server {
             })
         };
 
+        let watcher = match (opts.watch, &opts.model_path) {
+            (Some(interval), Some(path)) => Some(spawn_watcher(
+                Arc::clone(&slot),
+                Arc::clone(&stats),
+                Arc::clone(&shutdown),
+                path.clone(),
+                interval,
+            )),
+            _ => None,
+        };
+
         Ok(Server {
             addr,
+            slot,
             shutdown,
             stats,
             acceptor: Some(acceptor),
             workers,
+            watcher,
         })
     }
 
@@ -159,14 +267,35 @@ impl Server {
         self.addr
     }
 
-    /// A snapshot of the counters: `(requests, classified, trash, errors)`.
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (
-            self.stats.requests.load(Ordering::Relaxed),
-            self.stats.classified.load(Ordering::Relaxed),
-            self.stats.trash.load(Ordering::Relaxed),
-            self.stats.errors.load(Ordering::Relaxed),
-        )
+    /// The live model epoch (1 = the model the server started with).
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch()
+    }
+
+    /// Atomically swaps `model` into the running worker pool and returns
+    /// the new epoch — the library surface of hot reload, built for
+    /// `cxk_stream`-style periodic retrains
+    /// (`Engine::fit → FitOutcome::into_model → Server::reload`). In-flight
+    /// requests finish on the previous model; each worker picks the new
+    /// one up before its next request.
+    pub fn reload(&self, model: TrainedModel) -> u64 {
+        let epoch = self.slot.swap(model);
+        self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// A snapshot of the counters and the live epoch.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            classified: self.stats.classified.load(Ordering::Relaxed),
+            trash: self.stats.trash.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            reloads: self.stats.reloads.load(Ordering::Relaxed),
+            reload_errors: self.stats.reload_errors.load(Ordering::Relaxed),
+            epoch: self.slot.epoch(),
+        }
     }
 
     /// Blocks until the server shuts down (for a foreground `cxk serve`).
@@ -177,18 +306,24 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
     }
 
     /// Stops accepting, drains in-flight work and joins every thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(loopback_of(self.addr));
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
         }
     }
 }
@@ -196,12 +331,127 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         // Best-effort: a dropped (not shut down) server stops accepting.
+        // (The watcher polls the same flag and exits within a tick.)
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(loopback_of(self.addr));
     }
 }
 
+/// The address the shutdown path connects to in order to unblock the
+/// acceptor. A server bound to an unspecified address (`0.0.0.0:p` /
+/// `[::]:p`) cannot be *connected* to at that address on every platform —
+/// the dummy connection would fail and the acceptor would block forever —
+/// so route the wake-up through the matching loopback with the bound port.
+fn loopback_of(addr: SocketAddr) -> SocketAddr {
+    let ip = match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, addr.port())
+}
+
+/// Validates `bytes` as a snapshot and decodes it. The magic, format
+/// version and checksum are all verified (plus the internal id
+/// consistency `load_model` enforces) *before* any swap, so a bad
+/// snapshot can never disturb the live model. `path` only labels errors.
+fn load_snapshot_bytes(bytes: &[u8], path: &Path) -> Result<TrainedModel, String> {
+    match peek_format_version(bytes) {
+        Some(MODEL_FORMAT_VERSION) => {}
+        Some(version) => {
+            return Err(format!(
+                "{}: incompatible snapshot format version {version} (this server speaks {MODEL_FORMAT_VERSION})",
+                path.display()
+            ))
+        }
+        None => return Err(format!("{}: not a .cxkmodel snapshot", path.display())),
+    }
+    load_model(bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Reads, validates and decodes the snapshot at `path`.
+fn load_snapshot(path: &Path) -> Result<TrainedModel, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    load_snapshot_bytes(&bytes, path)
+}
+
+/// The opt-in mtime poller: every `interval`, stat `path`; when the mtime
+/// moves *and* the trailing content digest actually differs, validate and
+/// swap the snapshot in. Rejected snapshots are counted and logged to
+/// stderr; the live model is untouched, and — because `last_mtime` is
+/// only committed on a skip or a successful swap — the file is re-tried
+/// every interval until a valid snapshot appears. That is what makes a
+/// *torn read* of a non-atomic overwrite safe even on filesystems with
+/// coarse mtime granularity: the half-written bytes fail the checksum,
+/// nothing is committed, and the completed write is picked up on a later
+/// poll whether or not it lands in the same timestamp unit.
+fn spawn_watcher(
+    slot: Arc<ModelSlot>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    path: PathBuf,
+    interval: Duration,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let modified = |path: &Path| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let mut last_mtime = modified(&path);
+        // The boot model came from this path moments ago; its digest is
+        // read once so an immediate identical rewrite is not re-loaded.
+        let mut last_digest = std::fs::read(&path)
+            .ok()
+            .as_deref()
+            .and_then(snapshot_digest);
+        let mut waited = Duration::ZERO;
+        while !shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(WATCH_TICK);
+            waited += WATCH_TICK;
+            if waited < interval {
+                continue;
+            }
+            waited = Duration::ZERO;
+            let mtime = modified(&path);
+            if mtime == last_mtime {
+                continue;
+            }
+            let bytes = match std::fs::read(&path) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    // Transient (mid-rename, NFS hiccup): retry next poll.
+                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("cxk: watch: cannot read {}: {e}", path.display());
+                    continue;
+                }
+            };
+            // A touch that did not change the contents (same trailing
+            // digest) is not a new model; skip the swap and the rebuilds
+            // it would trigger in every worker.
+            let digest = snapshot_digest(&bytes);
+            if digest.is_some() && digest == last_digest {
+                last_mtime = mtime;
+                continue;
+            }
+            // Validate the very bytes that were read — one read per poll,
+            // and the digest recorded below always describes the model
+            // that actually went live.
+            match load_snapshot_bytes(&bytes, &path) {
+                Ok(model) => {
+                    let epoch = slot.swap(model);
+                    stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    last_mtime = mtime;
+                    last_digest = digest;
+                    eprintln!("cxk: watch: reloaded {} as epoch {epoch}", path.display());
+                }
+                Err(message) => {
+                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("cxk: watch: keeping the live model: {message}");
+                }
+            }
+        }
+    })
+}
+
 /// Parsed request head.
+#[derive(Debug)]
 struct Request {
     method: String,
     path: String,
@@ -237,11 +487,21 @@ fn read_line_capped(
     String::from_utf8(line).map_err(|_| format!("{what} is not UTF-8"))
 }
 
+/// Parses a `Content-Length` value strictly: ASCII digits only. This
+/// rejects what `u64::from_str` would quietly accept (`+5`, for example)
+/// — request-smuggling hygiene for a header that decides body framing.
+fn parse_content_length(value: &str) -> Result<u64, String> {
+    let value = value.trim();
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err("bad Content-Length".into());
+    }
+    value.parse().map_err(|_| "bad Content-Length".to_string())
+}
+
 /// Reads one HTTP/1.1 request (head + `Content-Length` body).
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream);
+fn read_request(reader: &mut impl BufRead) -> Result<Request, String> {
     let mut budget = MAX_HEAD_BYTES;
-    let line = read_line_capped(&mut reader, &mut budget, "request line")?;
+    let line = read_line_capped(reader, &mut budget, "request line")?;
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
@@ -249,22 +509,25 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         return Err("malformed request line".into());
     }
 
-    let mut content_length = 0u64;
+    let mut content_length: Option<u64> = None;
     loop {
-        let header = read_line_capped(&mut reader, &mut budget, "header")?;
+        let header = read_line_capped(reader, &mut budget, "header")?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| "bad Content-Length".to_string())?;
+                // Two framing declarations in one request is classic
+                // request smuggling; refuse rather than pick one.
+                if content_length.is_some() {
+                    return Err("duplicate Content-Length header".into());
+                }
+                content_length = Some(parse_content_length(value)?);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(format!("body exceeds {MAX_BODY_BYTES} bytes"));
     }
@@ -276,9 +539,9 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request { method, path, body })
 }
 
-fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+fn respond(stream: &mut TcpStream, status: &str, epoch: u64, body: &str) {
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nX-Model-Epoch: {epoch}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
@@ -471,19 +734,21 @@ pub fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
 fn handle_connection(
     mut stream: TcpStream,
     classifier: &mut Classifier,
-    stats: &ServerStats,
-    brute: bool,
+    epoch: u64,
+    ctx: &WorkerCtx,
 ) {
-    stats.requests.fetch_add(1, Ordering::Relaxed);
-    let request = match read_request(&mut stream) {
+    let stats = &*ctx.stats;
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(&mut BufReader::new(&mut stream)) {
         Ok(r) => r,
         Err(message) => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
-            respond(&mut stream, "400 Bad Request", &body);
+            respond(&mut stream, "400 Bad Request", epoch, &body);
             return;
         }
     };
+    stats.requests.fetch_add(1, Ordering::Relaxed);
 
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/classify") => {
@@ -494,6 +759,7 @@ fn handle_connection(
                     respond(
                         &mut stream,
                         "400 Bad Request",
+                        epoch,
                         r#"{"error":"body is not UTF-8"}"#,
                     );
                     return;
@@ -507,14 +773,14 @@ fn handle_connection(
                     Err(message) => {
                         stats.errors.fetch_add(1, Ordering::Relaxed);
                         let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
-                        respond(&mut stream, "400 Bad Request", &body);
+                        respond(&mut stream, "400 Bad Request", epoch, &body);
                         return;
                     }
                 };
                 let entries: Vec<String> = docs
                     .iter()
                     .map(|xml| {
-                        let result = if brute {
+                        let result = if ctx.brute {
                             classifier.classify_brute(xml)
                         } else {
                             classifier.classify(xml)
@@ -534,10 +800,15 @@ fn handle_connection(
                         }
                     })
                     .collect();
-                respond(&mut stream, "200 OK", &format!("[{}]", entries.join(",")));
+                respond(
+                    &mut stream,
+                    "200 OK",
+                    epoch,
+                    &format!("[{}]", entries.join(",")),
+                );
                 return;
             }
-            let result = if brute {
+            let result = if ctx.brute {
                 classifier.classify_brute(body)
             } else {
                 classifier.classify(body)
@@ -549,12 +820,61 @@ fn handle_connection(
                         stats.trash.fetch_add(1, Ordering::Relaxed);
                     }
                     let body = assignment_json(&report, classifier.trash_id());
-                    respond(&mut stream, "200 OK", &body);
+                    respond(&mut stream, "200 OK", epoch, &body);
                 }
                 Err(e) => {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     let body = format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()));
-                    respond(&mut stream, "400 Bad Request", &body);
+                    respond(&mut stream, "400 Bad Request", epoch, &body);
+                }
+            }
+        }
+        ("POST", "/reload") => {
+            let target = match std::str::from_utf8(&request.body) {
+                Ok(body) => body.trim(),
+                Err(_) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        &mut stream,
+                        "400 Bad Request",
+                        epoch,
+                        r#"{"error":"body is not UTF-8 (expected a snapshot path, or empty)"}"#,
+                    );
+                    return;
+                }
+            };
+            let path = if target.is_empty() {
+                ctx.model_path.clone()
+            } else {
+                Some(PathBuf::from(target))
+            };
+            let Some(path) = path else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                respond(
+                    &mut stream,
+                    "400 Bad Request",
+                    epoch,
+                    r#"{"error":"no snapshot path: the server was started from an in-memory model; POST the path to a .cxkmodel in the body"}"#,
+                );
+                return;
+            };
+            match load_snapshot(&path) {
+                Ok(model) => {
+                    let new_epoch = ctx.slot.swap(model);
+                    stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(
+                        r#"{{"reloaded":true,"epoch":{new_epoch},"path":"{}"}}"#,
+                        json_escape(&path.display().to_string())
+                    );
+                    respond(&mut stream, "200 OK", new_epoch, &body);
+                }
+                Err(message) => {
+                    // The snapshot failed validation (or could not be
+                    // read): conflict with the live model, which stays.
+                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
+                    respond(&mut stream, "409 Conflict", epoch, &body);
                 }
             }
         }
@@ -562,7 +882,8 @@ fn handle_connection(
             let model = classifier.model();
             let rep_items: Vec<String> = model.reps.iter().map(|r| r.len().to_string()).collect();
             let body = format!(
-                r#"{{"format_version":{},"k":{},"f":{},"gamma":{},"labels":{},"vocabulary":{},"paths":{},"rep_items":[{}],"trained_documents":{},"trained_transactions":{}}}"#,
+                r#"{{"epoch":{},"format_version":{},"k":{},"f":{},"gamma":{},"labels":{},"vocabulary":{},"paths":{},"rep_items":[{}],"trained_documents":{},"trained_transactions":{}}}"#,
+                epoch,
                 MODEL_FORMAT_VERSION,
                 model.k(),
                 model.params.f,
@@ -574,26 +895,31 @@ fn handle_connection(
                 model.trained_documents,
                 model.trained_transactions,
             );
-            respond(&mut stream, "200 OK", &body);
+            respond(&mut stream, "200 OK", epoch, &body);
         }
         ("GET", "/stats") => {
             let body = format!(
-                r#"{{"requests":{},"classified":{},"trash":{},"errors":{},"index_postings":{},"brute_force":{}}}"#,
+                r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"index_postings":{},"brute_force":{}}}"#,
+                epoch,
+                stats.connections.load(Ordering::Relaxed),
                 stats.requests.load(Ordering::Relaxed),
                 stats.classified.load(Ordering::Relaxed),
                 stats.trash.load(Ordering::Relaxed),
                 stats.errors.load(Ordering::Relaxed),
+                stats.reloads.load(Ordering::Relaxed),
+                stats.reload_errors.load(Ordering::Relaxed),
                 classifier.index().posting_entries(),
-                brute,
+                ctx.brute,
             );
-            respond(&mut stream, "200 OK", &body);
+            respond(&mut stream, "200 OK", epoch, &body);
         }
         _ => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             respond(
                 &mut stream,
                 "404 Not Found",
-                r#"{"error":"no such endpoint (POST /classify, GET /model, GET /stats)"}"#,
+                epoch,
+                r#"{"error":"no such endpoint (POST /classify, POST /reload, GET /model, GET /stats)"}"#,
             );
         }
     }
@@ -603,6 +929,7 @@ fn handle_connection(
 mod tests {
     use super::*;
     use crate::classify::TupleAssignment;
+    use std::io::Cursor;
 
     #[test]
     fn json_escaping_handles_hostile_strings() {
@@ -679,5 +1006,59 @@ mod tests {
             tuples: Vec::new(),
         };
         assert!(assignment_json(&trash, 4).contains(r#""trash":true"#));
+    }
+
+    fn request_of(raw: &str) -> Result<Request, String> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn read_request_parses_a_plain_request() {
+        let r = request_of("POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/classify");
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Last-wins (or first-wins) on conflicting framing declarations is
+        // the classic request-smuggling vector: refuse both orderings.
+        for raw in [
+            "POST /classify HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello",
+            "POST /classify HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
+            // Even two *agreeing* declarations are refused outright.
+            "POST /classify HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
+        ] {
+            let e = request_of(raw).unwrap_err();
+            assert!(e.contains("duplicate Content-Length"), "{raw:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn non_digit_content_length_is_rejected() {
+        // `u64::from_str` accepts a leading `+`; the header grammar does
+        // not. Anything but ASCII digits must 400.
+        for bad in ["+5", "-5", "5 5", "0x5", "5.0", "", " + 5"] {
+            let raw = format!("POST /classify HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let e = request_of(&raw).unwrap_err();
+            assert!(e.contains("bad Content-Length"), "{bad:?}: {e}");
+        }
+        // Plain digits (with surrounding whitespace trimmed) still parse.
+        assert_eq!(parse_content_length(" 5 ").unwrap(), 5);
+        assert_eq!(parse_content_length("0").unwrap(), 0);
+    }
+
+    #[test]
+    fn loopback_substitutes_unspecified_bind_addresses() {
+        let v4: SocketAddr = "0.0.0.0:7070".parse().unwrap();
+        assert_eq!(loopback_of(v4), "127.0.0.1:7070".parse().unwrap());
+        let v6: SocketAddr = "[::]:7070".parse().unwrap();
+        assert_eq!(loopback_of(v6), "[::1]:7070".parse().unwrap());
+        // Specific addresses pass through untouched.
+        let bound: SocketAddr = "127.0.0.1:9999".parse().unwrap();
+        assert_eq!(loopback_of(bound), bound);
+        let eth: SocketAddr = "192.168.1.20:80".parse().unwrap();
+        assert_eq!(loopback_of(eth), eth);
     }
 }

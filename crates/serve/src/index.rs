@@ -32,6 +32,11 @@
 //! that stays sound under Eq. 3. The soundness argument assumes the exact
 //! tag matcher — a semantically enriched `Δ` (cxk_semantic) would need
 //! synonym-closed postings, which is future work (see ROADMAP).
+//!
+//! The index is immutable derived state over one model: under hot reload
+//! each worker rebuilds its index together with its classifier when it
+//! observes a newer model epoch (see the `slot` module), so postings and
+//! representatives always describe the same snapshot.
 
 use cxk_core::Representative;
 use cxk_transact::item::ItemView;

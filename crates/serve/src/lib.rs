@@ -15,12 +15,20 @@
 //!   sound under the paper's exact tag matcher: indexed and brute-force
 //!   assignments agree bit-for-bit.
 //! * [`http`] — a dependency-free multi-threaded HTTP/1.1 server
-//!   ([`Server`]) exposing `POST /classify`, `GET /model`
+//!   ([`Server`]) exposing `POST /classify`, `POST /reload`, `GET /model`
 //!   and `GET /stats`, with one classifier per worker thread.
+//! * [`slot`] — the hot-reload seam: a [`ModelSlot`] holding an
+//!   epoch-versioned `Arc<TrainedModel>` that [`Server::reload`], the
+//!   `POST /reload` endpoint and the opt-in file watcher
+//!   ([`ServeOptions::watch`]) swap atomically while workers keep
+//!   serving. Each worker lazily rebuilds its classifier when it observes
+//!   a newer epoch, so in-flight requests finish on the model they
+//!   started with and nothing is dropped across a swap.
 //!
 //! Model snapshots themselves (`*.cxkmodel`) live in `cxk_core::model`;
 //! this crate consumes a [`cxk_core::TrainedModel`] however it was
-//! obtained — trained in-process or loaded from disk.
+//! obtained — trained in-process, loaded from disk at startup, or hot
+//! swapped in later (the periodic-retrain loop `cxk_stream` drives).
 //!
 //! # Example
 //!
@@ -57,7 +65,9 @@
 pub mod classify;
 pub mod http;
 pub mod index;
+pub mod slot;
 
 pub use classify::{Classifier, DocumentAssignment, TupleAssignment};
-pub use http::{assignment_json, json_escape, ServeOptions, Server, ServerStats};
+pub use http::{assignment_json, json_escape, ServeOptions, Server, ServerStats, StatsSnapshot};
 pub use index::{Candidates, TagPathIndex};
+pub use slot::{EpochModel, ModelSlot};

@@ -1,7 +1,9 @@
 //! The streaming clusterer: cheap per-document folds, periodic refreshes.
 
 use crate::policy::RefreshPolicy;
-use cxk_core::{compute_local_representative, CxkConfig, EngineBuilder, Representative};
+use cxk_core::{
+    compute_local_representative, CxkConfig, EngineBuilder, Representative, TrainedModel,
+};
 use cxk_text::{preprocess, ttf_itf, SparseVec};
 use cxk_transact::item::{item_fingerprint, Item, ItemId, ItemView};
 use cxk_transact::txsim::sim_gamma_j;
@@ -141,6 +143,28 @@ impl StreamClusterer {
     /// Number of documents seen (initial batch + arrivals).
     pub fn document_count(&self) -> usize {
         self.docs.len()
+    }
+
+    /// Snapshots the current state as a servable [`TrainedModel`]: the
+    /// live representatives plus the frozen preprocessing context. This
+    /// is the streaming side of the hot-reload loop — after a
+    /// [`StreamClusterer::refresh`], hand the snapshot to a running
+    /// `cxk_serve::Server::reload` (or write it with
+    /// `cxk_core::save_model_file` for the server's `POST /reload` /
+    /// `--watch` surfaces) and the service starts classifying against the
+    /// retrained clusters without dropping a request.
+    ///
+    /// Between refreshes the representatives are frozen, so a snapshot
+    /// taken mid-stream serves the *last* refresh's clusters with the
+    /// *current* collection statistics — the same approximation `push`
+    /// itself uses.
+    pub fn snapshot_model(&self) -> TrainedModel {
+        TrainedModel::from_representatives(
+            &self.ds,
+            self.reps.clone(),
+            self.opts.config.params,
+            self.opts.build.clone(),
+        )
     }
 
     /// Folds one arriving document in and assigns its transactions to the
@@ -557,6 +581,38 @@ mod tests {
         // After the refresh the recipes participate in the clustering
         // (they are no longer trash-by-default).
         assert_eq!(s.stats().trash_since_refresh, 0);
+    }
+
+    #[test]
+    fn snapshot_model_serves_the_live_clusters() {
+        let mut s = bootstrap();
+        s.push(&mining_doc(7)).unwrap();
+        s.refresh();
+        let model = s.snapshot_model();
+        assert_eq!(model.k(), 2);
+        assert_eq!(model.trained_documents, 7);
+        assert_eq!(
+            model.trained_transactions as usize,
+            s.dataset().stats.transactions
+        );
+        // The snapshot carries the clusterer's live representatives
+        // verbatim (and its frozen collection statistics), so a server
+        // reloaded with it serves exactly these clusters — the HTTP side
+        // of that loop is asserted in `tests/serve_integration.rs`.
+        assert_eq!(model.reps.len(), s.representatives().len());
+        for (a, b) in model.reps.iter().zip(s.representatives()) {
+            assert_eq!(a.items, b.items);
+        }
+        assert_eq!(
+            model.term_stats.total_tcus(),
+            s.dataset().term_stats.total_tcus()
+        );
+        // Snapshots round-trip through the binary format unchanged.
+        let loaded = cxk_core::load_model(&cxk_core::save_model(&model)).expect("round-trip");
+        assert_eq!(loaded.reps.len(), model.reps.len());
+        for (a, b) in loaded.reps.iter().zip(&model.reps) {
+            assert_eq!(a.items, b.items);
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   everything seen so far, replacing the approximation debt; the
 //!   [`RefreshPolicy`] triggers it automatically when enough arrivals
 //!   accumulate or too many of them land in the trash (drift detection).
+//! * [`StreamClusterer::snapshot_model`] turns the live state into a
+//!   servable `cxk_core::TrainedModel`, closing the retrain loop: a
+//!   periodic `refresh → snapshot_model → cxk_serve::Server::reload`
+//!   hot-swaps the running classification service onto the re-clustered
+//!   corpus without dropping requests.
 //!
 //! ## The approximation, stated precisely
 //!

@@ -1,0 +1,172 @@
+//! Hot model reload: a running server swaps onto a retrained model.
+//!
+//! ```text
+//! cargo run -p cxk_bench --release --example hot_reload
+//! ```
+//!
+//! The paper's protocol assumes clustering is periodically re-run as the
+//! corpus evolves; this example closes that loop against a *live* service.
+//! A classification server boots on a model trained over two news desks,
+//! keeps answering `POST /classify` throughout, and is then hot-swapped —
+//! `StreamClusterer::refresh → snapshot_model → Server::reload` — onto a
+//! retrain that has seen a third desk. The same article that the epoch-1
+//! model threw into the trash cluster is classified properly at epoch 2,
+//! and no request was dropped in between.
+
+use cxk_serve::{ServeOptions, Server};
+use cxk_stream::{RefreshPolicy, StreamClusterer, StreamOptions};
+use cxk_transact::SimParams;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn article(id: usize, desk: &str, headline: &str, body: &str) -> String {
+    format!(
+        "<feed><article id=\"a{id}\"><desk>{desk}</desk>\
+         <headline>{headline}</headline><body>{body}</body></article></feed>"
+    )
+}
+
+fn sports(id: usize) -> String {
+    let stories = [
+        (
+            "league final goes to overtime",
+            "the championship match entered overtime after a late equalizer goal",
+        ),
+        (
+            "sprinter breaks national record",
+            "the national sprint record fell at the athletics championship meeting",
+        ),
+        (
+            "derby ends in heated draw",
+            "the city derby finished level after two disallowed goals and a red card",
+        ),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "sports", h, b)
+}
+
+fn politics(id: usize) -> String {
+    let stories = [
+        (
+            "parliament debates budget bill",
+            "the finance committee sent the budget bill to a full parliament vote",
+        ),
+        (
+            "election commission sets date",
+            "the commission announced the election date and registration deadlines",
+        ),
+        (
+            "senate passes trade measure",
+            "the senate approved the trade measure after amendments on tariffs",
+        ),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "politics", h, b)
+}
+
+fn tech(id: usize) -> String {
+    let stories = [
+        (
+            "chipmaker unveils new processor",
+            "the processor doubles cache and adds vector instructions for inference",
+        ),
+        (
+            "open source database hits milestone",
+            "the database project shipped replication and columnar storage support",
+        ),
+        (
+            "browser patches zero day",
+            "the vendor shipped an emergency patch for the exploited sandbox escape",
+        ),
+    ];
+    let (h, b) = stories[id % stories.len()];
+    article(id, "technology", h, b)
+}
+
+/// One blocking `POST /classify`, returning `(status-line, epoch, body)`.
+fn classify(addr: SocketAddr, xml: &str) -> (String, u64, String) {
+    let request = format!(
+        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{xml}",
+        xml.len()
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("receive");
+    let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    let epoch = head
+        .lines()
+        .find_map(|line| line.strip_prefix("X-Model-Epoch: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("every response names its epoch");
+    (status, epoch, body.to_string())
+}
+
+fn main() {
+    // A streaming clusterer over two desks, with a spare cluster (k = 3)
+    // for a desk that does not exist yet.
+    let bootstrap: Vec<String> = (0..6).map(sports).chain((0..6).map(politics)).collect();
+    let refs: Vec<&str> = bootstrap.iter().map(String::as_str).collect();
+    let mut opts = StreamOptions::new(3);
+    opts.config.params = SimParams::new(0.3, 0.5);
+    opts.config.seed = 6;
+    opts.policy = RefreshPolicy::manual();
+    let mut service = StreamClusterer::new(&refs, opts).expect("bootstrap");
+
+    // Serve the bootstrap model: epoch 1.
+    let server = Server::start(
+        service.snapshot_model(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+    println!(
+        "serving {} documents at http://{addr} (epoch {})",
+        service.document_count(),
+        server.epoch()
+    );
+
+    // The epoch-1 model has never seen the technology desk: its articles
+    // fall into the trash cluster (id 3).
+    let probe = tech(999);
+    let (status, epoch, body) = classify(addr, &probe);
+    println!("epoch {epoch}: {status} {body}");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(epoch, 1);
+    assert!(body.contains(r#""trash":true"#), "{body}");
+
+    // The technology desk comes online; the periodic retrain re-clusters
+    // everything and hot-swaps the running server. In-flight requests
+    // finish on the old model; nothing is dropped.
+    for i in 0..6 {
+        service.push(&tech(100 + i)).expect("well-formed article");
+    }
+    let refresh = service.refresh();
+    let epoch = server.reload(service.snapshot_model());
+    println!(
+        "retrained on {} documents in {} rounds -> live swap to epoch {epoch}",
+        service.document_count(),
+        refresh.rounds
+    );
+
+    // The same article now lands in the technology cluster, answered by
+    // the very same server process.
+    let (status, epoch, body) = classify(addr, &probe);
+    println!("epoch {epoch}: {status} {body}");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(epoch, 2);
+    assert!(body.contains(r#""trash":false"#), "{body}");
+
+    let stats = server.stats();
+    println!(
+        "served {} requests over {} connections, {} reload(s), 0 drops",
+        stats.requests, stats.connections, stats.reloads
+    );
+    assert_eq!(stats.errors, 0);
+    server.shutdown();
+}

@@ -4,12 +4,13 @@
 //! `sim_gamma_j` assignments exactly — and a live HTTP server round-trip
 //! over localhost must return the same cluster ids.
 
-use cxk_core::{load_model, save_model, CxkConfig, EngineBuilder, TrainedModel};
+use cxk_core::{load_model, save_model, save_model_file, CxkConfig, EngineBuilder, TrainedModel};
 use cxk_serve::{Classifier, ServeOptions, Server};
 use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 fn samples_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../samples")
@@ -62,12 +63,33 @@ fn http_request(addr: std::net::SocketAddr, request: &str) -> (String, String) {
     (head.to_string(), body.to_string())
 }
 
-fn post_classify(addr: std::net::SocketAddr, xml: &str) -> (String, String) {
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> (String, String) {
     let request = format!(
-        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{xml}",
-        xml.len()
+        "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
     );
     http_request(addr, &request)
+}
+
+fn post_classify(addr: std::net::SocketAddr, xml: &str) -> (String, String) {
+    post(addr, "/classify", xml)
+}
+
+/// Pulls a header value out of a response head.
+fn header_field(head: &str, name: &str) -> String {
+    head.lines()
+        .find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+        })
+        .unwrap_or_else(|| panic!("{name} in {head}"))
+}
+
+/// The model epoch a response claims to have been answered at.
+fn response_epoch(head: &str) -> u64 {
+    header_field(head, "X-Model-Epoch")
+        .parse()
+        .expect("numeric epoch")
 }
 
 /// Pulls `"field":value` out of the flat JSON the server emits.
@@ -279,10 +301,436 @@ fn server_handles_concurrent_clients() {
         handle.join().expect("client thread");
     }
 
-    let (requests, classified, trash, errors) = server.stats();
-    assert_eq!(requests, 8);
-    assert_eq!(classified, 8);
-    assert_eq!(trash, 0);
-    assert_eq!(errors, 0);
+    let stats = server.stats();
+    assert_eq!(stats.connections, 8);
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.classified, 8);
+    assert_eq!(stats.trash, 0);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.reloads, 0);
+    assert_eq!(stats.epoch, 1, "no reload: still the boot model");
+    server.shutdown();
+}
+
+/// A second, deliberately different model over the same corpus (k = 3,
+/// another seed), so a swap is observable: `GET /model` reports a new
+/// shape and classifications answer with the other model's clusters.
+fn train_variant() -> TrainedModel {
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for i in 1..=5 {
+        builder
+            .add_xml(&read_sample(&format!("mining{i}.xml")))
+            .unwrap();
+        builder
+            .add_xml(&read_sample(&format!("network{i}.xml")))
+            .unwrap();
+    }
+    let ds = builder.finish();
+    let mut config = CxkConfig::new(3);
+    config.params = SimParams::new(0.5, 0.5);
+    config.seed = 11;
+    EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid variant config")
+        .fit(&ds)
+        .expect("training runs")
+        .into_model(&ds, BuildOptions::default())
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cxk-serve-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn post_reload_swaps_and_rejects_incompatible_snapshots() {
+    let (model_a, held_out) = train_held_out();
+    let model_b = train_variant();
+    let (_, xml) = &held_out[0];
+    let expected_a = Classifier::new(model_a.clone())
+        .classify(xml)
+        .unwrap()
+        .cluster;
+    let expected_b = Classifier::new(model_b.clone())
+        .classify(xml)
+        .unwrap()
+        .cluster;
+
+    let a_path = scratch_file("reload-a.cxkmodel");
+    let b_path = scratch_file("reload-b.cxkmodel");
+    save_model_file(&model_a, &a_path).expect("write A");
+    save_model_file(&model_b, &b_path).expect("write B");
+
+    let server = Server::start(
+        model_a.clone(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            model_path: Some(a_path.clone()),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Epoch 1: the boot model answers.
+    let (head, body) = post_classify(addr, xml);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(response_epoch(&head), 1);
+    assert_eq!(json_field(&body, "cluster"), expected_a.to_string());
+
+    // Swap to B by POSTing its path: 200 with the new epoch.
+    let (head, body) = post(addr, "/reload", b_path.to_str().unwrap());
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}: {body}");
+    assert_eq!(response_epoch(&head), 2);
+    assert_eq!(json_field(&body, "reloaded"), "true");
+    assert_eq!(json_field(&body, "epoch"), "2");
+
+    // The swap is visible everywhere: /model reports B's shape and the
+    // new epoch, classifications answer with B's clusters.
+    let (head, body) = http_request(
+        addr,
+        "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "epoch"), "2");
+    assert_eq!(json_field(&body, "k"), "3");
+    let (head, body) = post_classify(addr, xml);
+    assert_eq!(response_epoch(&head), 2);
+    assert_eq!(json_field(&body, "cluster"), expected_b.to_string());
+
+    // An empty body re-reads the path the server was started from (A).
+    let (head, body) = post(addr, "/reload", "");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}: {body}");
+    assert_eq!(json_field(&body, "epoch"), "3");
+    let (head, body) = post_classify(addr, xml);
+    assert_eq!(response_epoch(&head), 3);
+    assert_eq!(json_field(&body, "cluster"), expected_a.to_string());
+
+    // A missing file conflicts; the live model is untouched.
+    let (head, body) = post(addr, "/reload", "/nonexistent/model.cxkmodel");
+    assert!(head.starts_with("HTTP/1.1 409"), "{head}: {body}");
+    assert_eq!(server.epoch(), 3);
+
+    // Garbage bytes conflict too.
+    let garbage = scratch_file("reload-garbage.cxkmodel");
+    std::fs::write(&garbage, b"definitely not a snapshot").unwrap();
+    let (head, body) = post(addr, "/reload", garbage.to_str().unwrap());
+    assert!(head.starts_with("HTTP/1.1 409"), "{head}: {body}");
+    assert!(body.contains("not a .cxkmodel"), "{body}");
+
+    // A future format version is rejected by the peek — before the
+    // checksum is even consulted — and names the version mismatch.
+    let mut future = save_model(&model_b);
+    future[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let future_path = scratch_file("reload-future.cxkmodel");
+    std::fs::write(&future_path, &future).unwrap();
+    let (head, body) = post(addr, "/reload", future_path.to_str().unwrap());
+    assert!(head.starts_with("HTTP/1.1 409"), "{head}: {body}");
+    assert!(body.contains("version 99"), "{body}");
+    assert_eq!(server.epoch(), 3, "rejected swaps never disturb the model");
+
+    // A corrupt payload (checksum mismatch) conflicts as well.
+    let mut corrupt = save_model(&model_b);
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xFF;
+    let corrupt_path = scratch_file("reload-corrupt.cxkmodel");
+    std::fs::write(&corrupt_path, &corrupt).unwrap();
+    let (head, body) = post(addr, "/reload", corrupt_path.to_str().unwrap());
+    assert!(head.starts_with("HTTP/1.1 409"), "{head}: {body}");
+    assert!(body.contains("checksum"), "{body}");
+
+    // The library surface: swap an in-memory model directly.
+    assert_eq!(server.reload(model_b.clone()), 4);
+    let (head, _) = post_classify(addr, xml);
+    assert_eq!(response_epoch(&head), 4);
+
+    let stats = server.stats();
+    assert_eq!(stats.epoch, 4);
+    assert_eq!(stats.reloads, 3, "two POSTed swaps + one library swap");
+    assert_eq!(stats.reload_errors, 4, "four rejected snapshots");
+
+    for path in [&a_path, &b_path, &garbage, &future_path, &corrupt_path] {
+        let _ = std::fs::remove_file(path);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn watch_poller_hot_swaps_on_file_change() {
+    let (model_a, _) = train_held_out();
+    let model_b = train_variant();
+    let path = scratch_file("watch.cxkmodel");
+    save_model_file(&model_a, &path).expect("write A");
+
+    let server = Server::start(
+        model_a,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            model_path: Some(path.clone()),
+            watch: Some(Duration::from_millis(100)),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    assert_eq!(server.epoch(), 1);
+
+    // Give the poller a beat to capture the initial mtime/digest, then
+    // retrain "on disk": the watcher must pick the new snapshot up.
+    std::thread::sleep(Duration::from_millis(200));
+    save_model_file(&model_b, &path).expect("write B");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.epoch() < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(server.epoch(), 2, "watcher swaps the changed snapshot in");
+    let (head, body) = http_request(
+        server.addr(),
+        "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "epoch"), "2");
+    assert_eq!(json_field(&body, "k"), "3", "B is live");
+
+    // Rewriting *identical* contents moves the mtime but not the digest:
+    // no swap, no worker rebuilds.
+    save_model_file(&model_b, &path).expect("rewrite B");
+    std::thread::sleep(Duration::from_millis(400));
+    assert_eq!(server.epoch(), 2, "unchanged contents are not a new model");
+
+    // A corrupt overwrite is rejected and the live model keeps serving.
+    std::fs::write(&path, b"half-written garbage").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().reload_errors == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(server.stats().reload_errors >= 1, "rejection is counted");
+    assert_eq!(server.epoch(), 2, "the live model is untouched");
+
+    let _ = std::fs::remove_file(&path);
+    server.shutdown();
+}
+
+/// The tentpole's torture test: several client threads hammer
+/// `POST /classify` while the model is swapped repeatedly through *both*
+/// reload surfaces. Every response must arrive complete and be
+/// self-consistent with exactly one epoch — the cluster it reports is the
+/// one the model of its claimed epoch assigns, never a mix.
+#[test]
+fn hot_reload_under_concurrent_load_drops_nothing() {
+    let (model_a, held_out) = train_held_out();
+    let model_b = train_variant();
+
+    // Per-document expectations under each model, computed locally.
+    let docs: Vec<String> = held_out.iter().map(|(_, xml)| xml.clone()).collect();
+    let mut classifier_a = Classifier::new(model_a.clone());
+    let mut classifier_b = Classifier::new(model_b.clone());
+    let expected: Vec<(u32, u32)> = docs
+        .iter()
+        .map(|xml| {
+            (
+                classifier_a.classify(xml).unwrap().cluster,
+                classifier_b.classify(xml).unwrap().cluster,
+            )
+        })
+        .collect();
+
+    let b_path = scratch_file("torture-b.cxkmodel");
+    save_model_file(&model_b, &b_path).expect("write B");
+
+    let server = Server::start(
+        model_a.clone(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 4,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Epoch parity is the oracle: the boot model A is epoch 1 and swaps
+    // strictly alternate B, A, B, … so odd epochs serve A, even serve B.
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 40;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let docs = docs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let i = (c + r) % docs.len();
+                    let (head, body) = post_classify(addr, &docs[i]);
+                    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                    let epoch = response_epoch(&head);
+                    let want = if epoch % 2 == 1 {
+                        expected[i].0
+                    } else {
+                        expected[i].1
+                    };
+                    assert_eq!(
+                        json_field(&body, "cluster"),
+                        want.to_string(),
+                        "epoch {epoch} must answer with its own model's cluster: {body}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    // Swap away while the clients hammer: even swaps POST B's snapshot
+    // path, odd swaps push A back through the library API.
+    const SWAPS: usize = 20;
+    for i in 0..SWAPS {
+        if i % 2 == 0 {
+            let (head, body) = post(addr, "/reload", b_path.to_str().unwrap());
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}: {body}");
+        } else {
+            server.reload(model_a.clone());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for client in clients {
+        client
+            .join()
+            .expect("no client may observe a dropped or malformed response");
+    }
+
+    let stats = server.stats();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    assert_eq!(stats.classified, total, "zero dropped classifications");
+    assert_eq!(stats.errors, 0, "zero malformed responses");
+    assert_eq!(stats.reloads, SWAPS as u64);
+    assert_eq!(stats.epoch, 1 + SWAPS as u64);
+    assert_eq!(
+        stats.requests,
+        total + SWAPS as u64 / 2,
+        "every classify and every POSTed reload parsed"
+    );
+    assert_eq!(
+        stats.connections, stats.requests,
+        "all connections well-formed"
+    );
+
+    let _ = std::fs::remove_file(&b_path);
+    server.shutdown();
+}
+
+/// The end-to-end retrain loop the ROADMAP asked for:
+/// `StreamClusterer` refresh → `snapshot_model` → `Server::reload`, with
+/// the service answering throughout.
+#[test]
+fn stream_retrain_feeds_the_running_server() {
+    let base: Vec<String> = (1..=3)
+        .flat_map(|i| {
+            [
+                read_sample(&format!("mining{i}.xml")),
+                read_sample(&format!("network{i}.xml")),
+            ]
+        })
+        .collect();
+    let base_refs: Vec<&str> = base.iter().map(String::as_str).collect();
+    let mut opts = cxk_stream::StreamOptions::new(2);
+    opts.config.params = SimParams::new(0.5, 0.5);
+    opts.config.seed = 3;
+    opts.policy = cxk_stream::RefreshPolicy::manual();
+    let mut clusterer = cxk_stream::StreamClusterer::new(&base_refs, opts).expect("bootstrap");
+
+    let server = Server::start(
+        clusterer.snapshot_model(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let (head, body) = http_request(
+        addr,
+        "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "epoch"), "1");
+    assert_eq!(json_field(&body, "trained_documents"), "6");
+
+    // The corpus evolves; the periodic retrain re-clusters and swaps.
+    for i in 4..=5 {
+        clusterer
+            .push(&read_sample(&format!("mining{i}.xml")))
+            .expect("push");
+        clusterer
+            .push(&read_sample(&format!("network{i}.xml")))
+            .expect("push");
+    }
+    clusterer.refresh();
+    let epoch = server.reload(clusterer.snapshot_model());
+    assert_eq!(epoch, 2);
+
+    let (head, body) = http_request(
+        addr,
+        "GET /model HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "epoch"), "2");
+    assert_eq!(json_field(&body, "trained_documents"), "10");
+
+    // The swapped-in model classifies held-out documents normally.
+    let (head, body) = post_classify(addr, &read_sample("mining6.xml"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}: {body}");
+    assert_eq!(response_epoch(&head), 2);
+    server.shutdown();
+}
+
+#[test]
+fn counters_split_connections_from_requests() {
+    let (model, _) = train_held_out();
+    let server = Server::start(
+        model,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 2,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // 1: a well-formed request — both counters move.
+    let (head, body) = http_request(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_field(&body, "connections"), "1");
+    assert_eq!(json_field(&body, "requests"), "1");
+
+    // 2: a malformed request line — a connection, never a request.
+    let (head, _) = http_request(addr, "GARBAGE\r\n\r\n");
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+
+    // 3: duplicate Content-Length — refused as smuggling hygiene.
+    let (head, body) = http_request(
+        addr,
+        "POST /classify HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello",
+    );
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    assert!(body.contains("duplicate Content-Length"), "{body}");
+
+    // 4: a `+`-prefixed Content-Length — `u64::from_str` would take it,
+    // the header grammar does not.
+    let (head, body) = http_request(
+        addr,
+        "POST /classify HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello",
+    );
+    assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    assert!(body.contains("bad Content-Length"), "{body}");
+
+    let stats = server.stats();
+    assert_eq!(stats.connections, 4, "every connection counted");
+    assert_eq!(stats.requests, 1, "only the parsed request counted");
+    assert_eq!(stats.errors, 3, "the three refusals counted as errors");
     server.shutdown();
 }
