@@ -1,46 +1,153 @@
 //! Measures online classification throughput (docs/sec) against a trained
-//! model, three ways: direct indexed, direct brute-force, and over the
-//! live HTTP server with concurrent clients.
+//! model across index layouts: direct replicated-indexed, direct
+//! brute-force, direct sharded scatter/gather at `S ∈ {1, 2, 4, 8}`, and
+//! over the live HTTP server (replicated and sharded) with concurrent
+//! clients. For every configuration it also reports the **resident
+//! postings bytes** the serving pool would hold: the replicated layout
+//! duplicates its index per worker (`bytes × threads`), the sharded layout
+//! shares one engine per model epoch (`bytes × 1`) — the memory model the
+//! ROADMAP's "Sharded indexes" item asked for.
 //!
 //! ```text
 //! cargo run -p cxk_bench --release --bin serve_throughput -- \
 //!     [--train-docs 200] [--classify-docs 400] [--k 4] [--f 0.5] [--gamma 0.4]
 //!     [--dialects 3] [--threads 4] [--clients 8] [--seed 3]
+//!     [--shards 1,2,4,8] [--json BENCH_serve.json] [--quick true]
 //! ```
+//!
+//! Alongside the human-readable table, the run emits a machine-readable
+//! summary (`BENCH_serve.json` by default, `--json <path>` to move it)
+//! with one record per configuration — CI's smoke job parses it.
+//! `--quick true` shrinks the corpus and the shard sweep so the whole
+//! binary finishes in seconds.
 //!
 //! The corpus is the synthetic DBLP generator (4 record types × 4 topics),
 //! split into a training half and a classification stream. Expect the
-//! indexed path to dominate brute force as `k` grows and representatives
-//! diversify — the index skips every representative sharing no tag label
+//! indexed paths to dominate brute force as `k` grows and representatives
+//! diversify — pruning skips every representative sharing no tag label
 //! and no term with the query, so its advantage shows on *heterogeneous*
 //! markup (`--dialects 2..3`); on single-dialect corpora every document
-//! shares the `dblp` label with every representative and the index
-//! degenerates to brute force (the `candidates_per_doc` column makes the
-//! pruning rate visible either way).
+//! shares the `dblp` label with every representative and the indexes
+//! degenerate to brute force (the `candidates_per_doc` column makes the
+//! pruning rate visible either way). Sharded assignment is asserted
+//! bit-identical to the replicated index on every document scored.
 
-use cxk_bench::args::Flags;
-use cxk_core::EngineBuilder;
+use cxk_bench::args::{parse_usize_list, Flags};
+use cxk_core::{EngineBuilder, TrainedModel};
 use cxk_corpus::dblp::{self, DblpConfig};
-use cxk_serve::{Classifier, ServeOptions, Server};
+use cxk_serve::{Classifier, ServeOptions, Server, ShardedClassifier, ShardedEngine};
 use cxk_transact::{BuildOptions, DatasetBuilder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "serve_throughput --train-docs <n> --classify-docs <n> \
---k <n> --f <f64> --gamma <f64> --dialects <1-3> --threads <n> --clients <n> --seed <u64>";
+--k <n> --f <f64> --gamma <f64> --dialects <1-3> --threads <n> --clients <n> --seed <u64> \
+--shards <list> --json <path> --quick <bool>";
+
+/// One measured configuration, reported in the table and the JSON file.
+struct Record {
+    mode: String,
+    shards: usize,
+    docs: usize,
+    seconds: f64,
+    trash: usize,
+    /// Mean candidates scored per document tuple (`-1` over HTTP, where
+    /// per-tuple detail stays on the server).
+    candidates_per_doc: f64,
+    /// Postings bytes of one index/engine instance.
+    postings_bytes: usize,
+    /// Postings bytes the serving pool holds resident: per-worker copies
+    /// for the replicated layout, one shared engine for the sharded one.
+    resident_postings_bytes: usize,
+}
+
+impl Record {
+    fn docs_per_sec(&self) -> f64 {
+        self.docs as f64 / self.seconds
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{"mode":"{}","shards":{},"docs":{},"seconds":{:.6},"docs_per_sec":{:.1},"trash":{},"candidates_per_doc":{:.3},"postings_bytes":{},"resident_postings_bytes":{}}}"#,
+            self.mode,
+            self.shards,
+            self.docs,
+            self.seconds,
+            self.docs_per_sec(),
+            self.trash,
+            self.candidates_per_doc,
+            self.postings_bytes,
+            self.resident_postings_bytes,
+        )
+    }
+}
+
+/// Drives `classify` over the stream, tallying trash and candidate rates.
+fn run_direct(
+    stream: &[String],
+    mut classify: impl FnMut(&str) -> cxk_serve::DocumentAssignment,
+    trash_id: u32,
+) -> (f64, usize, f64) {
+    let start = Instant::now();
+    let mut trash = 0usize;
+    let mut candidates = 0usize;
+    let mut tuples = 0usize;
+    for doc in stream {
+        let report = classify(doc);
+        trash += usize::from(report.cluster == trash_id);
+        candidates += report.tuples.iter().map(|t| t.candidates).sum::<usize>();
+        tuples += report.tuples.len();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, trash, candidates as f64 / tuples.max(1) as f64)
+}
+
+/// Fires the stream at a live server from `clients` concurrent threads.
+fn run_http(stream: &[String], addr: std::net::SocketAddr, clients: usize) -> f64 {
+    let start = Instant::now();
+    let chunk = stream.len().div_ceil(clients.max(1));
+    let handles: Vec<_> = stream
+        .chunks(chunk)
+        .map(|docs| {
+            let docs: Vec<String> = docs.to_vec();
+            std::thread::spawn(move || {
+                for doc in &docs {
+                    let request = format!(
+                        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{doc}",
+                        doc.len()
+                    );
+                    let mut conn = TcpStream::connect(addr).expect("connect");
+                    conn.write_all(request.as_bytes()).expect("send");
+                    let mut response = String::new();
+                    conn.read_to_string(&mut response).expect("receive");
+                    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client");
+    }
+    start.elapsed().as_secs_f64()
+}
 
 fn main() {
     let flags = Flags::from_env(USAGE);
-    let train_docs: usize = flags.get("train-docs", 200);
-    let classify_docs: usize = flags.get("classify-docs", 400);
+    let quick: bool = flags.get("quick", false);
+    let train_docs: usize = flags.get("train-docs", if quick { 60 } else { 200 });
+    let classify_docs: usize = flags.get("classify-docs", if quick { 80 } else { 400 });
     let k: usize = flags.get("k", 4);
     let f: f64 = flags.get("f", 0.5);
     let gamma: f64 = flags.get("gamma", 0.4);
     let dialects: usize = flags.get("dialects", 3);
     let threads: usize = flags.get("threads", 4);
-    let clients: usize = flags.get("clients", 8);
+    let clients: usize = flags.get("clients", if quick { 4 } else { 8 });
     let seed: u64 = flags.get("seed", 3);
+    let shard_sweep =
+        parse_usize_list(&flags.get_str("shards", if quick { "1,2" } else { "1,2,4,8" }));
+    let json_path = flags.get_str("json", "BENCH_serve.json");
 
     let corpus = dblp::generate(&DblpConfig {
         documents: train_docs + classify_docs,
@@ -48,6 +155,7 @@ fn main() {
         dialects,
     });
     let (train, stream) = corpus.documents.split_at(train_docs);
+    let stream: Vec<String> = stream.to_vec();
 
     eprintln!("[serve_throughput] building dataset over {train_docs} documents");
     let mut builder = DatasetBuilder::new(BuildOptions::default());
@@ -73,81 +181,175 @@ fn main() {
         fit.converged,
         fit.trash_count()
     );
-    let model = fit.into_model(&ds, BuildOptions::default());
+    let model: Arc<TrainedModel> = Arc::new(fit.into_model(&ds, BuildOptions::default()));
 
-    println!("# serve_throughput: {classify_docs} docs, k={k}, f={f}, gamma={gamma}");
-    println!("mode\tdocs\tseconds\tdocs_per_sec\ttrash\tcandidates_per_doc");
-
-    // Direct classification, indexed vs brute force.
-    for (mode, brute) in [("indexed", false), ("brute", true)] {
-        let mut classifier = Classifier::new(model.clone());
-        let start = Instant::now();
-        let mut trash = 0usize;
-        let mut candidates = 0usize;
-        let mut tuples = 0usize;
-        for doc in stream {
-            let report = if brute {
-                classifier.classify_brute(doc)
-            } else {
-                classifier.classify(doc)
-            }
-            .expect("classify");
-            trash += usize::from(report.cluster == classifier.trash_id());
-            candidates += report.tuples.iter().map(|t| t.candidates).sum::<usize>();
-            tuples += report.tuples.len();
-        }
-        let seconds = start.elapsed().as_secs_f64();
+    println!(
+        "# serve_throughput: {} docs, k={k}, f={f}, gamma={gamma}, threads={threads}",
+        stream.len()
+    );
+    println!("mode\tshards\tdocs\tseconds\tdocs_per_sec\ttrash\tcandidates_per_doc\tresident_postings_bytes");
+    let mut records: Vec<Record> = Vec::new();
+    fn emit(records: &mut Vec<Record>, r: Record) {
         println!(
-            "{mode}\t{}\t{seconds:.4}\t{:.1}\t{trash}\t{:.2}",
-            stream.len(),
-            stream.len() as f64 / seconds,
-            candidates as f64 / tuples.max(1) as f64,
+            "{}\t{}\t{}\t{:.4}\t{:.1}\t{}\t{}\t{}",
+            r.mode,
+            r.shards,
+            r.docs,
+            r.seconds,
+            r.docs_per_sec(),
+            r.trash,
+            if r.candidates_per_doc < 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.2}", r.candidates_per_doc)
+            },
+            r.resident_postings_bytes,
+        );
+        records.push(r);
+    }
+
+    // Direct classification: replicated indexed vs brute force. The
+    // replicated pool would carry one postings copy per worker.
+    let mut indexed_clusters: Vec<u32> = Vec::with_capacity(stream.len());
+    for (mode, brute) in [("indexed", false), ("brute", true)] {
+        let mut classifier = Classifier::shared(Arc::clone(&model));
+        let bytes = classifier.index().postings_bytes();
+        let collect = mode == "indexed";
+        let trash_id = classifier.trash_id();
+        let (seconds, trash, cpd) = run_direct(
+            &stream,
+            |doc| {
+                let report = if brute {
+                    classifier.classify_brute(doc)
+                } else {
+                    classifier.classify(doc)
+                }
+                .expect("classify");
+                if collect {
+                    indexed_clusters.push(report.cluster);
+                }
+                report
+            },
+            trash_id,
+        );
+        emit(
+            &mut records,
+            Record {
+                mode: mode.to_string(),
+                shards: 0,
+                docs: stream.len(),
+                seconds,
+                trash,
+                candidates_per_doc: cpd,
+                postings_bytes: bytes,
+                resident_postings_bytes: bytes * threads,
+            },
         );
     }
 
-    // Over HTTP with concurrent clients.
-    let server = Server::start(
-        model,
-        ("127.0.0.1", 0),
-        ServeOptions {
-            threads,
-            brute_force: false,
-            ..ServeOptions::default()
-        },
-    )
-    .expect("bind ephemeral port");
-    let addr = server.addr();
-    let start = Instant::now();
-    let chunk = stream.len().div_ceil(clients.max(1));
-    let handles: Vec<_> = stream
-        .chunks(chunk)
-        .map(|docs| {
-            let docs: Vec<String> = docs.to_vec();
-            std::thread::spawn(move || {
-                for doc in &docs {
-                    let request = format!(
-                        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{doc}",
-                        doc.len()
-                    );
-                    let mut conn = TcpStream::connect(addr).expect("connect");
-                    conn.write_all(request.as_bytes()).expect("send");
-                    let mut response = String::new();
-                    conn.read_to_string(&mut response).expect("receive");
-                    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
-                }
-            })
-        })
-        .collect();
-    for handle in handles {
-        handle.join().expect("client");
+    // Direct sharded scatter/gather across the sweep; every assignment is
+    // asserted identical to the replicated index above. One engine is
+    // shared however many workers scatter into it.
+    for &s in &shard_sweep {
+        let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), s));
+        let bytes = engine.postings_bytes();
+        let mut classifier = ShardedClassifier::new(Arc::clone(&engine));
+        let trash_id = classifier.trash_id();
+        let mut at = 0usize;
+        let (seconds, trash, cpd) = run_direct(
+            &stream,
+            |doc| {
+                let report = classifier.classify(doc).expect("classify");
+                assert_eq!(
+                    report.cluster, indexed_clusters[at],
+                    "sharded (S={s}) must agree with the replicated index on doc {at}"
+                );
+                at += 1;
+                report
+            },
+            trash_id,
+        );
+        emit(
+            &mut records,
+            Record {
+                mode: "sharded".to_string(),
+                shards: s,
+                docs: stream.len(),
+                seconds,
+                trash,
+                candidates_per_doc: cpd,
+                postings_bytes: bytes,
+                resident_postings_bytes: bytes,
+            },
+        );
     }
-    let seconds = start.elapsed().as_secs_f64();
-    let stats = server.stats();
-    let (classified, trash) = (stats.classified, stats.trash);
-    assert_eq!(stats.errors, 0, "no server-side errors expected");
-    println!(
-        "http(threads={threads},clients={clients})\t{classified}\t{seconds:.4}\t{:.1}\t{trash}\t-",
-        classified as f64 / seconds,
+
+    // Over HTTP with concurrent clients: replicated, then sharded.
+    let http_shards = shard_sweep.last().copied().unwrap_or(4);
+    for (mode, shards) in [
+        ("http-replicated", None),
+        ("http-sharded", Some(http_shards)),
+    ] {
+        let server = Server::start(
+            (*model).clone(),
+            ("127.0.0.1", 0),
+            ServeOptions {
+                threads,
+                brute_force: false,
+                shards,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let seconds = run_http(&stream, server.addr(), clients);
+        let stats = server.stats();
+        assert_eq!(stats.errors, 0, "no server-side errors expected");
+        assert_eq!(stats.classified as usize, stream.len());
+        // The index behind each layout was already built and measured in
+        // the direct sweep above; reuse those bytes instead of rebuilding.
+        let measured = |m: &str, s: usize| {
+            records
+                .iter()
+                .find(|r| r.mode == m && r.shards == s)
+                .expect("direct sweep ran first")
+                .postings_bytes
+        };
+        let (bytes, resident) = match shards {
+            // One shared engine per epoch regardless of the worker count.
+            Some(s) => {
+                let shared = measured("sharded", s);
+                (shared, shared)
+            }
+            None => {
+                let per_worker = measured("indexed", 0);
+                (per_worker, per_worker * threads)
+            }
+        };
+        emit(
+            &mut records,
+            Record {
+                mode: format!("{mode}(clients={clients})"),
+                shards: shards.unwrap_or(0),
+                docs: stats.classified as usize,
+                seconds,
+                trash: stats.trash as usize,
+                candidates_per_doc: -1.0,
+                postings_bytes: bytes,
+                resident_postings_bytes: resident,
+            },
+        );
+        server.shutdown();
+    }
+
+    let json = format!(
+        r#"{{"bench":"serve_throughput","quick":{quick},"train_docs":{train_docs},"classify_docs":{},"k":{k},"f":{f},"gamma":{gamma},"dialects":{dialects},"threads":{threads},"clients":{clients},"seed":{seed},"configs":[{}]}}"#,
+        stream.len(),
+        records
+            .iter()
+            .map(Record::json)
+            .collect::<Vec<_>>()
+            .join(",")
     );
-    server.shutdown();
+    std::fs::write(&json_path, format!("{json}\n")).expect("write bench JSON");
+    eprintln!("[serve_throughput] wrote {json_path}");
 }

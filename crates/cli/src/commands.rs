@@ -302,9 +302,13 @@ pub fn classify(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--brute]
-/// [--watch SECS]` — run the classification server in the foreground.
-/// With `--watch`, the snapshot file is polled every `SECS` seconds and
+/// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--shards S]
+/// [--brute] [--watch SECS]` — run the classification server in the
+/// foreground. With `--shards`, the representatives are partitioned across
+/// `S` shards and the whole worker pool shares one scatter/gather engine
+/// per model epoch (assignments are bit-identical to the default
+/// replicated layout; memory no longer scales with `--threads`). With
+/// `--watch`, the snapshot file is polled every `SECS` seconds and
 /// hot-swapped into the running worker pool when it changes; `POST
 /// /reload` forces a swap at any time. Only returns on error.
 pub fn serve(args: &[String]) -> Result<String, String> {
@@ -317,6 +321,16 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     if threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    let shards = match parsed.get_str("shards") {
+        None => None,
+        Some(_) => {
+            let s: usize = parsed.get("shards", 0)?;
+            if s == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            Some(s)
+        }
+    };
     let watch = match parsed.get_str("watch") {
         None => None,
         Some(_) => {
@@ -331,11 +345,16 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     let opts = ServeOptions {
         threads,
         brute_force: parsed.has("brute"),
+        shards,
         model_path: Some(PathBuf::from(model_path)),
         watch,
         ..ServeOptions::default()
     };
     let k = model.k();
+    let layout = match shards {
+        Some(s) => format!(", {s} shards (one shared index per epoch)"),
+        None => String::new(),
+    };
     let watching = match watch {
         Some(interval) => format!(", watching {model_path} every {}s", interval.as_secs()),
         None => String::new(),
@@ -343,7 +362,7 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     let server = Server::start(model, ("127.0.0.1", port), opts)
         .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
     eprintln!(
-        "cxk: serving k={k} model on http://{} with {threads} threads (POST /classify, POST /reload, GET /model, GET /stats){watching}",
+        "cxk: serving k={k} model on http://{} with {threads} threads (POST /classify, POST /reload, GET /model, GET /stats){layout}{watching}",
         server.addr()
     );
     server.join();
@@ -718,7 +737,7 @@ mod tests {
             .unwrap_err()
             .contains("cannot read"));
         assert!(serve(&args(&[])).unwrap_err().contains("exactly one"));
-        // --watch is validated before the model is even read.
+        // --watch and --shards are validated before the model is even read.
         assert!(serve(&args(&[
             "/nonexistent.cxkmodel".into(),
             "--watch".into(),
@@ -726,6 +745,20 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--watch"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--shards".into(),
+            "0".into()
+        ]))
+        .unwrap_err()
+        .contains("--shards"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--shards".into(),
+            "few".into()
+        ]))
+        .unwrap_err()
+        .contains("--shards"));
         assert!(serve(&args(&[
             "/nonexistent.cxkmodel".into(),
             "--watch".into(),

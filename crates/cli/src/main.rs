@@ -48,9 +48,12 @@ commands:
   classify <model.cxkmodel> <xml-file|dir>... [--brute] [--jsonl]
            assign new documents to a trained model's clusters
            (--jsonl prints one JSON object per document)
-  serve    <model.cxkmodel> [--port 7070] [--threads 4] [--brute]
-           [--watch SECS]
+  serve    <model.cxkmodel> [--port 7070] [--threads 4] [--shards S]
+           [--brute] [--watch SECS]
            run the HTTP classification server (POST /classify);
+           --shards partitions the representatives across S shards
+           sharing one scatter/gather index per model epoch (same
+           assignments, memory constant in --threads);
            POST /reload (or --watch) hot-swaps a retrained snapshot
            into the running workers without dropping requests
 

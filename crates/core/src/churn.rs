@@ -3,9 +3,9 @@
 //! The paper's P2P framing credits collaborativeness with *reliability*
 //! ("no centralized index server needs to be maintained", §1.1) but
 //! evaluates only static networks. This driver quantifies that claim: it
-//! runs the same per-round mathematics as [`crate::cxk::run_collaborative`]
-//! while peers leave and rejoin at round boundaries according to a
-//! [`ChurnSchedule`].
+//! runs the same per-round mathematics as the simulated-clock driver in
+//! [`crate::cxk`] ([`crate::engine::Backend::SimulatedP2p`]) while peers
+//! leave and rejoin at round boundaries according to a [`ChurnSchedule`].
 //!
 //! Semantics of a departure: the peer's local data becomes unavailable —
 //! its transactions keep their last-known assignment but stop contributing
@@ -16,12 +16,11 @@
 //! paper. A rejoin brings the peer's data back; its stale assignments are
 //! corrected by its next local clustering pass.
 //!
-//! With an empty schedule this driver is bit-identical to
-//! `run_collaborative` (asserted by tests), so measured churn effects are
-//! attributable to membership changes alone.
+//! With an empty schedule this driver is bit-identical to the churn-free
+//! simulated-clock driver (asserted by tests), so measured churn effects
+//! are attributable to membership changes alone.
 
 use crate::cxk::{local_clustering_phase, select_initial_reps, CxkConfig};
-use crate::engine::{Backend, EngineBuilder};
 use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
@@ -426,44 +425,10 @@ pub(crate) fn drive_churn(
     })
 }
 
-/// Runs collaborative CXK-means under a churn schedule.
-///
-/// # Panics
-/// Panics if the configuration is invalid or the schedule names a peer
-/// outside the partition, asks a departed peer to leave, or asks an alive
-/// peer to rejoin. Note one deliberate tightening over the historical
-/// function: the Engine validates the **entire** schedule statically
-/// before running, so an inconsistent event at a round the run would
-/// never have reached (past convergence or `max_rounds`) now panics where
-/// it used to be silently ignored. The Engine API reports all of these as
-/// typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` with `Backend::Churn { peers, schedule }` \
-            and an explicit `.partition(...)` — `build()?.fit(&dataset)?` \
-            (coverage is on the returned `FitOutcome`)"
-)]
-pub fn run_collaborative_with_churn(
-    ds: &Dataset,
-    partition: &[Vec<usize>],
-    config: &CxkConfig,
-    schedule: &ChurnSchedule,
-) -> ChurnOutcome {
-    let fit = EngineBuilder::from_cxk_config(config)
-        .backend(Backend::Churn {
-            peers: partition.len(),
-            schedule: schedule.clone(),
-        })
-        .partition(partition.to_vec())
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"));
-    fit.into_churn_outcome()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Backend, EngineBuilder};
     use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 
     /// Engine-backed churned run over an explicit partition.

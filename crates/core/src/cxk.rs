@@ -15,7 +15,6 @@
 //! `cxk_p2p` [`SimClock`], whose per-round time is the maximum over peers —
 //! the quantity the paper's Fig. 7/8 report.
 
-use crate::engine::{Backend, EngineBuilder};
 use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::localrep::compute_local_representative;
@@ -332,53 +331,6 @@ pub(crate) fn drive_collaborative(
     })
 }
 
-/// Runs collaborative CXK-means over an explicit peer partition.
-///
-/// # Panics
-/// Panics on any configuration `EngineBuilder::build` rejects. This is
-/// stricter than the historical asserts (`m = 0`, `k = 0`): degenerate
-/// values the old driver tolerated, such as `max_rounds = 0`, now panic
-/// too. The Engine API reports all of these as typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` with `Backend::SimulatedP2p { peers }` \
-            and an explicit `.partition(...)` — `build()?.fit(&dataset)?`"
-)]
-pub fn run_collaborative(
-    ds: &Dataset,
-    partition: &[Vec<usize>],
-    config: &CxkConfig,
-) -> ClusteringOutcome {
-    EngineBuilder::from_cxk_config(config)
-        .backend(Backend::SimulatedP2p {
-            peers: partition.len(),
-        })
-        .partition(partition.to_vec())
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_outcome()
-}
-
-/// Runs the centralized setting (`m = 1`), the paper's baseline.
-///
-/// # Panics
-/// Panics on any configuration `EngineBuilder::build` rejects — stricter
-/// than the historical `k = 0` assert (e.g. `max_rounds = 0` now panics
-/// too). The Engine API reports all of these as typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` (the default `Backend::Centralized`) — \
-            `build()?.fit(&dataset)?`"
-)]
-pub fn run_centralized(ds: &Dataset, config: &CxkConfig) -> ClusteringOutcome {
-    EngineBuilder::from_cxk_config(config)
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_outcome()
-}
-
 /// Initial global representatives: the owner of cluster `j` (`j mod m`)
 /// selects a transaction from its local data, preferring distinct source
 /// documents (Fig. 5: "select {tr_1 … tr_qi} from S_i coming from distinct
@@ -574,6 +526,7 @@ pub(crate) fn relocate_slice(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Backend, EngineBuilder};
     use cxk_transact::{BuildOptions, DatasetBuilder};
 
     /// Engine-backed equivalents of the old free functions.

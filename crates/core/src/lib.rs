@@ -17,8 +17,9 @@
 //! under churn), an [`Algorithm`] picks what runs (CXK-means or the
 //! PK-means/VSM baselines), and [`Engine::fit`] returns a [`FitOutcome`]
 //! that flows straight into a servable [`TrainedModel`]. The historical
-//! free functions (`run_centralized`, `run_collaborative`, …) remain as
-//! deprecated shims over the engine.
+//! free functions (`run_centralized`, `run_collaborative`, …) were
+//! deprecated shims over the engine for one release and are now gone —
+//! new execution modes extend [`Backend`] instead of adding entry points.
 //!
 //! Modules:
 //!
@@ -97,17 +98,3 @@ pub use outcome::{ClusteringOutcome, RoundTrace};
 pub use pkmeans::PkConfig;
 pub use rep::{conflate_items, RepItem, Representative};
 pub use vsm::{transaction_vectors, VsmConfig};
-
-// The deprecated free-function shims stay importable from the crate root
-// so downstream code keeps compiling; each one points at its Engine
-// replacement.
-#[allow(deprecated)]
-pub use churn::run_collaborative_with_churn;
-#[allow(deprecated)]
-pub use cxk::{run_centralized, run_collaborative};
-#[allow(deprecated)]
-pub use pkmeans::run_pk_means;
-#[allow(deprecated)]
-pub use threaded::run_collaborative_threaded;
-#[allow(deprecated)]
-pub use vsm::run_vsm_kmeans;

@@ -20,7 +20,6 @@
 //!   weighted global representatives provide (§5.5.3 reports ≈ 0.03 F).
 
 use crate::cxk::{local_clustering_phase, select_initial_reps};
-use crate::engine::{Backend, EngineBuilder};
 use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
@@ -293,39 +292,11 @@ pub(crate) fn drive_pk_means(
     })
 }
 
-/// Runs PK-means over an explicit peer partition.
-///
-/// # Panics
-/// Panics on any configuration `EngineBuilder::build` rejects — stricter
-/// than the historical asserts (`m = 0`, `k = 0`); e.g. `max_rounds = 0`
-/// now panics too. The Engine API reports all of these as typed errors
-/// instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` with `Algorithm::PkMeans`, \
-            `Backend::SimulatedP2p { peers }` and an explicit `.partition(...)` — \
-            `build()?.fit(&dataset)?`"
-)]
-pub fn run_pk_means(
-    ds: &Dataset,
-    partition: &[Vec<usize>],
-    config: &PkConfig,
-) -> ClusteringOutcome {
-    EngineBuilder::from_pk_config(config)
-        .backend(Backend::SimulatedP2p {
-            peers: partition.len(),
-        })
-        .partition(partition.to_vec())
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_outcome()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cxk::CxkConfig;
+    use crate::engine::{Backend, EngineBuilder};
     use cxk_transact::{BuildOptions, DatasetBuilder};
 
     /// Engine-backed PK-means over an explicit partition.

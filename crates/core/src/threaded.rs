@@ -16,7 +16,6 @@
 //! protocol integration tests.
 
 use crate::cxk::{local_clustering_phase, select_initial_reps, CxkConfig};
-use crate::engine::{Backend, EngineBuilder};
 use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
@@ -163,34 +162,6 @@ pub(crate) fn drive_threaded(
         total_messages: net.ledger().messages(),
         per_round,
     })
-}
-
-/// Runs the collaborative protocol with one real thread per peer.
-///
-/// # Panics
-/// Panics on any configuration `EngineBuilder::build` rejects (stricter
-/// than the historical `m > 0 && k > 0` assert — e.g. `max_rounds = 0`
-/// now panics too) and when a peer thread dies. The Engine API reports
-/// all of these as typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` with `Backend::ThreadedP2p { peers }` \
-            and an explicit `.partition(...)` — `build()?.fit(&dataset)?`"
-)]
-pub fn run_collaborative_threaded(
-    ds: &Dataset,
-    partition: &[Vec<usize>],
-    config: &CxkConfig,
-) -> ClusteringOutcome {
-    EngineBuilder::from_cxk_config(config)
-        .backend(Backend::ThreadedP2p {
-            peers: partition.len(),
-        })
-        .partition(partition.to_vec())
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_outcome()
 }
 
 /// The peer state machine: one iteration of the outer loop of Fig. 5 per
@@ -433,6 +404,7 @@ fn recv_matching(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Backend, EngineBuilder};
     use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
 
     /// Engine-backed threaded run over an explicit partition.

@@ -18,7 +18,6 @@
 //! keeps the combination intact. The `vsm` benchmark quantifies this on
 //! every corpus.
 
-use crate::engine::EngineBuilder;
 use crate::error::CxkError;
 use crate::outcome::ClusteringOutcome;
 use cxk_text::SparseVec;
@@ -160,27 +159,6 @@ pub(crate) fn drive_vsm(ds: &Dataset, config: &VsmConfig) -> Result<ClusteringOu
     })
 }
 
-/// Runs spherical K-means over the flattened transaction vectors.
-///
-/// # Panics
-/// Panics on any configuration `EngineBuilder::build` rejects. This is
-/// stricter than the historical behavior, which asserted only `k > 0` at
-/// the driver and `f ∈ [0, 1]` inside `transaction_vectors`: degenerate
-/// values like `max_rounds = 0` now panic too. The Engine API reports all
-/// of these as typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `cxk_core::EngineBuilder` with `Algorithm::VsmKmeans` — \
-            `build()?.fit(&dataset)?`"
-)]
-pub fn run_vsm_kmeans(ds: &Dataset, config: &VsmConfig) -> ClusteringOutcome {
-    EngineBuilder::from_vsm_config(config)
-        .build()
-        .and_then(|engine| engine.fit(ds))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .into_outcome()
-}
-
 /// Picks `k` seed vectors from transactions of distinct documents,
 /// mirroring the CXK-means initialization ("coming from distinct original
 /// trees", Fig. 5).
@@ -236,6 +214,7 @@ fn nearest_centroid(v: &SparseVec, centroids: &[SparseVec]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EngineBuilder;
     use cxk_transact::{BuildOptions, DatasetBuilder};
 
     /// Engine-backed VSM run.

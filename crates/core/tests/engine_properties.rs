@@ -1,29 +1,25 @@
-//! Property tests for the Engine API (ISSUE 3's acceptance criteria):
+//! Property tests for the Engine API:
 //!
 //! 1. `EngineBuilder::build` rejects **every** invalid-config axis with a
 //!    typed [`CxkError::Config`] naming the offending field.
-//! 2. Engine-based runs are **bit-identical** — assignments, per-round
-//!    traces, bytes, messages, work and (for simulated clocks) time — to
-//!    the legacy free functions on the repository's `samples/` corpus, for
-//!    all four backends and all three algorithms.
+//! 2. Engine runs are **deterministic** — assignments, per-round traces,
+//!    bytes, messages, work and (for simulated clocks) time are
+//!    bit-identical across repeated fits of the same configuration on the
+//!    repository's `samples/` corpus, for every backend and algorithm.
+//! 3. The config-translation entry points (`from_cxk_config`,
+//!    `from_pk_config`, `from_vsm_config`) and the default round-robin
+//!    partition behave exactly like their explicit spellings.
 //!
-//! The equivalence half is the only place in the workspace still allowed
-//! to call the deprecated free functions: it exists precisely to pin the
-//! shimmed behavior. Be honest about what it proves: the shims now
-//! delegate to the engine, so these tests pin the **shim contract** — the
-//! argument translation (partition → backend peers, config → builder),
-//! the default round-robin dealing, and the churn coverage mapping — not
-//! independence of implementation. Behavioral identity with the *pre-shim*
-//! drivers is pinned by the unchanged seed suite (calibrated accuracy
-//! tests, determinism tests, and `threaded_matches_simulated_partition`),
-//! which ran bit-identically before and after the refactor.
-
-#![allow(deprecated)]
+//! The deprecated free functions (`run_centralized`, `run_collaborative`,
+//! …) that these tests historically compared against are gone; behavioral
+//! identity with the pre-Engine drivers remains pinned by the unchanged
+//! seed suite (calibrated accuracy tests, determinism tests, and
+//! `threaded_matches_simulated_partition`), which ran bit-identically
+//! before and after both refactors.
 
 use cxk_core::{
-    run_centralized, run_collaborative, run_collaborative_threaded, run_collaborative_with_churn,
-    run_pk_means, run_vsm_kmeans, Algorithm, Backend, ChurnSchedule, ClusteringOutcome, CxkConfig,
-    CxkError, EngineBuilder, PkConfig, VsmConfig,
+    Algorithm, Backend, ChurnSchedule, ClusteringOutcome, CxkConfig, CxkError, EngineBuilder,
+    PkConfig, VsmConfig,
 };
 use cxk_corpus::partition_equal;
 use cxk_transact::{BuildOptions, Dataset, DatasetBuilder, SimParams};
@@ -77,63 +73,66 @@ fn assert_identical_modulo_time(
 }
 
 #[test]
-fn engine_matches_legacy_centralized_backend() {
+fn centralized_backend_is_deterministic() {
     let ds = samples_dataset();
     for (k, gamma, seed) in [(2, 0.5, 3), (3, 0.7, 1), (4, 0.3, 9)] {
         let cfg = config(k, 0.5, gamma, seed);
-        let legacy = run_centralized(&ds, &cfg);
-        let engine = EngineBuilder::from_cxk_config(&cfg)
-            .build()
-            .expect("valid")
-            .fit(&ds)
-            .expect("fits")
-            .into_outcome();
-        assert_identical(&engine, &legacy, &format!("centralized k={k} γ={gamma}"));
+        let run = |_: usize| {
+            EngineBuilder::from_cxk_config(&cfg)
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+                .into_outcome()
+        };
+        assert_identical(&run(0), &run(1), &format!("centralized k={k} γ={gamma}"));
     }
 }
 
 #[test]
-fn engine_matches_legacy_simulated_p2p_backend() {
+fn simulated_p2p_backend_is_deterministic() {
     let ds = samples_dataset();
     let n = ds.transactions.len();
     for m in [1, 2, 3, 5] {
         let partition = partition_equal(n, m, 7);
         let cfg = config(2, 0.5, 0.5, 3);
-        let legacy = run_collaborative(&ds, &partition, &cfg);
-        let engine = EngineBuilder::from_cxk_config(&cfg)
-            .backend(Backend::SimulatedP2p { peers: m })
-            .partition(partition.clone())
-            .build()
-            .expect("valid")
-            .fit(&ds)
-            .expect("fits")
-            .into_outcome();
-        assert_identical(&engine, &legacy, &format!("simulated-p2p m={m}"));
+        let run = |_: usize| {
+            EngineBuilder::from_cxk_config(&cfg)
+                .backend(Backend::SimulatedP2p { peers: m })
+                .partition(partition.clone())
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+                .into_outcome()
+        };
+        assert_identical(&run(0), &run(1), &format!("simulated-p2p m={m}"));
     }
 }
 
 #[test]
-fn engine_matches_legacy_threaded_backend() {
+fn threaded_backend_matches_itself_modulo_wall_clock() {
     let ds = samples_dataset();
     let n = ds.transactions.len();
     for m in [1, 2, 4] {
         let partition = partition_equal(n, m, 5);
         let cfg = config(2, 0.5, 0.5, 3);
-        let legacy = run_collaborative_threaded(&ds, &partition, &cfg);
-        let engine = EngineBuilder::from_cxk_config(&cfg)
-            .backend(Backend::ThreadedP2p { peers: m })
-            .partition(partition.clone())
-            .build()
-            .expect("valid")
-            .fit(&ds)
-            .expect("fits")
-            .into_outcome();
-        assert_identical_modulo_time(&engine, &legacy, &format!("threaded-p2p m={m}"));
+        let run = |_: usize| {
+            EngineBuilder::from_cxk_config(&cfg)
+                .backend(Backend::ThreadedP2p { peers: m })
+                .partition(partition.clone())
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+                .into_outcome()
+        };
+        assert_identical_modulo_time(&run(0), &run(1), &format!("threaded-p2p m={m}"));
     }
 }
 
 #[test]
-fn engine_matches_legacy_churn_backend() {
+fn churn_backend_is_deterministic_including_coverage() {
     let ds = samples_dataset();
     let n = ds.transactions.len();
     let m = 4;
@@ -143,34 +142,33 @@ fn engine_matches_legacy_churn_backend() {
         ChurnSchedule::none(),
         ChurnSchedule::mass_departure(2, &[1, 3]),
     ] {
-        let legacy = run_collaborative_with_churn(&ds, &partition, &cfg, &schedule);
-        let fit = EngineBuilder::from_cxk_config(&cfg)
-            .backend(Backend::Churn {
-                peers: m,
-                schedule: schedule.clone(),
-            })
-            .partition(partition.clone())
-            .build()
-            .expect("valid")
-            .fit(&ds)
-            .expect("fits");
-        assert_eq!(
-            fit.covered.as_deref(),
-            Some(&legacy.covered[..]),
-            "churn coverage"
-        );
-        assert_eq!(fit.final_alive, Some(legacy.final_alive));
-        assert!((fit.coverage() - legacy.coverage()).abs() < 1e-15);
+        let run = |_: usize| {
+            EngineBuilder::from_cxk_config(&cfg)
+                .backend(Backend::Churn {
+                    peers: m,
+                    schedule: schedule.clone(),
+                })
+                .partition(partition.clone())
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+        };
+        let (a, b) = (run(0), run(1));
+        assert_eq!(a.covered, b.covered, "churn coverage");
+        assert_eq!(a.final_alive, b.final_alive);
+        assert!(a.covered.is_some(), "churn backend reports coverage");
+        assert!((a.coverage() - b.coverage()).abs() < 1e-15);
         assert_identical(
-            &fit.into_outcome(),
-            &legacy.outcome,
+            &a.into_outcome(),
+            &b.into_outcome(),
             &format!("churn with {} events", schedule.events.len()),
         );
     }
 }
 
 #[test]
-fn engine_matches_legacy_pk_means() {
+fn pk_means_is_deterministic() {
     let ds = samples_dataset();
     let n = ds.transactions.len();
     for m in [1, 3] {
@@ -183,21 +181,22 @@ fn engine_matches_legacy_pk_means() {
             seed: 3,
             cost: Default::default(),
         };
-        let legacy = run_pk_means(&ds, &partition, &cfg);
-        let engine = EngineBuilder::from_pk_config(&cfg)
-            .backend(Backend::SimulatedP2p { peers: m })
-            .partition(partition.clone())
-            .build()
-            .expect("valid")
-            .fit(&ds)
-            .expect("fits")
-            .into_outcome();
-        assert_identical(&engine, &legacy, &format!("pk-means m={m}"));
+        let run = |_: usize| {
+            EngineBuilder::from_pk_config(&cfg)
+                .backend(Backend::SimulatedP2p { peers: m })
+                .partition(partition.clone())
+                .build()
+                .expect("valid")
+                .fit(&ds)
+                .expect("fits")
+                .into_outcome()
+        };
+        assert_identical(&run(0), &run(1), &format!("pk-means m={m}"));
     }
 }
 
 #[test]
-fn engine_matches_legacy_vsm() {
+fn vsm_translation_matches_its_explicit_spelling() {
     let ds = samples_dataset();
     for f in [0.0, 0.5, 1.0] {
         let cfg = VsmConfig {
@@ -206,14 +205,26 @@ fn engine_matches_legacy_vsm() {
             max_rounds: 50,
             seed: 7,
         };
-        let legacy = run_vsm_kmeans(&ds, &cfg);
-        let engine = EngineBuilder::from_vsm_config(&cfg)
+        let translated = EngineBuilder::from_vsm_config(&cfg)
             .build()
             .expect("valid")
             .fit(&ds)
             .expect("fits")
             .into_outcome();
-        assert_identical_modulo_time(&engine, &legacy, &format!("vsm f={f}"));
+        // The translation entry point behaves exactly like spelling the
+        // same configuration out by hand on the builder (γ stays at the
+        // default — VSM never consults it).
+        let explicit = EngineBuilder::new(3)
+            .algorithm(Algorithm::VsmKmeans)
+            .similarity(f, SimParams::default().gamma)
+            .max_rounds(50)
+            .seed(7)
+            .build()
+            .expect("valid")
+            .fit(&ds)
+            .expect("fits")
+            .into_outcome();
+        assert_identical_modulo_time(&translated, &explicit, &format!("vsm f={f}"));
     }
 }
 
@@ -229,15 +240,22 @@ fn default_partition_is_the_round_robin_dealing() {
         round_robin[t % m].push(t);
     }
     let cfg = config(2, 0.5, 0.5, 3);
-    let legacy = run_collaborative(&ds, &round_robin, &cfg);
-    let engine = EngineBuilder::from_cxk_config(&cfg)
+    let explicit = EngineBuilder::from_cxk_config(&cfg)
+        .backend(Backend::SimulatedP2p { peers: m })
+        .partition(round_robin)
+        .build()
+        .expect("valid")
+        .fit(&ds)
+        .expect("fits")
+        .into_outcome();
+    let defaulted = EngineBuilder::from_cxk_config(&cfg)
         .backend(Backend::SimulatedP2p { peers: m })
         .build()
         .expect("valid")
         .fit(&ds)
         .expect("fits")
         .into_outcome();
-    assert_identical(&engine, &legacy, "default round-robin partition");
+    assert_identical(&defaulted, &explicit, "default round-robin partition");
 }
 
 /// Asserts that `builder.build()` fails blaming `field`.

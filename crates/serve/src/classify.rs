@@ -1,37 +1,51 @@
 //! Online classification of XML documents against a trained model.
 //!
-//! A [`Classifier`] owns a [`TrainedModel`] plus two pieces of derived
-//! state: the precomputed tag-path similarity table (extended lazily as
-//! unseen markup arrives, exactly like the streaming clusterer) and the
-//! [`TagPathIndex`] over the representatives. Classification mirrors the
-//! training pipeline with **frozen corpus statistics**: the incoming
-//! document is parsed, its tree tuples extracted, and every TCU weighted
-//! with `ttf.itf` against the training collection's `N_T` / `n_{j,T}` —
-//! the document does *not* join the collection, so classification is
-//! read-only with respect to the model's statistics and any arrival order
-//! of requests yields identical scores. (Unseen terms get `n_{j,T} = 0`
-//! and weight 0; unseen tags only ever exact-match themselves, so the
-//! symbols they intern into the classifier's private interners cannot
-//! affect similarities either.)
+//! Classification mirrors the training pipeline with **frozen corpus
+//! statistics**: the incoming document is parsed, its tree tuples
+//! extracted, and every TCU weighted with `ttf.itf` against the training
+//! collection's `N_T` / `n_{j,T}` — the document does *not* join the
+//! collection, so classification is read-only with respect to the model's
+//! statistics and any arrival order of requests yields identical scores.
+//! (Unseen terms get `n_{j,T} = 0` and weight 0; unseen tags only ever
+//! exact-match themselves, so the symbols they intern into the session's
+//! private interners cannot affect similarities either.)
+//!
+//! The state splits along the sharing boundary the serving layer needs:
+//!
+//! * `QuerySession` (crate-private) is the **per-worker mutable** half —
+//!   private copies of the model's interners and path table (parsing
+//!   interns unseen markup), plus the lazily extended tag-path similarity
+//!   table. It is cheap relative to the model: no representatives, no
+//!   postings.
+//! * The [`TrainedModel`] and any index built over its representatives are
+//!   **immutable** once published, so they can sit behind an `Arc` and be
+//!   shared by every worker — the memory model the sharded engine
+//!   (`crate::shard`) is built on.
 //!
 //! Each tree tuple is assigned by the paper's relocation rule — argmax of
 //! `simγJ` over the representatives, trash when every similarity is zero —
 //! and the document aggregates its tuples by summed similarity per
 //! cluster. [`Classifier::classify`] consults the index first;
 //! [`Classifier::classify_brute`] scores every representative. The two are
-//! guaranteed to agree exactly (see `index` module docs).
+//! guaranteed to agree exactly (see the `index` module docs), and the
+//! sharded scatter/gather path ([`crate::shard::ShardedClassifier`])
+//! agrees with both (see the `shard` module docs). [`ClassifyEngine`] is
+//! the seam servers hold: one enum over the replicated and sharded
+//! execution strategies with a single classify surface.
 
 use crate::index::{Candidates, TagPathIndex};
+use crate::shard::{ShardedClassifier, ShardedEngine};
 use cxk_core::rep::RepItem;
 use cxk_core::TrainedModel;
-use cxk_text::{preprocess, ttf_itf, SparseVec};
+use cxk_text::{preprocess, ttf_itf, SparseVec, TermStatsBuilder};
 use cxk_transact::item::{item_fingerprint, ItemView};
 use cxk_transact::txsim::sim_gamma_j;
-use cxk_transact::{SimCtx, TagPathSimTable};
-use cxk_util::{FxHashMap, FxHashSet, Symbol};
+use cxk_transact::{SimCtx, SimParams, TagPathSimTable};
+use cxk_util::{FxHashMap, FxHashSet, Interner, Symbol};
 use cxk_xml::parser::{parse_document, XmlError};
-use cxk_xml::path::{leaf_tag_path, PathId};
+use cxk_xml::path::{leaf_tag_path, PathId, PathTable};
 use cxk_xml::tuple::extract_tree_tuples;
+use std::sync::Arc;
 
 /// Assignment of one tree tuple (transaction) of the document.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,17 +69,24 @@ pub struct DocumentAssignment {
     pub tuples: Vec<TupleAssignment>,
 }
 
-/// A classification session over a trained model.
+/// The per-worker mutable half of a classification session: private
+/// interner copies plus the derived structural-similarity table, extended
+/// lazily as unseen markup arrives (exactly like the streaming clusterer).
 ///
-/// The classifier is single-threaded by design (`&mut self`: its interners
-/// grow as unseen markup arrives); servers give each worker its own
-/// instance built from a shared model. Building one is the unit of hot
-/// reload, too: when the server swaps models, each worker constructs a
-/// fresh `Classifier` (interners, similarity table, index) from the new
-/// snapshot between requests — derived state is never patched in place,
-/// so a response can never mix two models' representatives.
-pub struct Classifier {
-    model: TrainedModel,
+/// A session is built from (a shared reference to) a model and never
+/// touches it again — every mutation lands in the session's own copies, so
+/// any number of sessions can share one `Arc<TrainedModel>` and one
+/// immutable index across threads.
+#[derive(Debug)]
+pub(crate) struct QuerySession {
+    /// Copy of the model's label interner (grows with unseen tags).
+    labels: Interner,
+    /// Copy of the model's term vocabulary (grows with unseen terms).
+    vocabulary: Interner,
+    /// Copy of the model's path table (grows with unseen paths).
+    paths: PathTable,
+    /// Preprocessing options frozen at training time.
+    build: cxk_transact::BuildOptions,
     tag_sim: TagPathSimTable,
     /// The representatives' tag paths — the permanent base of `tag_sim`.
     base_tag_paths: Vec<PathId>,
@@ -76,125 +97,52 @@ pub struct Classifier {
     /// `O(P²·d²)` to rebuild), so a stream of documents with ever-fresh
     /// markup must not grow it without bound. Past the cap the cache
     /// resets to the base paths; re-arriving paths just re-enter it.
-    tag_path_cap: usize,
-    index: TagPathIndex,
+    pub(crate) tag_path_cap: usize,
 }
 
-impl Classifier {
-    /// Builds the derived state (similarity table over the representative
-    /// tag paths, inverted index) for `model`.
-    pub fn new(model: TrainedModel) -> Self {
+impl QuerySession {
+    /// Builds the session's private derived state from `model`.
+    pub(crate) fn new(model: &TrainedModel) -> Self {
         let rep_tag_paths = model.rep_tag_paths();
         let tag_sim = TagPathSimTable::build(&rep_tag_paths, &model.paths);
-        let index = TagPathIndex::build(&model.reps, &model.paths, model.params);
         Self {
+            labels: model.labels.clone(),
+            vocabulary: model.vocabulary.clone(),
+            paths: model.paths.clone(),
+            build: model.build.clone(),
             tag_sim,
             known_tag_paths: rep_tag_paths.iter().copied().collect(),
             tag_path_cap: (rep_tag_paths.len() * 4).max(1024),
             base_tag_paths: rep_tag_paths,
-            model,
-            index,
         }
     }
 
-    /// The underlying model.
-    pub fn model(&self) -> &TrainedModel {
-        &self.model
+    /// The similarity context for scoring this session's queries.
+    pub(crate) fn sim_ctx(&self, params: SimParams) -> SimCtx<'_> {
+        SimCtx::new(&self.tag_sim, params)
     }
 
-    /// The inverted index (diagnostics).
-    pub fn index(&self) -> &TagPathIndex {
-        &self.index
+    /// The session's path table (the model's, extended by query markup).
+    pub(crate) fn paths(&self) -> &PathTable {
+        &self.paths
     }
 
-    /// Number of proper clusters `k`.
-    pub fn k(&self) -> usize {
-        self.model.k()
-    }
-
-    /// The trash cluster's id (`k`).
-    pub fn trash_id(&self) -> u32 {
-        self.model.trash_id()
-    }
-
-    /// Classifies one XML document using the inverted index.
-    ///
-    /// # Errors
-    /// Returns the XML parse error; the classifier stays usable.
-    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
-        self.classify_impl(xml, true)
-    }
-
-    /// Classifies one XML document scoring every representative (the
-    /// reference the index must agree with).
-    ///
-    /// # Errors
-    /// Returns the XML parse error; the classifier stays usable.
-    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
-        self.classify_impl(xml, false)
-    }
-
-    fn classify_impl(&mut self, xml: &str, indexed: bool) -> Result<DocumentAssignment, XmlError> {
-        let tuples = self.extract_query(xml)?;
-        let k = self.model.k();
-        let ctx = SimCtx::new(&self.tag_sim, self.model.params);
-        let rep_views: Vec<Vec<ItemView<'_>>> = self.model.reps.iter().map(|r| r.views()).collect();
-
-        let mut assignments = Vec::with_capacity(tuples.len());
-        for tuple in &tuples {
-            let views: Vec<ItemView<'_>> = tuple.iter().map(RepItem::view).collect();
-            let candidates = if indexed {
-                self.index.candidates(&views, &self.model.paths)
-            } else {
-                Candidates::All
-            };
-            let ids = candidates.ids(k);
-            let mut best_j = k as u32;
-            let mut best_s = 0.0f64;
-            for &j in &ids {
-                let s = sim_gamma_j(&ctx, &views, &rep_views[j as usize]);
-                if s > best_s {
-                    best_s = s;
-                    best_j = j;
-                }
-            }
-            let cluster = if best_s == 0.0 { k as u32 } else { best_j };
-            assignments.push(TupleAssignment {
-                cluster,
-                similarity: best_s,
-                candidates: ids.len(),
-            });
-        }
-
-        // Document aggregate: summed similarity per proper cluster, ties to
-        // the lowest id; all-trash documents are trash.
-        let mut totals = vec![0.0f64; k];
-        for t in &assignments {
-            if (t.cluster as usize) < k {
-                totals[t.cluster as usize] += t.similarity;
-            }
-        }
-        let mut cluster = k as u32;
-        let mut score = 0.0f64;
-        for (j, &total) in totals.iter().enumerate() {
-            if total > score {
-                score = total;
-                cluster = j as u32;
-            }
-        }
-        Ok(DocumentAssignment {
-            cluster,
-            score,
-            tuples: assignments,
-        })
+    /// Paths currently covered by the similarity table (diagnostics).
+    #[cfg(test)]
+    pub(crate) fn known_tag_paths(&self) -> usize {
+        self.known_tag_paths.len()
     }
 
     /// Parses `xml` and produces its query transactions: per tree tuple, a
-    /// list of items weighted against the frozen corpus statistics.
-    fn extract_query(&mut self, xml: &str) -> Result<Vec<Vec<RepItem>>, XmlError> {
-        let model = &mut self.model;
-        let tree = parse_document(xml, &mut model.labels, &model.build.parse)?;
-        let tuples = extract_tree_tuples(&tree, &model.build.limits);
+    /// list of items weighted against the frozen corpus statistics
+    /// (`term_stats` is the model's).
+    pub(crate) fn extract(
+        &mut self,
+        xml: &str,
+        term_stats: &TermStatsBuilder,
+    ) -> Result<Vec<Vec<RepItem>>, XmlError> {
+        let tree = parse_document(xml, &mut self.labels, &self.build.parse)?;
+        let tuples = extract_tree_tuples(&tree, &self.build.limits);
 
         // Per-leaf preprocessing, mirroring the batch builder.
         struct Leaf {
@@ -210,12 +158,12 @@ impl Classifier {
         let mut new_tag_paths = false;
         for leaf in tree.leaves() {
             let complete = tree.label_path(leaf);
-            let path = model.paths.intern(&complete);
+            let path = self.paths.intern(&complete);
             let tag = leaf_tag_path(&tree, leaf);
-            let tag_path = model.paths.intern(&tag);
+            let tag_path = self.paths.intern(&tag);
             new_tag_paths |= self.known_tag_paths.insert(tag_path);
             let raw = tree.node(leaf).value().unwrap_or_default().to_string();
-            let terms = preprocess(&raw, &mut model.vocabulary, &model.build.pipeline);
+            let terms = preprocess(&raw, &mut self.vocabulary, &self.build.pipeline);
             let mut distinct = terms.clone();
             distinct.sort_unstable();
             distinct.dedup();
@@ -236,7 +184,7 @@ impl Classifier {
 
         if new_tag_paths {
             // Unseen markup: extend the precomputed structural table so
-            // sim_S lookups cover the query paths (the index is over the
+            // sim_S lookups cover the query paths (any index is over the
             // representatives only and needs no rebuild).
             if self.known_tag_paths.len() > self.tag_path_cap {
                 // Past the cap, restart the cache from the representatives'
@@ -249,11 +197,11 @@ impl Classifier {
             }
             let mut all: Vec<PathId> = self.known_tag_paths.iter().copied().collect();
             all.sort_unstable();
-            self.tag_sim = TagPathSimTable::build(&all, &model.paths);
+            self.tag_sim = TagPathSimTable::build(&all, &self.paths);
         }
 
         let n_xt = leaves.len() as u32;
-        let n_t = model.term_stats.total_tcus();
+        let n_t = term_stats.total_tcus();
 
         // Document-wide item domain keyed by (path, answer), averaging the
         // ttf.itf weights over the item's occurrences within the document —
@@ -307,7 +255,7 @@ impl Classifier {
                 for (&term, &count) in &tf {
                     let nj_tau = tuple_counts.get(&term).copied().unwrap_or(0);
                     let nj_xt = term_doc_counts.get(&term).copied().unwrap_or(0);
-                    let nj_t = model.term_stats.tcus_containing(term);
+                    let nj_t = term_stats.tcus_containing(term);
                     let w = ttf_itf(count, nj_tau, n_tau, nj_xt, n_xt, nj_t, n_t);
                     *entry.acc.entry(term).or_insert(0.0) += w;
                 }
@@ -338,6 +286,244 @@ impl Classifier {
                     .collect()
             })
             .collect())
+    }
+}
+
+/// The relocation rule over one candidate stream: argmax of `simγJ` with
+/// ties to the lowest id, `(k, 0.0)` (trash) when nothing scores above
+/// zero. `ids` must ascend for the tie-break to pick the lowest id —
+/// every caller iterates a sorted candidate list or an id range.
+pub(crate) fn argmax_tuple(
+    ctx: &SimCtx<'_>,
+    views: &[ItemView<'_>],
+    rep_views: &[Vec<ItemView<'_>>],
+    ids: impl Iterator<Item = u32>,
+    trash: u32,
+) -> (u32, f64) {
+    let mut best_j = trash;
+    let mut best_s = 0.0f64;
+    for j in ids {
+        let s = sim_gamma_j(ctx, views, &rep_views[j as usize]);
+        if s > best_s {
+            best_s = s;
+            best_j = j;
+        }
+    }
+    if best_s == 0.0 {
+        (trash, 0.0)
+    } else {
+        (best_j, best_s)
+    }
+}
+
+/// Document aggregate over per-tuple assignments: summed similarity per
+/// proper cluster, ties to the lowest id; all-trash documents are trash.
+pub(crate) fn aggregate_document(k: usize, tuples: Vec<TupleAssignment>) -> DocumentAssignment {
+    let mut totals = vec![0.0f64; k];
+    for t in &tuples {
+        if (t.cluster as usize) < k {
+            totals[t.cluster as usize] += t.similarity;
+        }
+    }
+    let mut cluster = k as u32;
+    let mut score = 0.0f64;
+    for (j, &total) in totals.iter().enumerate() {
+        if total > score {
+            score = total;
+            cluster = j as u32;
+        }
+    }
+    DocumentAssignment {
+        cluster,
+        score,
+        tuples,
+    }
+}
+
+/// A classification session over a trained model, scoring against its
+/// **own full index** — the replicated strategy: every worker that builds
+/// one carries a private copy of the postings.
+///
+/// The classifier is single-threaded by design (`&mut self`: its session's
+/// interners grow as unseen markup arrives); servers give each worker its
+/// own instance. The model itself is behind an `Arc` and never mutated, so
+/// instances built via [`Classifier::shared`] duplicate only the postings
+/// and the session, not the representatives.
+pub struct Classifier {
+    model: Arc<TrainedModel>,
+    session: QuerySession,
+    index: TagPathIndex,
+}
+
+impl Classifier {
+    /// Builds the derived state (session, inverted index) for `model`.
+    pub fn new(model: TrainedModel) -> Self {
+        Self::shared(Arc::new(model))
+    }
+
+    /// Builds a classifier over an already shared model (hot-reload
+    /// workers: the model `Arc` is cloned, the index and session are this
+    /// worker's own).
+    pub fn shared(model: Arc<TrainedModel>) -> Self {
+        let session = QuerySession::new(&model);
+        let index = TagPathIndex::build(&model.reps, &model.paths, model.params);
+        Self {
+            model,
+            session,
+            index,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The inverted index (diagnostics).
+    pub fn index(&self) -> &TagPathIndex {
+        &self.index
+    }
+
+    /// Number of proper clusters `k`.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// The trash cluster's id (`k`).
+    pub fn trash_id(&self) -> u32 {
+        self.model.trash_id()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn session_mut(&mut self) -> &mut QuerySession {
+        &mut self.session
+    }
+
+    /// Classifies one XML document using the inverted index.
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the classifier stays usable.
+    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        self.classify_impl(xml, true)
+    }
+
+    /// Classifies one XML document scoring every representative (the
+    /// reference the index must agree with).
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the classifier stays usable.
+    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        self.classify_impl(xml, false)
+    }
+
+    fn classify_impl(&mut self, xml: &str, indexed: bool) -> Result<DocumentAssignment, XmlError> {
+        let tuples = self.session.extract(xml, &self.model.term_stats)?;
+        let k = self.model.k();
+        let ctx = self.session.sim_ctx(self.model.params);
+        let rep_views: Vec<Vec<ItemView<'_>>> = self.model.reps.iter().map(|r| r.views()).collect();
+
+        let mut assignments = Vec::with_capacity(tuples.len());
+        for tuple in &tuples {
+            let views: Vec<ItemView<'_>> = tuple.iter().map(RepItem::view).collect();
+            let candidates = if indexed {
+                self.index.candidates(&views, self.session.paths())
+            } else {
+                Candidates::All
+            };
+            let (cluster, similarity) =
+                argmax_tuple(&ctx, &views, &rep_views, candidates.ids(k), k as u32);
+            assignments.push(TupleAssignment {
+                cluster,
+                similarity,
+                candidates: candidates.len(k),
+            });
+        }
+        Ok(aggregate_document(k, assignments))
+    }
+}
+
+/// The serving-layer seam over the two classify execution strategies: a
+/// worker holds one `ClassifyEngine` per model epoch and drives it through
+/// a single surface, regardless of how scoring is laid out.
+///
+/// * [`ClassifyEngine::Replicated`] — the worker owns a full
+///   [`Classifier`] (its own postings copy). Memory scales with the worker
+///   count; no cross-worker sharing.
+/// * [`ClassifyEngine::Sharded`] — the worker holds a lightweight
+///   [`ShardedClassifier`] over the epoch's shared
+///   [`ShardedEngine`]: one immutable index per epoch for the
+///   whole pool, representatives partitioned across shards, queries
+///   scattered and gathered (bit-identical to brute force; see the `shard`
+///   module docs).
+pub enum ClassifyEngine {
+    /// One private full-index classifier (the historical layout).
+    Replicated(Box<Classifier>),
+    /// A per-worker session over the epoch's shared sharded engine.
+    Sharded(Box<ShardedClassifier>),
+}
+
+impl ClassifyEngine {
+    /// Builds the engine for one epoch: sharded when the epoch published a
+    /// shared sharded engine, replicated otherwise.
+    pub fn for_epoch(model: &Arc<TrainedModel>, sharded: Option<&Arc<ShardedEngine>>) -> Self {
+        match sharded {
+            Some(engine) => {
+                ClassifyEngine::Sharded(Box::new(ShardedClassifier::new(Arc::clone(engine))))
+            }
+            None => ClassifyEngine::Replicated(Box::new(Classifier::shared(Arc::clone(model)))),
+        }
+    }
+
+    /// Classifies one XML document (index-pruned).
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the engine stays usable.
+    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        match self {
+            ClassifyEngine::Replicated(c) => c.classify(xml),
+            ClassifyEngine::Sharded(c) => c.classify(xml),
+        }
+    }
+
+    /// Classifies one XML document scoring every representative.
+    ///
+    /// # Errors
+    /// Returns the XML parse error; the engine stays usable.
+    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+        match self {
+            ClassifyEngine::Replicated(c) => c.classify_brute(xml),
+            ClassifyEngine::Sharded(c) => c.classify_brute(xml),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &TrainedModel {
+        match self {
+            ClassifyEngine::Replicated(c) => c.model(),
+            ClassifyEngine::Sharded(c) => c.model(),
+        }
+    }
+
+    /// The trash cluster's id (`k`).
+    pub fn trash_id(&self) -> u32 {
+        self.model().trash_id()
+    }
+
+    /// Total posting entries behind this engine (the worker's own index,
+    /// or the shared shard set).
+    pub fn posting_entries(&self) -> usize {
+        match self {
+            ClassifyEngine::Replicated(c) => c.index().posting_entries(),
+            ClassifyEngine::Sharded(c) => c.engine().posting_entries(),
+        }
+    }
+
+    /// The shared sharded engine, when running sharded.
+    pub fn sharded_engine(&self) -> Option<&Arc<ShardedEngine>> {
+        match self {
+            ClassifyEngine::Replicated(_) => None,
+            ClassifyEngine::Sharded(c) => Some(c.engine()),
+        }
     }
 }
 
@@ -459,7 +645,8 @@ mod tests {
     #[test]
     fn tag_path_cache_stays_bounded_under_ever_fresh_markup() {
         let mut c = Classifier::new(model());
-        c.tag_path_cap = 8; // shrink so the test exercises the reset cheaply
+        c.session_mut().tag_path_cap = 8; // shrink to exercise the reset cheaply
+        let cap = c.session_mut().tag_path_cap;
         let before = c.classify(&mining_doc(1)).unwrap();
         // A hostile stream where every document invents new markup must not
         // grow the dense sim_S table without bound.
@@ -468,9 +655,9 @@ mod tests {
             let report = c.classify(&doc).unwrap();
             assert_eq!(report.cluster, c.trash_id());
             assert!(
-                c.known_tag_paths.len() <= c.tag_path_cap + 4,
+                c.session_mut().known_tag_paths() <= cap + 4,
                 "cache must reset: {} paths after doc {i}",
-                c.known_tag_paths.len()
+                c.session_mut().known_tag_paths()
             );
         }
         // Evicted paths re-enter on their next appearance with identical
@@ -485,5 +672,39 @@ mod tests {
         assert!(c.classify("<broken><xml>").is_err());
         let report = c.classify(&mining_doc(0)).expect("still works");
         assert_ne!(report.cluster, c.trash_id());
+    }
+
+    #[test]
+    fn shared_models_are_not_duplicated() {
+        let model = Arc::new(model());
+        let a = Classifier::shared(Arc::clone(&model));
+        let _b = Classifier::shared(Arc::clone(&model));
+        // Both classifiers point at the same representatives allocation.
+        assert!(std::ptr::eq(a.model(), &*model));
+        assert_eq!(Arc::strong_count(&model), 3);
+    }
+
+    #[test]
+    fn engine_seam_agrees_across_strategies() {
+        let model = Arc::new(model());
+        let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), 3));
+        let mut replicated = ClassifyEngine::for_epoch(&model, None);
+        let mut sharded = ClassifyEngine::for_epoch(&model, Some(&engine));
+        assert!(replicated.sharded_engine().is_none());
+        assert!(sharded.sharded_engine().is_some());
+        for doc in [mining_doc(2), networking_doc(4)] {
+            let a = replicated.classify(&doc).expect("replicated");
+            let b = sharded.classify(&doc).expect("sharded");
+            assert_eq!(a, b, "strategies must be bit-identical");
+            let brute = sharded.classify_brute(&doc).expect("sharded brute");
+            assert_eq!(a.cluster, brute.cluster);
+            assert_eq!(a.score, brute.score);
+        }
+        assert!(replicated.posting_entries() > 0);
+        assert_eq!(
+            replicated.posting_entries(),
+            sharded.posting_entries(),
+            "sharding repartitions the postings without changing their total"
+        );
     }
 }

@@ -3,10 +3,14 @@
 //!
 //! No external dependencies: `std::net::TcpListener` accepts connections
 //! and hands them to a fixed pool of worker threads over a
-//! `crossbeam-channel`; each worker owns its **own** [`Classifier`] built
-//! from the shared model, so request handling is lock-free (the classifier
-//! needs `&mut self` because its interners grow with unseen markup — per
-//! the `classify` module docs that growth never changes scores).
+//! `crossbeam-channel`; each worker owns its **own** [`ClassifyEngine`]
+//! so request handling is lock-free (the engine needs `&mut self` because
+//! its session interners grow with unseen markup — per the `classify`
+//! module docs that growth never changes scores). The engine's layout is
+//! picked by [`ServeOptions::shards`]: replicated (each worker carries a
+//! full private index — the default) or sharded (the pool shares **one**
+//! immutable scatter/gather engine per model epoch; see the `shard`
+//! module).
 //!
 //! The model is *not* fixed for the server's lifetime: all workers share a
 //! [`ModelSlot`] (see the `slot` module) and lazily rebuild their
@@ -34,7 +38,10 @@
 //!   live model is untouched. Success answers `200` with the new epoch.
 //! * `GET /model` — model metadata (epoch, k, parameters, sizes).
 //! * `GET /stats` — server counters (connections, requests,
-//!   classifications, errors, reloads, trash rate) and index diagnostics.
+//!   classifications, errors, reloads, trash rate) and index diagnostics;
+//!   in sharded mode also the engine layout and per-shard statistics
+//!   (owned representatives, postings, tuples scattered, candidates
+//!   scored).
 //!
 //! The protocol subset is deliberately tiny: request line + headers,
 //! `Content-Length` bodies only (no chunked encoding, no keep-alive;
@@ -50,8 +57,8 @@
 //! exclusively; a [`Server::start`] on a wider address must sit behind a
 //! trusted network or proxy.
 
-use crate::classify::{Classifier, DocumentAssignment};
-use crate::slot::ModelSlot;
+use crate::classify::{ClassifyEngine, DocumentAssignment};
+use crate::slot::{EpochModel, ModelSlot};
 use cxk_core::{
     load_model, peek_format_version, snapshot_digest, TrainedModel, MODEL_FORMAT_VERSION,
 };
@@ -87,6 +94,13 @@ pub struct ServeOptions {
     /// Per-connection read/write timeout. An idle or trickling client
     /// would otherwise pin its worker forever (and block shutdown).
     pub io_timeout: Duration,
+    /// Partition the representatives across this many shards and share
+    /// **one** immutable scatter/gather engine per model epoch across the
+    /// whole worker pool (`cxk serve --shards <n>`). `None` (the default)
+    /// replicates a full index into every worker instead. Sharded
+    /// assignment is bit-identical to replicated and brute-force
+    /// assignment — see the `shard` module docs.
+    pub shards: Option<usize>,
     /// The snapshot path behind the model, if it came from disk: the
     /// default `POST /reload` target and the file the watcher polls.
     pub model_path: Option<PathBuf>,
@@ -101,6 +115,7 @@ impl Default for ServeOptions {
             threads: 4,
             brute_force: false,
             io_timeout: Duration::from_secs(10),
+            shards: None,
             model_path: None,
             watch: None,
         }
@@ -186,7 +201,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let slot = Arc::new(ModelSlot::new(model));
+        let slot = Arc::new(ModelSlot::with_shards(model, opts.shards));
         let threads = opts.threads.max(1);
 
         let (tx, rx) = crossbeam_channel::unbounded::<TcpStream>();
@@ -202,14 +217,16 @@ impl Server {
             let io_timeout = opts.io_timeout;
             workers.push(std::thread::spawn(move || {
                 let mut current = ctx.slot.current();
-                let mut classifier = Classifier::new(current.model.clone());
+                let mut engine = engine_for(&current);
                 while let Ok(stream) = rx.recv() {
                     // Hot reload: observe a newer epoch *between* requests,
                     // so in-flight work always finishes on the model it
                     // started with and no lock is held while classifying.
+                    // In sharded mode the rebuild is a cheap session — the
+                    // postings were built once, at swap time.
                     if ctx.slot.epoch() != current.epoch {
                         current = ctx.slot.current();
-                        classifier = Classifier::new(current.model.clone());
+                        engine = engine_for(&current);
                     }
                     // A slow or idle client must not pin this worker: cap
                     // every read and write. Zero would mean "no timeout"
@@ -217,7 +234,7 @@ impl Server {
                     let timeout = Some(io_timeout.max(Duration::from_millis(1)));
                     let _ = stream.set_read_timeout(timeout);
                     let _ = stream.set_write_timeout(timeout);
-                    handle_connection(stream, &mut classifier, current.epoch, &ctx);
+                    handle_connection(stream, &mut engine, current.epoch, &ctx);
                 }
             }));
         }
@@ -335,6 +352,13 @@ impl Drop for Server {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(loopback_of(self.addr));
     }
+}
+
+/// One worker's classify engine for a published epoch: a lightweight
+/// session over the epoch's shared shard set, or a private full-index
+/// classifier when the slot runs replicated.
+fn engine_for(epoch: &EpochModel) -> ClassifyEngine {
+    ClassifyEngine::for_epoch(&epoch.model, epoch.sharded.as_ref())
 }
 
 /// The address the shutdown path connects to in order to unblock the
@@ -733,7 +757,7 @@ pub fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
 
 fn handle_connection(
     mut stream: TcpStream,
-    classifier: &mut Classifier,
+    engine: &mut ClassifyEngine,
     epoch: u64,
     ctx: &WorkerCtx,
 ) {
@@ -781,17 +805,17 @@ fn handle_connection(
                     .iter()
                     .map(|xml| {
                         let result = if ctx.brute {
-                            classifier.classify_brute(xml)
+                            engine.classify_brute(xml)
                         } else {
-                            classifier.classify(xml)
+                            engine.classify(xml)
                         };
                         match result {
                             Ok(report) => {
                                 stats.classified.fetch_add(1, Ordering::Relaxed);
-                                if report.cluster == classifier.trash_id() {
+                                if report.cluster == engine.trash_id() {
                                     stats.trash.fetch_add(1, Ordering::Relaxed);
                                 }
-                                assignment_json(&report, classifier.trash_id())
+                                assignment_json(&report, engine.trash_id())
                             }
                             Err(e) => {
                                 stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -809,17 +833,17 @@ fn handle_connection(
                 return;
             }
             let result = if ctx.brute {
-                classifier.classify_brute(body)
+                engine.classify_brute(body)
             } else {
-                classifier.classify(body)
+                engine.classify(body)
             };
             match result {
                 Ok(report) => {
                     stats.classified.fetch_add(1, Ordering::Relaxed);
-                    if report.cluster == classifier.trash_id() {
+                    if report.cluster == engine.trash_id() {
                         stats.trash.fetch_add(1, Ordering::Relaxed);
                     }
-                    let body = assignment_json(&report, classifier.trash_id());
+                    let body = assignment_json(&report, engine.trash_id());
                     respond(&mut stream, "200 OK", epoch, &body);
                 }
                 Err(e) => {
@@ -879,7 +903,7 @@ fn handle_connection(
             }
         }
         ("GET", "/model") => {
-            let model = classifier.model();
+            let model = engine.model();
             let rep_items: Vec<String> = model.reps.iter().map(|r| r.len().to_string()).collect();
             let body = format!(
                 r#"{{"epoch":{},"format_version":{},"k":{},"f":{},"gamma":{},"labels":{},"vocabulary":{},"paths":{},"rep_items":[{}],"trained_documents":{},"trained_transactions":{}}}"#,
@@ -898,8 +922,33 @@ fn handle_connection(
             respond(&mut stream, "200 OK", epoch, &body);
         }
         ("GET", "/stats") => {
+            // Per-shard detail (sharded mode): one object per shard, in
+            // range order, counting since this epoch's engine was built.
+            // Arrays stay at the tail of the object so flat `"field":value`
+            // scrapers keep working on everything before them.
+            let engine_detail = match engine.sharded_engine() {
+                Some(sharded) => {
+                    let shards: Vec<String> = sharded
+                        .shard_stats()
+                        .iter()
+                        .map(|s| {
+                            format!(
+                                r#"{{"reps":{},"postings":{},"queries":{},"scored":{}}}"#,
+                                s.reps, s.postings, s.queries, s.scored
+                            )
+                        })
+                        .collect();
+                    format!(
+                        r#""engine":"sharded","shards":{},"postings_bytes":{},"shard_stats":[{}]"#,
+                        sharded.shard_count(),
+                        sharded.postings_bytes(),
+                        shards.join(",")
+                    )
+                }
+                None => r#""engine":"replicated""#.to_string(),
+            };
             let body = format!(
-                r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"index_postings":{},"brute_force":{}}}"#,
+                r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"index_postings":{},"brute_force":{},{engine_detail}}}"#,
                 epoch,
                 stats.connections.load(Ordering::Relaxed),
                 stats.requests.load(Ordering::Relaxed),
@@ -908,7 +957,7 @@ fn handle_connection(
                 stats.errors.load(Ordering::Relaxed),
                 stats.reloads.load(Ordering::Relaxed),
                 stats.reload_errors.load(Ordering::Relaxed),
-                classifier.index().posting_entries(),
+                engine.posting_entries(),
                 ctx.brute,
             );
             respond(&mut stream, "200 OK", epoch, &body);

@@ -43,6 +43,7 @@ use cxk_transact::item::ItemView;
 use cxk_transact::SimParams;
 use cxk_util::{FxHashMap, FxHashSet, Symbol};
 use cxk_xml::path::PathTable;
+use std::ops::Range;
 
 /// The candidate set for one query transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,11 +56,20 @@ pub enum Candidates {
 }
 
 impl Candidates {
-    /// The representative ids to evaluate, given `k` total.
-    pub fn ids(&self, k: usize) -> Vec<u32> {
+    /// The representative ids to evaluate, given `k` total. Allocation-free:
+    /// `All` walks the id range directly instead of materializing a `Vec`,
+    /// so the classify hot loop does not allocate per query.
+    pub fn ids(&self, k: usize) -> CandidateIds<'_> {
+        self.ids_in(0..k as u32)
+    }
+
+    /// The ids to evaluate when the index covers the representative range
+    /// `range` (a shard's slice of the global id space): `All` yields the
+    /// whole range; pruned candidates already carry global ids.
+    pub fn ids_in(&self, range: Range<u32>) -> CandidateIds<'_> {
         match self {
-            Candidates::All => (0..k as u32).collect(),
-            Candidates::Some(ids) => ids.clone(),
+            Candidates::All => CandidateIds::Range(range),
+            Candidates::Some(ids) => CandidateIds::Listed(ids.iter()),
         }
     }
 
@@ -72,9 +82,46 @@ impl Candidates {
     }
 }
 
+/// Iterator over candidate representative ids (see [`Candidates::ids`]).
+#[derive(Debug, Clone)]
+pub enum CandidateIds<'a> {
+    /// Every id in the covered range (pruning was disabled).
+    Range(Range<u32>),
+    /// The pruned candidate list, ascending.
+    Listed(std::slice::Iter<'a, u32>),
+}
+
+impl Iterator for CandidateIds<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            CandidateIds::Range(range) => range.next(),
+            CandidateIds::Listed(iter) => iter.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            CandidateIds::Range(range) => range.size_hint(),
+            CandidateIds::Listed(iter) => iter.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for CandidateIds<'_> {}
+
 /// Inverted index over the items of a model's representatives.
+///
+/// The index may cover the *whole* representative set (the replicated
+/// classifier) or a contiguous *range* of it (one shard of the sharded
+/// engine, built with [`TagPathIndex::build_range`]): postings always
+/// store **global** representative ids, so shard-local candidate lists
+/// merge into the global argmax without translation.
 #[derive(Debug, Clone, Default)]
 pub struct TagPathIndex {
+    /// First global representative id covered (0 for a full index).
+    base: u32,
     /// Number of representatives indexed.
     k: usize,
     /// Structure channel: tag label → representative ids (ascending).
@@ -97,13 +144,25 @@ impl TagPathIndex {
     /// Builds the index over `reps`; `paths` must resolve every item's tag
     /// path, and `params` must be the parameters classification will use.
     pub fn build(reps: &[Representative], paths: &PathTable, params: SimParams) -> Self {
+        Self::build_range(reps, paths, params, 0)
+    }
+
+    /// Builds the index over one shard's slice of the representatives:
+    /// `reps` holds the shard's representatives and `base` is the global id
+    /// of `reps[0]`, so postings carry ids `base..base + reps.len()`.
+    pub fn build_range(
+        reps: &[Representative],
+        paths: &PathTable,
+        params: SimParams,
+        base: u32,
+    ) -> Self {
         let mut tag_postings: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
         let mut term_postings: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
         let mut empty_vector_reps = Vec::new();
         let mut empty_tag_path_reps = Vec::new();
 
         for (j, rep) in reps.iter().enumerate() {
-            let j = j as u32;
+            let j = base + j as u32;
             let mut tags: FxHashSet<Symbol> = FxHashSet::default();
             let mut terms: FxHashSet<Symbol> = FxHashSet::default();
             let mut has_empty_vector = false;
@@ -138,6 +197,7 @@ impl TagPathIndex {
             .all(|v| v.windows(2).all(|w| w[0] < w[1])));
 
         Self {
+            base,
             k: reps.len(),
             tag_postings,
             term_postings,
@@ -157,10 +217,29 @@ impl TagPathIndex {
         self.k == 0
     }
 
+    /// The global representative id range this index covers.
+    pub fn covered(&self) -> Range<u32> {
+        self.base..self.base + self.k as u32
+    }
+
     /// Total posting entries (diagnostic, surfaced by `GET /stats`).
     pub fn posting_entries(&self) -> usize {
         self.tag_postings.values().map(Vec::len).sum::<usize>()
             + self.term_postings.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Estimated resident heap bytes of the postings (ids plus per-key
+    /// `Vec` headers and the empty-item buckets). An estimate — hash-map
+    /// bucket overhead is excluded — but a consistent one, so the
+    /// replicated-vs-sharded memory comparison in `serve_throughput` and
+    /// `GET /stats` measures what duplication actually costs.
+    pub fn postings_bytes(&self) -> usize {
+        let id = std::mem::size_of::<u32>();
+        let key = std::mem::size_of::<Symbol>() + std::mem::size_of::<Vec<u32>>();
+        let keys = self.tag_postings.len() + self.term_postings.len();
+        (self.posting_entries() + self.empty_vector_reps.len() + self.empty_tag_path_reps.len())
+            * id
+            + keys * key
     }
 
     /// The candidate representatives for one query transaction. `paths`
@@ -311,7 +390,44 @@ mod tests {
         let index = TagPathIndex::build(&reps, &fx.paths, SimParams::new(0.5, 0.0));
         let query = [view(&fx, 0, 0, 9)];
         assert_eq!(index.candidates(&query, &fx.paths), Candidates::All);
-        assert_eq!(index.candidates(&query, &fx.paths).ids(2), vec![0, 1]);
+        assert_eq!(
+            index
+                .candidates(&query, &fx.paths)
+                .ids(2)
+                .collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn range_index_posts_global_ids() {
+        let fx = fixture();
+        // Reps 2 and 3 of a hypothetical 4-rep model: a shard with base 2.
+        let reps = vec![rep(&fx, 0, 0, 1), rep(&fx, 2, 1, 2)];
+        let index = TagPathIndex::build_range(&reps, &fx.paths, SimParams::new(0.5, 0.8), 2);
+        assert_eq!(index.covered(), 2..4);
+        // Query matches the first shard rep (global id 2) only.
+        let query = [view(&fx, 0, 0, 9)];
+        assert_eq!(
+            index.candidates(&query, &fx.paths),
+            Candidates::Some(vec![2])
+        );
+        // All-candidates fallbacks walk the shard's global range.
+        let all = TagPathIndex::build_range(&reps, &fx.paths, SimParams::new(0.5, 0.0), 2);
+        let c = all.candidates(&query, &fx.paths);
+        assert_eq!(c, Candidates::All);
+        assert_eq!(c.ids_in(all.covered()).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn candidate_ids_iterate_without_allocating() {
+        let all = Candidates::All;
+        assert_eq!(all.ids(3).len(), 3);
+        assert_eq!(all.ids(3).collect::<Vec<_>>(), vec![0, 1, 2]);
+        let some = Candidates::Some(vec![1, 4]);
+        assert_eq!(some.ids(9).len(), 2);
+        assert_eq!(some.ids(9).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(some.ids_in(5..9).collect::<Vec<_>>(), vec![1, 4]);
     }
 
     #[test]

@@ -14,9 +14,16 @@
 //!   representatives a query must be scored against. Pruning is provably
 //!   sound under the paper's exact tag matcher: indexed and brute-force
 //!   assignments agree bit-for-bit.
+//! * [`shard`] — sharded scatter/gather classification: the
+//!   representatives partitioned into contiguous shards, each owning its
+//!   postings slice ([`ShardedEngine`]); a query scatters to every shard
+//!   and a gather takes the global argmax, bit-identical to brute force.
+//!   One immutable engine per model epoch is shared by the whole worker
+//!   pool, so resident index memory is constant in the thread count.
 //! * [`http`] — a dependency-free multi-threaded HTTP/1.1 server
 //!   ([`Server`]) exposing `POST /classify`, `POST /reload`, `GET /model`
-//!   and `GET /stats`, with one classifier per worker thread.
+//!   and `GET /stats`, with one [`ClassifyEngine`] (replicated or
+//!   sharded, per [`ServeOptions::shards`]) per worker thread.
 //! * [`slot`] — the hot-reload seam: a [`ModelSlot`] holding an
 //!   epoch-versioned `Arc<TrainedModel>` that [`Server::reload`], the
 //!   `POST /reload` endpoint and the opt-in file watcher
@@ -65,9 +72,11 @@
 pub mod classify;
 pub mod http;
 pub mod index;
+pub mod shard;
 pub mod slot;
 
-pub use classify::{Classifier, DocumentAssignment, TupleAssignment};
+pub use classify::{Classifier, ClassifyEngine, DocumentAssignment, TupleAssignment};
 pub use http::{assignment_json, json_escape, ServeOptions, Server, ServerStats, StatsSnapshot};
-pub use index::{Candidates, TagPathIndex};
+pub use index::{CandidateIds, Candidates, TagPathIndex};
+pub use shard::{Shard, ShardStats, ShardedClassifier, ShardedEngine};
 pub use slot::{EpochModel, ModelSlot};

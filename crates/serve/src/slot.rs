@@ -14,13 +14,24 @@
 //! * [`ModelSlot::current`] clones the `Arc` of the live
 //!   [`EpochModel`] (epoch + model, immutable once published).
 //!
-//! Workers keep their own `(epoch, Classifier)` pair and lazily rebuild
-//! the classifier (plus its `TagPathIndex`) when the polled epoch moves:
-//! an in-flight request always finishes on the model it started with, the
-//! next request on that worker picks up the new one, and no lock is held
-//! while classifying. A request's response is therefore self-consistent
-//! with exactly one epoch — never a mix of old and new representatives.
+//! An epoch publishes the model behind an `Arc` and — when the slot was
+//! built with [`ModelSlot::with_shards`] — **one** shared
+//! [`ShardedEngine`] over it: the whole worker pool scatters against the
+//! same immutable shard set, so resident index memory is per-epoch, not
+//! per-worker. The engine for the next epoch is built *before* the slot's
+//! mutex is taken, so the critical section still only moves `Arc`s and a
+//! swap never stalls concurrent readers behind an index build.
+//!
+//! Workers keep their own `(epoch, ClassifyEngine)` pair and lazily
+//! rebuild their engine (a full classifier in replicated mode, a
+//! lightweight session over the shared shard set in sharded mode) when
+//! the polled epoch moves: an in-flight request always finishes on the
+//! model it started with, the next request on that worker picks up the
+//! new one, and no lock is held while classifying. A request's response
+//! is therefore self-consistent with exactly one epoch — never a mix of
+//! old and new representatives.
 
+use crate::shard::ShardedEngine;
 use cxk_core::TrainedModel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -30,30 +41,50 @@ use std::sync::{Arc, Mutex};
 pub struct EpochModel {
     /// Monotonic version: 1 for the boot model, +1 per successful swap.
     pub epoch: u64,
-    /// The model published at this epoch.
-    pub model: TrainedModel,
+    /// The model published at this epoch, shared by every worker.
+    pub model: Arc<TrainedModel>,
+    /// The epoch's shared scatter/gather engine, when the slot was built
+    /// with a shard count; `None` means workers replicate a full index
+    /// each.
+    pub sharded: Option<Arc<ShardedEngine>>,
 }
 
 /// The shared swap point for hot model reload (see the module docs).
 #[derive(Debug)]
 pub struct ModelSlot {
     /// The live model. The mutex is held only to clone or replace the
-    /// `Arc` — never while classifying.
+    /// `Arc` — never while classifying or building an index.
     current: Mutex<Arc<EpochModel>>,
     /// Lock-free mirror of the live epoch, polled by workers. It may lag
     /// or lead the mutexed value by an instant during a swap; workers
     /// always take the authoritative epoch from [`ModelSlot::current`],
     /// so the mirror only ever costs a redundant (idempotent) rebuild.
     epoch: AtomicU64,
+    /// Shard count every epoch's engine is built with; `None` = replicated.
+    shards: Option<usize>,
 }
 
 impl ModelSlot {
-    /// Publishes `model` as epoch 1.
+    /// Publishes `model` as epoch 1 in replicated mode (each worker builds
+    /// its own full index).
     pub fn new(model: TrainedModel) -> Self {
+        Self::with_shards(model, None)
+    }
+
+    /// Publishes `model` as epoch 1; with `shards = Some(s)` every epoch
+    /// carries one shared [`ShardedEngine`] partitioning the
+    /// representatives across `s` shards.
+    pub fn with_shards(model: TrainedModel, shards: Option<usize>) -> Self {
         Self {
-            current: Mutex::new(Arc::new(EpochModel { epoch: 1, model })),
+            current: Mutex::new(Arc::new(Self::publish(model, shards, 1))),
             epoch: AtomicU64::new(1),
+            shards,
         }
+    }
+
+    /// The shard count epochs are built with (`None` = replicated).
+    pub fn shards(&self) -> Option<usize> {
+        self.shards
     }
 
     /// The live epoch (lock-free).
@@ -68,13 +99,29 @@ impl ModelSlot {
 
     /// Atomically publishes `model` as the next epoch and returns it.
     /// In-flight work on the previous model keeps its `Arc` alive until
-    /// the last worker drops it.
+    /// the last worker drops it. In sharded mode the new epoch's engine is
+    /// built *before* the lock is taken.
     pub fn swap(&self, model: TrainedModel) -> u64 {
+        // Build the (potentially expensive) derived state off-lock; only
+        // the publish itself synchronizes.
+        let staged = Self::publish(model, self.shards, 0);
         let mut current = self.lock();
         let epoch = current.epoch + 1;
-        *current = Arc::new(EpochModel { epoch, model });
+        *current = Arc::new(EpochModel { epoch, ..staged });
         self.epoch.store(epoch, Ordering::Release);
         epoch
+    }
+
+    /// Assembles an epoch: the `Arc`ed model plus — in sharded mode — the
+    /// one engine the pool will share.
+    fn publish(model: TrainedModel, shards: Option<usize>, epoch: u64) -> EpochModel {
+        let model = Arc::new(model);
+        let sharded = shards.map(|s| Arc::new(ShardedEngine::build(Arc::clone(&model), s)));
+        EpochModel {
+            epoch,
+            model,
+            sharded,
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Arc<EpochModel>> {
@@ -126,6 +173,7 @@ mod tests {
         let slot = ModelSlot::new(model(false));
         assert_eq!(slot.epoch(), 1);
         assert_eq!(slot.current().epoch, 1);
+        assert!(slot.current().sharded.is_none(), "replicated by default");
         let before_docs = slot.current().model.trained_documents;
 
         let e = slot.swap(model(true));
@@ -134,6 +182,34 @@ mod tests {
         let current = slot.current();
         assert_eq!(current.epoch, 2);
         assert_eq!(current.model.trained_documents, before_docs + 1);
+    }
+
+    #[test]
+    fn sharded_slots_publish_one_engine_per_epoch() {
+        let slot = ModelSlot::with_shards(model(false), Some(3));
+        assert_eq!(slot.shards(), Some(3));
+        let boot = slot.current();
+        let engine = boot.sharded.as_ref().expect("sharded epoch");
+        assert_eq!(engine.shard_count(), 3);
+        // The engine scores against exactly the published model.
+        assert!(std::sync::Arc::ptr_eq(engine.model(), &boot.model));
+        // Every reader of this epoch sees the *same* engine allocation.
+        assert!(std::sync::Arc::ptr_eq(
+            slot.current().sharded.as_ref().unwrap(),
+            engine
+        ));
+
+        let e = slot.swap(model(true));
+        assert_eq!(e, 2);
+        let next = slot.current();
+        let next_engine = next.sharded.as_ref().expect("sharded epoch");
+        assert!(
+            !std::sync::Arc::ptr_eq(next_engine, engine),
+            "a swap rebuilds the shard set"
+        );
+        assert!(std::sync::Arc::ptr_eq(next_engine.model(), &next.model));
+        // The old epoch's engine is still coherent for in-flight holders.
+        assert_eq!(engine.model().trained_documents, 2);
     }
 
     #[test]
@@ -150,7 +226,7 @@ mod tests {
 
     #[test]
     fn concurrent_swaps_and_reads_never_tear() {
-        let slot = std::sync::Arc::new(ModelSlot::new(model(false)));
+        let slot = std::sync::Arc::new(ModelSlot::with_shards(model(false), Some(2)));
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let readers: Vec<_> = (0..4)
             .map(|_| {
@@ -165,9 +241,12 @@ mod tests {
                         last = current.epoch;
                         // …and every published pair is internally
                         // consistent: odd epochs carry the 2-document
-                        // model, even epochs the 3-document one.
+                        // model, even epochs the 3-document one — and the
+                        // shard engine always wraps that same model.
                         let expect = if current.epoch % 2 == 1 { 2 } else { 3 };
                         assert_eq!(current.model.trained_documents, expect);
+                        let engine = current.sharded.as_ref().expect("sharded");
+                        assert!(std::sync::Arc::ptr_eq(engine.model(), &current.model));
                     }
                 })
             })

@@ -1,0 +1,177 @@
+//! Shard-equivalence properties (ISSUE 5's acceptance criterion): over the
+//! repository's `samples/` corpus and a grid of `(k, S, f, γ)`
+//! configurations — including `γ = 0` (pruning disabled), `γ > 0`, empty
+//! queries and `k < S` (degenerate shards) — sharded scatter/gather
+//! assignment is **bit-identical** to brute force and to `S = 1`: cluster
+//! ids, per-tuple similarities, document scores, and candidate counts.
+
+use cxk_core::{CxkConfig, EngineBuilder, TrainedModel};
+use cxk_serve::{Classifier, ShardedClassifier, ShardedEngine};
+use cxk_transact::{BuildOptions, DatasetBuilder, SimParams};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The repository's `samples/` corpus.
+fn sample_docs() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../samples");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("samples/ exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "xml"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable sample");
+            (name, text)
+        })
+        .collect()
+}
+
+fn train_on_samples(k: usize, f: f64, gamma: f64) -> TrainedModel {
+    let docs = sample_docs();
+    assert_eq!(docs.len(), 12, "samples corpus");
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    for (_, text) in &docs {
+        builder.add_xml(text).expect("valid sample");
+    }
+    let ds = builder.finish();
+    let mut config = CxkConfig::new(k);
+    config.params = SimParams::new(f, gamma);
+    config.seed = 1;
+    EngineBuilder::from_cxk_config(&config)
+        .build()
+        .expect("valid sample config")
+        .fit(&ds)
+        .expect("fit succeeds")
+        .into_model(&ds, BuildOptions::default())
+}
+
+/// Documents every configuration classifies: the full corpus, an alien, a
+/// document with no leaf content, and an all-markup document whose tuples
+/// carry empty TCUs — the degenerate query shapes the index falls back on.
+fn probe_docs() -> Vec<(String, String)> {
+    let mut docs = sample_docs();
+    docs.push((
+        "alien".into(),
+        r#"<recipes><recipe id="r1"><chef>Q. Cook</chef><dish>braised seitan stew</dish></recipe></recipes>"#.into(),
+    ));
+    docs.push(("empty-root".into(), "<dblp/>".into()));
+    docs.push((
+        "empty-leaves".into(),
+        "<dblp><article><title></title><author></author></article></dblp>".into(),
+    ));
+    docs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: for every `(k, S, f, γ)` drawn — with `γ`
+    /// sometimes exactly 0 and `S` often exceeding `k` — the sharded
+    /// engine's assignment of every probe document equals brute force and
+    /// the single-shard engine bit-for-bit.
+    #[test]
+    fn sharded_equals_brute_and_single_shard_on_samples(
+        k in 1usize..5,
+        s in 1usize..9,
+        f_step in 0u8..5,
+        gamma_step in 0u8..5,
+    ) {
+        let f = f64::from(f_step) * 0.25;
+        // gamma_step 0 is exactly γ = 0: pruning disabled everywhere.
+        let gamma = f64::from(gamma_step) * 0.2;
+        let model = Arc::new(train_on_samples(k, f, gamma));
+        let mut brute = Classifier::shared(Arc::clone(&model));
+        let mut single =
+            ShardedClassifier::new(Arc::new(ShardedEngine::build(Arc::clone(&model), 1)));
+        let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), s));
+        prop_assert_eq!(engine.shard_count(), s);
+        let mut sharded = ShardedClassifier::new(engine);
+
+        for (name, text) in &probe_docs() {
+            let a = sharded.classify(text).expect("sharded classify");
+            let b = brute.classify_brute(text).expect("brute");
+            let c = single.classify(text).expect("single shard");
+            prop_assert_eq!(a.cluster, b.cluster, "cluster vs brute for {}", name);
+            prop_assert_eq!(a.score, b.score, "score vs brute for {}", name);
+            prop_assert_eq!(&a, &c, "S = {} vs S = 1 for {}", s, name);
+            prop_assert_eq!(a.tuples.len(), b.tuples.len());
+            for (ta, tb) in a.tuples.iter().zip(&b.tuples) {
+                prop_assert_eq!(ta.cluster, tb.cluster, "{}", name);
+                prop_assert_eq!(ta.similarity, tb.similarity,
+                    "simγJ must be bit-identical for {}", name);
+                prop_assert!(ta.candidates <= tb.candidates,
+                    "shards may only prune ({})", name);
+            }
+        }
+    }
+
+    /// Sharding repartitions the pruned candidate sets without changing
+    /// them: per tuple, the scatter scores exactly as many representatives
+    /// as the replicated index does.
+    #[test]
+    fn shard_pruning_matches_the_replicated_index(
+        s in 2usize..9,
+        gamma_step in 1u8..5,
+    ) {
+        let gamma = f64::from(gamma_step) * 0.2;
+        let model = Arc::new(train_on_samples(3, 0.5, gamma));
+        let mut replicated = Classifier::shared(Arc::clone(&model));
+        let mut sharded =
+            ShardedClassifier::new(Arc::new(ShardedEngine::build(Arc::clone(&model), s)));
+        for (name, text) in &probe_docs() {
+            let a = sharded.classify(text).expect("sharded");
+            let b = replicated.classify(text).expect("replicated");
+            for (ta, tb) in a.tuples.iter().zip(&b.tuples) {
+                prop_assert_eq!(ta.candidates, tb.candidates,
+                    "scored-candidate counts must match for {}", name);
+            }
+        }
+    }
+}
+
+/// Empty queries (documents with no tuples, or tuples whose TCUs are all
+/// empty) must hit the documented fallbacks identically in every layout.
+#[test]
+fn degenerate_documents_agree_across_layouts() {
+    for (k, s, gamma) in [(2, 5, 0.0), (2, 5, 0.6), (4, 3, 0.4), (1, 8, 0.9)] {
+        let model = Arc::new(train_on_samples(k, 0.5, gamma));
+        let mut brute = Classifier::shared(Arc::clone(&model));
+        let mut sharded =
+            ShardedClassifier::new(Arc::new(ShardedEngine::build(Arc::clone(&model), s)));
+        for doc in [
+            "<dblp/>",
+            "<dblp><article/></dblp>",
+            "<dblp><article><title></title></article></dblp>",
+            "<unrelated><x><y></y></x></unrelated>",
+        ] {
+            let a = sharded.classify(doc).expect("sharded");
+            let b = brute.classify_brute(doc).expect("brute");
+            assert_eq!(a.cluster, b.cluster, "k={k} S={s} γ={gamma}: {doc}");
+            assert_eq!(a.score, b.score, "k={k} S={s} γ={gamma}: {doc}");
+            assert_eq!(a.tuples.len(), b.tuples.len());
+        }
+    }
+}
+
+/// `k < S` leaves surplus shards empty without disturbing assignment.
+#[test]
+fn degenerate_shards_cover_exactly_k_representatives() {
+    let model = Arc::new(train_on_samples(2, 0.5, 0.5));
+    let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), 8));
+    let covered: usize = engine.shards().iter().map(|s| s.len()).sum();
+    assert_eq!(covered, 2);
+    assert_eq!(engine.shards().iter().filter(|s| s.is_empty()).count(), 6);
+    let mut sharded = ShardedClassifier::new(engine);
+    let mut brute = Classifier::shared(Arc::clone(&model));
+    for (name, text) in &sample_docs() {
+        let a = sharded.classify(text).expect("sharded");
+        let b = brute.classify_brute(text).expect("brute");
+        assert_eq!(a.cluster, b.cluster, "{name}");
+        assert_eq!(a.score, b.score, "{name}");
+    }
+}

@@ -684,6 +684,141 @@ fn stream_retrain_feeds_the_running_server() {
     server.shutdown();
 }
 
+/// A sharded server answers exactly like a replicated one, and its
+/// `GET /stats` surfaces the engine layout plus per-shard detail.
+#[test]
+fn sharded_server_matches_replicated_and_reports_shard_stats() {
+    let (model, held_out) = train_held_out();
+    let mut classifier = Classifier::new(model.clone());
+    let expected: Vec<u32> = held_out
+        .iter()
+        .map(|(_, xml)| classifier.classify(xml).unwrap().cluster)
+        .collect();
+
+    let server = Server::start(
+        model,
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 3,
+            shards: Some(3),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    for ((name, xml), &want) in held_out.iter().zip(&expected) {
+        let (head, body) = post_classify(addr, xml);
+        assert!(head.starts_with("HTTP/1.1 200"), "{name}: {head}");
+        assert_eq!(json_field(&body, "cluster"), want.to_string(), "{name}");
+    }
+
+    let (head, body) = http_request(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n",
+    );
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains(r#""engine":"sharded""#), "{body}");
+    assert_eq!(json_field(&body, "shards"), "3", "{body}");
+    assert!(body.contains(r#""shard_stats":[{"#), "{body}");
+    // Three per-shard objects, each reporting its owned representatives.
+    assert_eq!(body.matches(r#""reps":"#).count(), 3, "{body}");
+    assert!(json_field(&body, "postings_bytes").parse::<u64>().unwrap() > 0);
+    server.shutdown();
+}
+
+/// Reload under load while scattering: client threads hammer a *sharded*
+/// server while the model is swapped repeatedly, so the shared shard
+/// engine is rebuilt per epoch mid-traffic. Every response must be
+/// self-consistent with exactly one epoch, exactly like the replicated
+/// torture test.
+#[test]
+fn sharded_reload_under_concurrent_load_stays_epoch_consistent() {
+    let (model_a, held_out) = train_held_out();
+    let model_b = train_variant();
+
+    let docs: Vec<String> = held_out.iter().map(|(_, xml)| xml.clone()).collect();
+    let mut classifier_a = Classifier::new(model_a.clone());
+    let mut classifier_b = Classifier::new(model_b.clone());
+    let expected: Vec<(u32, u32)> = docs
+        .iter()
+        .map(|xml| {
+            (
+                classifier_a.classify(xml).unwrap().cluster,
+                classifier_b.classify(xml).unwrap().cluster,
+            )
+        })
+        .collect();
+
+    let server = Server::start(
+        model_a.clone(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads: 4,
+            shards: Some(4),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // Epoch parity is the oracle: boot model A is epoch 1 and swaps
+    // strictly alternate B, A, B, … so odd epochs serve A, even serve B.
+    const CLIENTS: usize = 4;
+    const REQUESTS_PER_CLIENT: usize = 30;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let docs = docs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let i = (c + r) % docs.len();
+                    let (head, body) = post_classify(addr, &docs[i]);
+                    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+                    let epoch = response_epoch(&head);
+                    let want = if epoch % 2 == 1 {
+                        expected[i].0
+                    } else {
+                        expected[i].1
+                    };
+                    assert_eq!(
+                        json_field(&body, "cluster"),
+                        want.to_string(),
+                        "epoch {epoch} must answer with its own model's cluster: {body}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    const SWAPS: usize = 16;
+    for i in 0..SWAPS {
+        if i % 2 == 0 {
+            server.reload(model_b.clone());
+        } else {
+            server.reload(model_a.clone());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for client in clients {
+        client
+            .join()
+            .expect("no client may observe a dropped or malformed response");
+    }
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.classified,
+        (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+        "zero dropped classifications across sharded swaps"
+    );
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.reloads, SWAPS as u64);
+    assert_eq!(stats.epoch, 1 + SWAPS as u64);
+    server.shutdown();
+}
+
 #[test]
 fn counters_split_connections_from_requests() {
     let (model, _) = train_held_out();
