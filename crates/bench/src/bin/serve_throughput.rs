@@ -2,7 +2,10 @@
 //! model across index layouts: direct replicated-indexed, direct
 //! brute-force, direct sharded scatter/gather at `S ∈ {1, 2, 4, 8}`, and
 //! over the live HTTP server (replicated and sharded) with concurrent
-//! clients. For every configuration it also reports the **resident
+//! clients — each HTTP layout measured twice, once with one connection
+//! per request and once with keep-alive connections reused for the whole
+//! stream (the `http-keepalive-*` rows; reuse must win, and the binary
+//! asserts it). For every configuration it also reports the **resident
 //! postings bytes** the serving pool would hold: the replicated layout
 //! duplicates its index per worker (`bytes × threads`), the sharded layout
 //! shares one engine per model epoch (`bytes × 1`) — the memory model the
@@ -104,7 +107,67 @@ fn run_direct(
     (seconds, trash, candidates as f64 / tuples.max(1) as f64)
 }
 
-/// Fires the stream at a live server from `clients` concurrent threads.
+/// Reads one `Content-Length`-framed response off a keep-alive
+/// connection, buffering across reads so a response split over several
+/// packets reassembles without a syscall per byte.
+fn read_framed(conn: &mut TcpStream, buf: &mut Vec<u8>) -> String {
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+            let length: usize = head
+                .lines()
+                .find_map(|line| {
+                    let (name, value) = line.split_once(':')?;
+                    name.eq_ignore_ascii_case("Content-Length")
+                        .then(|| value.trim().parse().expect("numeric Content-Length"))
+                })
+                .expect("framed response");
+            let total = head_end + 4 + length;
+            if buf.len() >= total {
+                return String::from_utf8(buf.drain(..total).collect()).expect("UTF-8 response");
+            }
+        }
+        let n = conn.read(&mut scratch).expect("read");
+        assert!(n > 0, "server closed a keep-alive connection mid-stream");
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// Fires the stream at a live server from `clients` threads, each reusing
+/// ONE keep-alive connection for its whole share of the stream — the
+/// configuration the connection-per-request mode below pays connect
+/// latency to avoid measuring.
+fn run_http_keepalive(stream: &[String], addr: std::net::SocketAddr, clients: usize) -> f64 {
+    let start = Instant::now();
+    let chunk = stream.len().div_ceil(clients.max(1));
+    let handles: Vec<_> = stream
+        .chunks(chunk)
+        .map(|docs| {
+            let docs: Vec<String> = docs.to_vec();
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(addr).expect("connect");
+                let mut buf = Vec::new();
+                for doc in &docs {
+                    let request = format!(
+                        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{doc}",
+                        doc.len()
+                    );
+                    conn.write_all(request.as_bytes()).expect("send");
+                    let response = read_framed(&mut conn, &mut buf);
+                    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Fires the stream at a live server from `clients` concurrent threads,
+/// opening a fresh connection per request (`Connection: close`).
 fn run_http(stream: &[String], addr: std::net::SocketAddr, clients: usize) -> f64 {
     let start = Instant::now();
     let chunk = stream.len().div_ceil(clients.max(1));
@@ -305,6 +368,24 @@ fn main() {
         let stats = server.stats();
         assert_eq!(stats.errors, 0, "no server-side errors expected");
         assert_eq!(stats.classified as usize, stream.len());
+
+        // Same server, same stream, but each client reuses one keep-alive
+        // connection instead of paying a connect per request.
+        let ka_seconds = run_http_keepalive(&stream, server.addr(), clients);
+        let ka_stats = server.stats();
+        assert_eq!(ka_stats.errors, 0, "no server-side errors expected");
+        assert_eq!(ka_stats.classified as usize, 2 * stream.len());
+        assert_eq!(
+            ka_stats.reused - stats.reused,
+            clients.min(stream.len()) as u64,
+            "every keep-alive client must actually reuse its connection"
+        );
+        assert!(
+            ka_seconds < seconds,
+            "{mode}: keep-alive ({:.1} docs/s) must beat connection-per-request ({:.1} docs/s)",
+            stream.len() as f64 / ka_seconds,
+            stream.len() as f64 / seconds,
+        );
         // The index behind each layout was already built and measured in
         // the direct sweep above; reuse those bytes instead of rebuilding.
         let measured = |m: &str, s: usize| {
@@ -333,6 +414,22 @@ fn main() {
                 docs: stats.classified as usize,
                 seconds,
                 trash: stats.trash as usize,
+                candidates_per_doc: -1.0,
+                postings_bytes: bytes,
+                resident_postings_bytes: resident,
+            },
+        );
+        emit(
+            &mut records,
+            Record {
+                mode: format!(
+                    "http-keepalive-{}(clients={clients})",
+                    mode.trim_start_matches("http-")
+                ),
+                shards: shards.unwrap_or(0),
+                docs: stream.len(),
+                seconds: ka_seconds,
+                trash: (ka_stats.trash - stats.trash) as usize,
                 candidates_per_doc: -1.0,
                 postings_bytes: bytes,
                 resident_postings_bytes: resident,

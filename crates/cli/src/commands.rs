@@ -303,14 +303,18 @@ pub fn classify(args: &[String]) -> Result<String, String> {
 }
 
 /// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--shards S]
-/// [--brute] [--watch SECS]` — run the classification server in the
-/// foreground. With `--shards`, the representatives are partitioned across
-/// `S` shards and the whole worker pool shares one scatter/gather engine
-/// per model epoch (assignments are bit-identical to the default
-/// replicated layout; memory no longer scales with `--threads`). With
-/// `--watch`, the snapshot file is polled every `SECS` seconds and
-/// hot-swapped into the running worker pool when it changes; `POST
-/// /reload` forces a swap at any time. Only returns on error.
+/// [--brute] [--watch SECS] [--queue-depth N] [--keep-alive SECS]` — run
+/// the classification server in the foreground. With `--shards`, the
+/// representatives are partitioned across `S` shards and the whole worker
+/// pool shares one scatter/gather engine per model epoch (assignments are
+/// bit-identical to the default replicated layout; memory no longer
+/// scales with `--threads`). With `--watch`, the snapshot file is polled
+/// every `SECS` seconds and hot-swapped into the running worker pool when
+/// it changes; `POST /reload` forces a swap at any time. `--queue-depth`
+/// bounds the acceptor→worker request queue (overflow is shed with a
+/// `503` carrying `Retry-After`); `--keep-alive` sets the idle horizon
+/// for connection reuse, and `--keep-alive 0` disables reuse entirely
+/// (one response per connection). Only returns on error.
 pub fn serve(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
     let [model_path] = parsed.positional() else {
@@ -341,6 +345,19 @@ pub fn serve(args: &[String]) -> Result<String, String> {
             Some(std::time::Duration::from_secs(secs))
         }
     };
+    let queue_depth: usize = parsed.get("queue-depth", ServeOptions::default().queue_depth)?;
+    if queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".into());
+    }
+    // `--keep-alive 0` is the documented way to disable connection reuse,
+    // so 0 maps to `None` rather than being rejected.
+    let keep_alive = match parsed.get_str("keep-alive") {
+        None => ServeOptions::default().keep_alive,
+        Some(_) => {
+            let secs: u64 = parsed.get("keep-alive", 0)?;
+            (secs > 0).then(|| std::time::Duration::from_secs(secs))
+        }
+    };
     let model = read_model(model_path)?;
     let opts = ServeOptions {
         threads,
@@ -348,6 +365,8 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         shards,
         model_path: Some(PathBuf::from(model_path)),
         watch,
+        queue_depth,
+        keep_alive,
         ..ServeOptions::default()
     };
     let k = model.k();
@@ -766,6 +785,38 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("--watch"));
+        // The transport knobs are validated the same way: a zero-depth
+        // queue is rejected, a non-numeric keep-alive is rejected, but
+        // `--keep-alive 0` is the documented off switch and gets past
+        // flag parsing (failing later on the missing model instead).
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--queue-depth".into(),
+            "0".into()
+        ]))
+        .unwrap_err()
+        .contains("--queue-depth"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--queue-depth".into(),
+            "deep".into()
+        ]))
+        .unwrap_err()
+        .contains("queue-depth"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--keep-alive".into(),
+            "forever".into()
+        ]))
+        .unwrap_err()
+        .contains("keep-alive"));
+        assert!(serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--keep-alive".into(),
+            "0".into()
+        ]))
+        .unwrap_err()
+        .contains("cannot read"));
     }
 
     #[test]

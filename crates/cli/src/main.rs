@@ -49,13 +49,16 @@ commands:
            assign new documents to a trained model's clusters
            (--jsonl prints one JSON object per document)
   serve    <model.cxkmodel> [--port 7070] [--threads 4] [--shards S]
-           [--brute] [--watch SECS]
+           [--brute] [--watch SECS] [--queue-depth 256] [--keep-alive 30]
            run the HTTP classification server (POST /classify);
            --shards partitions the representatives across S shards
            sharing one scatter/gather index per model epoch (same
            assignments, memory constant in --threads);
            POST /reload (or --watch) hot-swaps a retrained snapshot
-           into the running workers without dropping requests
+           into the running workers without dropping requests;
+           connections are keep-alive by default (--keep-alive SECS
+           sets the idle horizon, 0 disables reuse) and requests
+           beyond --queue-depth are shed with 503 + Retry-After
 
 `-o` and `--out` are interchangeable wherever an output path is taken.
 ";

@@ -1,0 +1,890 @@
+//! Offline stand-in for [mio](https://docs.rs/mio) providing the readiness
+//! polling surface `cxk_serve`'s event-driven HTTP transport uses: a
+//! [`Poll`] wrapping the OS selector, a [`Registry`] that (de)registers any
+//! [`Source`] (anything with a raw fd) under a caller-chosen [`Token`] and
+//! [`Interest`], an [`Events`] buffer filled by [`Poll::poll`], and a
+//! thread-safe [`Waker`] that makes a parked poll return.
+//!
+//! On Linux the selector is **epoll**, called directly through the libc
+//! symbols the standard library already links (`epoll_create1` /
+//! `epoll_ctl` / `epoll_wait`, plus `eventfd` for the waker) — no external
+//! crate. On other Unixes a portable fallback drives the same semantics
+//! over POSIX `poll(2)`. Registrations are **level-triggered** (a readable
+//! fd keeps reporting until drained), matching what the connection state
+//! machine in `cxk_serve::http` expects; two mio-0.6-style extensions are
+//! provided because the serving loop and its property tests pin them:
+//!
+//! * [`Interest::ONESHOT`] — the registration disarms after delivering one
+//!   event and stays silent until [`Registry::reregister`] rearms it
+//!   (epoll's `EPOLLONESHOT`).
+//! * [`Interest::EDGE`] — edge-triggered delivery (epoll's `EPOLLET`),
+//!   used internally by [`Waker`] so an undrained wake-up does not spin
+//!   the loop.
+//!
+//! The fallback selector implements ONESHOT by disarming in user space and
+//! approximates EDGE for waker fds by draining them inside the poll call;
+//! `crates/compat/mio/tests/poll_model.rs` pins both selectors against a
+//! pure model implementation.
+
+#![warn(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration; every [`Event`]
+/// reports the token of the registration that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// What readiness a registration asks for. Combine with `|`:
+/// `Interest::READABLE | Interest::WRITABLE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Report when the source has bytes to read (or the peer closed).
+    pub const READABLE: Interest = Interest(0b0001);
+    /// Report when the source can accept writes.
+    pub const WRITABLE: Interest = Interest(0b0010);
+    /// Disarm the registration after one delivered event;
+    /// [`Registry::reregister`] rearms it.
+    pub const ONESHOT: Interest = Interest(0b0100);
+    /// Edge-triggered delivery: report state *changes* only, not standing
+    /// readiness. Used by [`Waker`]; most registrations want the default
+    /// level-triggered behavior.
+    pub const EDGE: Interest = Interest(0b1000);
+
+    /// This interest plus `other`. The name mirrors the real `mio`
+    /// crate's `Interest::add`, which callers are written against.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether readable readiness was requested.
+    pub fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Whether writable readiness was requested.
+    pub fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+
+    /// Whether the registration disarms after one event.
+    pub fn is_oneshot(self) -> bool {
+        self.0 & Self::ONESHOT.0 != 0
+    }
+
+    /// Whether delivery is edge-triggered.
+    pub fn is_edge(self) -> bool {
+        self.0 & Self::EDGE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness notification out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    readable: bool,
+    writable: bool,
+    error: bool,
+    read_closed: bool,
+}
+
+impl Event {
+    /// The token the fd was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// The source has bytes to read, the peer closed, or an error is
+    /// pending (reading surfaces it).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// The source can accept writes (or an error is pending).
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition is pending on the source.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+
+    /// The read half saw EOF (peer shutdown or close).
+    pub fn is_read_closed(&self) -> bool {
+        self.read_closed
+    }
+}
+
+/// Reusable buffer [`Poll::poll`] fills; capacity bounds how many events
+/// one call can deliver.
+#[derive(Debug)]
+pub struct Events {
+    events: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// An empty buffer holding at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        let capacity = capacity.max(1);
+        Events {
+            events: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The delivered events, oldest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// Whether the last poll delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all buffered events ([`Poll::poll`] does this implicitly).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Anything that can be registered: implemented for every type exposing a
+/// raw fd (`TcpListener`, `TcpStream`, `UnixStream`, …).
+pub trait Source {
+    /// The fd the selector watches.
+    fn source_fd(&self) -> RawFd;
+}
+
+impl<T: AsRawFd> Source for T {
+    fn source_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+/// Registers interest on behalf of a [`Poll`]; obtained from
+/// [`Poll::registry`] and usable from any thread.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    selector: Arc<sys::Selector>,
+}
+
+impl Registry {
+    /// Starts watching `source` under `token` with `interests`.
+    ///
+    /// # Errors
+    /// `EEXIST` if the fd is already registered, or the OS error.
+    pub fn register(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector.register(source.source_fd(), token, interests)
+    }
+
+    /// Replaces an existing registration's token/interests; also rearms a
+    /// fired [`Interest::ONESHOT`] registration.
+    ///
+    /// # Errors
+    /// `ENOENT` if the fd is not registered, or the OS error.
+    pub fn reregister(
+        &self,
+        source: &impl Source,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        self.selector
+            .reregister(source.source_fd(), token, interests)
+    }
+
+    /// Stops watching `source`.
+    ///
+    /// # Errors
+    /// `ENOENT` if the fd is not registered, or the OS error.
+    pub fn deregister(&self, source: &impl Source) -> io::Result<()> {
+        self.selector.deregister(source.source_fd())
+    }
+}
+
+/// The selector: wraps epoll (Linux) or poll(2) (other Unix).
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Creates a fresh selector.
+    ///
+    /// # Errors
+    /// The OS error from creating the selector.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                selector: Arc::new(sys::Selector::new()?),
+            },
+        })
+    }
+
+    /// The handle for (de)registering sources.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Blocks until at least one registered source is ready, the `timeout`
+    /// expires (`None` = forever), or a [`Waker`] wakes the poll; delivered
+    /// events replace the previous contents of `events`. A signal
+    /// interruption delivers zero events rather than an error.
+    ///
+    /// # Errors
+    /// The OS error from the underlying wait.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let capacity = events.capacity;
+        self.registry
+            .selector
+            .select(&mut events.events, capacity, timeout)
+    }
+}
+
+/// Wakes a [`Poll`] parked in [`Poll::poll`] from any thread: the poll
+/// returns with an event carrying the waker's token. Backed by an
+/// edge-triggered `eventfd` on Linux (a socketpair the selector drains on
+/// the fallback), so an unhandled wake-up never spins the loop.
+#[derive(Debug)]
+pub struct Waker {
+    inner: sys::WakerFds,
+}
+
+impl Waker {
+    /// Creates a waker and registers it with `registry` under `token`.
+    ///
+    /// # Errors
+    /// The OS error from creating or registering the waker fd.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        Ok(Waker {
+            inner: sys::WakerFds::new(&registry.selector, token)?,
+        })
+    }
+
+    /// Makes the next (or a currently parked) poll return an event for the
+    /// waker's token. Cheap and safe to call from any thread, any number
+    /// of times; multiple wakes may coalesce into one event.
+    ///
+    /// # Errors
+    /// The OS error from writing the wake-up (never `WouldBlock`).
+    pub fn wake(&self) -> io::Result<()> {
+        self.inner.wake()
+    }
+}
+
+/// Raw libc bindings shared by both selector backends. The standard
+/// library already links libc; declaring the symbols keeps this crate
+/// dependency-free.
+mod ffi {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! The epoll selector: registrations live in the kernel, so the
+    //! userspace side is just the epoll fd.
+
+    use super::{Event, Interest, Token};
+    use std::io;
+    use std::os::raw::{c_int, c_uint, c_void};
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EPOLLET: u32 = 1 << 31;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+
+    /// The kernel ABI struct. x86-64 is the one Linux target where it is
+    /// packed (glibc declares it `__attribute__((packed))` there).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    }
+
+    fn epoll_bits(interests: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interests.is_readable() {
+            bits |= EPOLLIN;
+        }
+        if interests.is_writable() {
+            bits |= EPOLLOUT;
+        }
+        if interests.is_oneshot() {
+            bits |= EPOLLONESHOT;
+        }
+        if interests.is_edge() {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+
+    #[derive(Debug)]
+    pub struct Selector {
+        epfd: RawFd,
+    }
+
+    // The epoll fd is freely shareable across threads; the kernel
+    // serializes epoll_ctl/epoll_wait on it.
+    unsafe impl Send for Selector {}
+    unsafe impl Sync for Selector {}
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: epoll_bits(interests),
+                data: token.0 as u64,
+            };
+            // DEL ignores the event but pre-2.6.9 kernels required it
+            // non-null, so one struct serves all three ops.
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut event) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interests)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interests)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, Token(0), Interest::READABLE)
+        }
+
+        pub fn select(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round sub-millisecond timeouts *up* so a 100µs deadline
+                // does not turn into a busy loop of zero-timeouts.
+                Some(d) => {
+                    let ms = d.as_millis() + u128::from(d.subsec_nanos() % 1_000_000 != 0);
+                    c_int::try_from(ms).unwrap_or(c_int::MAX)
+                }
+            };
+            let mut raw = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), capacity as c_int, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for e in &raw[..n as usize] {
+                let bits = e.events;
+                let error = bits & EPOLLERR != 0;
+                let hup = bits & EPOLLHUP != 0;
+                let read_closed = bits & (EPOLLRDHUP | EPOLLHUP) != 0;
+                out.push(Event {
+                    token: e.data as usize,
+                    readable: bits & EPOLLIN != 0 || read_closed || error,
+                    writable: bits & EPOLLOUT != 0 || hup || error,
+                    error,
+                    read_closed,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { super::ffi::close(self.epfd) };
+        }
+    }
+
+    /// Waker backing: an eventfd registered edge-triggered, so the counter
+    /// never needs draining — each `write` is a state change that fires
+    /// exactly one fresh event.
+    #[derive(Debug)]
+    pub struct WakerFds {
+        fd: RawFd,
+    }
+
+    unsafe impl Send for WakerFds {}
+    unsafe impl Sync for WakerFds {}
+
+    impl WakerFds {
+        pub fn new(selector: &Selector, token: Token) -> io::Result<WakerFds> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let waker = WakerFds { fd };
+            selector.register(fd, token, Interest::READABLE | Interest::EDGE)?;
+            Ok(waker)
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let n = unsafe { super::ffi::write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+            if n >= 0 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                // The counter hit u64::MAX-1: reset it and wake again.
+                let mut drain = 0u64;
+                unsafe { super::ffi::read(self.fd, (&mut drain as *mut u64).cast::<c_void>(), 8) };
+                return self.wake();
+            }
+            Err(err)
+        }
+    }
+
+    impl Drop for WakerFds {
+        fn drop(&mut self) {
+            unsafe { super::ffi::close(self.fd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable fallback over POSIX `poll(2)`: registrations live in a
+    //! mutexed table rebuilt into a `pollfd` array per wait. ONESHOT is
+    //! disarmed in user space; waker fds are drained inside the wait so
+    //! level-triggered poll cannot spin on an unhandled wake-up.
+
+    use super::{Event, Interest, Token};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: c_int) -> c_int;
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Reg {
+        token: usize,
+        interests: Interest,
+        armed: bool,
+        waker: bool,
+    }
+
+    #[derive(Debug)]
+    pub struct Selector {
+        regs: Mutex<HashMap<RawFd, Reg>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                regs: Mutex::new(HashMap::new()),
+            })
+        }
+
+        fn insert(
+            &self,
+            fd: RawFd,
+            token: Token,
+            interests: Interest,
+            waker: bool,
+        ) -> io::Result<()> {
+            let mut regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+            if regs.contains_key(&fd) {
+                return Err(io::Error::from_raw_os_error(17)); // EEXIST
+            }
+            regs.insert(
+                fd,
+                Reg {
+                    token: token.0,
+                    interests,
+                    armed: true,
+                    waker,
+                },
+            );
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            self.insert(fd, token, interests, false)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interests: Interest) -> io::Result<()> {
+            let mut regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+            match regs.get_mut(&fd) {
+                Some(reg) => {
+                    reg.token = token.0;
+                    reg.interests = interests;
+                    reg.armed = true;
+                    Ok(())
+                }
+                None => Err(io::Error::from_raw_os_error(2)), // ENOENT
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+            match regs.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::from_raw_os_error(2)), // ENOENT
+            }
+        }
+
+        pub fn select(
+            &self,
+            out: &mut Vec<Event>,
+            capacity: usize,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let snapshot: Vec<(RawFd, Reg)> = {
+                let regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+                regs.iter()
+                    .filter(|(_, reg)| reg.armed)
+                    .map(|(fd, reg)| (*fd, *reg))
+                    .collect()
+            };
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|(fd, reg)| PollFd {
+                    fd: *fd,
+                    events: (if reg.interests.is_readable() {
+                        POLLIN
+                    } else {
+                        0
+                    }) | (if reg.interests.is_writable() {
+                        POLLOUT
+                    } else {
+                        0
+                    }),
+                    revents: 0,
+                })
+                .collect();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(d) => c_int::try_from(d.as_millis())
+                    .unwrap_or(c_int::MAX)
+                    .max(c_int::from(d > Duration::ZERO)),
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            let mut fired: Vec<RawFd> = Vec::new();
+            for (pfd, (fd, reg)) in fds.iter().zip(&snapshot) {
+                if out.len() == capacity {
+                    break;
+                }
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                if reg.waker {
+                    // Drain so level-triggered poll stops reporting until
+                    // the next wake() writes fresh bytes.
+                    let mut buf = [0u8; 64];
+                    loop {
+                        let r = unsafe {
+                            super::ffi::read(*fd, buf.as_mut_ptr().cast::<c_void>(), buf.len())
+                        };
+                        if r <= 0 || (r as usize) < buf.len() {
+                            break;
+                        }
+                    }
+                }
+                let error = bits & POLLERR != 0;
+                let hup = bits & POLLHUP != 0;
+                out.push(Event {
+                    token: reg.token,
+                    readable: bits & POLLIN != 0 || hup || error,
+                    writable: bits & POLLOUT != 0 || hup || error,
+                    error,
+                    read_closed: hup,
+                });
+                if reg.interests.is_oneshot() {
+                    fired.push(*fd);
+                }
+            }
+            if !fired.is_empty() {
+                let mut regs = self.regs.lock().unwrap_or_else(|e| e.into_inner());
+                for fd in fired {
+                    if let Some(reg) = regs.get_mut(&fd) {
+                        reg.armed = false;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Waker backing: a nonblocking socketpair; `wake` writes a byte to
+    /// one end, the selector drains the registered end when it fires.
+    #[derive(Debug)]
+    pub struct WakerFds {
+        tx: UnixStream,
+        _rx: UnixStream,
+    }
+
+    impl WakerFds {
+        pub fn new(selector: &Selector, token: Token) -> io::Result<WakerFds> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            selector.insert(rx.as_raw_fd(), token, Interest::READABLE, true)?;
+            Ok(WakerFds { tx, _rx: rx })
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let n = unsafe {
+                super::ffi::write(self.tx.as_raw_fd(), [1u8].as_ptr().cast::<c_void>(), 1)
+            };
+            if n >= 0 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                // The pipe is full of unconsumed wake-ups: one is already
+                // pending, which is all wake() promises.
+                return Ok(());
+            }
+            Err(err)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::net::UnixStream;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        a.set_nonblocking(true).expect("nonblocking");
+        b.set_nonblocking(true).expect("nonblocking");
+        (a, b)
+    }
+
+    fn poll_now(poll: &mut Poll, events: &mut Events) -> Vec<(usize, bool, bool)> {
+        poll.poll(events, Some(Duration::from_millis(0)))
+            .expect("poll");
+        events
+            .iter()
+            .map(|e| (e.token().0, e.is_readable(), e.is_writable()))
+            .collect()
+    }
+
+    #[test]
+    fn readable_fires_when_bytes_arrive_and_stops_when_drained() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let (mut a, mut b) = pair();
+        poll.registry()
+            .register(&a, Token(7), Interest::READABLE)
+            .expect("register");
+
+        assert!(poll_now(&mut poll, &mut events).is_empty(), "no bytes yet");
+        b.write_all(b"x").expect("write");
+        let fired = poll_now(&mut poll, &mut events);
+        assert_eq!(fired, vec![(7, true, false)]);
+        // Level-triggered: still readable until drained.
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(7, true, false)]);
+        let mut buf = [0u8; 8];
+        let n = a.read(&mut buf).expect("drain");
+        assert_eq!(n, 1);
+        assert!(poll_now(&mut poll, &mut events).is_empty(), "drained");
+    }
+
+    #[test]
+    fn writable_and_combined_interest() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let (a, mut b) = pair();
+        poll.registry()
+            .register(&a, Token(3), Interest::READABLE | Interest::WRITABLE)
+            .expect("register");
+        // An idle socket with room in its send buffer: writable only.
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(3, false, true)]);
+        b.write_all(b"hi").expect("write");
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(3, true, true)]);
+    }
+
+    #[test]
+    fn oneshot_disarms_until_reregistered() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let (a, mut b) = pair();
+        poll.registry()
+            .register(&a, Token(1), Interest::READABLE | Interest::ONESHOT)
+            .expect("register");
+        b.write_all(b"x").expect("write");
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(1, true, false)]);
+        // Disarmed: the byte is still unread but nothing fires…
+        assert!(poll_now(&mut poll, &mut events).is_empty());
+        assert!(poll_now(&mut poll, &mut events).is_empty());
+        // …until a reregister rearms it.
+        poll.registry()
+            .reregister(&a, Token(2), Interest::READABLE | Interest::ONESHOT)
+            .expect("rearm");
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(2, true, false)]);
+    }
+
+    #[test]
+    fn deregistered_sources_never_fire_and_double_ops_error() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let (a, mut b) = pair();
+        let registry = poll.registry().clone();
+        registry
+            .register(&a, Token(5), Interest::READABLE)
+            .expect("register");
+        assert!(
+            registry.register(&a, Token(6), Interest::READABLE).is_err(),
+            "double register errors"
+        );
+        registry.deregister(&a).expect("deregister");
+        assert!(registry.deregister(&a).is_err(), "double deregister errors");
+        assert!(
+            registry
+                .reregister(&a, Token(6), Interest::READABLE)
+                .is_err(),
+            "reregister after deregister errors"
+        );
+        b.write_all(b"x").expect("write");
+        assert!(poll_now(&mut poll, &mut events).is_empty());
+    }
+
+    #[test]
+    fn peer_close_reports_read_closed() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let (a, b) = pair();
+        poll.registry()
+            .register(&a, Token(9), Interest::READABLE)
+            .expect("register");
+        drop(b);
+        poll.poll(&mut events, Some(Duration::from_millis(100)))
+            .expect("poll");
+        let event = events.iter().next().expect("close fires");
+        assert_eq!(event.token(), Token(9));
+        assert!(event.is_readable(), "EOF is surfaced through a read");
+    }
+
+    #[test]
+    fn waker_wakes_a_parked_poll_from_another_thread() {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(8);
+        let waker = std::sync::Arc::new(Waker::new(poll.registry(), Token(99)).expect("waker"));
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().expect("wake");
+        });
+        // Parked with no timeout: only the wake can return it.
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .expect("poll");
+        assert_eq!(
+            events.iter().map(|e| e.token().0).collect::<Vec<_>>(),
+            vec![99]
+        );
+        handle.join().expect("waker thread");
+        // Edge semantics: the consumed wake does not re-fire…
+        assert!(poll_now(&mut poll, &mut events).is_empty());
+        // …but the next wake does, and coalesced wakes fire once.
+        waker.wake().expect("wake");
+        waker.wake().expect("wake");
+        assert_eq!(poll_now(&mut poll, &mut events), vec![(99, true, false)]);
+        assert!(poll_now(&mut poll, &mut events).is_empty());
+    }
+}

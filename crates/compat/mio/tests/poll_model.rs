@@ -1,0 +1,197 @@
+//! Model-based property test for the readiness selector (ISSUE 6): a
+//! random program of register / reregister / deregister / write / drain /
+//! poll operations over a small set of socketpairs is executed against the
+//! real [`mio::Poll`] and against a pure model of level-triggered
+//! readiness with ONESHOT disarming. After every poll the delivered event
+//! set must equal the model's prediction exactly — token, readable flag
+//! and writable flag — and registration-table errors (double register,
+//! deregister of an unregistered fd) must fire exactly when the model says
+//! they do. This pins the epoll stand-in independently of the HTTP server
+//! built on top of it.
+
+use mio::{Events, Interest, Poll, Token};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// How many socketpairs the program plays with.
+const FDS: usize = 4;
+
+/// The model's view of one fd's registration.
+#[derive(Debug, Clone, Copy)]
+struct ModelReg {
+    readable: bool,
+    writable: bool,
+    oneshot: bool,
+    /// ONESHOT registrations disarm after one delivered event.
+    armed: bool,
+}
+
+/// Interest bits drawn from the op's detail byte: bit 0/1 select the
+/// interest set (never empty), bit 2 adds ONESHOT.
+fn interest_of(detail: u8) -> (Interest, ModelReg) {
+    let (readable, writable) = match detail & 0b11 {
+        0 => (true, false),
+        1 => (false, true),
+        _ => (true, true),
+    };
+    let oneshot = detail & 0b100 != 0;
+    let mut interest = if readable {
+        Interest::READABLE
+    } else {
+        Interest::WRITABLE
+    };
+    if readable && writable {
+        interest = interest | Interest::WRITABLE;
+    }
+    if oneshot {
+        interest = interest | Interest::ONESHOT;
+    }
+    (
+        interest,
+        ModelReg {
+            readable,
+            writable,
+            oneshot,
+            armed: true,
+        },
+    )
+}
+
+/// Polls with a zero timeout and returns `(token, readable, writable)`
+/// sorted by token. Socketpair readiness is synchronous in-kernel, so a
+/// zero timeout observes every prior write deterministically.
+fn poll_events(poll: &mut Poll, events: &mut Events) -> Vec<(usize, bool, bool)> {
+    poll.poll(events, Some(Duration::from_millis(0)))
+        .expect("poll");
+    let mut fired: Vec<(usize, bool, bool)> = events
+        .iter()
+        .map(|e| (e.token().0, e.is_readable(), e.is_writable()))
+        .collect();
+    fired.sort_unstable();
+    fired
+}
+
+/// The model's prediction for one poll, with ONESHOT disarming applied as
+/// a side effect (exactly what the kernel does).
+fn predicted_events(
+    regs: &mut [Option<ModelReg>; FDS],
+    pending: &[usize; FDS],
+) -> Vec<(usize, bool, bool)> {
+    let mut expect = Vec::new();
+    for (i, slot) in regs.iter_mut().enumerate() {
+        let Some(reg) = slot else { continue };
+        if !reg.armed {
+            continue;
+        }
+        // Level-triggered model: readable while undrained bytes exist,
+        // writable always (the test never fills a send buffer).
+        let readable = reg.readable && pending[i] > 0;
+        let writable = reg.writable;
+        if readable || writable {
+            expect.push((i, readable, writable));
+            if reg.oneshot {
+                reg.armed = false;
+            }
+        }
+    }
+    expect
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op programs: the real selector and the model must agree on
+    /// every poll result and every registration-table error.
+    #[test]
+    fn selector_matches_the_readiness_model(
+        ops in proptest::collection::vec((0u8..6, 0usize..FDS, 0u8..8), 1..60),
+    ) {
+        let mut poll = Poll::new().expect("poll");
+        let mut events = Events::with_capacity(FDS * 2);
+
+        // a[i] is registered with the selector; b[i] is the remote peer
+        // the test writes through to make a[i] readable.
+        let mut local: Vec<UnixStream> = Vec::with_capacity(FDS);
+        let mut remote: Vec<UnixStream> = Vec::with_capacity(FDS);
+        for _ in 0..FDS {
+            let (a, b) = UnixStream::pair().expect("socketpair");
+            a.set_nonblocking(true).expect("nonblocking");
+            b.set_nonblocking(true).expect("nonblocking");
+            local.push(a);
+            remote.push(b);
+        }
+
+        let mut regs: [Option<ModelReg>; FDS] = [None; FDS];
+        let mut pending: [usize; FDS] = [0; FDS];
+
+        for &(op, i, detail) in &ops {
+            match op {
+                // register: errors iff already registered (EEXIST).
+                0 => {
+                    let (interest, model) = interest_of(detail);
+                    let result = poll.registry().register(&local[i], Token(i), interest);
+                    if regs[i].is_some() {
+                        prop_assert!(result.is_err(), "double register of fd {} must error", i);
+                    } else {
+                        prop_assert!(result.is_ok(), "register of fd {}: {:?}", i, result);
+                        regs[i] = Some(model);
+                    }
+                }
+                // reregister: errors iff not registered (ENOENT); on
+                // success replaces the interests and rearms ONESHOT.
+                1 => {
+                    let (interest, model) = interest_of(detail);
+                    let result = poll.registry().reregister(&local[i], Token(i), interest);
+                    if regs[i].is_some() {
+                        prop_assert!(result.is_ok(), "reregister of fd {}: {:?}", i, result);
+                        regs[i] = Some(model);
+                    } else {
+                        prop_assert!(result.is_err(), "reregister of unregistered fd {} must error", i);
+                    }
+                }
+                // deregister: errors iff not registered; a deregistered fd
+                // never fires again no matter how many bytes are pending.
+                2 => {
+                    let result = poll.registry().deregister(&local[i]);
+                    if regs[i].take().is_some() {
+                        prop_assert!(result.is_ok(), "deregister of fd {}: {:?}", i, result);
+                    } else {
+                        prop_assert!(result.is_err(), "double deregister of fd {} must error", i);
+                    }
+                }
+                // write: the peer sends a byte; a[i] becomes readable.
+                3 => {
+                    remote[i].write_all(&[detail]).expect("peer write");
+                    pending[i] += 1;
+                }
+                // drain: a[i] consumes everything; readable clears.
+                4 => {
+                    let mut buf = [0u8; 64];
+                    while matches!(local[i].read(&mut buf), Ok(n) if n > 0) {}
+                    pending[i] = 0;
+                }
+                // poll: delivered events must equal the model exactly.
+                _ => {
+                    let fired = poll_events(&mut poll, &mut events);
+                    let expect = predicted_events(&mut regs, &pending);
+                    prop_assert_eq!(
+                        &fired, &expect,
+                        "poll disagreed with the model (pending {:?})", pending
+                    );
+                }
+            }
+        }
+
+        // Closing poll: two back-to-back polls — the first must match the
+        // model (disarming oneshots), the second must match again, which
+        // catches both spurious repeats of oneshot events and dropped
+        // level-triggered ones.
+        for _ in 0..2 {
+            let fired = poll_events(&mut poll, &mut events);
+            let expect = predicted_events(&mut regs, &pending);
+            prop_assert_eq!(&fired, &expect, "closing poll disagreed with the model");
+        }
+    }
+}

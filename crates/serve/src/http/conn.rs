@@ -1,0 +1,599 @@
+//! Per-connection state machine for the event-driven transport: buffered
+//! non-blocking reads and writes, an **incremental** HTTP/1.1 request
+//! parser (a connection may deliver a request one byte per readiness
+//! event, or several pipelined requests in one segment), and response
+//! rendering.
+//!
+//! A [`Conn`] never blocks. The acceptor's readiness loop calls
+//! [`Conn::fill`] when the socket is readable, [`Conn::parse_step`] to
+//! lift complete requests out of the read buffer, and [`Conn::flush`]
+//! when the socket is writable; everything in between is plain state.
+//! Parse failures are *deferred errors* ([`Conn::parse_error`]): the
+//! connection first drains every response owed for earlier pipelined
+//! requests, then answers the error and closes, so responses always come
+//! back in request order.
+//!
+//! Framing hygiene (carried over from the blocking transport and
+//! extended): duplicate or non-digit `Content-Length` headers are
+//! rejected outright, `Transfer-Encoding` is refused with `501` rather
+//! than guessed at, a declared body larger than the configured cap
+//! answers `413` **without allocating**, and a head that never terminates
+//! inside the head budget answers `431` instead of buffering forever.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Most pipelined requests a connection may have parsed-but-unanswered;
+/// past this the connection stops reading until responses drain, so one
+/// client cannot turn the pipeline into an unbounded request buffer.
+pub(crate) const MAX_PIPELINED: usize = 64;
+
+/// Size caps the parser enforces per request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Limits {
+    /// Request line + headers + terminator, in bytes (`431` past this).
+    pub max_head: usize,
+    /// Declared `Content-Length` ceiling (`413` past this).
+    pub max_body: u64,
+}
+
+/// A rejected request: the status to answer with and a message for the
+/// JSON error body. The connection closes after answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ParseError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl ParseError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// One parsed request, plus the connection disposition it asked for.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Close after answering: an explicit `Connection: close`, an
+    /// HTTP/1.0 client without `keep-alive`, or keep-alive disabled
+    /// server-side.
+    pub close: bool,
+}
+
+/// Finds the end of the request head: `\n` followed by an optional `\r`
+/// and a `\n` (both `\r\n\r\n` and bare `\n\n` terminate, matching the
+/// tolerant line handling of the blocking parser this replaces). Returns
+/// `(head_len, body_start)` where `head_len` covers the request line and
+/// headers up to and including the first terminator newline.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some((i + 1, i + 2)),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some((i + 1, i + 3)),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses a `Content-Length` value strictly: ASCII digits only. This
+/// rejects what `u64::from_str` would quietly accept (`+5`, for example)
+/// — request-smuggling hygiene for a header that decides body framing.
+pub(crate) fn parse_content_length(value: &str) -> Result<u64, ParseError> {
+    let value = value.trim();
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseError::bad_request("bad Content-Length"));
+    }
+    value
+        .parse()
+        .map_err(|_| ParseError::bad_request("bad Content-Length"))
+}
+
+/// Tries to lift one complete request off the front of `buf`.
+///
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more.
+/// * `Ok(Some((request, consumed)))` — a complete request occupying the
+///   first `consumed` bytes (pipelined successors may follow).
+/// * `Err(_)` — the prefix can never become a valid request within the
+///   limits; answer the error status and close.
+pub(crate) fn parse_request(
+    buf: &[u8],
+    limits: &Limits,
+) -> Result<Option<(Request, usize)>, ParseError> {
+    let Some((head_len, body_start)) = find_head_end(buf) else {
+        // No terminator yet. If the head budget is already spent, no
+        // amount of further reading can produce a valid head.
+        if buf.len() > limits.max_head {
+            return Err(ParseError {
+                status: 431,
+                message: format!("request head exceeds {} bytes", limits.max_head),
+            });
+        }
+        return Ok(None);
+    };
+    if body_start > limits.max_head {
+        return Err(ParseError {
+            status: 431,
+            message: format!("request head exceeds {} bytes", limits.max_head),
+        });
+    }
+
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| ParseError::bad_request("request head is not UTF-8"))?;
+    let mut lines = head.split('\n').map(|line| line.trim_end_matches('\r'));
+
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if method.is_empty() || path.is_empty() {
+        return Err(ParseError::bad_request("malformed request line"));
+    }
+    let http10 = version.starts_with("HTTP/1.0");
+
+    let mut content_length: Option<u64> = None;
+    let mut explicit_close = false;
+    let mut explicit_keep_alive = false;
+    for header in lines {
+        if header.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            // Two framing declarations in one request is classic request
+            // smuggling; refuse rather than pick one.
+            if content_length.is_some() {
+                return Err(ParseError::bad_request("duplicate Content-Length header"));
+            }
+            content_length = Some(parse_content_length(value)?);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // The other half of the smuggling vector: never guess at a
+            // framing scheme this server does not implement.
+            return Err(ParseError {
+                status: 501,
+                message: "Transfer-Encoding is not supported (use Content-Length)".into(),
+            });
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    explicit_close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    explicit_keep_alive = true;
+                }
+            }
+        }
+    }
+
+    let content_length = content_length.unwrap_or(0);
+    // Checked against the *declared* length before any body byte is
+    // buffered: a hostile `Content-Length: 99999999999` must cost nothing.
+    if content_length > limits.max_body {
+        return Err(ParseError {
+            status: 413,
+            message: format!("body exceeds {} bytes", limits.max_body),
+        });
+    }
+
+    let total = body_start + content_length as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = buf[body_start..total].to_vec();
+    let close = explicit_close || (http10 && !explicit_keep_alive);
+    Ok(Some((
+        Request {
+            method,
+            path,
+            body,
+            close,
+        },
+        total,
+    )))
+}
+
+/// The reason phrase for every status this server emits.
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Renders a complete response. Every response is explicitly framed with
+/// `Content-Length` and an explicit `Connection:` disposition, so both
+/// keep-alive clients (which need the length to find the next response)
+/// and `read_to_string`-until-EOF clients (which need the close) work.
+pub(crate) fn render_response(
+    status: u16,
+    epoch: u64,
+    body: &str,
+    close: bool,
+    retry_after: Option<u32>,
+) -> Vec<u8> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let retry = match retry_after {
+        Some(seconds) => format!("Retry-After: {seconds}\r\n"),
+        None => String::new(),
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nX-Model-Epoch: {epoch}\r\n{retry}Connection: {connection}\r\n\r\n{body}",
+        reason = status_reason(status),
+        len = body.len(),
+    )
+    .into_bytes()
+}
+
+/// One live connection owned by the acceptor's readiness loop.
+pub(crate) struct Conn {
+    pub stream: TcpStream,
+    /// Bytes read but not yet parsed into requests.
+    read_buf: Vec<u8>,
+    /// Rendered responses not yet fully written.
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Parsed requests not yet dispatched (the pipeline).
+    pub pending: VecDeque<Request>,
+    /// A request from this connection sits in the worker queue or on a
+    /// worker; its response has not come back yet. At most one per
+    /// connection, which is what keeps pipelined responses in order.
+    pub in_flight: bool,
+    /// Stop reading; once everything owed is flushed, drop the socket.
+    pub close_after_flush: bool,
+    /// The deferred parse failure, answered after earlier responses.
+    pub parse_error: Option<ParseError>,
+    /// The peer half-closed (EOF on read).
+    pub peer_closed: bool,
+    /// Requests parsed over the connection's lifetime (≥ 2 ⇒ reused).
+    pub requests_parsed: u64,
+    /// Guards completions against slab-slot reuse: a worker answer for a
+    /// previous occupant of this slot carries a stale generation.
+    pub generation: u64,
+    /// Last byte moved in either direction (timeout bookkeeping).
+    pub last_activity: Instant,
+    /// The interest currently registered with the poller
+    /// (`(readable, writable)`), or `None` while parked/unregistered.
+    pub registered: Option<(bool, bool)>,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, generation: u64, now: Instant) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            pending: VecDeque::new(),
+            in_flight: false,
+            close_after_flush: false,
+            parse_error: None,
+            peer_closed: false,
+            requests_parsed: 0,
+            generation,
+            last_activity: now,
+            registered: None,
+        }
+    }
+
+    /// Reads until `WouldBlock`, EOF, or the buffer cap. The cap bounds
+    /// how much one firehose client can buffer between parse steps; a
+    /// legitimate request always fits under `max_head + max_body` plus
+    /// pipeline slack, and anything beyond parses (or errors) next step.
+    pub fn fill(&mut self, cap: usize, now: Instant) -> std::io::Result<()> {
+        let mut scratch = [0u8; 16 * 1024];
+        while self.read_buf.len() < cap {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Lifts every complete request in the read buffer into `pending`
+    /// (up to the pipeline cap) and returns how many were parsed. A
+    /// parse failure lands in `parse_error`, discards the unparseable
+    /// tail, and stops the connection from reading further.
+    pub fn parse_step(&mut self, limits: &Limits, force_close: bool) -> usize {
+        if self.parse_error.is_some() {
+            return 0;
+        }
+        let mut consumed = 0usize;
+        let mut parsed = 0usize;
+        while self.pending.len() < MAX_PIPELINED {
+            match parse_request(&self.read_buf[consumed..], limits) {
+                Ok(Some((mut request, used))) => {
+                    consumed += used;
+                    if force_close {
+                        request.close = true;
+                    }
+                    let stop = request.close;
+                    self.requests_parsed += 1;
+                    parsed += 1;
+                    self.pending.push_back(request);
+                    if stop {
+                        // Anything after a close request is undeliverable.
+                        self.read_buf.clear();
+                        consumed = 0;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.parse_error = Some(e);
+                    self.read_buf.clear();
+                    consumed = 0;
+                    break;
+                }
+            }
+        }
+        if consumed > 0 {
+            self.read_buf.drain(..consumed);
+        }
+        parsed
+    }
+
+    /// Appends rendered response bytes for later (or immediate) flushing.
+    pub fn queue_bytes(&mut self, bytes: &[u8]) {
+        self.write_buf.extend_from_slice(bytes);
+    }
+
+    /// Writes until done or `WouldBlock`; leftover bytes wait for the
+    /// next writable event.
+    pub fn flush(&mut self, now: Instant) -> std::io::Result<()> {
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = now;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+        }
+        Ok(())
+    }
+
+    /// Response bytes waiting for socket room.
+    pub fn has_unsent(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    /// Undispatched bytes sit in the read buffer (a partial request, or
+    /// pipelined successors the parser has not reached).
+    pub fn has_buffered_input(&self) -> bool {
+        !self.read_buf.is_empty()
+    }
+
+    /// The readiness interest this connection wants *right now*. Reading
+    /// stops once the connection is closing, errored, or has a full
+    /// pipeline; write interest exists only while bytes wait (registering
+    /// `WRITABLE` on an idle socket would busy-spin a level-triggered
+    /// poller). `(false, false)` parks the connection entirely — typical
+    /// while its one in-flight request is on a worker — and the acceptor
+    /// re-registers it when the completion lands.
+    pub fn desired_interest(&self) -> (bool, bool) {
+        let read = !self.peer_closed
+            && !self.close_after_flush
+            && self.parse_error.is_none()
+            && self.pending.len() < MAX_PIPELINED;
+        (read, self.has_unsent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits {
+            max_head: 16 << 10,
+            max_body: 64 << 20,
+        }
+    }
+
+    fn parse_one(raw: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+        parse_request(raw, &limits())
+    }
+
+    #[test]
+    fn parses_a_plain_request_and_reports_consumed_bytes() {
+        let raw = b"POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, consumed) = parse_one(raw).unwrap().expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/classify");
+        assert_eq!(req.body, b"hello");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(consumed, raw.len());
+        // Bare-\n line endings parse identically.
+        let raw = b"GET /stats HTTP/1.1\n\n";
+        let (req, consumed) = parse_one(raw).unwrap().expect("complete");
+        assert_eq!(req.path, "/stats");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incremental_prefixes_ask_for_more_bytes() {
+        let raw = b"POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            assert!(
+                parse_one(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        assert!(parse_one(raw).unwrap().is_some());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw: Vec<u8> = [
+            &b"POST /classify HTTP/1.1\r\nContent-Length: 4\r\n\r\n<a/>"[..],
+            &b"GET /stats HTTP/1.1\r\n\r\n"[..],
+        ]
+        .concat();
+        let (first, consumed) = parse_one(&raw).unwrap().expect("first");
+        assert_eq!(first.body, b"<a/>");
+        let (second, rest) = parse_one(&raw[consumed..]).unwrap().expect("second");
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/stats");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn connection_header_and_version_pick_the_disposition() {
+        let close = b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(parse_one(close).unwrap().unwrap().0.close);
+        let multi = b"GET /stats HTTP/1.1\r\nConnection: foo, Close\r\n\r\n";
+        assert!(parse_one(multi).unwrap().unwrap().0.close, "token list");
+        // HTTP/1.0 closes by default; its keep-alive opt-in is honored.
+        let old = b"GET /stats HTTP/1.0\r\n\r\n";
+        assert!(parse_one(old).unwrap().unwrap().0.close);
+        let old_keep = b"GET /stats HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(!parse_one(old_keep).unwrap().unwrap().0.close);
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Last-wins (or first-wins) on conflicting framing declarations is
+        // the classic request-smuggling vector: refuse both orderings.
+        for raw in [
+            &b"POST /c HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello"[..],
+            &b"POST /c HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello"[..],
+            // Even two *agreeing* declarations are refused outright.
+            &b"POST /c HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"[..],
+        ] {
+            let e = parse_one(raw).unwrap_err();
+            assert_eq!(e.status, 400);
+            assert!(e.message.contains("duplicate Content-Length"), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn non_digit_content_length_is_rejected() {
+        // `u64::from_str` accepts a leading `+`; the header grammar does
+        // not. Anything but ASCII digits must 400.
+        for bad in ["+5", "-5", "5 5", "0x5", "5.0", "", " + 5"] {
+            let raw = format!("POST /c HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let e = parse_one(raw.as_bytes()).unwrap_err();
+            assert_eq!(e.status, 400, "{bad:?}");
+            assert!(e.message.contains("bad Content-Length"), "{bad:?}: {e:?}");
+        }
+        // Plain digits (with surrounding whitespace trimmed) still parse.
+        assert_eq!(parse_content_length(" 5 ").unwrap(), 5);
+        assert_eq!(parse_content_length("0").unwrap(), 0);
+    }
+
+    #[test]
+    fn transfer_encoding_is_refused_not_guessed() {
+        let raw = b"POST /c HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let e = parse_one(raw).unwrap_err();
+        assert_eq!(e.status, 501);
+        assert!(e.message.contains("Transfer-Encoding"));
+    }
+
+    #[test]
+    fn huge_declared_body_is_413_before_any_allocation() {
+        // The declared length alone triggers the rejection — the error
+        // must fire from the head, long before 99 GB of body could ever
+        // arrive (and without sizing a buffer to it).
+        let raw = b"POST /c HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n";
+        let e = parse_one(raw).unwrap_err();
+        assert_eq!(e.status, 413);
+        assert!(e.message.contains("exceeds"), "{e:?}");
+        // At exactly the cap the request is still admissible.
+        let small = Limits {
+            max_head: 1 << 10,
+            max_body: 4,
+        };
+        let ok = b"POST /c HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        assert!(parse_request(ok, &small).unwrap().is_some());
+        let over = b"POST /c HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+        assert_eq!(parse_request(over, &small).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn unterminated_head_past_the_budget_is_431() {
+        let small = Limits {
+            max_head: 64,
+            max_body: 1 << 20,
+        };
+        // No terminator and over budget: hopeless, reject.
+        let endless = vec![b'a'; 65];
+        let e = parse_request(&endless, &small).unwrap_err();
+        assert_eq!(e.status, 431);
+        assert!(e.message.contains("exceeds"));
+        // A terminated head that is itself over budget is equally 431.
+        let mut big = b"GET /x HTTP/1.1\r\n".to_vec();
+        big.extend_from_slice(b"X-Pad: ");
+        big.extend(std::iter::repeat(b'p').take(64));
+        big.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_request(&big, &small).unwrap_err().status, 431);
+        // Under budget with no terminator: keep reading.
+        assert!(parse_request(&endless[..10], &small).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for raw in [&b"GARBAGE\r\n\r\n"[..], &b"\r\n\r\n"[..]] {
+            let e = parse_one(raw).unwrap_err();
+            assert_eq!(e.status, 400, "{raw:?}");
+            assert!(e.message.contains("malformed request line"));
+        }
+    }
+
+    #[test]
+    fn render_response_frames_and_labels_every_reply() {
+        let bytes = render_response(200, 7, r#"{"ok":true}"#, false, None);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("X-Model-Epoch: 7\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        assert!(!text.contains("Retry-After"));
+
+        let shed = render_response(503, 1, r#"{"error":"busy"}"#, true, Some(1));
+        let text = String::from_utf8(shed).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

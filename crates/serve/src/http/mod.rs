@@ -1,36 +1,53 @@
-//! A minimal multi-threaded HTTP/1.1 classification server with hot model
-//! reload.
+//! An event-driven HTTP/1.1 classification server with keep-alive,
+//! pipelining, bounded backpressure and hot model reload.
 //!
-//! No external dependencies: `std::net::TcpListener` accepts connections
-//! and hands them to a fixed pool of worker threads over a
-//! `crossbeam-channel`; each worker owns its **own** [`ClassifyEngine`]
-//! so request handling is lock-free (the engine needs `&mut self` because
-//! its session interners grow with unseen markup — per the `classify`
-//! module docs that growth never changes scores). The engine's layout is
-//! picked by [`ServeOptions::shards`]: replicated (each worker carries a
-//! full private index — the default) or sharded (the pool shares **one**
-//! immutable scatter/gather engine per model epoch; see the `shard`
-//! module).
+//! No external dependencies: a single **acceptor thread** runs a
+//! readiness loop over an epoll-backed poller (the workspace's `mio`
+//! stand-in), owning the non-blocking listener and every live
+//! connection. Connections are plain state machines (`conn` module):
+//! reads and writes are buffered and never block, partial requests
+//! accumulate across readiness events, and several pipelined requests
+//! may arrive in one segment — responses always return in request order.
+//! Connections are **keep-alive by default** (HTTP/1.1 semantics;
+//! `Connection: close` and HTTP/1.0 are honored per request).
 //!
-//! The model is *not* fixed for the server's lifetime: all workers share a
-//! [`ModelSlot`] (see the `slot` module) and lazily rebuild their
+//! Engine-bound work (`POST /classify`, `POST /reload`) flows through a
+//! **bounded queue** (`queue` module) to a fixed pool of worker threads;
+//! when the queue is full the acceptor sheds the request *immediately*
+//! with `503 Service Unavailable` + `Retry-After` instead of accepting
+//! unbounded work. Read-only endpoints (`GET /model`, `GET /stats`)
+//! answer inline from shared state, so diagnostics stay responsive even
+//! while the queue is jammed. Each worker owns its **own**
+//! [`ClassifyEngine`] so request handling is lock-free (the engine needs
+//! `&mut self` because its session interners grow with unseen markup —
+//! per the `classify` module docs that growth never changes scores). The
+//! engine's layout is picked by [`ServeOptions::shards`]: replicated
+//! (each worker carries a full private index — the default) or sharded
+//! (the pool shares **one** immutable scatter/gather engine per model
+//! epoch; see the `shard` module). Workers hand rendered responses back
+//! to the acceptor over a channel paired with a poller [`Waker`].
+//!
+//! The model is *not* fixed for the server's lifetime: all workers share
+//! a [`ModelSlot`] (see the `slot` module) and lazily rebuild their
 //! classifier when they observe a newer epoch, so a freshly trained
-//! `.cxkmodel` swaps in without dropping a single request. Three surfaces
-//! drive the swap: `POST /reload`, an opt-in mtime poller
-//! ([`ServeOptions::watch`]), and the [`Server::reload`] library API that
-//! `cxk_stream`'s periodic retrain feeds directly.
+//! `.cxkmodel` swaps in without dropping a single request — including
+//! requests pipelined on connections that stay open across the swap.
+//! Three surfaces drive it: `POST /reload`, an opt-in mtime poller
+//! ([`ServeOptions::watch`]), and the [`Server::reload`] library API
+//! that `cxk_stream`'s periodic retrain feeds directly.
 //!
-//! Endpoints (responses are JSON, `Connection: close`, and every response
-//! carries the answering worker's model epoch in an `X-Model-Epoch`
-//! header):
+//! Endpoints (responses are JSON and every response carries the
+//! answering worker's model epoch in an `X-Model-Epoch` header plus an
+//! explicit `Connection:` disposition and `Content-Length` framing):
 //!
-//! * `POST /classify` — body: one XML document, **or** a JSON array of XML
-//!   document strings (batch classification, amortizing connection and
-//!   parse overhead for bulk scoring). A single document answers `200`
-//!   with its cluster, score and per-tuple assignments (`400` on malformed
-//!   XML); a batch answers `200` with a JSON array holding one assignment
-//!   object — or a per-document `{"error": …}` object — per input, in
-//!   order. A whole request is answered against one epoch, never a mix.
+//! * `POST /classify` — body: one XML document, **or** a JSON array of
+//!   XML document strings (batch classification, amortizing parse
+//!   overhead for bulk scoring). A single document answers `200` with
+//!   its cluster, score and per-tuple assignments (`400` on malformed
+//!   XML); a batch answers `200` with a JSON array holding one
+//!   assignment object — or a per-document `{"error": …}` object — per
+//!   input, in order. A whole request is answered against one epoch,
+//!   never a mix.
 //! * `POST /reload` — body: the path to a `.cxkmodel` snapshot, or empty
 //!   to re-read the path the server was started from. The snapshot's
 //!   magic, format version and checksum are validated *before* the swap;
@@ -38,17 +55,20 @@
 //!   live model is untouched. Success answers `200` with the new epoch.
 //! * `GET /model` — model metadata (epoch, k, parameters, sizes).
 //! * `GET /stats` — server counters (connections, requests,
-//!   classifications, errors, reloads, trash rate) and index diagnostics;
-//!   in sharded mode also the engine layout and per-shard statistics
-//!   (owned representatives, postings, tuples scattered, candidates
-//!   scored).
+//!   classifications, errors, reloads, shed requests, reused
+//!   connections, queue depth/length, trash rate) and index diagnostics;
+//!   in sharded mode also the engine layout and per-shard statistics.
 //!
 //! The protocol subset is deliberately tiny: request line + headers,
-//! `Content-Length` bodies only (no chunked encoding, no keep-alive;
-//! duplicate or non-digit `Content-Length` headers are rejected outright
-//! as request-smuggling hygiene). The point is a dependency-free serving
-//! path whose throughput the `serve_throughput` bench bin can measure; a
-//! production transport is a ROADMAP item.
+//! `Content-Length` bodies only. Framing hygiene is strict — duplicate
+//! or non-digit `Content-Length` headers are rejected outright and
+//! `Transfer-Encoding` answers `501` rather than being guessed at
+//! (request-smuggling hygiene); a declared body over
+//! [`ServeOptions::max_body_bytes`] answers `413` without allocating,
+//! and a head that never terminates within
+//! [`ServeOptions::max_head_bytes`] answers `431` instead of buffering
+//! forever. See `ARCHITECTURE.md` § "Async serving core" for the
+//! connection state machine and the backpressure contract.
 //!
 //! **Trust boundary:** the server has no authentication, and
 //! `POST /reload` in particular reads a server-side filesystem path named
@@ -57,27 +77,24 @@
 //! exclusively; a [`Server::start`] on a wider address must sit behind a
 //! trusted network or proxy.
 
+mod acceptor;
+mod conn;
+mod queue;
+
 use crate::classify::{ClassifyEngine, DocumentAssignment};
 use crate::slot::{EpochModel, ModelSlot};
+use conn::{Limits, Request};
 use cxk_core::{
     load_model, peek_format_version, snapshot_digest, TrainedModel, MODEL_FORMAT_VERSION,
 };
-use std::io::{BufRead, BufReader, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use mio::{Interest, Poll, Waker};
+use queue::BoundedQueue;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// Upper bound on accepted request bodies (64 MiB), so a hostile
-/// `Content-Length` cannot exhaust memory.
-const MAX_BODY_BYTES: u64 = 64 << 20;
-
-/// Upper bound on the request line plus all headers (16 KiB). Without it a
-/// client sending an endless header stream would grow worker memory
-/// without bound — `MAX_BODY_BYTES` only constrains the declared body.
-const MAX_HEAD_BYTES: usize = 16 << 10;
 
 /// How often the file watcher wakes to check the shutdown flag; the
 /// configured watch interval is quantized to multiples of this.
@@ -91,8 +108,11 @@ pub struct ServeOptions {
     /// Score every representative instead of consulting the index
     /// (diagnostics / benchmarking the index's benefit).
     pub brute_force: bool,
-    /// Per-connection read/write timeout. An idle or trickling client
-    /// would otherwise pin its worker forever (and block shutdown).
+    /// Stall budget per connection: a request head or body that stops
+    /// arriving for this long answers `408` and closes; a peer that
+    /// stops reading its responses for this long is dropped. (With the
+    /// event-driven transport a slow client pins a buffer, never a
+    /// thread — this bounds the buffer's lifetime.)
     pub io_timeout: Duration,
     /// Partition the representatives across this many shards and share
     /// **one** immutable scatter/gather engine per model epoch across the
@@ -107,6 +127,28 @@ pub struct ServeOptions {
     /// Poll `model_path` at this interval and hot-swap the snapshot when
     /// its mtime (and content digest) change. Requires `model_path`.
     pub watch: Option<Duration>,
+    /// Depth of the bounded request queue between the acceptor and the
+    /// worker pool (`cxk serve --queue-depth <n>`). When the queue is
+    /// full, further classify/reload requests are shed with
+    /// `503` + `Retry-After: 1` instead of queuing without bound.
+    /// Clamped to ≥ 1.
+    pub queue_depth: usize,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the server closes it (`cxk serve --keep-alive <secs>`).
+    /// `None` disables keep-alive entirely: every response closes its
+    /// connection, and idle sockets are reaped after `io_timeout`.
+    pub keep_alive: Option<Duration>,
+    /// Upper bound on a request's declared `Content-Length`; a larger
+    /// declaration answers `413` without allocating anything.
+    pub max_body_bytes: u64,
+    /// Upper bound on the request line plus all headers; a head that
+    /// has not terminated within this budget answers `431`.
+    pub max_head_bytes: usize,
+    /// Test-only knob: stall every worker this long per request, making
+    /// the bounded queue observably fill under a driven load. Not a
+    /// serving feature.
+    #[doc(hidden)]
+    pub worker_delay: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -118,15 +160,20 @@ impl Default for ServeOptions {
             shards: None,
             model_path: None,
             watch: None,
+            queue_depth: 256,
+            keep_alive: Some(Duration::from_secs(30)),
+            max_body_bytes: 64 << 20,
+            max_head_bytes: 16 << 10,
+            worker_delay: None,
         }
     }
 }
 
-/// Monotonic server counters, shared by all workers.
+/// Monotonic server counters, shared by the acceptor and all workers.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Connections accepted and handed to a worker (including ones that
-    /// never produced a parseable request).
+    /// Connections accepted (a keep-alive connection counts once no
+    /// matter how many requests it carries).
     pub connections: AtomicU64,
     /// HTTP requests successfully parsed (head + body). Malformed or
     /// timed-out connections count in `connections` and `errors` only.
@@ -142,12 +189,22 @@ pub struct ServerStats {
     /// Rejected swap attempts (unreadable, corrupt or incompatible
     /// snapshots); the live model was untouched.
     pub reload_errors: AtomicU64,
+    /// Requests shed with `503` because the bounded queue was full
+    /// (also counted in `errors`).
+    pub rejected: AtomicU64,
+    /// Connections that served a second request — keep-alive reuse
+    /// actually happening, not just being offered.
+    pub reused: AtomicU64,
+    /// Posting-list entries in the index the workers currently serve
+    /// from (refreshed on every engine rebuild), mirrored here so
+    /// `GET /stats` can answer without borrowing a worker's engine.
+    pub index_postings: AtomicU64,
 }
 
 /// A point-in-time copy of the counters plus the live model epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Connections accepted and handed to a worker.
+    /// Connections accepted.
     pub connections: u64,
     /// HTTP requests successfully parsed.
     pub requests: u64,
@@ -161,8 +218,31 @@ pub struct StatsSnapshot {
     pub reloads: u64,
     /// Rejected swap attempts.
     pub reload_errors: u64,
+    /// Requests shed with `503` by the bounded queue.
+    pub rejected: u64,
+    /// Connections that served a second request (keep-alive reuse).
+    pub reused: u64,
     /// The live model epoch (1 = the boot model).
     pub epoch: u64,
+}
+
+/// One engine-bound request traveling the bounded queue.
+pub(crate) struct Job {
+    /// The connection's slab index in the acceptor.
+    pub token: usize,
+    /// Slot-reuse guard: must match the connection's generation for the
+    /// completion to be delivered.
+    pub generation: u64,
+    pub request: Request,
+}
+
+/// A rendered response traveling back from a worker.
+pub(crate) struct Completion {
+    pub token: usize,
+    pub generation: u64,
+    pub bytes: Vec<u8>,
+    /// Close the connection after flushing (the request asked to).
+    pub close: bool,
 }
 
 /// A running classification server.
@@ -171,6 +251,7 @@ pub struct Server {
     slot: Arc<ModelSlot>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    waker: Arc<Waker>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     watcher: Option<JoinHandle<()>>,
@@ -186,75 +267,82 @@ struct WorkerCtx {
 
 impl Server {
     /// Binds `addr` (e.g. `("127.0.0.1", 0)` for an ephemeral port) and
-    /// starts the acceptor plus `opts.threads` workers; `model` becomes
-    /// epoch 1. With `opts.watch` (and a `model_path`) a poller thread
-    /// hot-swaps the snapshot whenever the file changes on disk.
+    /// starts the acceptor's readiness loop plus `opts.threads` workers;
+    /// `model` becomes epoch 1. With `opts.watch` (and a `model_path`) a
+    /// poller thread hot-swaps the snapshot whenever the file changes on
+    /// disk.
     ///
     /// # Errors
-    /// Returns the bind error.
+    /// Returns the bind error, or the poller setup error.
     pub fn start(
         model: TrainedModel,
         addr: impl ToSocketAddrs,
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let slot = Arc::new(ModelSlot::with_shards(model, opts.shards));
         let threads = opts.threads.max(1);
 
-        let (tx, rx) = crossbeam_channel::unbounded::<TcpStream>();
+        let poll = Poll::new()?;
+        poll.registry()
+            .register(&listener, acceptor::LISTENER, Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(poll.registry(), acceptor::WAKER)?);
+
+        let queue = Arc::new(BoundedQueue::<Job>::new(opts.queue_depth));
+        let (completion_tx, completion_rx) = crossbeam_channel::unbounded::<Completion>();
+
+        // Seed the index-size mirror before any request can land, so an
+        // immediate `GET /stats` never reads a zero. (Workers refresh it
+        // on every engine rebuild.)
+        {
+            let current = slot.current();
+            let engine = engine_for(&current);
+            stats
+                .index_postings
+                .store(engine.posting_entries() as u64, Ordering::Relaxed);
+        }
+
         let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
-            let rx = rx.clone();
             let ctx = WorkerCtx {
                 slot: Arc::clone(&slot),
                 stats: Arc::clone(&stats),
                 brute: opts.brute_force,
                 model_path: opts.model_path.clone(),
             };
-            let io_timeout = opts.io_timeout;
+            let queue = Arc::clone(&queue);
+            let tx = completion_tx.clone();
+            let waker = Arc::clone(&waker);
+            let delay = opts.worker_delay;
             workers.push(std::thread::spawn(move || {
-                let mut current = ctx.slot.current();
-                let mut engine = engine_for(&current);
-                while let Ok(stream) = rx.recv() {
-                    // Hot reload: observe a newer epoch *between* requests,
-                    // so in-flight work always finishes on the model it
-                    // started with and no lock is held while classifying.
-                    // In sharded mode the rebuild is a cheap session — the
-                    // postings were built once, at swap time.
-                    if ctx.slot.epoch() != current.epoch {
-                        current = ctx.slot.current();
-                        engine = engine_for(&current);
-                    }
-                    // A slow or idle client must not pin this worker: cap
-                    // every read and write. Zero would mean "no timeout"
-                    // to the socket API, so clamp it away.
-                    let timeout = Some(io_timeout.max(Duration::from_millis(1)));
-                    let _ = stream.set_read_timeout(timeout);
-                    let _ = stream.set_write_timeout(timeout);
-                    handle_connection(stream, &mut engine, current.epoch, &ctx);
-                }
+                worker_loop(ctx, &queue, &tx, &waker, delay)
             }));
         }
-        drop(rx);
+        drop(completion_tx);
 
         let acceptor = {
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    if let Ok(stream) = stream {
-                        // Workers all exited only after tx is dropped; a
-                        // send can't fail while this loop runs.
-                        let _ = tx.send(stream);
-                    }
-                }
-                // tx drops here; workers drain the queue and exit.
-            })
+            let ctx = acceptor::Acceptor {
+                listener,
+                poll,
+                completions: completion_rx,
+                queue: Arc::clone(&queue),
+                slot: Arc::clone(&slot),
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                limits: Limits {
+                    max_head: opts.max_head_bytes,
+                    max_body: opts.max_body_bytes,
+                },
+                force_close: opts.keep_alive.is_none(),
+                idle_horizon: opts.keep_alive.unwrap_or(opts.io_timeout),
+                io_timeout: opts.io_timeout.max(Duration::from_millis(1)),
+                brute: opts.brute_force,
+            };
+            std::thread::spawn(move || acceptor::run(ctx))
         };
 
         let watcher = match (opts.watch, &opts.model_path) {
@@ -273,6 +361,7 @@ impl Server {
             slot,
             shutdown,
             stats,
+            waker,
             acceptor: Some(acceptor),
             workers,
             watcher,
@@ -311,28 +400,27 @@ impl Server {
             errors: self.stats.errors.load(Ordering::Relaxed),
             reloads: self.stats.reloads.load(Ordering::Relaxed),
             reload_errors: self.stats.reload_errors.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            reused: self.stats.reused.load(Ordering::Relaxed),
             epoch: self.slot.epoch(),
         }
     }
 
     /// Blocks until the server shuts down (for a foreground `cxk serve`).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        if let Some(watcher) = self.watcher.take() {
-            let _ = watcher.join();
-        }
+        self.join_threads();
     }
 
     /// Stops accepting, drains in-flight work and joins every thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a dummy connection.
-        let _ = TcpStream::connect(loopback_of(self.addr));
+        let _ = self.waker.wake();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        // The acceptor closes the queue on exit; workers drain whatever
+        // is already queued and stop. The watcher polls the flag.
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -350,7 +438,7 @@ impl Drop for Server {
         // Best-effort: a dropped (not shut down) server stops accepting.
         // (The watcher polls the same flag and exits within a tick.)
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(loopback_of(self.addr));
+        let _ = self.waker.wake();
     }
 }
 
@@ -361,18 +449,178 @@ fn engine_for(epoch: &EpochModel) -> ClassifyEngine {
     ClassifyEngine::for_epoch(&epoch.model, epoch.sharded.as_ref())
 }
 
-/// The address the shutdown path connects to in order to unblock the
-/// acceptor. A server bound to an unspecified address (`0.0.0.0:p` /
-/// `[::]:p`) cannot be *connected* to at that address on every platform —
-/// the dummy connection would fail and the acceptor would block forever —
-/// so route the wake-up through the matching loopback with the bound port.
-fn loopback_of(addr: SocketAddr) -> SocketAddr {
-    let ip = match addr.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
-        ip => ip,
-    };
-    SocketAddr::new(ip, addr.port())
+/// A worker: pull jobs from the bounded queue, keep the engine on the
+/// live epoch, render complete responses and hand them back to the
+/// acceptor (channel + waker). Exits when the queue closes.
+fn worker_loop(
+    ctx: WorkerCtx,
+    queue: &BoundedQueue<Job>,
+    completions: &crossbeam_channel::Sender<Completion>,
+    waker: &Waker,
+    delay: Option<Duration>,
+) {
+    let mut current = ctx.slot.current();
+    let mut engine = engine_for(&current);
+    while let Some(job) = queue.pop() {
+        // Hot reload: observe a newer epoch *between* requests, so
+        // in-flight work always finishes on the model it started with
+        // and no lock is held while classifying. In sharded mode the
+        // rebuild is a cheap session — the postings were built once, at
+        // swap time.
+        if ctx.slot.epoch() != current.epoch {
+            current = ctx.slot.current();
+            engine = engine_for(&current);
+            ctx.stats
+                .index_postings
+                .store(engine.posting_entries() as u64, Ordering::Relaxed);
+        }
+        if let Some(delay) = delay {
+            std::thread::sleep(delay);
+        }
+        let (status, epoch, body) = handle_request(&job.request, &mut engine, current.epoch, &ctx);
+        let bytes = conn::render_response(status, epoch, &body, job.request.close, None);
+        let delivered = completions
+            .send(Completion {
+                token: job.token,
+                generation: job.generation,
+                bytes,
+                close: job.request.close,
+            })
+            .is_ok();
+        if !delivered {
+            // The acceptor is gone; the queue is closing underneath us.
+            break;
+        }
+        let _ = waker.wake();
+    }
+}
+
+/// Answers one engine-bound request. Returns `(status, epoch-for-header,
+/// body)` — reload success reports the *new* epoch it just installed.
+fn handle_request(
+    request: &Request,
+    engine: &mut ClassifyEngine,
+    epoch: u64,
+    ctx: &WorkerCtx,
+) -> (u16, u64, String) {
+    let stats = &*ctx.stats;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/classify") => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (400, epoch, r#"{"error":"body is not UTF-8"}"#.to_string());
+            };
+            // A leading `[` cannot start well-formed XML, so it reliably
+            // selects the batch form: a JSON array of XML document strings.
+            if body.trim_start().starts_with('[') {
+                let docs = match parse_json_string_array(body) {
+                    Ok(docs) => docs,
+                    Err(message) => {
+                        stats.errors.fetch_add(1, Ordering::Relaxed);
+                        let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
+                        return (400, epoch, body);
+                    }
+                };
+                let entries: Vec<String> = docs
+                    .iter()
+                    .map(|xml| {
+                        let result = if ctx.brute {
+                            engine.classify_brute(xml)
+                        } else {
+                            engine.classify(xml)
+                        };
+                        match result {
+                            Ok(report) => {
+                                stats.classified.fetch_add(1, Ordering::Relaxed);
+                                if report.cluster == engine.trash_id() {
+                                    stats.trash.fetch_add(1, Ordering::Relaxed);
+                                }
+                                assignment_json(&report, engine.trash_id())
+                            }
+                            Err(e) => {
+                                stats.errors.fetch_add(1, Ordering::Relaxed);
+                                format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()))
+                            }
+                        }
+                    })
+                    .collect();
+                return (200, epoch, format!("[{}]", entries.join(",")));
+            }
+            let result = if ctx.brute {
+                engine.classify_brute(body)
+            } else {
+                engine.classify(body)
+            };
+            match result {
+                Ok(report) => {
+                    stats.classified.fetch_add(1, Ordering::Relaxed);
+                    if report.cluster == engine.trash_id() {
+                        stats.trash.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (200, epoch, assignment_json(&report, engine.trash_id()))
+                }
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()));
+                    (400, epoch, body)
+                }
+            }
+        }
+        ("POST", "/reload") => {
+            let Ok(target) = std::str::from_utf8(&request.body) else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (
+                    400,
+                    epoch,
+                    r#"{"error":"body is not UTF-8 (expected a snapshot path, or empty)"}"#
+                        .to_string(),
+                );
+            };
+            let target = target.trim();
+            let path = if target.is_empty() {
+                ctx.model_path.clone()
+            } else {
+                Some(PathBuf::from(target))
+            };
+            let Some(path) = path else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return (
+                    400,
+                    epoch,
+                    r#"{"error":"no snapshot path: the server was started from an in-memory model; POST the path to a .cxkmodel in the body"}"#.to_string(),
+                );
+            };
+            match load_snapshot(&path) {
+                Ok(model) => {
+                    let new_epoch = ctx.slot.swap(model);
+                    stats.reloads.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(
+                        r#"{{"reloaded":true,"epoch":{new_epoch},"path":"{}"}}"#,
+                        json_escape(&path.display().to_string())
+                    );
+                    (200, new_epoch, body)
+                }
+                Err(message) => {
+                    // The snapshot failed validation (or could not be
+                    // read): conflict with the live model, which stays.
+                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
+                    (409, epoch, body)
+                }
+            }
+        }
+        // The acceptor answers GETs and unknown routes inline; reaching
+        // here would be a routing bug, but answer validly regardless.
+        _ => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            (
+                404,
+                epoch,
+                r#"{"error":"no such endpoint (POST /classify, POST /reload, GET /model, GET /stats)"}"#.to_string(),
+            )
+        }
+    }
 }
 
 /// Validates `bytes` as a snapshot and decodes it. The magic, format
@@ -472,104 +720,6 @@ fn spawn_watcher(
             }
         }
     })
-}
-
-/// Parsed request head.
-#[derive(Debug)]
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-}
-
-/// Reads one `\n`-terminated line, failing once the head budget is spent —
-/// `BufReader::read_line` alone would buffer a newline-free byte stream
-/// without bound.
-fn read_line_capped(
-    reader: &mut impl BufRead,
-    budget: &mut usize,
-    what: &str,
-) -> Result<String, String> {
-    let mut line = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                if *budget == 0 {
-                    return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
-                }
-                *budget -= 1;
-                if byte[0] == b'\n' {
-                    break;
-                }
-                line.push(byte[0]);
-            }
-            Err(e) => return Err(format!("read {what}: {e}")),
-        }
-    }
-    String::from_utf8(line).map_err(|_| format!("{what} is not UTF-8"))
-}
-
-/// Parses a `Content-Length` value strictly: ASCII digits only. This
-/// rejects what `u64::from_str` would quietly accept (`+5`, for example)
-/// — request-smuggling hygiene for a header that decides body framing.
-fn parse_content_length(value: &str) -> Result<u64, String> {
-    let value = value.trim();
-    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
-        return Err("bad Content-Length".into());
-    }
-    value.parse().map_err(|_| "bad Content-Length".to_string())
-}
-
-/// Reads one HTTP/1.1 request (head + `Content-Length` body).
-fn read_request(reader: &mut impl BufRead) -> Result<Request, String> {
-    let mut budget = MAX_HEAD_BYTES;
-    let line = read_line_capped(reader, &mut budget, "request line")?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-    if method.is_empty() || path.is_empty() {
-        return Err("malformed request line".into());
-    }
-
-    let mut content_length: Option<u64> = None;
-    loop {
-        let header = read_line_capped(reader, &mut budget, "header")?;
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                // Two framing declarations in one request is classic
-                // request smuggling; refuse rather than pick one.
-                if content_length.is_some() {
-                    return Err("duplicate Content-Length header".into());
-                }
-                content_length = Some(parse_content_length(value)?);
-            }
-        }
-    }
-    let content_length = content_length.unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(format!("body exceeds {MAX_BODY_BYTES} bytes"));
-    }
-
-    let mut body = vec![0u8; content_length as usize];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("read body: {e}"))?;
-    Ok(Request { method, path, body })
-}
-
-fn respond(stream: &mut TcpStream, status: &str, epoch: u64, body: &str) {
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nX-Model-Epoch: {epoch}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
 }
 
 /// Escapes a string for embedding in a JSON string literal (quotes,
@@ -755,230 +905,10 @@ pub fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
     )
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    engine: &mut ClassifyEngine,
-    epoch: u64,
-    ctx: &WorkerCtx,
-) {
-    let stats = &*ctx.stats;
-    stats.connections.fetch_add(1, Ordering::Relaxed);
-    let request = match read_request(&mut BufReader::new(&mut stream)) {
-        Ok(r) => r,
-        Err(message) => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
-            respond(&mut stream, "400 Bad Request", epoch, &body);
-            return;
-        }
-    };
-    stats.requests.fetch_add(1, Ordering::Relaxed);
-
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/classify") => {
-            let body = match std::str::from_utf8(&request.body) {
-                Ok(body) => body,
-                Err(_) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        &mut stream,
-                        "400 Bad Request",
-                        epoch,
-                        r#"{"error":"body is not UTF-8"}"#,
-                    );
-                    return;
-                }
-            };
-            // A leading `[` cannot start well-formed XML, so it reliably
-            // selects the batch form: a JSON array of XML document strings.
-            if body.trim_start().starts_with('[') {
-                let docs = match parse_json_string_array(body) {
-                    Ok(docs) => docs,
-                    Err(message) => {
-                        stats.errors.fetch_add(1, Ordering::Relaxed);
-                        let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
-                        respond(&mut stream, "400 Bad Request", epoch, &body);
-                        return;
-                    }
-                };
-                let entries: Vec<String> = docs
-                    .iter()
-                    .map(|xml| {
-                        let result = if ctx.brute {
-                            engine.classify_brute(xml)
-                        } else {
-                            engine.classify(xml)
-                        };
-                        match result {
-                            Ok(report) => {
-                                stats.classified.fetch_add(1, Ordering::Relaxed);
-                                if report.cluster == engine.trash_id() {
-                                    stats.trash.fetch_add(1, Ordering::Relaxed);
-                                }
-                                assignment_json(&report, engine.trash_id())
-                            }
-                            Err(e) => {
-                                stats.errors.fetch_add(1, Ordering::Relaxed);
-                                format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()))
-                            }
-                        }
-                    })
-                    .collect();
-                respond(
-                    &mut stream,
-                    "200 OK",
-                    epoch,
-                    &format!("[{}]", entries.join(",")),
-                );
-                return;
-            }
-            let result = if ctx.brute {
-                engine.classify_brute(body)
-            } else {
-                engine.classify(body)
-            };
-            match result {
-                Ok(report) => {
-                    stats.classified.fetch_add(1, Ordering::Relaxed);
-                    if report.cluster == engine.trash_id() {
-                        stats.trash.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let body = assignment_json(&report, engine.trash_id());
-                    respond(&mut stream, "200 OK", epoch, &body);
-                }
-                Err(e) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()));
-                    respond(&mut stream, "400 Bad Request", epoch, &body);
-                }
-            }
-        }
-        ("POST", "/reload") => {
-            let target = match std::str::from_utf8(&request.body) {
-                Ok(body) => body.trim(),
-                Err(_) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    respond(
-                        &mut stream,
-                        "400 Bad Request",
-                        epoch,
-                        r#"{"error":"body is not UTF-8 (expected a snapshot path, or empty)"}"#,
-                    );
-                    return;
-                }
-            };
-            let path = if target.is_empty() {
-                ctx.model_path.clone()
-            } else {
-                Some(PathBuf::from(target))
-            };
-            let Some(path) = path else {
-                stats.errors.fetch_add(1, Ordering::Relaxed);
-                respond(
-                    &mut stream,
-                    "400 Bad Request",
-                    epoch,
-                    r#"{"error":"no snapshot path: the server was started from an in-memory model; POST the path to a .cxkmodel in the body"}"#,
-                );
-                return;
-            };
-            match load_snapshot(&path) {
-                Ok(model) => {
-                    let new_epoch = ctx.slot.swap(model);
-                    stats.reloads.fetch_add(1, Ordering::Relaxed);
-                    let body = format!(
-                        r#"{{"reloaded":true,"epoch":{new_epoch},"path":"{}"}}"#,
-                        json_escape(&path.display().to_string())
-                    );
-                    respond(&mut stream, "200 OK", new_epoch, &body);
-                }
-                Err(message) => {
-                    // The snapshot failed validation (or could not be
-                    // read): conflict with the live model, which stays.
-                    stats.reload_errors.fetch_add(1, Ordering::Relaxed);
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let body = format!(r#"{{"error":"{}"}}"#, json_escape(&message));
-                    respond(&mut stream, "409 Conflict", epoch, &body);
-                }
-            }
-        }
-        ("GET", "/model") => {
-            let model = engine.model();
-            let rep_items: Vec<String> = model.reps.iter().map(|r| r.len().to_string()).collect();
-            let body = format!(
-                r#"{{"epoch":{},"format_version":{},"k":{},"f":{},"gamma":{},"labels":{},"vocabulary":{},"paths":{},"rep_items":[{}],"trained_documents":{},"trained_transactions":{}}}"#,
-                epoch,
-                MODEL_FORMAT_VERSION,
-                model.k(),
-                model.params.f,
-                model.params.gamma,
-                model.labels.len(),
-                model.vocabulary.len(),
-                model.paths.len(),
-                rep_items.join(","),
-                model.trained_documents,
-                model.trained_transactions,
-            );
-            respond(&mut stream, "200 OK", epoch, &body);
-        }
-        ("GET", "/stats") => {
-            // Per-shard detail (sharded mode): one object per shard, in
-            // range order, counting since this epoch's engine was built.
-            // Arrays stay at the tail of the object so flat `"field":value`
-            // scrapers keep working on everything before them.
-            let engine_detail = match engine.sharded_engine() {
-                Some(sharded) => {
-                    let shards: Vec<String> = sharded
-                        .shard_stats()
-                        .iter()
-                        .map(|s| {
-                            format!(
-                                r#"{{"reps":{},"postings":{},"queries":{},"scored":{}}}"#,
-                                s.reps, s.postings, s.queries, s.scored
-                            )
-                        })
-                        .collect();
-                    format!(
-                        r#""engine":"sharded","shards":{},"postings_bytes":{},"shard_stats":[{}]"#,
-                        sharded.shard_count(),
-                        sharded.postings_bytes(),
-                        shards.join(",")
-                    )
-                }
-                None => r#""engine":"replicated""#.to_string(),
-            };
-            let body = format!(
-                r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"index_postings":{},"brute_force":{},{engine_detail}}}"#,
-                epoch,
-                stats.connections.load(Ordering::Relaxed),
-                stats.requests.load(Ordering::Relaxed),
-                stats.classified.load(Ordering::Relaxed),
-                stats.trash.load(Ordering::Relaxed),
-                stats.errors.load(Ordering::Relaxed),
-                stats.reloads.load(Ordering::Relaxed),
-                stats.reload_errors.load(Ordering::Relaxed),
-                engine.posting_entries(),
-                ctx.brute,
-            );
-            respond(&mut stream, "200 OK", epoch, &body);
-        }
-        _ => {
-            stats.errors.fetch_add(1, Ordering::Relaxed);
-            respond(
-                &mut stream,
-                "404 Not Found",
-                epoch,
-                r#"{"error":"no such endpoint (POST /classify, POST /reload, GET /model, GET /stats)"}"#,
-            );
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::classify::TupleAssignment;
-    use std::io::Cursor;
 
     #[test]
     fn json_escaping_handles_hostile_strings() {
@@ -1055,59 +985,5 @@ mod tests {
             tuples: Vec::new(),
         };
         assert!(assignment_json(&trash, 4).contains(r#""trash":true"#));
-    }
-
-    fn request_of(raw: &str) -> Result<Request, String> {
-        read_request(&mut Cursor::new(raw.as_bytes().to_vec()))
-    }
-
-    #[test]
-    fn read_request_parses_a_plain_request() {
-        let r = request_of("POST /classify HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
-        assert_eq!(r.method, "POST");
-        assert_eq!(r.path, "/classify");
-        assert_eq!(r.body, b"hello");
-    }
-
-    #[test]
-    fn duplicate_content_length_is_rejected() {
-        // Last-wins (or first-wins) on conflicting framing declarations is
-        // the classic request-smuggling vector: refuse both orderings.
-        for raw in [
-            "POST /classify HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 2\r\n\r\nhello",
-            "POST /classify HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello",
-            // Even two *agreeing* declarations are refused outright.
-            "POST /classify HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello",
-        ] {
-            let e = request_of(raw).unwrap_err();
-            assert!(e.contains("duplicate Content-Length"), "{raw:?}: {e}");
-        }
-    }
-
-    #[test]
-    fn non_digit_content_length_is_rejected() {
-        // `u64::from_str` accepts a leading `+`; the header grammar does
-        // not. Anything but ASCII digits must 400.
-        for bad in ["+5", "-5", "5 5", "0x5", "5.0", "", " + 5"] {
-            let raw = format!("POST /classify HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
-            let e = request_of(&raw).unwrap_err();
-            assert!(e.contains("bad Content-Length"), "{bad:?}: {e}");
-        }
-        // Plain digits (with surrounding whitespace trimmed) still parse.
-        assert_eq!(parse_content_length(" 5 ").unwrap(), 5);
-        assert_eq!(parse_content_length("0").unwrap(), 0);
-    }
-
-    #[test]
-    fn loopback_substitutes_unspecified_bind_addresses() {
-        let v4: SocketAddr = "0.0.0.0:7070".parse().unwrap();
-        assert_eq!(loopback_of(v4), "127.0.0.1:7070".parse().unwrap());
-        let v6: SocketAddr = "[::]:7070".parse().unwrap();
-        assert_eq!(loopback_of(v6), "[::1]:7070".parse().unwrap());
-        // Specific addresses pass through untouched.
-        let bound: SocketAddr = "127.0.0.1:9999".parse().unwrap();
-        assert_eq!(loopback_of(bound), bound);
-        let eth: SocketAddr = "192.168.1.20:80".parse().unwrap();
-        assert_eq!(loopback_of(eth), eth);
     }
 }

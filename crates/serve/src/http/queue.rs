@@ -1,0 +1,187 @@
+//! The bounded request queue between the acceptor's event loop and the
+//! `ClassifyEngine` workers — the server's explicit backpressure point.
+//!
+//! The acceptor never blocks: [`BoundedQueue::try_push`] either hands a
+//! parsed request to the worker pool or reports [`PushError::Full`], which
+//! the connection layer turns into `503 Service Unavailable` +
+//! `Retry-After` *immediately*, instead of accepting unbounded work and
+//! falling over later. Workers block in [`BoundedQueue::pop`]; closing the
+//! queue wakes them all so shutdown never hangs. The queue depth is
+//! [`ServeOptions::queue_depth`](crate::ServeOptions::queue_depth), and
+//! `GET /stats` reports both the configured depth and the live length.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// The queue holds `capacity` items; shed the request with a 503.
+    Full(T),
+    /// The queue was closed (server shutting down).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue: non-blocking producers, blocking
+/// consumers, explicit close.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signaled on push and on close.
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A panic while holding the lock cannot leave the queue inconsistent
+    /// (the critical sections only move items), so poisoning is recovered.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. Never blocks —
+    /// this is what makes the acceptor's backpressure response immediate.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (`Some`) or the queue is closed
+    /// and drained (`None`) — the worker exit condition.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: future pushes fail, parked consumers wake, and
+    /// already-queued items still drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting (the `queue_len` stats field).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The configured depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn try_push_fills_to_capacity_then_sheds() {
+        let queue = BoundedQueue::new(2);
+        assert_eq!(queue.capacity(), 2);
+        assert_eq!(queue.try_push(1), Ok(()));
+        assert_eq!(queue.try_push(2), Ok(()));
+        assert_eq!(queue.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(queue.len(), 2);
+        // Popping frees a slot; pushes succeed again.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.try_push(4), Ok(()));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), Some(4));
+    }
+
+    #[test]
+    fn close_wakes_parked_consumers_and_drains_leftovers() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        // Give the consumer time to park, then close without pushing.
+        std::thread::sleep(Duration::from_millis(50));
+        queue.close();
+        assert_eq!(consumer.join().expect("consumer"), None);
+
+        // Items queued before the close still drain; pushes after fail.
+        let queue = BoundedQueue::new(4);
+        queue.try_push(7).expect("push");
+        queue.close();
+        assert_eq!(queue.try_push(8), Err(PushError::Closed(8)));
+        assert_eq!(queue.pop(), Some(7));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_agree_under_contention() {
+        let queue = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = queue.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut sent = 0u32;
+        let mut shed = 0u32;
+        for i in 0..1000u32 {
+            match queue.try_push(i) {
+                Ok(()) => sent += 1,
+                Err(PushError::Full(_)) => {
+                    shed += 1;
+                    std::thread::yield_now();
+                }
+                Err(PushError::Closed(_)) => unreachable!("not closed yet"),
+            }
+        }
+        queue.close();
+        let received: usize = consumers
+            .into_iter()
+            .map(|c| c.join().expect("consumer").len())
+            .sum();
+        assert_eq!(received as u32, sent, "every accepted item is consumed");
+        assert_eq!(sent + shed, 1000, "every push accounted for");
+    }
+}

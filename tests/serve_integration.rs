@@ -242,15 +242,15 @@ fn snapshot_reload_classify_and_serve_round_trip() {
         let mut response = String::new();
         let _ = stream.read_to_string(&mut response);
         assert!(
-            response.starts_with("HTTP/1.1 400"),
-            "oversized head must 400: {response}"
+            response.starts_with("HTTP/1.1 431"),
+            "oversized head must 431: {response}"
         );
         assert!(response.contains("exceeds"), "{response}");
     }
 
-    // An idle connection (no bytes sent) must not wedge its worker: with
-    // the read timeout the server answers 400 and the next request still
-    // gets through.
+    // An idle connection (no bytes sent) must not block anyone: with the
+    // event-driven transport it pins a buffer, not a thread, and the next
+    // request still gets through immediately.
     {
         let idle = TcpStream::connect(addr).expect("connect idle");
         std::thread::sleep(std::time::Duration::from_millis(400));
