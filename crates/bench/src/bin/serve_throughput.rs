@@ -1,11 +1,12 @@
 //! Measures online classification throughput (docs/sec) against a trained
 //! model across index layouts: direct replicated-indexed, direct
 //! brute-force, direct sharded scatter/gather at `S ∈ {1, 2, 4, 8}`, and
-//! over the live HTTP server (replicated and sharded) with concurrent
-//! clients — each HTTP layout measured twice, once with one connection
-//! per request and once with keep-alive connections reused for the whole
-//! stream (the `http-keepalive-*` rows; reuse must win, and the binary
-//! asserts it). For every configuration it also reports the **resident
+//! over the live HTTP server (replicated, sharded, and remote — the
+//! latter scattering to real shard daemons over loopback TCP) with
+//! concurrent clients — each HTTP layout measured twice, once with one
+//! connection per request and once with keep-alive connections reused for
+//! the whole stream (the `http-keepalive-*` rows; reuse must win, and the
+//! binary asserts it). For every configuration it also reports the **resident
 //! postings bytes** the serving pool would hold: the replicated layout
 //! duplicates its index per worker (`bytes × threads`), the sharded layout
 //! shares one engine per model epoch (`bytes × 1`) — the memory model the
@@ -38,7 +39,7 @@
 use cxk_bench::args::{parse_usize_list, Flags};
 use cxk_core::{EngineBuilder, TrainedModel};
 use cxk_corpus::dblp::{self, DblpConfig};
-use cxk_serve::{Classifier, ServeOptions, Server, ShardedClassifier, ShardedEngine};
+use cxk_serve::{Classifier, ServeOptions, Server, ShardDaemon, ShardedClassifier, ShardedEngine};
 use cxk_transact::{BuildOptions, DatasetBuilder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -347,11 +348,24 @@ fn main() {
         );
     }
 
-    // Over HTTP with concurrent clients: replicated, then sharded.
+    // Over HTTP with concurrent clients: replicated, sharded, then remote
+    // — the latter scattering every classification to real shard daemons
+    // over loopback TCP (one daemon per contiguous representative range).
     let http_shards = shard_sweep.last().copied().unwrap_or(4);
-    for (mode, shards) in [
-        ("http-replicated", None),
-        ("http-sharded", Some(http_shards)),
+    let daemons: Vec<ShardDaemon> = (0..http_shards)
+        .map(|i| {
+            let start = (i * k / http_shards) as u32;
+            let end = ((i + 1) * k / http_shards) as u32;
+            ShardDaemon::start(Arc::clone(&model), start..end, "127.0.0.1:0")
+                .expect("shard daemon on an ephemeral loopback port")
+        })
+        .collect();
+    let daemon_addrs: Vec<Vec<String>> =
+        daemons.iter().map(|d| vec![d.addr().to_string()]).collect();
+    for (mode, shards, remote) in [
+        ("http-replicated", None, false),
+        ("http-sharded", Some(http_shards), false),
+        ("http-remote", None, true),
     ] {
         let server = Server::start(
             (*model).clone(),
@@ -360,6 +374,11 @@ fn main() {
                 threads,
                 brute_force: false,
                 shards,
+                remote_shards: if remote {
+                    daemon_addrs.clone()
+                } else {
+                    Vec::new()
+                },
                 ..ServeOptions::default()
             },
         )
@@ -395,22 +414,35 @@ fn main() {
                 .expect("direct sweep ran first")
                 .postings_bytes
         };
-        let (bytes, resident) = match shards {
-            // One shared engine per epoch regardless of the worker count.
-            Some(s) => {
-                let shared = measured("sharded", s);
-                (shared, shared)
+        let (bytes, resident) = if remote {
+            // The frontend holds no postings at all: each daemon owns its
+            // slice of the sharded engine measured above, in its own
+            // process. Report the aggregate daemon postings and zero
+            // frontend-resident bytes.
+            (measured("sharded", http_shards), 0)
+        } else {
+            match shards {
+                // One shared engine per epoch regardless of the worker count.
+                Some(s) => {
+                    let shared = measured("sharded", s);
+                    (shared, shared)
+                }
+                None => {
+                    let per_worker = measured("indexed", 0);
+                    (per_worker, per_worker * threads)
+                }
             }
-            None => {
-                let per_worker = measured("indexed", 0);
-                (per_worker, per_worker * threads)
-            }
+        };
+        let row_shards = if remote {
+            http_shards
+        } else {
+            shards.unwrap_or(0)
         };
         emit(
             &mut records,
             Record {
                 mode: format!("{mode}(clients={clients})"),
-                shards: shards.unwrap_or(0),
+                shards: row_shards,
                 docs: stats.classified as usize,
                 seconds,
                 trash: stats.trash as usize,
@@ -426,7 +458,7 @@ fn main() {
                     "http-keepalive-{}(clients={clients})",
                     mode.trim_start_matches("http-")
                 ),
-                shards: shards.unwrap_or(0),
+                shards: row_shards,
                 docs: stream.len(),
                 seconds: ka_seconds,
                 trash: (ka_stats.trash - stats.trash) as usize,

@@ -10,10 +10,11 @@ use crate::flags::Parsed;
 use cxk_core::{
     load_model_file, save_model_file, Algorithm, Backend, CxkError, EngineBuilder, TrainedModel,
 };
-use cxk_serve::{assignment_json, json_escape, Classifier, ServeOptions, Server};
+use cxk_serve::{assignment_json, json_escape, Classifier, ServeOptions, Server, ShardDaemon};
 use cxk_transact::{load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Renders a [`CxkError`] as a CLI message, mapping engine configuration
 /// fields back onto the flags that set them so the user sees `--k`, `--m`,
@@ -335,6 +336,17 @@ pub fn serve(args: &[String]) -> Result<String, String> {
             Some(s)
         }
     };
+    let remote_shards = remote_shards_from_flags(&parsed, shards.is_some())?;
+    let remote_deadline = match parsed.get_str("remote-deadline-ms") {
+        None => ServeOptions::default().remote_deadline,
+        Some(_) => {
+            let ms: u64 = parsed.get("remote-deadline-ms", 0)?;
+            if ms == 0 {
+                return Err("--remote-deadline-ms must be at least 1".into());
+            }
+            std::time::Duration::from_millis(ms)
+        }
+    };
     let watch = match parsed.get_str("watch") {
         None => None,
         Some(_) => {
@@ -359,6 +371,7 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         }
     };
     let model = read_model(model_path)?;
+    let remote_count = remote_shards.len();
     let opts = ServeOptions {
         threads,
         brute_force: parsed.has("brute"),
@@ -367,12 +380,18 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         watch,
         queue_depth,
         keep_alive,
+        remote_shards,
+        remote_deadline,
         ..ServeOptions::default()
     };
     let k = model.k();
-    let layout = match shards {
-        Some(s) => format!(", {s} shards (one shared index per epoch)"),
-        None => String::new(),
+    let layout = if remote_count > 0 {
+        format!(", {remote_count} remote shards (scatter/gather over the cxk_p2p fabric)")
+    } else {
+        match shards {
+            Some(s) => format!(", {s} shards (one shared index per epoch)"),
+            None => String::new(),
+        }
     };
     let watching = match watch {
         Some(interval) => format!(", watching {model_path} every {}s", interval.as_secs()),
@@ -386,6 +405,115 @@ pub fn serve(args: &[String]) -> Result<String, String> {
     );
     server.join();
     Ok(String::new())
+}
+
+/// `cxk shard-serve --model <model.cxkmodel> --range A..B --listen ADDR` —
+/// run one shard daemon in the foreground: it loads the snapshot, builds
+/// the postings slice for representatives `A..B` (half-open, must be a
+/// sub-range of `0..k`), and answers scatter requests over the `cxk_p2p`
+/// framed-TCP fabric. A frontend started with `cxk serve --remote-shards`
+/// fans every classification out to a set of these daemons. Only returns
+/// on error.
+pub fn shard_serve(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    if let Some(stray) = parsed.positional().first() {
+        return Err(format!(
+            "shard-serve takes no positional arguments (got `{stray}`); use --model/--range/--listen"
+        ));
+    }
+    let model_path = parsed
+        .get_str("model")
+        .ok_or("shard-serve needs --model <model.cxkmodel>")?;
+    let range_raw = parsed
+        .get_str("range")
+        .ok_or("shard-serve needs --range A..B")?;
+    let listen = parsed
+        .get_str("listen")
+        .ok_or("shard-serve needs --listen ADDR (e.g. 127.0.0.1:7271)")?;
+    // The range's *shape* is validated before the model is even read; its
+    // bounds are checked against the model's k right after.
+    let range = parse_rep_range(range_raw)?;
+    let model = read_model(model_path)?;
+    let k = model.k();
+    if range.start > range.end || range.end as usize > k {
+        return Err(format!(
+            "--range: {}..{} is not a sub-range of the model's representatives 0..{k}",
+            range.start, range.end
+        ));
+    }
+    let daemon = ShardDaemon::start(Arc::new(model), range.clone(), listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    eprintln!(
+        "cxk: shard daemon serving representatives {}..{} of k={k} on {} (cxk_p2p frames, not HTTP)",
+        range.start,
+        range.end,
+        daemon.addr()
+    );
+    daemon.join();
+    Ok(String::new())
+}
+
+/// Parses `A..B` into a half-open representative range.
+fn parse_rep_range(raw: &str) -> Result<std::ops::Range<u32>, String> {
+    let malformed = || format!("--range: cannot parse `{raw}` (expected A..B, e.g. 0..4)");
+    let (a, b) = raw.split_once("..").ok_or_else(malformed)?;
+    let start: u32 = a.parse().map_err(|_| malformed())?;
+    let end: u32 = b.parse().map_err(|_| malformed())?;
+    Ok(start..end)
+}
+
+/// Parses `--remote-shards addr1,addr2,…` plus the optional parallel
+/// `--replicas` list into one replica set per shard slot. `--replicas`
+/// must have exactly one comma-separated entry per remote shard: `-` for
+/// no replica, or `addr` (with `|` separating several alternates). The
+/// in-process and remote layouts are mutually exclusive.
+fn remote_shards_from_flags(
+    parsed: &Parsed,
+    in_process_shards: bool,
+) -> Result<Vec<Vec<String>>, String> {
+    let Some(raw) = parsed.get_str("remote-shards") else {
+        if parsed.get_str("replicas").is_some() {
+            return Err("--replicas: requires --remote-shards".into());
+        }
+        return Ok(Vec::new());
+    };
+    if in_process_shards {
+        return Err(
+            "--remote-shards: cannot be combined with --shards (pick one shard layout)".into(),
+        );
+    }
+    let mut sets: Vec<Vec<String>> = Vec::new();
+    for addr in raw.split(',') {
+        let addr = addr.trim();
+        if addr.is_empty() {
+            return Err(format!("--remote-shards: empty address in `{raw}`"));
+        }
+        sets.push(vec![addr.to_string()]);
+    }
+    if let Some(reps) = parsed.get_str("replicas") {
+        let columns: Vec<&str> = reps.split(',').collect();
+        if columns.len() != sets.len() {
+            return Err(format!(
+                "--replicas: {} entries for {} remote shards (one per shard, `-` for none)",
+                columns.len(),
+                sets.len()
+            ));
+        }
+        for (set, column) in sets.iter_mut().zip(columns) {
+            let column = column.trim();
+            if column == "-" {
+                continue;
+            }
+            for alternate in column.split('|') {
+                let alternate = alternate.trim();
+                if alternate.is_empty() {
+                    return Err(format!("--replicas: empty replica address in `{reps}`"));
+                }
+                set.push(alternate.to_string());
+            }
+        }
+    }
+    Ok(sets)
 }
 
 /// Loads and validates a `.cxkmodel` snapshot, surfacing I/O and decode
@@ -817,6 +945,132 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("cannot read"));
+    }
+
+    #[test]
+    fn serve_remote_flags_are_validated_before_the_model_is_read() {
+        // The two shard layouts are mutually exclusive.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--shards".into(),
+            "2".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--remote-shards"), "{e}");
+        assert!(e.contains("--shards"), "{e}");
+        // --replicas is a parallel list: one entry per remote shard.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271,127.0.0.1:7272".into(),
+            "--replicas".into(),
+            "127.0.0.1:7273".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--replicas"), "{e}");
+        assert!(e.contains("2 remote shards"), "{e}");
+        // …and meaningless without --remote-shards.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--replicas".into(),
+            "127.0.0.1:7273".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("requires --remote-shards"), "{e}");
+        // Empty addresses are rejected, not silently skipped.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271,,127.0.0.1:7272".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("empty address"), "{e}");
+        // A zero deadline is rejected.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271".into(),
+            "--remote-deadline-ms".into(),
+            "0".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--remote-deadline-ms"), "{e}");
+        // A well-formed remote topology gets past flag validation and
+        // fails on the missing model instead.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271,127.0.0.1:7272".into(),
+            "--replicas".into(),
+            "127.0.0.1:7273|127.0.0.1:7274,-".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn shard_serve_validates_flags_and_range_bounds() {
+        assert!(shard_serve(&args(&[])).unwrap_err().contains("--model"));
+        assert!(shard_serve(&args(&["stray.xml".into()]))
+            .unwrap_err()
+            .contains("no positional arguments"));
+        let e =
+            shard_serve(&args(&["--model".into(), "/nonexistent.cxkmodel".into()])).unwrap_err();
+        assert!(e.contains("--range"), "{e}");
+        let e = shard_serve(&args(&[
+            "--model".into(),
+            "/nonexistent.cxkmodel".into(),
+            "--range".into(),
+            "0..2".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--listen"), "{e}");
+        // The range's shape is checked before the model is read.
+        for bad in ["whole", "0..", "..2", "0-2", "a..b"] {
+            let e = shard_serve(&args(&[
+                "--model".into(),
+                "/nonexistent.cxkmodel".into(),
+                "--range".into(),
+                bad.into(),
+                "--listen".into(),
+                "127.0.0.1:0".into(),
+            ]))
+            .unwrap_err();
+            assert!(e.contains("--range"), "{bad}: {e}");
+            assert!(e.contains("expected A..B"), "{bad}: {e}");
+        }
+
+        // Bounds are checked against the trained model's k.
+        let dir = scratch("shard-serve");
+        write_corpus(&dir);
+        let model_path = dir.join("model.cxkmodel");
+        train(&args(&[
+            dir.to_str().unwrap().to_string(),
+            "-o".into(),
+            model_path.to_str().unwrap().to_string(),
+            "--k".into(),
+            "2".into(),
+            "--gamma".into(),
+            "0.5".into(),
+            "--seed".into(),
+            "1".into(),
+        ]))
+        .expect("train");
+        for bad in ["1..5", "3..3", "2..1"] {
+            let e = shard_serve(&args(&[
+                "--model".into(),
+                model_path.to_str().unwrap().to_string(),
+                "--range".into(),
+                bad.into(),
+                "--listen".into(),
+                "127.0.0.1:0".into(),
+            ]))
+            .unwrap_err();
+            assert!(e.contains("--range"), "{bad}: {e}");
+            assert!(e.contains("sub-range"), "{bad}: {e}");
+        }
     }
 
     #[test]

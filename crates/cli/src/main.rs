@@ -49,16 +49,27 @@ commands:
            assign new documents to a trained model's clusters
            (--jsonl prints one JSON object per document)
   serve    <model.cxkmodel> [--port 7070] [--threads 4] [--shards S]
-           [--brute] [--watch SECS] [--queue-depth 256] [--keep-alive 30]
+           [--remote-shards a1,a2,…] [--replicas r1|r1b,-,…]
+           [--remote-deadline-ms 2000] [--brute] [--watch SECS]
+           [--queue-depth 256] [--keep-alive 30]
            run the HTTP classification server (POST /classify);
            --shards partitions the representatives across S shards
            sharing one scatter/gather index per model epoch (same
            assignments, memory constant in --threads);
+           --remote-shards instead scatters every classification to
+           shard daemons (see shard-serve) listed in ascending range
+           order — --replicas names failover alternates per shard
+           (`-` = none, `|` separates several) and
+           --remote-deadline-ms bounds each shard's answer;
            POST /reload (or --watch) hot-swaps a retrained snapshot
            into the running workers without dropping requests;
            connections are keep-alive by default (--keep-alive SECS
            sets the idle horizon, 0 disables reuse) and requests
            beyond --queue-depth are shed with 503 + Retry-After
+  shard-serve --model <model.cxkmodel> --range A..B --listen ADDR
+           run one shard daemon: serve representatives A..B (half-open,
+           a sub-range of 0..k) over the cxk_p2p framed-TCP fabric for
+           a `serve --remote-shards` frontend to scatter to
 
 `-o` and `--out` are interchangeable wherever an output path is taken.
 ";
@@ -90,6 +101,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "train" => commands::train(rest),
         "classify" => commands::classify(rest),
         "serve" => commands::serve(rest),
+        "shard-serve" => commands::shard_serve(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         "version" | "--version" | "-V" => Ok(format!("cxk {}\n", env!("CARGO_PKG_VERSION"))),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),

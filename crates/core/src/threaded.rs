@@ -20,11 +20,11 @@ use crate::error::CxkError;
 use crate::globalrep::compute_global_representative;
 use crate::outcome::{ClusteringOutcome, RoundTrace};
 use crate::rep::Representative;
-use cxk_p2p::{Network, Peer, PeerId, Wire};
+use cxk_p2p::{Network, NetworkError, Peer, PeerId, Wire};
 use cxk_transact::item::ItemView;
 use cxk_transact::Dataset;
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Protocol messages.
 #[derive(Debug, Clone)]
@@ -379,10 +379,20 @@ fn peer_main(
     }
 }
 
+/// How long a peer waits on the fabric before concluding the protocol is
+/// wedged. In-process channels deliver in microseconds; a minute of
+/// silence means a sibling thread died or deadlocked, and a liveness
+/// panic with the typed [`NetworkError::Timeout`] beats hanging the whole
+/// `fit` forever on a blocking receive.
+const PEER_RECV_DEADLINE: Duration = Duration::from_secs(60);
+
 /// Returns the first message satisfying `pred`, searching the buffered
-/// inbox before blocking on the network. Non-matching network messages are
+/// inbox before waiting on the network. Non-matching network messages are
 /// buffered for later phases; buffered messages are never re-examined in
-/// the same call, so a wait can neither spin nor starve the channel.
+/// the same call, so a wait can neither spin nor starve the channel. The
+/// wait is bounded by [`PEER_RECV_DEADLINE`]: a typed
+/// [`NetworkError::Timeout`] is a liveness failure and panics with a
+/// diagnostic instead of blocking forever.
 fn recv_matching(
     net: &Peer<CxkMsg>,
     inbox: &mut VecDeque<(usize, CxkMsg)>,
@@ -392,7 +402,14 @@ fn recv_matching(
         return inbox.remove(pos).expect("position is in bounds");
     }
     loop {
-        let envelope = net.recv().expect("peer receive");
+        let envelope = match net.recv_timeout(PEER_RECV_DEADLINE) {
+            Ok(envelope) => envelope,
+            Err(NetworkError::Timeout) => panic!(
+                "peer {} heard nothing for {PEER_RECV_DEADLINE:?}: a sibling peer died or the protocol deadlocked",
+                net.id.index()
+            ),
+            Err(e) => panic!("peer {} receive failed: {e}", net.id.index()),
+        };
         let entry = (envelope.from.index(), envelope.payload);
         if pred(&entry.1) {
             return entry;

@@ -8,6 +8,9 @@
 //!   threads connected by crossbeam channels, with per-edge traffic
 //!   accounting. Used by the threaded CXK-means runner to exercise genuine
 //!   concurrency and by the protocol tests.
+//! * [`tcp`] — the same envelope semantics over length-prefixed TCP
+//!   frames, for fabrics that span process boundaries (the distributed
+//!   serving layer). Traffic is metered into the same [`TrafficLedger`].
 //! * [`simclock`] — a deterministic simulated clock implementing the
 //!   paper's own cost model (§4.3.4): main-memory work is charged at
 //!   `t_mem` per operation unit and transfers at `t_comm` per byte, with
@@ -20,6 +23,8 @@
 
 pub mod net;
 pub mod simclock;
+pub mod tcp;
 
 pub use net::{Envelope, Network, NetworkError, Peer, PeerId, TrafficLedger, Wire};
 pub use simclock::{CostModel, RoundSample, SimClock};
+pub use tcp::{FramedConn, WireCodec, WireReader};

@@ -77,7 +77,13 @@ pub struct TrafficLedger {
 }
 
 impl TrafficLedger {
-    fn new(m: usize) -> Self {
+    /// Creates a ledger for `m` peers with all counters at zero.
+    ///
+    /// [`Network::create`] builds one internally; external transports (the
+    /// framed TCP transport in [`crate::tcp`]) construct their own and
+    /// share it across connections so cross-process traffic is metered
+    /// under the same contract as in-process traffic.
+    pub fn new(m: usize) -> Self {
         Self {
             m,
             total_messages: AtomicU64::new(0),
@@ -86,7 +92,10 @@ impl TrafficLedger {
         }
     }
 
-    fn record(&self, from: PeerId, to: PeerId, bytes: usize) {
+    /// Meters one message of `bytes` wire bytes on the directed edge
+    /// `from → to`. Every transport records each message exactly once, at
+    /// send time.
+    pub fn record(&self, from: PeerId, to: PeerId, bytes: usize) {
         self.total_messages.fetch_add(1, Ordering::Relaxed);
         self.total_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         let mut edges = self.edges.lock();

@@ -34,9 +34,11 @@
 //! execution strategies with a single classify surface.
 
 use crate::index::{Candidates, TagPathIndex};
+use crate::remote::{RemoteClassifier, RemoteEngine};
 use crate::shard::{ShardedClassifier, ShardedEngine};
 use cxk_core::rep::RepItem;
 use cxk_core::TrainedModel;
+use cxk_p2p::NetworkError;
 use cxk_text::{preprocess, ttf_itf, SparseVec, TermStatsBuilder};
 use cxk_transact::item::{item_fingerprint, ItemView};
 use cxk_transact::txsim::sim_gamma_j;
@@ -67,6 +69,57 @@ pub struct DocumentAssignment {
     pub score: f64,
     /// Per-tuple assignments, in tree-tuple extraction order.
     pub tuples: Vec<TupleAssignment>,
+}
+
+/// A classification failure, as surfaced through [`ClassifyEngine`].
+///
+/// The in-process strategies only ever fail to parse; the remote strategy
+/// adds the network: a shard's whole replica set timing out or hanging up
+/// ([`ClassifyError::Network`] — a [`NetworkError::Timeout`] stays typed
+/// so callers can distinguish deadline misses from hangups), or a daemon
+/// answering with a protocol/configuration error such as a model-digest
+/// mismatch ([`ClassifyError::Remote`]).
+#[derive(Debug)]
+pub enum ClassifyError {
+    /// The document failed to parse.
+    Xml(XmlError),
+    /// A remote shard could not be reached within the failover budget.
+    Network(NetworkError),
+    /// A remote shard answered, but with a protocol or configuration
+    /// error.
+    Remote(String),
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::Xml(e) => write!(f, "{e}"),
+            ClassifyError::Network(e) => write!(f, "remote shard unavailable: {e}"),
+            ClassifyError::Remote(message) => write!(f, "remote shard error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClassifyError::Xml(e) => Some(e),
+            ClassifyError::Network(e) => Some(e),
+            ClassifyError::Remote(_) => None,
+        }
+    }
+}
+
+impl From<XmlError> for ClassifyError {
+    fn from(e: XmlError) -> Self {
+        ClassifyError::Xml(e)
+    }
+}
+
+impl From<NetworkError> for ClassifyError {
+    fn from(e: NetworkError) -> Self {
+        ClassifyError::Network(e)
+    }
 }
 
 /// The per-worker mutable half of a classification session: private
@@ -442,7 +495,7 @@ impl Classifier {
     }
 }
 
-/// The serving-layer seam over the two classify execution strategies: a
+/// The serving-layer seam over the classify execution strategies: a
 /// worker holds one `ClassifyEngine` per model epoch and drives it through
 /// a single surface, regardless of how scoring is laid out.
 ///
@@ -455,44 +508,66 @@ impl Classifier {
 ///   whole pool, representatives partitioned across shards, queries
 ///   scattered and gathered (bit-identical to brute force; see the `shard`
 ///   module docs).
+/// * [`ClassifyEngine::Remote`] — the worker holds a
+///   [`RemoteClassifier`] over the server's shared [`RemoteEngine`]
+///   topology: the same scatter/gather, but the shards are daemons in
+///   other processes and only postings for *their* ranges are resident
+///   anywhere (bit-identical too; see the `remote` module docs).
 pub enum ClassifyEngine {
     /// One private full-index classifier (the historical layout).
     Replicated(Box<Classifier>),
     /// A per-worker session over the epoch's shared sharded engine.
     Sharded(Box<ShardedClassifier>),
+    /// A per-worker session over the shared remote shard topology.
+    Remote(Box<RemoteClassifier>),
 }
 
 impl ClassifyEngine {
-    /// Builds the engine for one epoch: sharded when the epoch published a
-    /// shared sharded engine, replicated otherwise.
-    pub fn for_epoch(model: &Arc<TrainedModel>, sharded: Option<&Arc<ShardedEngine>>) -> Self {
-        match sharded {
-            Some(engine) => {
+    /// Builds the engine for one epoch: remote when the server was
+    /// configured with a remote topology (which outlives epochs), sharded
+    /// when the epoch published a shared sharded engine, replicated
+    /// otherwise.
+    pub fn for_epoch(
+        model: &Arc<TrainedModel>,
+        sharded: Option<&Arc<ShardedEngine>>,
+        remote: Option<&Arc<RemoteEngine>>,
+    ) -> Self {
+        match (remote, sharded) {
+            (Some(topology), _) => ClassifyEngine::Remote(Box::new(RemoteClassifier::new(
+                Arc::clone(topology),
+                Arc::clone(model),
+            ))),
+            (None, Some(engine)) => {
                 ClassifyEngine::Sharded(Box::new(ShardedClassifier::new(Arc::clone(engine))))
             }
-            None => ClassifyEngine::Replicated(Box::new(Classifier::shared(Arc::clone(model)))),
+            (None, None) => {
+                ClassifyEngine::Replicated(Box::new(Classifier::shared(Arc::clone(model))))
+            }
         }
     }
 
     /// Classifies one XML document (index-pruned).
     ///
     /// # Errors
-    /// Returns the XML parse error; the engine stays usable.
-    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+    /// [`ClassifyError::Xml`] on parse failure; the network variants only
+    /// when running remote. The engine stays usable either way.
+    pub fn classify(&mut self, xml: &str) -> Result<DocumentAssignment, ClassifyError> {
         match self {
-            ClassifyEngine::Replicated(c) => c.classify(xml),
-            ClassifyEngine::Sharded(c) => c.classify(xml),
+            ClassifyEngine::Replicated(c) => c.classify(xml).map_err(ClassifyError::Xml),
+            ClassifyEngine::Sharded(c) => c.classify(xml).map_err(ClassifyError::Xml),
+            ClassifyEngine::Remote(c) => c.classify(xml),
         }
     }
 
     /// Classifies one XML document scoring every representative.
     ///
     /// # Errors
-    /// Returns the XML parse error; the engine stays usable.
-    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, XmlError> {
+    /// As [`ClassifyEngine::classify`].
+    pub fn classify_brute(&mut self, xml: &str) -> Result<DocumentAssignment, ClassifyError> {
         match self {
-            ClassifyEngine::Replicated(c) => c.classify_brute(xml),
-            ClassifyEngine::Sharded(c) => c.classify_brute(xml),
+            ClassifyEngine::Replicated(c) => c.classify_brute(xml).map_err(ClassifyError::Xml),
+            ClassifyEngine::Sharded(c) => c.classify_brute(xml).map_err(ClassifyError::Xml),
+            ClassifyEngine::Remote(c) => c.classify_brute(xml),
         }
     }
 
@@ -501,6 +576,7 @@ impl ClassifyEngine {
         match self {
             ClassifyEngine::Replicated(c) => c.model(),
             ClassifyEngine::Sharded(c) => c.model(),
+            ClassifyEngine::Remote(c) => c.model(),
         }
     }
 
@@ -509,20 +585,30 @@ impl ClassifyEngine {
         self.model().trash_id()
     }
 
-    /// Total posting entries behind this engine (the worker's own index,
-    /// or the shared shard set).
+    /// Total posting entries resident in *this* process behind the engine
+    /// (the worker's own index, or the shared shard set; zero when remote
+    /// — the postings live in the daemons).
     pub fn posting_entries(&self) -> usize {
         match self {
             ClassifyEngine::Replicated(c) => c.index().posting_entries(),
             ClassifyEngine::Sharded(c) => c.engine().posting_entries(),
+            ClassifyEngine::Remote(_) => 0,
         }
     }
 
     /// The shared sharded engine, when running sharded.
     pub fn sharded_engine(&self) -> Option<&Arc<ShardedEngine>> {
         match self {
-            ClassifyEngine::Replicated(_) => None,
             ClassifyEngine::Sharded(c) => Some(c.engine()),
+            _ => None,
+        }
+    }
+
+    /// The shared remote topology, when running remote.
+    pub fn remote_engine(&self) -> Option<&Arc<RemoteEngine>> {
+        match self {
+            ClassifyEngine::Remote(c) => Some(c.engine()),
+            _ => None,
         }
     }
 }
@@ -688,10 +774,11 @@ mod tests {
     fn engine_seam_agrees_across_strategies() {
         let model = Arc::new(model());
         let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), 3));
-        let mut replicated = ClassifyEngine::for_epoch(&model, None);
-        let mut sharded = ClassifyEngine::for_epoch(&model, Some(&engine));
+        let mut replicated = ClassifyEngine::for_epoch(&model, None, None);
+        let mut sharded = ClassifyEngine::for_epoch(&model, Some(&engine), None);
         assert!(replicated.sharded_engine().is_none());
         assert!(sharded.sharded_engine().is_some());
+        assert!(sharded.remote_engine().is_none());
         for doc in [mining_doc(2), networking_doc(4)] {
             let a = replicated.classify(&doc).expect("replicated");
             let b = sharded.classify(&doc).expect("sharded");

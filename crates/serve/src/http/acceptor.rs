@@ -25,6 +25,7 @@
 use super::conn::{render_response, Conn, Limits};
 use super::queue::{BoundedQueue, PushError};
 use super::{json_escape, Completion, Job, ServerStats};
+use crate::remote::RemoteEngine;
 use crate::slot::{EpochModel, ModelSlot};
 use cxk_core::MODEL_FORMAT_VERSION;
 use mio::{Events, Interest, Poll, Registry, Token};
@@ -61,6 +62,9 @@ pub(crate) struct Acceptor {
     pub idle_horizon: Duration,
     pub io_timeout: Duration,
     pub brute: bool,
+    /// The remote shard topology, when serving through shard daemons —
+    /// `GET /stats` reports its per-shard counters.
+    pub remote: Option<Arc<RemoteEngine>>,
 }
 
 /// Runs the loop until shutdown. Closing the queue on the way out is the
@@ -79,6 +83,7 @@ pub(crate) fn run(acceptor: Acceptor) {
         idle_horizon,
         io_timeout,
         brute,
+        remote,
     } = acceptor;
     let registry = poll.registry().clone();
     let mut events = Events::with_capacity(256);
@@ -121,6 +126,7 @@ pub(crate) fn run(acceptor: Acceptor) {
                 &limits,
                 force_close,
                 brute,
+                remote.as_deref(),
                 now,
             );
             settle(&mut conns, &mut free, done.token, &registry, keep);
@@ -161,6 +167,7 @@ pub(crate) fn run(acceptor: Acceptor) {
                             &limits,
                             force_close,
                             brute,
+                            remote.as_deref(),
                             now,
                         );
                     }
@@ -240,6 +247,7 @@ fn pump(
     limits: &Limits,
     force_close: bool,
     brute: bool,
+    remote: Option<&RemoteEngine>,
     now: Instant,
 ) -> bool {
     let before = conn.requests_parsed;
@@ -250,11 +258,12 @@ fn pump(
             stats.reused.fetch_add(1, Ordering::Relaxed);
         }
     }
-    dispatch(conn, idx, queue, slot, stats, brute);
+    dispatch(conn, idx, queue, slot, stats, brute, remote);
     conn.flush(now).is_ok()
 }
 
 /// Answers or forwards every dispatchable pending request, in order.
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     conn: &mut Conn,
     idx: usize,
@@ -262,6 +271,7 @@ fn dispatch(
     slot: &ModelSlot,
     stats: &ServerStats,
     brute: bool,
+    remote: Option<&RemoteEngine>,
 ) {
     while !conn.in_flight && !conn.close_after_flush {
         let Some(request) = conn.pending.pop_front() else {
@@ -315,7 +325,7 @@ fn dispatch(
             }
             ("GET", "/stats") => {
                 let current = slot.current();
-                let body = stats_json(&current, stats, queue, brute);
+                let body = stats_json(&current, stats, queue, brute, remote);
                 conn.queue_bytes(&render_response(200, current.epoch, &body, close, None));
                 if close {
                     conn.close_after_flush = true;
@@ -503,29 +513,50 @@ fn stats_json(
     stats: &ServerStats,
     queue: &BoundedQueue<Job>,
     brute: bool,
+    remote: Option<&RemoteEngine>,
 ) -> String {
-    // Per-shard detail (sharded mode): one object per shard, in range
-    // order, counting since this epoch's engine was built.
-    let engine_detail = match current.sharded.as_ref() {
-        Some(sharded) => {
-            let shards: Vec<String> = sharded
-                .shard_stats()
-                .iter()
-                .map(|s| {
-                    format!(
-                        r#"{{"reps":{},"postings":{},"queries":{},"scored":{}}}"#,
-                        s.reps, s.postings, s.queries, s.scored
-                    )
-                })
-                .collect();
-            format!(
-                r#""engine":"sharded","shards":{},"postings_bytes":{},"shard_stats":[{}]"#,
-                sharded.shard_count(),
-                sharded.postings_bytes(),
-                shards.join(",")
-            )
+    // Per-shard detail: one object per shard, in range order. Remote
+    // counters live outside the epoch (the topology survives reloads);
+    // sharded counters count since this epoch's engine was built.
+    let engine_detail = if let Some(remote) = remote {
+        let shards: Vec<String> = remote
+            .shard_stats()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    r#"{{"shard":{i},"replicas":{},"requests":{},"retries":{},"failovers":{},"bytes":{},"rtt_micros":{}}}"#,
+                    s.replicas, s.requests, s.retries, s.failovers, s.bytes, s.rtt_micros
+                )
+            })
+            .collect();
+        format!(
+            r#""engine":"remote","remote_shards":{},"remote_shard_stats":[{}]"#,
+            remote.shard_count(),
+            shards.join(",")
+        )
+    } else {
+        match current.sharded.as_ref() {
+            Some(sharded) => {
+                let shards: Vec<String> = sharded
+                    .shard_stats()
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            r#"{{"reps":{},"postings":{},"queries":{},"scored":{}}}"#,
+                            s.reps, s.postings, s.queries, s.scored
+                        )
+                    })
+                    .collect();
+                format!(
+                    r#""engine":"sharded","shards":{},"postings_bytes":{},"shard_stats":[{}]"#,
+                    sharded.shard_count(),
+                    sharded.postings_bytes(),
+                    shards.join(",")
+                )
+            }
+            None => r#""engine":"replicated""#.to_string(),
         }
-        None => r#""engine":"replicated""#.to_string(),
     };
     format!(
         r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"rejected":{},"reused":{},"queue_depth":{},"queue_len":{},"index_postings":{},"brute_force":{},{engine_detail}}}"#,

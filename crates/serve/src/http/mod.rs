@@ -81,12 +81,14 @@ mod acceptor;
 mod conn;
 mod queue;
 
-use crate::classify::{ClassifyEngine, DocumentAssignment};
+use crate::classify::{ClassifyEngine, ClassifyError, DocumentAssignment};
+use crate::remote::RemoteEngine;
 use crate::slot::{EpochModel, ModelSlot};
 use conn::{Limits, Request};
 use cxk_core::{
     load_model, peek_format_version, snapshot_digest, TrainedModel, MODEL_FORMAT_VERSION,
 };
+use cxk_p2p::NetworkError;
 use mio::{Interest, Poll, Waker};
 use queue::BoundedQueue;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -121,6 +123,17 @@ pub struct ServeOptions {
     /// assignment is bit-identical to replicated and brute-force
     /// assignment — see the `shard` module docs.
     pub shards: Option<usize>,
+    /// Scatter queries to shard daemons in other processes instead of
+    /// scoring anything locally (`cxk serve --remote-shards a1,a2,...`).
+    /// `remote_shards[i]` is shard slot `i`'s replica set, in ascending
+    /// representative-range order; each replica is a `host:port` of a
+    /// `cxk shard-serve` daemon holding the same model snapshot. Takes
+    /// precedence over `shards`. Remote assignment is bit-identical to
+    /// every local strategy — see the `remote` module docs.
+    pub remote_shards: Vec<Vec<String>>,
+    /// Per-shard scatter deadline before failing over to the next
+    /// replica (`cxk serve --remote-deadline-ms <n>`).
+    pub remote_deadline: Duration,
     /// The snapshot path behind the model, if it came from disk: the
     /// default `POST /reload` target and the file the watcher polls.
     pub model_path: Option<PathBuf>,
@@ -158,6 +171,8 @@ impl Default for ServeOptions {
             brute_force: false,
             io_timeout: Duration::from_secs(10),
             shards: None,
+            remote_shards: Vec::new(),
+            remote_deadline: Duration::from_secs(2),
             model_path: None,
             watch: None,
             queue_depth: 256,
@@ -263,6 +278,9 @@ struct WorkerCtx {
     stats: Arc<ServerStats>,
     brute: bool,
     model_path: Option<PathBuf>,
+    /// The shared remote topology; workers classify through shard
+    /// daemons when set.
+    remote: Option<Arc<RemoteEngine>>,
 }
 
 impl Server {
@@ -284,7 +302,19 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
-        let slot = Arc::new(ModelSlot::with_shards(model, opts.shards));
+        // Remote serving scores nothing locally, so a remote topology
+        // suppresses the in-process shard engine a `shards` setting would
+        // otherwise build on every epoch.
+        let remote = if opts.remote_shards.is_empty() {
+            None
+        } else {
+            Some(Arc::new(RemoteEngine::new(
+                opts.remote_shards.clone(),
+                opts.remote_deadline,
+            )))
+        };
+        let shards = if remote.is_some() { None } else { opts.shards };
+        let slot = Arc::new(ModelSlot::with_shards(model, shards));
         let threads = opts.threads.max(1);
 
         let poll = Poll::new()?;
@@ -300,7 +330,7 @@ impl Server {
         // on every engine rebuild.)
         {
             let current = slot.current();
-            let engine = engine_for(&current);
+            let engine = engine_for(&current, remote.as_ref());
             stats
                 .index_postings
                 .store(engine.posting_entries() as u64, Ordering::Relaxed);
@@ -313,6 +343,7 @@ impl Server {
                 stats: Arc::clone(&stats),
                 brute: opts.brute_force,
                 model_path: opts.model_path.clone(),
+                remote: remote.clone(),
             };
             let queue = Arc::clone(&queue);
             let tx = completion_tx.clone();
@@ -341,6 +372,7 @@ impl Server {
                 idle_horizon: opts.keep_alive.unwrap_or(opts.io_timeout),
                 io_timeout: opts.io_timeout.max(Duration::from_millis(1)),
                 brute: opts.brute_force,
+                remote: remote.clone(),
             };
             std::thread::spawn(move || acceptor::run(ctx))
         };
@@ -442,11 +474,12 @@ impl Drop for Server {
     }
 }
 
-/// One worker's classify engine for a published epoch: a lightweight
+/// One worker's classify engine for a published epoch: a remote fan-out
+/// session when the server has a shard-daemon topology, a lightweight
 /// session over the epoch's shared shard set, or a private full-index
 /// classifier when the slot runs replicated.
-fn engine_for(epoch: &EpochModel) -> ClassifyEngine {
-    ClassifyEngine::for_epoch(&epoch.model, epoch.sharded.as_ref())
+fn engine_for(epoch: &EpochModel, remote: Option<&Arc<RemoteEngine>>) -> ClassifyEngine {
+    ClassifyEngine::for_epoch(&epoch.model, epoch.sharded.as_ref(), remote)
 }
 
 /// A worker: pull jobs from the bounded queue, keep the engine on the
@@ -460,7 +493,7 @@ fn worker_loop(
     delay: Option<Duration>,
 ) {
     let mut current = ctx.slot.current();
-    let mut engine = engine_for(&current);
+    let mut engine = engine_for(&current, ctx.remote.as_ref());
     while let Some(job) = queue.pop() {
         // Hot reload: observe a newer epoch *between* requests, so
         // in-flight work always finishes on the model it started with
@@ -469,7 +502,7 @@ fn worker_loop(
         // swap time.
         if ctx.slot.epoch() != current.epoch {
             current = ctx.slot.current();
-            engine = engine_for(&current);
+            engine = engine_for(&current, ctx.remote.as_ref());
             ctx.stats
                 .index_postings
                 .store(engine.posting_entries() as u64, Ordering::Relaxed);
@@ -492,6 +525,17 @@ fn worker_loop(
             break;
         }
         let _ = waker.wake();
+    }
+}
+
+/// HTTP status for a classify failure: the client's document is at fault
+/// (`400`), or the serving fabric is — a remote shard's whole replica set
+/// timed out (`504`) or failed some other way (`502`).
+fn classify_error_status(e: &ClassifyError) -> u16 {
+    match e {
+        ClassifyError::Xml(_) => 400,
+        ClassifyError::Network(NetworkError::Timeout) => 504,
+        ClassifyError::Network(_) | ClassifyError::Remote(_) => 502,
     }
 }
 
@@ -562,7 +606,7 @@ fn handle_request(
                 Err(e) => {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                     let body = format!(r#"{{"error":"{}"}}"#, json_escape(&e.to_string()));
-                    (400, epoch, body)
+                    (classify_error_status(&e), epoch, body)
                 }
             }
         }

@@ -20,10 +20,17 @@
 //!   and a gather takes the global argmax, bit-identical to brute force.
 //!   One immutable engine per model epoch is shared by the whole worker
 //!   pool, so resident index memory is constant in the thread count.
+//! * [`remote`] — the same scatter/gather pushed across process
+//!   boundaries over the `cxk_p2p` framed TCP fabric: [`ShardDaemon`]s
+//!   each serve one representative range of the model, and a
+//!   [`RemoteClassifier`] fans every query out to all of them with
+//!   per-shard deadlines and replica failover — still bit-identical to
+//!   brute force (see the module docs for the wire argument).
 //! * [`http`] — a dependency-free multi-threaded HTTP/1.1 server
 //!   ([`Server`]) exposing `POST /classify`, `POST /reload`, `GET /model`
-//!   and `GET /stats`, with one [`ClassifyEngine`] (replicated or
-//!   sharded, per [`ServeOptions::shards`]) per worker thread.
+//!   and `GET /stats`, with one [`ClassifyEngine`] (replicated, sharded
+//!   or remote, per [`ServeOptions::shards`] /
+//!   [`ServeOptions::remote_shards`]) per worker thread.
 //! * [`slot`] — the hot-reload seam: a [`ModelSlot`] holding an
 //!   epoch-versioned `Arc<TrainedModel>` that [`Server::reload`], the
 //!   `POST /reload` endpoint and the opt-in file watcher
@@ -72,11 +79,15 @@
 pub mod classify;
 pub mod http;
 pub mod index;
+pub mod remote;
 pub mod shard;
 pub mod slot;
 
-pub use classify::{Classifier, ClassifyEngine, DocumentAssignment, TupleAssignment};
+pub use classify::{
+    Classifier, ClassifyEngine, ClassifyError, DocumentAssignment, TupleAssignment,
+};
 pub use http::{assignment_json, json_escape, ServeOptions, Server, ServerStats, StatsSnapshot};
 pub use index::{CandidateIds, Candidates, TagPathIndex};
+pub use remote::{RemoteClassifier, RemoteEngine, RemoteShardStats, ShardDaemon};
 pub use shard::{Shard, ShardStats, ShardedClassifier, ShardedEngine};
 pub use slot::{EpochModel, ModelSlot};
