@@ -26,22 +26,32 @@
 //!
 //! # Error mapping and the timeout contract
 //!
-//! * An I/O timeout (or `WouldBlock`) surfaces as
-//!   [`NetworkError::Timeout`] — the typed variant failover logic keys on.
+//! * [`FramedConn::recv_timeout`] bounds the **whole wait** by an absolute
+//!   deadline — the socket timeout is re-armed with the remaining time
+//!   before every `read(2)`, so a slow-dripping peer cannot extend the
+//!   wait by keeping bytes trickling in. Deadline expiry (and `WouldBlock`)
+//!   surfaces as [`NetworkError::Timeout`] — the typed variant failover
+//!   logic keys on.
+//! * A `Timeout` is **resumable**: partially received frame bytes are
+//!   retained in the connection, and the next `recv_timeout` continues the
+//!   same frame where it left off. The stream never desyncs on a timeout,
+//!   so an idle-polling receiver (the shard daemon) may keep the
+//!   connection. A *request/response* caller should still drop the
+//!   connection on timeout — the answer it stopped waiting for may arrive
+//!   later and would be stale (the serving layer's shard failover does
+//!   exactly that, and additionally tags requests with sequence numbers).
 //! * EOF, resets and every other I/O failure surface as
-//!   [`NetworkError::Disconnected`].
+//!   [`NetworkError::Disconnected`]; the connection is then dead.
 //!
-//! After a `Timeout` the stream may be mid-frame, so the connection is no
-//! longer framed-safe: callers must drop it and redial (exactly what the
-//! serving layer's shard failover does). Metering records each frame once,
-//! at send time, matching the in-process ledger contract.
+//! Metering records each frame once, at send time, matching the
+//! in-process ledger contract.
 
 use crate::net::{Envelope, NetworkError, PeerId, TrafficLedger, Wire};
 use std::io::{Read, Write};
 use std::marker::PhantomData;
 use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frames larger than this are treated as protocol corruption rather than
 /// allocated: a desynced stream must not look like a 4 GiB message.
@@ -127,7 +137,20 @@ pub struct FramedConn<M: WireCodec> {
     ledger: Option<Arc<TrafficLedger>>,
     /// Reusable encode buffer.
     buf: Vec<u8>,
+    /// The in-progress inbound frame, retained across timeouts.
+    rx: RxFrame,
     _marker: PhantomData<M>,
+}
+
+/// Receive-side state for one frame, kept on the connection so a timeout
+/// mid-frame resumes instead of desyncing the stream.
+#[derive(Default)]
+struct RxFrame {
+    header: [u8; FRAME_HEADER_BYTES],
+    header_filled: usize,
+    /// Allocated once the header is complete and validated.
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
 }
 
 impl<M: WireCodec> FramedConn<M> {
@@ -144,6 +167,7 @@ impl<M: WireCodec> FramedConn<M> {
             id,
             ledger,
             buf: Vec::new(),
+            rx: RxFrame::default(),
             _marker: PhantomData,
         })
     }
@@ -196,47 +220,94 @@ impl<M: WireCodec> FramedConn<M> {
         Ok(self.buf.len())
     }
 
-    /// Receives one envelope, waiting at most `timeout`, returning it with
-    /// the frame bytes read.
+    /// Receives one envelope, waiting at most `timeout` **in total**,
+    /// returning it with the frame bytes read. The deadline is absolute:
+    /// the socket timeout is re-armed with the remaining time before each
+    /// read, so slowly arriving bytes cannot stretch the wait.
     ///
     /// # Errors
-    /// [`NetworkError::Timeout`] when the deadline passes (the connection
-    /// may then be mid-frame — drop it); [`NetworkError::Disconnected`] on
-    /// EOF, I/O failure, an oversized frame, or a payload `M::decode`
-    /// rejects.
+    /// [`NetworkError::Timeout`] when the deadline passes. Partially
+    /// received frame bytes stay buffered on the connection and the next
+    /// call resumes the same frame — a timeout never desyncs the stream
+    /// (but see the module docs for why request/response callers should
+    /// drop the connection anyway). [`NetworkError::Disconnected`] on EOF,
+    /// I/O failure, an oversized frame, or a payload `M::decode` rejects;
+    /// the connection is then dead.
     pub fn recv_timeout(
         &mut self,
         timeout: Duration,
     ) -> Result<(Envelope<M>, usize), NetworkError> {
-        self.stream
-            .set_read_timeout(Some(timeout))
-            .map_err(|_| NetworkError::Disconnected)?;
-        let mut header = [0u8; FRAME_HEADER_BYTES];
-        read_exact(&mut self.stream, &mut header)?;
+        let deadline = Instant::now() + timeout;
+        let rx = &mut self.rx;
+        while rx.header_filled < FRAME_HEADER_BYTES {
+            let n = read_some(
+                &mut self.stream,
+                &mut rx.header[rx.header_filled..],
+                deadline,
+            )?;
+            rx.header_filled += n;
+        }
+        if rx.payload.is_none() {
+            let len = u32::from_le_bytes(rx.header[8..12].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_BYTES {
+                return Err(NetworkError::Disconnected);
+            }
+            rx.payload = Some(vec![0u8; len]);
+            rx.payload_filled = 0;
+        }
+        let payload = rx.payload.as_mut().expect("allocated above");
+        while rx.payload_filled < payload.len() {
+            let n = read_some(
+                &mut self.stream,
+                &mut payload[rx.payload_filled..],
+                deadline,
+            )?;
+            rx.payload_filled += n;
+        }
         let from = PeerId(u32::from_le_bytes(
-            header[0..4].try_into().expect("4 bytes"),
+            rx.header[0..4].try_into().expect("4 bytes"),
         ));
         let to = PeerId(u32::from_le_bytes(
-            header[4..8].try_into().expect("4 bytes"),
+            rx.header[4..8].try_into().expect("4 bytes"),
         ));
-        let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(NetworkError::Disconnected);
-        }
-        let mut payload = vec![0u8; len];
-        read_exact(&mut self.stream, &mut payload)?;
-        let payload = M::decode(&payload).ok_or(NetworkError::Disconnected)?;
-        Ok((Envelope { from, to, payload }, FRAME_HEADER_BYTES + len))
+        let bytes = rx.payload.take().expect("allocated above");
+        rx.header_filled = 0;
+        rx.payload_filled = 0;
+        let payload = M::decode(&bytes).ok_or(NetworkError::Disconnected)?;
+        Ok((
+            Envelope { from, to, payload },
+            FRAME_HEADER_BYTES + bytes.len(),
+        ))
     }
 }
 
-/// `read_exact` with the module's error mapping: timeouts stay typed, all
-/// other failures (including EOF mid-buffer) collapse to `Disconnected`.
-fn read_exact(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), NetworkError> {
-    stream.read_exact(buf).map_err(|e| match e.kind() {
-        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetworkError::Timeout,
-        _ => NetworkError::Disconnected,
-    })
+/// One `read(2)` bounded by the absolute `deadline`, with the module's
+/// error mapping: deadline expiry and socket timeouts stay typed, EOF and
+/// all other failures collapse to `Disconnected`. Returns `Ok(0)` only on
+/// `Interrupted` (the caller's fill loop simply retries).
+fn read_some(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<usize, NetworkError> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(NetworkError::Timeout);
+    }
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|_| NetworkError::Disconnected)?;
+    match stream.read(buf) {
+        Ok(0) => Err(NetworkError::Disconnected),
+        Ok(n) => Ok(n),
+        Err(e) => match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                Err(NetworkError::Timeout)
+            }
+            std::io::ErrorKind::Interrupted => Ok(0),
+            _ => Err(NetworkError::Disconnected),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +386,57 @@ mod tests {
         let (mut a, _b) = pair(None);
         let err = a.recv_timeout(Duration::from_millis(20)).unwrap_err();
         assert_eq!(err, NetworkError::Timeout);
+    }
+
+    #[test]
+    fn timeout_mid_frame_resumes_on_next_recv() {
+        let (mut a, b) = pair(None);
+        // Hand-feed half a frame, let the receiver time out mid-frame,
+        // then complete it: the next recv must return the intact message.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&1u32.to_le_bytes()); // from
+        frame.extend_from_slice(&0u32.to_le_bytes()); // to
+        frame.extend_from_slice(&7u32.to_le_bytes()); // len
+        frame.extend_from_slice(&3u32.to_le_bytes()); // Msg inner len
+        frame.extend_from_slice(&[4, 5, 6]);
+        let mut raw = b.stream.try_clone().expect("clone");
+        raw.write_all(&frame[..9]).expect("write first half");
+        let err = a.recv_timeout(Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err, NetworkError::Timeout);
+        raw.write_all(&frame[9..]).expect("write second half");
+        let (envelope, read) = a
+            .recv_timeout(Duration::from_secs(5))
+            .expect("resumed recv");
+        assert_eq!(envelope.from, PeerId(1));
+        assert_eq!(envelope.payload, Msg(vec![4, 5, 6]));
+        assert_eq!(read, frame.len());
+        drop(b);
+    }
+
+    #[test]
+    fn slow_drip_cannot_extend_the_deadline() {
+        let (mut a, b) = pair(None);
+        // A peer dripping one byte per 20 ms keeps every per-read timer
+        // happy forever; the absolute deadline must still fire.
+        let mut raw = b.stream.try_clone().expect("clone");
+        let dripper = thread::spawn(move || {
+            for _ in 0..50 {
+                if raw.write_all(&[0]).is_err() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let t0 = std::time::Instant::now();
+        let err = a.recv_timeout(Duration::from_millis(120)).unwrap_err();
+        assert_eq!(err, NetworkError::Timeout);
+        assert!(
+            t0.elapsed() < Duration::from_millis(900),
+            "deadline stretched to {:?} by the drip-feed",
+            t0.elapsed()
+        );
+        drop(a);
+        dripper.join().expect("dripper");
     }
 
     #[test]

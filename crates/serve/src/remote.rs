@@ -46,11 +46,15 @@
 //!
 //! Every shard slot is a replica set. Each request gets a per-shard
 //! deadline; on timeout, disconnect, or a protocol error the frontend
-//! drops that connection (after a timeout the stream may be mid-frame, so
-//! it is no longer framed-safe) and re-asks the *next* replica of the same
+//! drops that connection (after a timeout the abandoned answer may still
+//! arrive and would be stale) and re-asks the *next* replica of the same
 //! range, wrapping around at most once over the set. Only when every
 //! replica has failed does the request surface the last error — a
-//! [`NetworkError::Timeout`] stays typed all the way out. Counters:
+//! [`NetworkError::Timeout`] stays typed all the way out — and on any
+//! error exit every connection with an unread reply in flight is dropped
+//! too. Stale answers are structurally impossible either way: every
+//! `Scatter` carries a sequence number its `ScatterAck` must echo.
+//! Counters:
 //! `retries` counts every re-ask, `failovers` counts answers obtained from
 //! a different replica than first tried, `requests` counts successful
 //! answers, `bytes` counts frame bytes both directions, and `rtt_micros`
@@ -135,6 +139,11 @@ pub enum ShardMsg {
     },
     /// Frontend → daemon: score these tuples against your range.
     Scatter {
+        /// Request sequence number, echoed in the ack. Lets the frontend
+        /// reject an answer to an *earlier* request that was still in
+        /// flight on a reused connection (e.g. after a sibling shard's
+        /// failure aborted a scatter mid-gather).
+        seq: u64,
         /// Skip index pruning and score the whole range (brute force).
         brute: bool,
         /// The document's tuples, one entry per tree tuple.
@@ -142,6 +151,8 @@ pub enum ShardMsg {
     },
     /// Daemon → frontend: one answer per scattered tuple, in order.
     ScatterAck {
+        /// The sequence number of the [`ShardMsg::Scatter`] being answered.
+        seq: u64,
         /// The per-tuple local argmax triples.
         answers: Vec<ShardAnswer>,
     },
@@ -218,14 +229,15 @@ impl Wire for ShardMsg {
             ShardMsg::Hello => 1,
             ShardMsg::HelloAck { .. } => 1 + 8 + 4 + 4 + 4,
             ShardMsg::Scatter { tuples, .. } => {
-                1 + 1
+                1 + 8
+                    + 1
                     + 4
                     + tuples
                         .iter()
                         .map(|t| 4 + t.items.iter().map(WireItem::encoded_len).sum::<usize>())
                         .sum::<usize>()
             }
-            ShardMsg::ScatterAck { answers } => 1 + 4 + 16 * answers.len(),
+            ShardMsg::ScatterAck { answers, .. } => 1 + 8 + 4 + 16 * answers.len(),
             ShardMsg::Error { message } => 1 + 4 + message.len(),
         }
     }
@@ -247,8 +259,9 @@ impl WireCodec for ShardMsg {
                 put_u32(buf, *start);
                 put_u32(buf, *end);
             }
-            ShardMsg::Scatter { brute, tuples } => {
+            ShardMsg::Scatter { seq, brute, tuples } => {
                 buf.push(TAG_SCATTER);
+                put_u64(buf, *seq);
                 buf.push(u8::from(*brute));
                 put_u32(buf, tuples.len() as u32);
                 for tuple in tuples {
@@ -258,8 +271,9 @@ impl WireCodec for ShardMsg {
                     }
                 }
             }
-            ShardMsg::ScatterAck { answers } => {
+            ShardMsg::ScatterAck { seq, answers } => {
                 buf.push(TAG_SCATTER_ACK);
+                put_u64(buf, *seq);
                 put_u32(buf, answers.len() as u32);
                 for answer in answers {
                     put_u64(buf, answer.sim_bits);
@@ -286,6 +300,7 @@ impl WireCodec for ShardMsg {
                 end: r.u32()?,
             },
             TAG_SCATTER => {
+                let seq = r.u64()?;
                 let brute = match r.u8()? {
                     0 => false,
                     1 => true,
@@ -301,9 +316,10 @@ impl WireCodec for ShardMsg {
                     }
                     tuples.push(WireTuple { items });
                 }
-                ShardMsg::Scatter { brute, tuples }
+                ShardMsg::Scatter { seq, brute, tuples }
             }
             TAG_SCATTER_ACK => {
+                let seq = r.u64()?;
                 let len = r.u32()? as usize;
                 let mut answers = Vec::with_capacity(capped_capacity(len));
                 for _ in 0..len {
@@ -313,7 +329,7 @@ impl WireCodec for ShardMsg {
                         scored: r.u32()?,
                     });
                 }
-                ShardMsg::ScatterAck { answers }
+                ShardMsg::ScatterAck { seq, answers }
             }
             TAG_ERROR => {
                 let len = r.u32()? as usize;
@@ -446,7 +462,12 @@ impl ShardDaemon {
             model.params,
             range.start,
         );
-        let digest = snapshot_digest(&save_model(&model)).unwrap_or(0);
+        let digest = snapshot_digest(&save_model(&model)).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "model snapshot digest unavailable",
+            )
+        })?;
         let shared = Arc::new(DaemonShared {
             model,
             range: range.clone(),
@@ -508,6 +529,17 @@ impl Drop for ShardDaemon {
 fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::Acquire) {
+        // Reap finished handlers so a long-lived daemon facing redials
+        // (failover drops connections by design) does not accumulate
+        // handles and dead threads without bound.
+        let mut i = 0;
+        while i < handlers.len() {
+            if handlers[i].is_finished() {
+                let _ = handlers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_shared = Arc::clone(&shared);
@@ -547,6 +579,9 @@ fn handle_conn(stream: TcpStream, shared: &DaemonShared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // `recv_timeout` is resumable: a poll-interval timeout keeps any
+        // partially received frame buffered on the connection, so looping
+        // here is safe even while a large Scatter is dripping in.
         let envelope = match conn.recv_timeout(DAEMON_POLL) {
             Ok((envelope, _)) => envelope,
             Err(NetworkError::Timeout) => continue,
@@ -560,7 +595,8 @@ fn handle_conn(stream: TcpStream, shared: &DaemonShared) {
                 start: shared.range.start,
                 end: shared.range.end,
             },
-            ShardMsg::Scatter { brute, tuples } => ShardMsg::ScatterAck {
+            ShardMsg::Scatter { seq, brute, tuples } => ShardMsg::ScatterAck {
+                seq,
                 answers: answer_scatter(shared, &mut session, &rep_views, brute, &tuples),
             },
             other => ShardMsg::Error {
@@ -731,7 +767,11 @@ impl RemoteEngine {
 pub struct RemoteClassifier {
     engine: Arc<RemoteEngine>,
     model: Arc<TrainedModel>,
-    digest: u64,
+    /// Digest of the frontend's model snapshot; `None` when serialization
+    /// failed, in which case the handshake refuses every replica rather
+    /// than silently matching (a digest can't be fabricated as 0 on both
+    /// sides).
+    digest: Option<u64>,
     session: QuerySession,
     conns: Vec<Option<FramedConn<ShardMsg>>>,
     /// Replica index currently backing each slot's connection.
@@ -739,6 +779,9 @@ pub struct RemoteClassifier {
     /// Ranges learned from handshakes, validated for contiguity.
     ranges: Vec<Option<Range<u32>>>,
     coverage_ok: bool,
+    /// Next scatter sequence number; echoed by daemons so a reply to an
+    /// earlier, abandoned request can never be taken for the current one.
+    next_seq: u64,
 }
 
 impl RemoteClassifier {
@@ -746,7 +789,7 @@ impl RemoteClassifier {
     /// connections are dialed until the first classify.
     pub fn new(engine: Arc<RemoteEngine>, model: Arc<TrainedModel>) -> Self {
         let session = QuerySession::new(&model);
-        let digest = snapshot_digest(&save_model(&model)).unwrap_or(0);
+        let digest = snapshot_digest(&save_model(&model));
         let shards = engine.shard_count();
         Self {
             engine,
@@ -757,6 +800,7 @@ impl RemoteClassifier {
             cursor: vec![0; shards],
             ranges: vec![None; shards],
             coverage_ok: false,
+            next_seq: 0,
         }
     }
 
@@ -829,12 +873,15 @@ impl RemoteClassifier {
                     .collect(),
             })
             .collect();
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let request = ShardMsg::Scatter {
+            seq,
             brute: !indexed,
             tuples: wire_tuples,
         };
 
-        let per_shard = self.scatter(&request, tuples.len())?;
+        let per_shard = self.scatter(&request, seq, tuples.len())?;
 
         let trash = k as u32;
         let mut assignments = Vec::with_capacity(tuples.len());
@@ -865,9 +912,15 @@ impl RemoteClassifier {
 
     /// Scatters `request` to every shard and collects one answer vector
     /// per slot, failing over within each slot's replica set.
+    ///
+    /// On an error return no connection is left with a reply in flight:
+    /// any shard whose answer was never read has its connection dropped,
+    /// so the next classify can never pair a stale `ScatterAck` with a new
+    /// request (the `seq` echo guards the same hazard independently).
     fn scatter(
         &mut self,
         request: &ShardMsg,
+        seq: u64,
         n_tuples: usize,
     ) -> Result<Vec<Vec<ShardAnswer>>, ClassifyError> {
         let shards = self.engine.shard_count();
@@ -888,17 +941,42 @@ impl RemoteClassifier {
                 }
             }
         }
+        let result = self.gather(request, seq, n_tuples, &mut pending, &first_replica);
+        if result.is_err() {
+            for (shard, in_flight) in pending.iter().enumerate() {
+                if in_flight.is_some() {
+                    // Unread reply on the wire: the connection is not
+                    // reusable for a fresh request.
+                    self.conns[shard] = None;
+                }
+            }
+        }
+        result
+    }
+
+    /// The gather half of [`scatter`](RemoteClassifier::scatter): consumes
+    /// `pending` entries (clearing each as its shard resolves) and fails
+    /// over within each slot's replica set.
+    fn gather(
+        &mut self,
+        request: &ShardMsg,
+        seq: u64,
+        n_tuples: usize,
+        pending: &mut [Option<Instant>],
+        first_replica: &[usize],
+    ) -> Result<Vec<Vec<ShardAnswer>>, ClassifyError> {
+        let shards = self.engine.shard_count();
         let mut results = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let answers = match pending[shard] {
-                Some(t0) => match self.finish_recv(shard, t0, n_tuples) {
+            let answers = match pending[shard].take() {
+                Some(t0) => match self.finish_recv(shard, t0, seq, n_tuples) {
                     Ok(answers) => answers,
                     Err(_) => {
                         self.fail_shard(shard);
-                        self.retry_shard(shard, request, n_tuples, first_replica[shard])?
+                        self.retry_shard(shard, request, seq, n_tuples, first_replica[shard])?
                     }
                 },
-                None => self.retry_shard(shard, request, n_tuples, first_replica[shard])?,
+                None => self.retry_shard(shard, request, seq, n_tuples, first_replica[shard])?,
             };
             results.push(answers);
         }
@@ -911,6 +989,7 @@ impl RemoteClassifier {
         &mut self,
         shard: usize,
         request: &ShardMsg,
+        seq: u64,
         n_tuples: usize,
         first_replica: usize,
     ) -> Result<Vec<ShardAnswer>, ClassifyError> {
@@ -923,7 +1002,7 @@ impl RemoteClassifier {
             let attempt = self
                 .dial_current(shard)
                 .and_then(|()| self.send_request(shard, request))
-                .and_then(|t0| self.finish_recv(shard, t0, n_tuples));
+                .and_then(|t0| self.finish_recv(shard, t0, seq, n_tuples));
             match attempt {
                 Ok(answers) => {
                     if self.cursor[shard] != first_replica {
@@ -995,11 +1074,16 @@ impl RemoteClassifier {
                 start,
                 end,
             } => {
-                if digest != self.digest {
+                let expected = self.digest.ok_or_else(|| {
+                    ClassifyError::Remote(format!(
+                        "shard {shard}: frontend model snapshot digest unavailable, \
+                         cannot validate replica {addr}"
+                    ))
+                })?;
+                if digest != expected {
                     return Err(ClassifyError::Remote(format!(
                         "shard {shard}: replica {addr} serves a different model snapshot \
-                         (digest {digest:#018x}, frontend has {:#018x})",
-                        self.digest
+                         (digest {digest:#018x}, frontend has {expected:#018x})"
                     )));
                 }
                 if k as usize != self.model.k() {
@@ -1044,11 +1128,15 @@ impl RemoteClassifier {
         Ok(Instant::now())
     }
 
-    /// Receives and validates one scatter answer within the deadline.
+    /// Receives and validates one scatter answer within the deadline. An
+    /// ack whose `seq` is not the current request's is a stale reply to an
+    /// abandoned scatter — rejected, which drops the connection via the
+    /// caller's failover path.
     fn finish_recv(
         &mut self,
         shard: usize,
         t0: Instant,
+        seq: u64,
         n_tuples: usize,
     ) -> Result<Vec<ShardAnswer>, ClassifyError> {
         let deadline = self.engine.deadline;
@@ -1063,7 +1151,10 @@ impl RemoteClassifier {
             .bytes
             .fetch_add(got as u64, Ordering::Relaxed);
         match envelope.payload {
-            ShardMsg::ScatterAck { answers } if answers.len() == n_tuples => {
+            ShardMsg::ScatterAck {
+                seq: got_seq,
+                answers,
+            } if got_seq == seq && answers.len() == n_tuples => {
                 self.engine.counters[shard]
                     .requests
                     .fetch_add(1, Ordering::Relaxed);
@@ -1072,7 +1163,12 @@ impl RemoteClassifier {
                     .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                 Ok(answers)
             }
-            ShardMsg::ScatterAck { answers } => Err(ClassifyError::Remote(format!(
+            ShardMsg::ScatterAck { seq: got_seq, .. } if got_seq != seq => {
+                Err(ClassifyError::Remote(format!(
+                    "shard {shard}: stale answer (seq {got_seq}, expected {seq})"
+                )))
+            }
+            ShardMsg::ScatterAck { answers, .. } => Err(ClassifyError::Remote(format!(
                 "shard {shard}: {} answers for {n_tuples} tuples",
                 answers.len()
             ))),

@@ -6,7 +6,9 @@
 //! empty ranges) — and killing a daemon mid-stream fails over to its
 //! replica with an identical answer.
 
-use cxk_core::{CxkConfig, EngineBuilder, TrainedModel};
+use cxk_core::{save_model, snapshot_digest, CxkConfig, EngineBuilder, TrainedModel};
+use cxk_p2p::{FramedConn, PeerId};
+use cxk_serve::remote::{ShardAnswer, ShardMsg};
 use cxk_serve::{
     Classifier, RemoteClassifier, RemoteEngine, ShardDaemon, ShardedClassifier, ShardedEngine,
 };
@@ -235,6 +237,96 @@ fn dead_first_replica_is_skipped_on_first_contact() {
     let stats = topology.shard_stats();
     assert!(stats[0].failovers >= 1, "answered by the second replica");
     assert!(stats[0].requests > 0);
+}
+
+/// An impostor daemon: handshakes like a genuine shard (correct digest,
+/// `k`, and range) but answers every scatter with a **wrong sequence
+/// number** and poisoned similarities. If the frontend ever accepted its
+/// ack, the winning cluster would be 0 with an absurd score — so passing
+/// the bit-identity assertions below proves stale/mismatched replies are
+/// rejected and failed over, never consumed.
+fn spawn_wrong_seq_impostor(
+    model: &Arc<TrainedModel>,
+    start: u32,
+    end: u32,
+) -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind impostor");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let digest = snapshot_digest(&save_model(model)).expect("digest");
+    let k = model.k() as u32;
+    let handle = std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(mut conn) = FramedConn::<ShardMsg>::new(stream, PeerId(u32::MAX), None) else {
+            return;
+        };
+        loop {
+            let Ok((envelope, _)) = conn.recv_timeout(Duration::from_secs(10)) else {
+                return;
+            };
+            conn.set_id(envelope.to);
+            let reply = match envelope.payload {
+                ShardMsg::Hello => ShardMsg::HelloAck {
+                    digest,
+                    k,
+                    start,
+                    end,
+                },
+                ShardMsg::Scatter { seq, tuples, .. } => ShardMsg::ScatterAck {
+                    seq: seq.wrapping_add(99),
+                    answers: tuples
+                        .iter()
+                        .map(|_| ShardAnswer {
+                            sim_bits: f64::MAX.to_bits(),
+                            id: 0,
+                            scored: 1,
+                        })
+                        .collect(),
+                },
+                _ => return,
+            };
+            if conn.send(envelope.from, &reply).is_err() {
+                return;
+            }
+        }
+    });
+    (addr, handle)
+}
+
+/// A reply whose `seq` does not match the outstanding request is treated
+/// as a failure: the frontend drops the connection, fails over to the
+/// honest replica of the same range, and the answer stays bit-identical
+/// to brute force.
+#[test]
+fn wrong_seq_answer_is_rejected_and_fails_over() {
+    let model = Arc::new(train_on_samples(2, 0.5, 0.6));
+    let (impostor_addr, impostor) = spawn_wrong_seq_impostor(&model, 0, 1);
+    let honest = ShardDaemon::start(Arc::clone(&model), 0..1, "127.0.0.1:0").expect("honest");
+    let other = ShardDaemon::start(Arc::clone(&model), 1..2, "127.0.0.1:0").expect("other");
+    let topology = Arc::new(RemoteEngine::new(
+        vec![
+            vec![impostor_addr, honest.addr().to_string()],
+            vec![other.addr().to_string()],
+        ],
+        DEADLINE,
+    ));
+    let mut remote = RemoteClassifier::new(Arc::clone(&topology), Arc::clone(&model));
+    let mut brute = Classifier::shared(Arc::clone(&model));
+    for (name, text) in &sample_docs() {
+        let r = remote.classify(text).expect("remote");
+        let b = brute.classify_brute(text).expect("brute");
+        assert_eq!(r.cluster, b.cluster, "{name}: poisoned ack must not win");
+        assert_eq!(r.score, b.score, "{name}: score must stay bit-identical");
+    }
+    let stats = topology.shard_stats();
+    assert!(
+        stats[0].failovers >= 1,
+        "the wrong-seq reply must force a failover to the honest replica"
+    );
+    assert!(stats[0].retries >= 1, "the re-ask was counted");
+    drop(remote);
+    impostor.join().expect("impostor thread");
 }
 
 /// A daemon must refuse to serve a range that is not a sub-range of the
