@@ -12,11 +12,21 @@
 //! shares one engine per model epoch (`bytes × 1`) — the memory model the
 //! ROADMAP's "Sharded indexes" item asked for.
 //!
+//! After the closed-loop sweeps, the binary runs **open-loop** latency
+//! measurements ([`cxk_bench::loadgen`]): a Poisson arrival schedule at
+//! 25% and 50% of the measured keep-alive capacity, with each request's
+//! latency charged from its *scheduled* arrival — the
+//! coordinated-omission-free p50/p99/p999 that closed-loop clients cannot
+//! produce. These land in the JSON as `openloop-*` rows carrying
+//! `offered_rps`/`achieved_rps`/`p50_micros`/`p99_micros`/`p999_micros`
+//! (closed-loop rows report `-1` sentinels there).
+//!
 //! ```text
 //! cargo run -p cxk_bench --release --bin serve_throughput -- \
 //!     [--train-docs 200] [--classify-docs 400] [--k 4] [--f 0.5] [--gamma 0.4]
 //!     [--dialects 3] [--threads 4] [--clients 8] [--seed 3]
 //!     [--shards 1,2,4,8] [--json BENCH_serve.json] [--quick true]
+//!     [--open-requests 2000]
 //! ```
 //!
 //! Alongside the human-readable table, the run emits a machine-readable
@@ -37,6 +47,7 @@
 //! bit-identical to the replicated index on every document scored.
 
 use cxk_bench::args::{parse_usize_list, Flags};
+use cxk_bench::loadgen::{self, LoadgenConfig};
 use cxk_core::{EngineBuilder, TrainedModel};
 use cxk_corpus::dblp::{self, DblpConfig};
 use cxk_serve::{Classifier, ServeOptions, Server, ShardDaemon, ShardedClassifier, ShardedEngine};
@@ -48,7 +59,7 @@ use std::time::Instant;
 
 const USAGE: &str = "serve_throughput --train-docs <n> --classify-docs <n> \
 --k <n> --f <f64> --gamma <f64> --dialects <1-3> --threads <n> --clients <n> --seed <u64> \
---shards <list> --json <path> --quick <bool>";
+--shards <list> --json <path> --quick <bool> --open-requests <n>";
 
 /// One measured configuration, reported in the table and the JSON file.
 struct Record {
@@ -65,6 +76,18 @@ struct Record {
     /// Postings bytes the serving pool holds resident: per-worker copies
     /// for the replicated layout, one shared engine for the sharded one.
     resident_postings_bytes: usize,
+    /// Open-loop latency measurements; `None` on closed-loop rows, where
+    /// the JSON reports `-1` sentinels for every latency field.
+    open_loop: Option<OpenLoopStats>,
+}
+
+/// Latency percentiles from one open-loop (Poisson-scheduled) run.
+struct OpenLoopStats {
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_micros: i64,
+    p99_micros: i64,
+    p999_micros: i64,
 }
 
 impl Record {
@@ -73,8 +96,18 @@ impl Record {
     }
 
     fn json(&self) -> String {
+        let (offered, achieved, p50, p99, p999) = match &self.open_loop {
+            Some(s) => (
+                s.offered_rps,
+                s.achieved_rps,
+                s.p50_micros,
+                s.p99_micros,
+                s.p999_micros,
+            ),
+            None => (-1.0, -1.0, -1, -1, -1),
+        };
         format!(
-            r#"{{"mode":"{}","shards":{},"docs":{},"seconds":{:.6},"docs_per_sec":{:.1},"trash":{},"candidates_per_doc":{:.3},"postings_bytes":{},"resident_postings_bytes":{}}}"#,
+            r#"{{"mode":"{}","shards":{},"docs":{},"seconds":{:.6},"docs_per_sec":{:.1},"trash":{},"candidates_per_doc":{:.3},"postings_bytes":{},"resident_postings_bytes":{},"offered_rps":{offered:.1},"achieved_rps":{achieved:.1},"p50_micros":{p50},"p99_micros":{p99},"p999_micros":{p999}}}"#,
             self.mode,
             self.shards,
             self.docs,
@@ -269,6 +302,12 @@ fn main() {
             },
             r.resident_postings_bytes,
         );
+        if let Some(s) = &r.open_loop {
+            println!(
+                "  ↳ offered={:.1} rps achieved={:.1} rps p50={}µs p99={}µs p999={}µs",
+                s.offered_rps, s.achieved_rps, s.p50_micros, s.p99_micros, s.p999_micros
+            );
+        }
         records.push(r);
     }
 
@@ -307,6 +346,7 @@ fn main() {
                 candidates_per_doc: cpd,
                 postings_bytes: bytes,
                 resident_postings_bytes: bytes * threads,
+                open_loop: None,
             },
         );
     }
@@ -344,6 +384,7 @@ fn main() {
                 candidates_per_doc: cpd,
                 postings_bytes: bytes,
                 resident_postings_bytes: bytes,
+                open_loop: None,
             },
         );
     }
@@ -449,6 +490,7 @@ fn main() {
                 candidates_per_doc: -1.0,
                 postings_bytes: bytes,
                 resident_postings_bytes: resident,
+                open_loop: None,
             },
         );
         emit(
@@ -465,10 +507,75 @@ fn main() {
                 candidates_per_doc: -1.0,
                 postings_bytes: bytes,
                 resident_postings_bytes: resident,
+                open_loop: None,
             },
         );
         server.shutdown();
     }
+
+    // Open-loop latency: everything above is closed-loop — clients wait
+    // for each response before sending the next request, so queueing never
+    // accumulates and "latency" degenerates to service time. Here a
+    // Poisson arrival schedule fixes the request times in advance and each
+    // request is charged from its *scheduled* arrival to its completion
+    // (the coordinated-omission-free measurement), at offered rates set to
+    // fractions of the keep-alive capacity measured above so the sweep
+    // shows both an uncongested and a queueing regime on any machine.
+    let capacity = records
+        .iter()
+        .find(|r| r.mode.starts_with("http-keepalive-replicated"))
+        .expect("closed-loop keep-alive sweep ran first")
+        .docs_per_sec();
+    let open_requests: usize = flags.get("open-requests", if quick { 300 } else { 2000 });
+    let server = Server::start(
+        (*model).clone(),
+        ("127.0.0.1", 0),
+        ServeOptions {
+            threads,
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    for fraction in [0.25, 0.5] {
+        let config = LoadgenConfig {
+            offered_rps: (capacity * fraction).max(20.0),
+            requests: open_requests,
+            clients,
+            seed: seed ^ 0x10AD,
+        };
+        let report = loadgen::run_open_loop(server.addr(), &stream, &config);
+        assert_eq!(report.completed, open_requests, "open loop never drops");
+        let seconds = report.completed as f64 / report.achieved_rps;
+        eprintln!(
+            "[serve_throughput] open-loop {:.0} rps offered: achieved {:.0} rps, p50 {}µs p99 {}µs p999 {}µs",
+            report.offered_rps,
+            report.achieved_rps,
+            report.p50_micros,
+            report.p99_micros,
+            report.p999_micros
+        );
+        emit(
+            &mut records,
+            Record {
+                mode: format!("openloop-replicated(load={fraction})"),
+                shards: 0,
+                docs: report.completed,
+                seconds,
+                trash: 0,
+                candidates_per_doc: -1.0,
+                postings_bytes: 0,
+                resident_postings_bytes: 0,
+                open_loop: Some(OpenLoopStats {
+                    offered_rps: report.offered_rps,
+                    achieved_rps: report.achieved_rps,
+                    p50_micros: i64::try_from(report.p50_micros).unwrap_or(i64::MAX),
+                    p99_micros: i64::try_from(report.p99_micros).unwrap_or(i64::MAX),
+                    p999_micros: i64::try_from(report.p999_micros).unwrap_or(i64::MAX),
+                }),
+            },
+        );
+    }
+    server.shutdown();
 
     let json = format!(
         r#"{{"bench":"serve_throughput","quick":{quick},"train_docs":{train_docs},"classify_docs":{},"k":{k},"f":{f},"gamma":{gamma},"dialects":{dialects},"threads":{threads},"clients":{clients},"seed":{seed},"configs":[{}]}}"#,

@@ -18,6 +18,7 @@
 pub mod args;
 pub mod data;
 pub mod experiments;
+pub mod loadgen;
 pub mod table_runner;
 
 pub use data::{prepare, CorpusKind, Prepared};

@@ -1,0 +1,259 @@
+//! Open-loop Poisson load generation against a live classification server.
+//!
+//! Closed-loop benchmarks (like the throughput sweeps in
+//! `serve_throughput`) let the *server* set the pace: each client fires
+//! its next request only after the previous response lands, so queueing
+//! delay never accumulates and the measured "latency" is really service
+//! time. Production traffic does not wait for permission. An **open-loop**
+//! generator fixes the arrival schedule in advance — here a Poisson
+//! process, i.i.d. exponential inter-arrival gaps at `offered_rps` —
+//! and measures each request's latency from its *scheduled arrival time*
+//! to its completion. A request that sits behind a queue is charged for
+//! the wait even though no byte of it had been sent yet; this is exactly
+//! the coordinated-omission correction, and it is why open-loop p99s are
+//! honest where closed-loop p99s flatter the server.
+//!
+//! The schedule is precomputed ([`poisson_schedule`]) from a [`DetRng`]
+//! stream so a run is reproducible bit-for-bit, then a small pool of
+//! keep-alive client threads races through it: each thread repeatedly
+//! claims the next unsent arrival off a shared atomic cursor, sleeps
+//! until its scheduled instant, fires, and records
+//! `completion − scheduled_arrival` into a shared [`LogHistogram`].
+//! Threads are a transport detail — the offered rate comes from the
+//! schedule alone, so a slow server shows up as growing latency, never as
+//! a reduced request rate (until the run's horizon ends).
+
+use cxk_util::{DetRng, LogHistogram};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target offered load in requests per second (the Poisson rate λ).
+    pub offered_rps: f64,
+    /// Total arrivals in the schedule.
+    pub requests: usize,
+    /// Client threads racing through the schedule. More threads raise the
+    /// *burst* capacity (how many in-flight requests the generator can
+    /// sustain when the server stalls), not the offered rate.
+    pub clients: usize,
+    /// Seed for the arrival-gap RNG stream.
+    pub seed: u64,
+}
+
+/// What one open-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// The configured Poisson rate.
+    pub offered_rps: f64,
+    /// Completed requests over the span from first scheduled arrival to
+    /// last completion. Tracks `offered_rps` while the server keeps up
+    /// and falls below it once the server saturates.
+    pub achieved_rps: f64,
+    /// Requests completed (all of them — the generator never drops).
+    pub completed: usize,
+    /// Median latency in microseconds, scheduled-arrival → completion.
+    pub p50_micros: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_micros: u64,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_micros: u64,
+    /// Largest single latency observed, in microseconds.
+    pub max_micros: u64,
+}
+
+/// Precomputes a Poisson arrival schedule: `requests` offsets (in
+/// microseconds from the run start), the cumulative sum of exponential
+/// inter-arrival gaps with mean `1/rate` drawn by inverse-transform
+/// sampling from `rng`. Deterministic for a given `(rate, requests, seed)`.
+///
+/// # Panics
+/// Panics if `rate` is not strictly positive.
+pub fn poisson_schedule(rng: &mut DetRng, rate: f64, requests: usize) -> Vec<u64> {
+    assert!(rate > 0.0, "offered rate must be positive");
+    let mut at = 0.0f64;
+    (0..requests)
+        .map(|_| {
+            // Inverse CDF of Exp(rate); `1 - unit()` keeps ln's argument
+            // in (0, 1] so the gap is always finite.
+            let gap = -(1.0 - rng.unit()).ln() / rate;
+            at += gap;
+            (at * 1e6) as u64
+        })
+        .collect()
+}
+
+/// Reads one `Content-Length`-framed HTTP response off a keep-alive
+/// connection, carrying partial data across calls in `buf`.
+fn read_framed(conn: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<String> {
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+            let length: usize = head
+                .lines()
+                .find_map(|line| {
+                    let (name, value) = line.split_once(':')?;
+                    name.eq_ignore_ascii_case("Content-Length")
+                        .then(|| value.trim().parse().ok())?
+                })
+                .ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "unframed response")
+                })?;
+            let total = head_end + 4 + length;
+            if buf.len() >= total {
+                let response: Vec<u8> = buf.drain(..total).collect();
+                return Ok(String::from_utf8_lossy(&response).into_owned());
+            }
+        }
+        let n = conn.read(&mut scratch)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed a keep-alive connection mid-stream",
+            ));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// Runs one open-loop measurement: fires `config.requests` Poisson-spaced
+/// `POST /classify` requests (bodies drawn round-robin from `documents`)
+/// at the server on `addr` and reports latency percentiles measured from
+/// each request's *scheduled* arrival.
+///
+/// # Panics
+/// Panics if `documents` is empty, if `config.requests` is zero, or if
+/// the server misbehaves (connection refused, non-200 answer) — a load
+/// generator that silently tolerates errors measures nothing.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    documents: &[String],
+    config: &LoadgenConfig,
+) -> LoadgenReport {
+    assert!(!documents.is_empty(), "need at least one document to send");
+    assert!(config.requests > 0, "need at least one request");
+    let mut rng = DetRng::seed_from_u64(config.seed);
+    let schedule = Arc::new(poisson_schedule(
+        &mut rng,
+        config.offered_rps,
+        config.requests,
+    ));
+    let documents: Arc<Vec<String>> = Arc::new(documents.to_vec());
+    let hist = Arc::new(LogHistogram::new());
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let last_done_micros = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..config.clients.max(1))
+        .map(|_| {
+            let schedule = Arc::clone(&schedule);
+            let documents = Arc::clone(&documents);
+            let hist = Arc::clone(&hist);
+            let cursor = Arc::clone(&cursor);
+            let last_done_micros = Arc::clone(&last_done_micros);
+            std::thread::spawn(move || {
+                let mut conn: Option<TcpStream> = None;
+                let mut buf = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&arrival) = schedule.get(i) else {
+                        return;
+                    };
+                    let now = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    if arrival > now {
+                        std::thread::sleep(Duration::from_micros(arrival - now));
+                    }
+                    let doc = &documents[i % documents.len()];
+                    let request = format!(
+                        "POST /classify HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{doc}",
+                        doc.len()
+                    );
+                    // One reconnect attempt covers a keep-alive horizon
+                    // expiring between requests; a refused connect panics.
+                    let response = loop {
+                        if conn.is_none() {
+                            buf.clear();
+                            conn = Some(TcpStream::connect(addr).expect("connect to server"));
+                        }
+                        let stream = conn.as_mut().expect("connection just ensured");
+                        let sent = stream
+                            .write_all(request.as_bytes())
+                            .and_then(|()| read_framed(stream, &mut buf));
+                        match sent {
+                            Ok(response) => break response,
+                            Err(_) => conn = None,
+                        }
+                    };
+                    assert!(
+                        response.starts_with("HTTP/1.1 200"),
+                        "load generator got a non-200 answer: {response}"
+                    );
+                    let done = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    hist.record(done.saturating_sub(arrival));
+                    last_done_micros.fetch_max(done, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("load generator client thread");
+    }
+
+    let completed = hist.count() as usize;
+    // The open-loop span runs from the first *scheduled* arrival to the
+    // last completion, so queue-induced overrun lowers achieved_rps.
+    let span_micros = last_done_micros
+        .load(Ordering::Relaxed)
+        .saturating_sub(schedule[0])
+        .max(1);
+    LoadgenReport {
+        offered_rps: config.offered_rps,
+        achieved_rps: completed as f64 / (span_micros as f64 / 1e6),
+        completed,
+        p50_micros: hist.percentile(0.5),
+        p99_micros: hist.percentile(0.99),
+        p999_micros: hist.percentile(0.999),
+        max_micros: hist.max(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let mut a = DetRng::seed_from_u64(7);
+        let mut b = DetRng::seed_from_u64(7);
+        let s1 = poisson_schedule(&mut a, 1000.0, 500);
+        let s2 = poisson_schedule(&mut b, 1000.0, 500);
+        assert_eq!(s1, s2, "same seed, same schedule");
+        assert!(s1.windows(2).all(|w| w[0] <= w[1]), "arrivals are sorted");
+    }
+
+    #[test]
+    fn schedule_mean_gap_matches_rate() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let rate = 2000.0;
+        let n = 20_000;
+        let schedule = poisson_schedule(&mut rng, rate, n);
+        let mean_gap_micros = *schedule.last().unwrap() as f64 / n as f64;
+        let expected = 1e6 / rate;
+        assert!(
+            (mean_gap_micros - expected).abs() < expected * 0.05,
+            "mean gap {mean_gap_micros:.1}µs should be within 5% of {expected:.1}µs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate must be positive")]
+    fn zero_rate_panics() {
+        let mut rng = DetRng::seed_from_u64(0);
+        let _ = poisson_schedule(&mut rng, 0.0, 1);
+    }
+}

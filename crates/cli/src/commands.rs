@@ -1,5 +1,5 @@
 //! The `build` / `info` / `cluster` / `assign` / `train` / `classify` /
-//! `serve` command implementations.
+//! `serve` / `synth` command implementations.
 //!
 //! Commands return their stdout as a `String` (and errors as `String`) so
 //! unit tests drive them directly without spawning processes. The one
@@ -10,9 +10,13 @@ use crate::flags::Parsed;
 use cxk_core::{
     load_model_file, save_model_file, Algorithm, Backend, CxkError, EngineBuilder, TrainedModel,
 };
+use cxk_corpus::{synthesize_to, CorpusStream, SynthSpec};
 use cxk_serve::{assignment_json, json_escape, Classifier, ServeOptions, Server, ShardDaemon};
-use cxk_transact::{load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, SimParams};
+use cxk_transact::{
+    load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, IngestStats, SimParams,
+};
 use std::fmt::Write as _;
+use std::io::BufRead as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -213,13 +217,78 @@ pub fn assign(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `cxk synth --corpus dblp|ieee|wikipedia --docs N -o <corpus.xml>
+/// [--seed S] [--dialects D] [--labels <out.tsv>]` — stream a synthetic
+/// newline-delimited XML corpus to disk: one single-line document per
+/// line, with only one document resident at a time, so
+/// `--docs 1000000` runs in constant memory. `--labels` mirrors the
+/// ground-truth classes to a TSV side file
+/// (`doc_index<TAB>structure<TAB>content<TAB>hybrid`).
+pub fn synth(args: &[String]) -> Result<String, String> {
+    let parsed = Parsed::parse(args)?;
+    if let Some(stray) = parsed.positional().first() {
+        return Err(format!(
+            "synth takes no positional arguments (got `{stray}`); use --corpus/--docs/-o"
+        ));
+    }
+    let out_path = parsed.output().ok_or("synth needs -o <corpus.xml>")?;
+    let docs: usize = parsed.get("docs", 0)?;
+    if docs == 0 {
+        return Err("synth needs --docs N (at least 1)".into());
+    }
+    let spec = SynthSpec {
+        corpus: parsed.get_str("corpus").unwrap_or("dblp").to_string(),
+        docs,
+        seed: match parsed.get_str("seed") {
+            None => None,
+            Some(_) => Some(parsed.get("seed", 0u64)?),
+        },
+        dialects: match parsed.get_str("dialects") {
+            None => None,
+            Some(_) => Some(parsed.get("dialects", 0usize)?),
+        },
+    };
+    let mut stream = CorpusStream::from_spec(&spec)?;
+    let xml_out = std::io::BufWriter::new(
+        std::fs::File::create(out_path).map_err(|e| format!("cannot write {out_path}: {e}"))?,
+    );
+    let mut labels_out = match parsed.get_str("labels") {
+        None => None,
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?,
+        )),
+    };
+    let summary = synthesize_to(
+        xml_out,
+        labels_out.as_mut().map(|w| w as &mut dyn std::io::Write),
+        &mut stream,
+    )
+    .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let labels_note = parsed
+        .get_str("labels")
+        .map(|path| format!(", labels to {path}"))
+        .unwrap_or_default();
+    Ok(format!(
+        "wrote {out_path}: {} {} documents, {} bytes{labels_note}\n",
+        summary.documents, spec.corpus, summary.xml_bytes
+    ))
+}
+
 /// `cxk train <inputs>... --k N [--f F] [--gamma G] [--m M] [--seed S]
-/// -o <model.cxkmodel>` — cluster the corpus and snapshot the servable
-/// model (representatives + frozen preprocessing context).
+/// [--stream] -o <model.cxkmodel>` — cluster the corpus and snapshot the
+/// servable model (representatives + frozen preprocessing context). With
+/// `--stream`, the inputs are newline-delimited corpus files ingested
+/// through the SAX tuple extractor: no document ever materializes as a
+/// DOM tree, so peak memory is bounded by document size, not corpus size.
 pub fn train(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
     let out_path = parsed.output().ok_or("train needs -o <model.cxkmodel>")?;
-    let ds = dataset_from_any_inputs(parsed.positional())?;
+    let (ds, ingest) = if parsed.has("stream") {
+        let (ds, stats) = dataset_from_corpus_streams(parsed.positional())?;
+        (ds, Some(stats))
+    } else {
+        (dataset_from_any_inputs(parsed.positional())?, None)
+    };
     if ds.transactions.is_empty() {
         return Err("nothing to train on: the input has no transactions".into());
     }
@@ -234,6 +303,13 @@ pub fn train(args: &[String]) -> Result<String, String> {
     let bytes = save_model_file(&model, out_path).map_err(cli_error)?;
 
     let mut out = String::new();
+    if let Some(stats) = ingest {
+        let _ = writeln!(
+            out,
+            "streamed {} documents ({} tree tuples, {} capped) in one bounded-memory pass",
+            stats.documents, stats.tuples, stats.capped_documents
+        );
+    }
     let _ = writeln!(
         out,
         "trained k={k} m={m} f={f} gamma={gamma} rounds={rounds} converged={converged}"
@@ -248,12 +324,16 @@ pub fn train(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// `cxk classify <model.cxkmodel> <inputs>... [--brute] [--jsonl]` —
-/// assign each XML document to a trained model's cluster. Prints one
-/// `file ⟨TAB⟩ cluster ⟨TAB⟩ score` row per document, or — with `--jsonl` —
-/// one JSON object per line (`file`, `cluster`, `trash`, `score`,
-/// `tuples`), the bulk-scoring format that pairs with the server's batch
-/// `POST /classify`.
+/// `cxk classify <model.cxkmodel> <inputs>... [--brute] [--jsonl]
+/// [--stream]` — assign each XML document to a trained model's cluster.
+/// Prints one `file ⟨TAB⟩ cluster ⟨TAB⟩ score` row per document, or —
+/// with `--jsonl` — one JSON object per line (`file`, `cluster`, `trash`,
+/// `capped`, `score`, `tuples`), the bulk-scoring format that pairs with
+/// the server's batch `POST /classify`. With `--stream`, each input is a
+/// newline-delimited corpus file classified line by line (rows are
+/// labeled `file:line`), so a million-document corpus scores in bounded
+/// memory; a trailing `#` summary reports how many documents hit the
+/// tree-tuple cap.
 pub fn classify(args: &[String]) -> Result<String, String> {
     let parsed = Parsed::parse(args)?;
     let (model_path, inputs) = parsed
@@ -269,6 +349,10 @@ pub fn classify(args: &[String]) -> Result<String, String> {
     }
     let brute = parsed.has("brute");
     let jsonl = parsed.has("jsonl");
+
+    if parsed.has("stream") {
+        return classify_stream(&mut classifier, &files, trash, brute, jsonl);
+    }
 
     let mut out = String::new();
     for file in &files {
@@ -299,6 +383,63 @@ pub fn classify(args: &[String]) -> Result<String, String> {
             };
             let _ = writeln!(out, "{}\t{cluster}\t{:.6}", file.display(), report.score);
         }
+    }
+    Ok(out)
+}
+
+/// The `--stream` arm of [`classify`]: one document per corpus line,
+/// classified as it is read — only the current line is ever resident.
+fn classify_stream(
+    classifier: &mut Classifier,
+    files: &[PathBuf],
+    trash: u32,
+    brute: bool,
+    jsonl: bool,
+) -> Result<String, String> {
+    let mut out = String::new();
+    let mut documents = 0u64;
+    let mut capped = 0u64;
+    for file in files {
+        let reader = std::io::BufReader::new(
+            std::fs::File::open(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?,
+        );
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| format!("{}: {e}", file.display()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let label = format!("{}:{}", file.display(), idx + 1);
+            let report = if brute {
+                classifier.classify_brute(&line)
+            } else {
+                classifier.classify(&line)
+            }
+            .map_err(|e| format!("{label}: {e}"))?;
+            documents += 1;
+            if report.capped {
+                capped += 1;
+            }
+            if jsonl {
+                let assignment = assignment_json(&report, trash);
+                let _ = writeln!(
+                    out,
+                    r#"{{"file":"{}",{}"#,
+                    json_escape(&label),
+                    &assignment[1..]
+                );
+            } else {
+                let cluster = if report.cluster == trash {
+                    "trash".to_string()
+                } else {
+                    report.cluster.to_string()
+                };
+                let _ = writeln!(out, "{label}\t{cluster}\t{:.6}", report.score);
+            }
+        }
+    }
+    if !jsonl {
+        let _ = writeln!(out, "# documents={documents} capped={capped}");
     }
     Ok(out)
 }
@@ -537,6 +678,32 @@ fn dataset_from_xml_inputs(inputs: &[String]) -> Result<Dataset, String> {
             .map_err(|e| format!("{}: {e}", file.display()))?;
     }
     Ok(builder.finish())
+}
+
+/// Builds a dataset by streaming newline-delimited corpus files through
+/// the SAX tuple extractor (`DatasetBuilder::ingest_stream`): documents
+/// never materialize as DOM trees, so peak memory is bounded by document
+/// size and tree depth — never by corpus size.
+fn dataset_from_corpus_streams(inputs: &[String]) -> Result<(Dataset, IngestStats), String> {
+    let files = expand_inputs(inputs)?;
+    if files.is_empty() {
+        return Err("no input corpus files".into());
+    }
+    let mut builder = DatasetBuilder::new(BuildOptions::default());
+    let mut total = IngestStats::default();
+    for file in &files {
+        let reader = std::io::BufReader::new(
+            std::fs::File::open(file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?,
+        );
+        let stats = builder
+            .ingest_stream(reader)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        total.documents += stats.documents;
+        total.tuples += stats.tuples;
+        total.capped_documents += stats.capped_documents;
+    }
+    Ok((builder.finish(), total))
 }
 
 /// Loads a `.cxkds` dataset, or builds one from XML inputs.
@@ -846,6 +1013,171 @@ mod tests {
         // tuples field is an array of per-tuple objects, not a count.
         assert!(lines[0].contains(r#""tuples":[{"cluster":"#), "{out}");
         assert!(lines[0].ends_with('}'), "{out}");
+    }
+
+    #[test]
+    fn synth_train_stream_classify_stream_round_trip() {
+        let dir = scratch("synth");
+        let corpus_path = dir.join("corpus.xml");
+        let labels_path = dir.join("labels.tsv");
+
+        let out = synth(&args(&[
+            "--corpus".into(),
+            "dblp".into(),
+            "--docs".into(),
+            "30".into(),
+            "--seed".into(),
+            "42".into(),
+            "-o".into(),
+            corpus_path.to_str().unwrap().to_string(),
+            "--labels".into(),
+            labels_path.to_str().unwrap().to_string(),
+        ]))
+        .expect("synth");
+        assert!(out.contains("30 dblp documents"), "{out}");
+        let corpus = std::fs::read_to_string(&corpus_path).unwrap();
+        assert_eq!(corpus.lines().count(), 30, "one document per line");
+        let labels = std::fs::read_to_string(&labels_path).unwrap();
+        assert_eq!(labels.lines().count(), 30, "one label row per document");
+
+        // Stream-train straight off the corpus file…
+        let model_path = dir.join("model.cxkmodel");
+        let out = train(&args(&[
+            corpus_path.to_str().unwrap().to_string(),
+            "--stream".into(),
+            "--k".into(),
+            "4".into(),
+            "--seed".into(),
+            "1".into(),
+            "-o".into(),
+            model_path.to_str().unwrap().to_string(),
+        ]))
+        .expect("train --stream");
+        assert!(
+            out.contains("streamed 30 documents"),
+            "ingest summary: {out}"
+        );
+        assert!(out.contains("0 capped"), "{out}");
+        assert!(out.contains("trained k=4"), "{out}");
+
+        // …and stream-classify the same corpus against it.
+        let out = classify(&args(&[
+            model_path.to_str().unwrap().to_string(),
+            corpus_path.to_str().unwrap().to_string(),
+            "--stream".into(),
+        ]))
+        .expect("classify --stream");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 31, "30 rows + summary: {out}");
+        assert!(lines[0].contains(":1\t"), "rows are labeled file:line");
+        assert_eq!(*lines.last().unwrap(), "# documents=30 capped=0");
+
+        // The jsonl form carries the capped flag per document instead.
+        let out = classify(&args(&[
+            model_path.to_str().unwrap().to_string(),
+            corpus_path.to_str().unwrap().to_string(),
+            "--stream".into(),
+            "--jsonl".into(),
+        ]))
+        .expect("classify --stream --jsonl");
+        assert_eq!(out.lines().count(), 30, "{out}");
+        assert!(out.lines().all(|l| l.contains(r#""capped":false"#)));
+    }
+
+    #[test]
+    fn streamed_training_matches_dom_training() {
+        let dir = scratch("stream-eq");
+        write_corpus(&dir);
+        // The same four documents as one newline-delimited corpus file
+        // (written next to the scratch dir so directory expansion does
+        // not pick it up as a fifth input).
+        let corpus_dir = scratch("stream-eq-corpus");
+        let corpus_path = corpus_dir.join("corpus.xml");
+        let mut joined = String::new();
+        for i in 0..4 {
+            joined.push_str(&std::fs::read_to_string(dir.join(format!("doc{i}.xml"))).unwrap());
+            joined.push('\n');
+        }
+        std::fs::write(&corpus_path, joined).unwrap();
+
+        let train_with = |inputs: Vec<String>, model: &Path| {
+            let mut cmd = inputs;
+            cmd.extend([
+                "--k".into(),
+                "2".into(),
+                "--gamma".into(),
+                "0.5".into(),
+                "--seed".into(),
+                "1".into(),
+                "-o".into(),
+                model.to_str().unwrap().to_string(),
+            ]);
+            train(&args(&cmd)).expect("train")
+        };
+        let dom_model = dir.join("dom.cxkmodel");
+        let dom_out = train_with(vec![dir.to_str().unwrap().to_string()], &dom_model);
+        let stream_model = dir.join("stream.cxkmodel");
+        let stream_out = train_with(
+            vec![corpus_path.to_str().unwrap().to_string(), "--stream".into()],
+            &stream_model,
+        );
+        // Same clustering outcome line for line (modulo the ingest
+        // summary and the output path)…
+        assert_eq!(
+            dom_out.lines().next().unwrap(),
+            stream_out.lines().nth(1).unwrap(),
+            "dom: {dom_out}\nstream: {stream_out}"
+        );
+        assert_eq!(
+            dom_out.lines().nth(1).unwrap(),
+            stream_out.lines().nth(2).unwrap()
+        );
+        // …and bit-identical model snapshots.
+        assert_eq!(
+            std::fs::read(&dom_model).unwrap(),
+            std::fs::read(&stream_model).unwrap(),
+            "streamed ingest must reproduce the DOM-built model exactly"
+        );
+    }
+
+    #[test]
+    fn synth_errors() {
+        let dir = scratch("synth-errors");
+        let out_arg = dir.join("c.xml").to_str().unwrap().to_string();
+        assert!(synth(&args(&["--docs".into(), "5".into()]))
+            .unwrap_err()
+            .contains("-o"));
+        assert!(
+            synth(&args(&["-o".into(), out_arg.clone()]))
+                .unwrap_err()
+                .contains("--docs"),
+            "docs is required"
+        );
+        let e = synth(&args(&[
+            "--corpus".into(),
+            "shakespeare".into(),
+            "--docs".into(),
+            "5".into(),
+            "-o".into(),
+            out_arg.clone(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("unknown corpus"), "{e}");
+        let e = synth(&args(&[
+            "--corpus".into(),
+            "ieee".into(),
+            "--dialects".into(),
+            "3".into(),
+            "--docs".into(),
+            "5".into(),
+            "-o".into(),
+            out_arg.clone(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--dialects"), "{e}");
+        assert!(synth(&args(&["stray.xml".into()]))
+            .unwrap_err()
+            .contains("positional"));
     }
 
     #[test]

@@ -10,7 +10,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 3] = ["quiet", "brute", "jsonl"];
+const BOOLEAN_FLAGS: [&str; 4] = ["quiet", "brute", "jsonl", "stream"];
 
 impl Parsed {
     /// Parses `args`.

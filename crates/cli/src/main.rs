@@ -5,7 +5,9 @@
 //! cxk info   dataset.cxkds                          # corpus statistics
 //! cxk cluster dataset.cxkds --k 4 --f 0.5 --gamma 0.7 --m 3
 //! cxk cluster docs/ --k 8                           # directly from XML
+//! cxk synth  --corpus dblp --docs 1000000 -o corpus.xml  # stream a corpus to disk
 //! cxk train  docs/ --k 4 -o model.cxkmodel          # cluster + snapshot
+//! cxk train  corpus.xml --stream --k 4 -o model.cxkmodel # bounded-memory ingest
 //! cxk classify model.cxkmodel new-doc.xml           # assign new documents
 //! cxk serve  model.cxkmodel --port 7070 --threads 8 # classification server
 //! cxk serve  model.cxkmodel --watch 30              # …with hot reload on change
@@ -42,12 +44,20 @@ commands:
   assign   --base <xml-file|dir> --new <xml-file|dir>
            [--k N] [--f 0.5] [--gamma 0.7] [--seed 0]
            assign arriving documents to a base clustering
+  synth    --corpus dblp|ieee|wikipedia --docs N -o <corpus.xml>
+           [--seed S] [--dialects D] [--labels <out.tsv>]
+           stream a synthetic newline-delimited XML corpus to disk
+           (one document per line, constant memory; --labels mirrors
+           the ground-truth classes to a TSV side file)
   train    <dataset.cxkds | xml-file|dir>... -o <model.cxkmodel>
-           [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0]
-           cluster and snapshot a servable model
-  classify <model.cxkmodel> <xml-file|dir>... [--brute] [--jsonl]
+           [--k N] [--f 0.5] [--gamma 0.7] [--m 1] [--seed 0] [--stream]
+           cluster and snapshot a servable model; --stream ingests
+           newline-delimited corpus files through the streaming SAX
+           extractor (peak memory independent of corpus size)
+  classify <model.cxkmodel> <xml-file|dir>... [--brute] [--jsonl] [--stream]
            assign new documents to a trained model's clusters
-           (--jsonl prints one JSON object per document)
+           (--jsonl prints one JSON object per document; --stream
+           classifies newline-delimited corpus files line by line)
   serve    <model.cxkmodel> [--port 7070] [--threads 4] [--shards S]
            [--remote-shards a1,a2,…] [--replicas r1|r1b,-,…]
            [--remote-deadline-ms 2000] [--brute] [--watch SECS]
@@ -98,6 +108,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "info" => commands::info(rest),
         "cluster" => commands::cluster(rest),
         "assign" => commands::assign(rest),
+        "synth" => commands::synth(rest),
         "train" => commands::train(rest),
         "classify" => commands::classify(rest),
         "serve" => commands::serve(rest),

@@ -5,8 +5,10 @@
 //! [`CxkError::Config`] instead of the `assert!`s the free-function drivers
 //! used to carry, snapshot file helpers ([`crate::model::save_model_file`],
 //! [`crate::model::load_model_file`]) wrap filesystem failures in
-//! [`CxkError::Io`] and malformed snapshots in [`CxkError::Model`], and the
-//! threaded protocol reports peer failures as [`CxkError::Protocol`].
+//! [`CxkError::Io`] and malformed snapshots in [`CxkError::Model`], the
+//! threaded protocol reports peer failures as [`CxkError::Protocol`], and
+//! document ingestion reports position-annotated parse failures as
+//! [`CxkError::Xml`].
 //! Callers that want a flat message (the CLI, scripts) use the `Display`
 //! impl; callers that want to branch match on the variant.
 
@@ -48,6 +50,14 @@ pub enum CxkError {
     Protocol {
         /// Description of the failure.
         message: String,
+    },
+    /// An XML document failed to parse. Carries the parser's line/byte
+    /// position so ingest callers can point at the offending input.
+    Xml {
+        /// The input's path or label, when known.
+        path: Option<PathBuf>,
+        /// The position-annotated parse error.
+        source: cxk_xml::XmlError,
     },
 }
 
@@ -92,6 +102,11 @@ impl std::fmt::Display for CxkError {
             } => write!(f, "{}: {source}", path.display()),
             CxkError::Model { path: None, source } => write!(f, "{source}"),
             CxkError::Protocol { message } => write!(f, "protocol failure: {message}"),
+            CxkError::Xml {
+                path: Some(path),
+                source,
+            } => write!(f, "{}: {source}", path.display()),
+            CxkError::Xml { path: None, source } => write!(f, "{source}"),
         }
     }
 }
@@ -101,6 +116,7 @@ impl std::error::Error for CxkError {
         match self {
             CxkError::Io { source, .. } => Some(source),
             CxkError::Model { source, .. } => Some(source),
+            CxkError::Xml { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -109,6 +125,12 @@ impl std::error::Error for CxkError {
 impl From<ModelError> for CxkError {
     fn from(source: ModelError) -> Self {
         CxkError::Model { path: None, source }
+    }
+}
+
+impl From<cxk_xml::XmlError> for CxkError {
+    fn from(source: cxk_xml::XmlError) -> Self {
+        CxkError::Xml { path: None, source }
     }
 }
 
@@ -137,6 +159,29 @@ mod tests {
         assert!(text.contains("cannot read"), "{text}");
         assert!(text.contains("model.cxkmodel"), "{text}");
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn xml_error_converts_and_reports_position() {
+        let inner = cxk_xml::XmlError {
+            offset: 17,
+            line: 3,
+            message: "mismatched end tag".into(),
+        };
+        let e: CxkError = inner.into();
+        let text = e.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("byte 17"), "{text}");
+        assert!(std::error::Error::source(&e).is_some());
+        let with_path = CxkError::Xml {
+            path: Some(PathBuf::from("corpus.xml")),
+            source: cxk_xml::XmlError {
+                offset: 0,
+                line: 1,
+                message: "expected document element".into(),
+            },
+        };
+        assert!(with_path.to_string().starts_with("corpus.xml: "));
     }
 
     #[test]

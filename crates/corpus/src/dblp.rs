@@ -8,7 +8,7 @@
 
 use crate::textgen;
 use crate::vocab::DBLP_TOPICS;
-use crate::Corpus;
+use crate::{Corpus, LabeledDoc};
 use cxk_util::{DetRng, Interner};
 use cxk_xml::tree::{XmlTree, S_LABEL};
 use cxk_xml::write::{to_xml_string, Layout};
@@ -55,33 +55,17 @@ const RECORD_TYPES: [&str; 4] = ["article", "inproceedings", "book", "incollecti
 /// Panics if `config.dialects` is `0` or exceeds
 /// [`crate::dialect::DIALECT_COUNT`].
 pub fn generate(config: &DblpConfig) -> Corpus {
-    assert!(
-        (1..=crate::dialect::DIALECT_COUNT).contains(&config.dialects),
-        "dialects must be in 1..={}, got {}",
-        crate::dialect::DIALECT_COUNT,
-        config.dialects
-    );
-    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut stream = DblpStream::new(config.clone());
     let mut documents = Vec::with_capacity(config.documents);
     let mut structure_class = Vec::with_capacity(config.documents);
     let mut content_class = Vec::with_capacity(config.documents);
     let mut hybrid_class = Vec::with_capacity(config.documents);
 
-    for doc_idx in 0..config.documents {
-        let structure = doc_idx % 4;
-        let topic_slot = rng.below(4);
-        let topic = ALLOWED_TOPICS[structure][topic_slot];
-        let hybrid = (structure * 4 + topic_slot) as u32;
-        let dialect = if config.dialects == 1 {
-            0
-        } else {
-            rng.below(config.dialects)
-        };
-
-        documents.push(make_document(&mut rng, structure, topic, dialect));
-        structure_class.push(structure as u32);
-        content_class.push(topic as u32);
-        hybrid_class.push(hybrid);
+    while let Some(doc) = stream.next_doc() {
+        documents.push(doc.xml);
+        structure_class.push(doc.structure);
+        content_class.push(doc.content);
+        hybrid_class.push(doc.hybrid);
     }
 
     Corpus {
@@ -93,6 +77,64 @@ pub fn generate(config: &DblpConfig) -> Corpus {
         k_structure: 4,
         k_content: 6,
         k_hybrid: 16,
+    }
+}
+
+/// Per-document generator: yields the exact document sequence of
+/// [`generate`] one record at a time, so corpora far larger than RAM can
+/// be streamed to disk.
+#[derive(Debug)]
+pub struct DblpStream {
+    rng: DetRng,
+    config: DblpConfig,
+    next_idx: usize,
+}
+
+impl DblpStream {
+    /// Creates a stream over `config.documents` records.
+    ///
+    /// # Panics
+    /// Panics if `config.dialects` is `0` or exceeds
+    /// [`crate::dialect::DIALECT_COUNT`].
+    pub fn new(config: DblpConfig) -> Self {
+        assert!(
+            (1..=crate::dialect::DIALECT_COUNT).contains(&config.dialects),
+            "dialects must be in 1..={}, got {}",
+            crate::dialect::DIALECT_COUNT,
+            config.dialects
+        );
+        Self {
+            rng: DetRng::seed_from_u64(config.seed),
+            config,
+            next_idx: 0,
+        }
+    }
+
+    /// Generates the next record, or `None` once the configured count is
+    /// exhausted.
+    pub fn next_doc(&mut self) -> Option<LabeledDoc> {
+        if self.next_idx >= self.config.documents {
+            return None;
+        }
+        let doc_idx = self.next_idx;
+        self.next_idx += 1;
+
+        let structure = doc_idx % 4;
+        let topic_slot = self.rng.below(4);
+        let topic = ALLOWED_TOPICS[structure][topic_slot];
+        let hybrid = (structure * 4 + topic_slot) as u32;
+        let dialect = if self.config.dialects == 1 {
+            0
+        } else {
+            self.rng.below(self.config.dialects)
+        };
+
+        Some(LabeledDoc {
+            xml: make_document(&mut self.rng, structure, topic, dialect),
+            structure: structure as u32,
+            content: topic as u32,
+            hybrid,
+        })
     }
 }
 

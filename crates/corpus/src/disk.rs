@@ -1,0 +1,239 @@
+//! Streaming corpus synthesis to disk.
+//!
+//! The in-memory [`crate::Corpus`] caps corpus size at RAM. For the
+//! million-document scale, [`synthesize_to`] drives one of the per-document
+//! generator streams and writes a **newline-delimited XML corpus**: one
+//! single-line (`Layout::Compact`) document per line, parseable back with
+//! `cxk_xml::sax` in bounded memory. Ground-truth labels go to an optional
+//! side-channel TSV (`doc_index<TAB>structure<TAB>content<TAB>hybrid`),
+//! keeping the corpus file itself pure XML.
+//!
+//! Only one document is resident at a time: peak memory is independent of
+//! `docs`, so `cxk synth --docs 1000000 --out corpus.xml` runs in constant
+//! space.
+
+use crate::dblp::{DblpConfig, DblpStream};
+use crate::ieee::{IeeeConfig, IeeeStream};
+use crate::wikipedia::{WikipediaConfig, WikipediaStream};
+use crate::LabeledDoc;
+use std::io::Write;
+
+/// What to synthesize. `seed`/`dialects` of `None` use the corpus's
+/// canonical defaults ([`DblpConfig::default`] etc.).
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Corpus family: `"dblp"`, `"ieee"` or `"wikipedia"`.
+    pub corpus: String,
+    /// Number of documents to generate.
+    pub docs: usize,
+    /// RNG seed override.
+    pub seed: Option<u64>,
+    /// Markup dialect count override (DBLP only).
+    pub dialects: Option<usize>,
+}
+
+/// A unified per-document stream over the three generator families.
+#[derive(Debug)]
+pub enum CorpusStream {
+    /// DBLP bibliographic records.
+    Dblp(DblpStream),
+    /// IEEE/INEX journal articles.
+    Ieee(IeeeStream),
+    /// Wikipedia portal articles.
+    Wikipedia(WikipediaStream),
+}
+
+impl CorpusStream {
+    /// Builds the stream described by `spec`. Errors on an unknown corpus
+    /// name or options that don't apply to the chosen family.
+    pub fn from_spec(spec: &SynthSpec) -> Result<CorpusStream, String> {
+        match spec.corpus.as_str() {
+            "dblp" => {
+                let defaults = DblpConfig::default();
+                Ok(CorpusStream::Dblp(DblpStream::new(DblpConfig {
+                    documents: spec.docs,
+                    seed: spec.seed.unwrap_or(defaults.seed),
+                    dialects: spec.dialects.unwrap_or(defaults.dialects),
+                })))
+            }
+            "ieee" => {
+                if spec.dialects.is_some() {
+                    return Err("--dialects only applies to the dblp corpus".into());
+                }
+                let defaults = IeeeConfig::default();
+                Ok(CorpusStream::Ieee(IeeeStream::new(IeeeConfig {
+                    documents: spec.docs,
+                    seed: spec.seed.unwrap_or(defaults.seed),
+                })))
+            }
+            "wikipedia" => {
+                if spec.dialects.is_some() {
+                    return Err("--dialects only applies to the dblp corpus".into());
+                }
+                let defaults = WikipediaConfig::default();
+                Ok(CorpusStream::Wikipedia(WikipediaStream::new(
+                    WikipediaConfig {
+                        documents: spec.docs,
+                        seed: spec.seed.unwrap_or(defaults.seed),
+                    },
+                )))
+            }
+            other => Err(format!(
+                "unknown corpus `{other}` (expected dblp, ieee or wikipedia)"
+            )),
+        }
+    }
+
+    /// Generates the next document, or `None` when exhausted.
+    pub fn next_doc(&mut self) -> Option<LabeledDoc> {
+        match self {
+            CorpusStream::Dblp(s) => s.next_doc(),
+            CorpusStream::Ieee(s) => s.next_doc(),
+            CorpusStream::Wikipedia(s) => s.next_doc(),
+        }
+    }
+}
+
+/// What [`synthesize_to`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthSummary {
+    /// Documents written.
+    pub documents: usize,
+    /// Bytes of XML written (including the newline separators).
+    pub xml_bytes: u64,
+}
+
+/// Drains `stream` into `xml_out` as newline-delimited single-line XML
+/// documents, optionally mirroring ground-truth labels into `labels_out`
+/// as `doc_index<TAB>structure<TAB>content<TAB>hybrid` lines.
+pub fn synthesize_to<W: Write>(
+    mut xml_out: W,
+    mut labels_out: Option<&mut dyn Write>,
+    stream: &mut CorpusStream,
+) -> std::io::Result<SynthSummary> {
+    let mut documents = 0usize;
+    let mut xml_bytes = 0u64;
+    while let Some(doc) = stream.next_doc() {
+        debug_assert!(
+            !doc.xml.contains('\n'),
+            "compact serialization must be single-line"
+        );
+        xml_out.write_all(doc.xml.as_bytes())?;
+        xml_out.write_all(b"\n")?;
+        xml_bytes += doc.xml.len() as u64 + 1;
+        if let Some(out) = labels_out.as_deref_mut() {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}",
+                documents, doc.structure, doc.content, doc.hybrid
+            )?;
+        }
+        documents += 1;
+    }
+    xml_out.flush()?;
+    if let Some(out) = labels_out {
+        out.flush()?;
+    }
+    Ok(SynthSummary {
+        documents,
+        xml_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(corpus: &str, docs: usize, seed: Option<u64>) -> SynthSpec {
+        SynthSpec {
+            corpus: corpus.into(),
+            docs,
+            seed,
+            dialects: None,
+        }
+    }
+
+    #[test]
+    fn stream_matches_in_memory_generator() {
+        for corpus in ["dblp", "ieee", "wikipedia"] {
+            let mut stream = CorpusStream::from_spec(&spec(corpus, 12, Some(42))).expect("spec");
+            let in_memory = match corpus {
+                "dblp" => crate::dblp::generate(&DblpConfig {
+                    documents: 12,
+                    seed: 42,
+                    dialects: 1,
+                }),
+                "ieee" => crate::ieee::generate(&IeeeConfig {
+                    documents: 12,
+                    seed: 42,
+                }),
+                _ => crate::wikipedia::generate(&WikipediaConfig {
+                    documents: 12,
+                    seed: 42,
+                }),
+            };
+            for i in 0..12 {
+                let doc = stream.next_doc().expect("doc");
+                assert_eq!(doc.xml, in_memory.documents[i], "{corpus} doc {i}");
+                assert_eq!(doc.structure, in_memory.structure_class[i]);
+                assert_eq!(doc.content, in_memory.content_class[i]);
+                assert_eq!(doc.hybrid, in_memory.hybrid_class[i]);
+            }
+            assert!(stream.next_doc().is_none());
+        }
+    }
+
+    #[test]
+    fn synthesize_writes_one_line_per_doc_plus_labels() {
+        let mut xml = Vec::new();
+        let mut labels = Vec::new();
+        let mut stream = CorpusStream::from_spec(&spec("dblp", 20, Some(7))).expect("spec");
+        let summary =
+            synthesize_to(&mut xml, Some(&mut labels), &mut stream).expect("in-memory write");
+        assert_eq!(summary.documents, 20);
+        assert_eq!(summary.xml_bytes, xml.len() as u64);
+        let text = String::from_utf8(xml).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 20);
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("<?xml ") && l.contains("<dblp>")));
+        let label_lines: Vec<&str> = std::str::from_utf8(&labels)
+            .expect("utf8")
+            .lines()
+            .collect();
+        assert_eq!(label_lines.len(), 20);
+        assert!(label_lines[0].starts_with("0\t"));
+        assert_eq!(label_lines[3].split('\t').count(), 4);
+    }
+
+    #[test]
+    fn synthesized_corpus_round_trips_through_streaming_ingest() {
+        let mut xml = Vec::new();
+        let mut stream = CorpusStream::from_spec(&spec("ieee", 6, Some(5))).expect("spec");
+        synthesize_to(&mut xml, None, &mut stream).expect("in-memory write");
+        let mut labels = cxk_util::Interner::new();
+        let mut extractor = cxk_xml::StreamingTupleExtractor::new(
+            xml.as_slice(),
+            cxk_xml::ParseOptions::default(),
+            cxk_xml::TupleLimits::default(),
+        );
+        let mut docs = 0;
+        while extractor
+            .next_document(&mut labels)
+            .expect("valid corpus")
+            .is_some()
+        {
+            docs += 1;
+        }
+        assert_eq!(docs, 6);
+    }
+
+    #[test]
+    fn unknown_corpus_and_misapplied_dialects_error() {
+        assert!(CorpusStream::from_spec(&spec("shakespeare", 1, None)).is_err());
+        let mut bad = spec("ieee", 1, None);
+        bad.dialects = Some(2);
+        assert!(CorpusStream::from_spec(&bad).is_err());
+    }
+}

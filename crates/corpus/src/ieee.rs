@@ -11,7 +11,7 @@
 
 use crate::textgen;
 use crate::vocab::IEEE_TOPICS;
-use crate::Corpus;
+use crate::{Corpus, LabeledDoc};
 use cxk_util::{DetRng, Interner};
 use cxk_xml::tree::{XmlTree, S_LABEL};
 use cxk_xml::write::{to_xml_string, Layout};
@@ -41,25 +41,17 @@ const MAGAZINE_TOPICS: [usize; 6] = [0, 1, 3, 4, 6, 7];
 
 /// Generates the corpus.
 pub fn generate(config: &IeeeConfig) -> Corpus {
-    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut stream = IeeeStream::new(config.clone());
     let mut documents = Vec::with_capacity(config.documents);
     let mut structure_class = Vec::with_capacity(config.documents);
     let mut content_class = Vec::with_capacity(config.documents);
     let mut hybrid_class = Vec::with_capacity(config.documents);
 
-    for doc_idx in 0..config.documents {
-        let is_transactions = doc_idx % 2 == 0;
-        let (topic, hybrid) = if is_transactions {
-            let slot = rng.below(TRANSACTIONS_TOPICS.len());
-            (TRANSACTIONS_TOPICS[slot], slot as u32)
-        } else {
-            let slot = rng.below(MAGAZINE_TOPICS.len());
-            (MAGAZINE_TOPICS[slot], 8 + slot as u32)
-        };
-        documents.push(make_article(&mut rng, is_transactions, topic));
-        structure_class.push(u32::from(!is_transactions));
-        content_class.push(topic as u32);
-        hybrid_class.push(hybrid);
+    while let Some(doc) = stream.next_doc() {
+        documents.push(doc.xml);
+        structure_class.push(doc.structure);
+        content_class.push(doc.content);
+        hybrid_class.push(doc.hybrid);
     }
 
     Corpus {
@@ -71,6 +63,51 @@ pub fn generate(config: &IeeeConfig) -> Corpus {
         k_structure: 2,
         k_content: 8,
         k_hybrid: 14,
+    }
+}
+
+/// Per-document generator: yields the exact article sequence of
+/// [`generate`] one document at a time.
+#[derive(Debug)]
+pub struct IeeeStream {
+    rng: DetRng,
+    config: IeeeConfig,
+    next_idx: usize,
+}
+
+impl IeeeStream {
+    /// Creates a stream over `config.documents` articles.
+    pub fn new(config: IeeeConfig) -> Self {
+        Self {
+            rng: DetRng::seed_from_u64(config.seed),
+            config,
+            next_idx: 0,
+        }
+    }
+
+    /// Generates the next article, or `None` once the configured count is
+    /// exhausted.
+    pub fn next_doc(&mut self) -> Option<LabeledDoc> {
+        if self.next_idx >= self.config.documents {
+            return None;
+        }
+        let doc_idx = self.next_idx;
+        self.next_idx += 1;
+
+        let is_transactions = doc_idx % 2 == 0;
+        let (topic, hybrid) = if is_transactions {
+            let slot = self.rng.below(TRANSACTIONS_TOPICS.len());
+            (TRANSACTIONS_TOPICS[slot], slot as u32)
+        } else {
+            let slot = self.rng.below(MAGAZINE_TOPICS.len());
+            (MAGAZINE_TOPICS[slot], 8 + slot as u32)
+        };
+        Some(LabeledDoc {
+            xml: make_article(&mut self.rng, is_transactions, topic),
+            structure: u32::from(!is_transactions),
+            content: topic as u32,
+            hybrid,
+        })
     }
 }
 

@@ -18,11 +18,14 @@
 //!   (content-driven clustering only, as in the paper).
 //! * [`partition`] — the equal and unequal peer partitioning scenarios of
 //!   §5.1.
+//! * [`disk`] — streaming synthesis of newline-delimited corpus files
+//!   (`cxk synth`), one document at a time in constant memory.
 
 #![warn(missing_docs)]
 
 pub mod dblp;
 pub mod dialect;
+pub mod disk;
 pub mod ieee;
 pub mod partition;
 pub mod shakespeare;
@@ -30,7 +33,23 @@ pub mod textgen;
 pub mod vocab;
 pub mod wikipedia;
 
+pub use disk::{synthesize_to, CorpusStream, SynthSpec, SynthSummary};
 pub use partition::{partition_equal, partition_unequal};
+
+/// One generated document with its ground-truth labels, as yielded by the
+/// per-document generator streams ([`dblp::DblpStream`],
+/// [`ieee::IeeeStream`], [`wikipedia::WikipediaStream`]).
+#[derive(Debug, Clone)]
+pub struct LabeledDoc {
+    /// The document's XML text (single-line `Layout::Compact`).
+    pub xml: String,
+    /// Structural class.
+    pub structure: u32,
+    /// Content (topic) class.
+    pub content: u32,
+    /// Hybrid class.
+    pub hybrid: u32,
+}
 
 /// A generated corpus: XML documents plus per-document class labels.
 #[derive(Debug, Clone)]

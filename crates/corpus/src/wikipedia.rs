@@ -8,7 +8,7 @@
 
 use crate::textgen;
 use crate::vocab::WIKIPEDIA_TOPICS;
-use crate::Corpus;
+use crate::{Corpus, LabeledDoc};
 use cxk_util::{DetRng, Interner};
 use cxk_xml::tree::{XmlTree, S_LABEL};
 use cxk_xml::write::{to_xml_string, Layout};
@@ -33,16 +33,13 @@ impl Default for WikipediaConfig {
 
 /// Generates the corpus.
 pub fn generate(config: &WikipediaConfig) -> Corpus {
-    let mut rng = DetRng::seed_from_u64(config.seed);
+    let mut stream = WikipediaStream::new(config.clone());
     let mut documents = Vec::with_capacity(config.documents);
     let mut content_class = Vec::with_capacity(config.documents);
 
-    for doc_idx in 0..config.documents {
-        // Round-robin guarantees every portal is populated, with random
-        // article content per portal.
-        let topic = doc_idx % WIKIPEDIA_TOPICS.len();
-        documents.push(make_article(&mut rng, topic));
-        content_class.push(topic as u32);
+    while let Some(doc) = stream.next_doc() {
+        documents.push(doc.xml);
+        content_class.push(doc.content);
     }
 
     Corpus {
@@ -54,6 +51,47 @@ pub fn generate(config: &WikipediaConfig) -> Corpus {
         k_structure: WIKIPEDIA_TOPICS.len(),
         k_content: WIKIPEDIA_TOPICS.len(),
         k_hybrid: WIKIPEDIA_TOPICS.len(),
+    }
+}
+
+/// Per-document generator: yields the exact article sequence of
+/// [`generate`] one document at a time. Structure and hybrid labels equal
+/// the content label, as in [`generate`].
+#[derive(Debug)]
+pub struct WikipediaStream {
+    rng: DetRng,
+    config: WikipediaConfig,
+    next_idx: usize,
+}
+
+impl WikipediaStream {
+    /// Creates a stream over `config.documents` articles.
+    pub fn new(config: WikipediaConfig) -> Self {
+        Self {
+            rng: DetRng::seed_from_u64(config.seed),
+            config,
+            next_idx: 0,
+        }
+    }
+
+    /// Generates the next article, or `None` once the configured count is
+    /// exhausted.
+    pub fn next_doc(&mut self) -> Option<LabeledDoc> {
+        if self.next_idx >= self.config.documents {
+            return None;
+        }
+        let doc_idx = self.next_idx;
+        self.next_idx += 1;
+
+        // Round-robin guarantees every portal is populated, with random
+        // article content per portal.
+        let topic = doc_idx % WIKIPEDIA_TOPICS.len();
+        Some(LabeledDoc {
+            xml: make_article(&mut self.rng, topic),
+            structure: topic as u32,
+            content: topic as u32,
+            hybrid: topic as u32,
+        })
     }
 }
 

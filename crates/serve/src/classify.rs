@@ -46,7 +46,7 @@ use cxk_transact::{SimCtx, SimParams, TagPathSimTable};
 use cxk_util::{FxHashMap, FxHashSet, Interner, Symbol};
 use cxk_xml::parser::{parse_document, XmlError};
 use cxk_xml::path::{leaf_tag_path, PathId, PathTable};
-use cxk_xml::tuple::extract_tree_tuples;
+use cxk_xml::tuple::{count_tree_tuples, extract_tree_tuples};
 use std::sync::Arc;
 
 /// Assignment of one tree tuple (transaction) of the document.
@@ -69,6 +69,10 @@ pub struct DocumentAssignment {
     pub score: f64,
     /// Per-tuple assignments, in tree-tuple extraction order.
     pub tuples: Vec<TupleAssignment>,
+    /// Whether tuple enumeration hit the per-tree cap
+    /// (`TupleLimits::max_tuples_per_tree`): the document was scored on a
+    /// truncated tuple set, so the assignment is a best-effort answer.
+    pub capped: bool,
 }
 
 /// A classification failure, as surfaced through [`ClassifyEngine`].
@@ -193,8 +197,9 @@ impl QuerySession {
         &mut self,
         xml: &str,
         term_stats: &TermStatsBuilder,
-    ) -> Result<Vec<Vec<RepItem>>, XmlError> {
+    ) -> Result<QueryTuples, XmlError> {
         let tree = parse_document(xml, &mut self.labels, &self.build.parse)?;
+        let capped = count_tree_tuples(&tree) > self.build.limits.max_tuples_per_tree as u64;
         let tuples = extract_tree_tuples(&tree, &self.build.limits);
 
         // Per-leaf preprocessing, mirroring the batch builder.
@@ -328,7 +333,7 @@ impl QuerySession {
             })
             .collect();
 
-        Ok(tuple_item_ids
+        let transactions = tuple_item_ids
             .into_iter()
             .map(|ids| {
                 // Transactions are item *sets*: deduplicate repeated items.
@@ -338,8 +343,22 @@ impl QuerySession {
                     .map(|id| items[id as usize].clone())
                     .collect()
             })
-            .collect())
+            .collect();
+        Ok(QueryTuples {
+            transactions,
+            capped,
+        })
     }
+}
+
+/// One parsed query document's transactions, plus whether the tree-tuple
+/// cap truncated the enumeration — every classify strategy carries the
+/// flag through to [`DocumentAssignment::capped`].
+pub(crate) struct QueryTuples {
+    /// Per tree tuple, the deduplicated weighted items.
+    pub transactions: Vec<Vec<RepItem>>,
+    /// The document exceeded `TupleLimits::max_tuples_per_tree`.
+    pub capped: bool,
 }
 
 /// The relocation rule over one candidate stream: argmax of `simγJ` with
@@ -371,7 +390,12 @@ pub(crate) fn argmax_tuple(
 
 /// Document aggregate over per-tuple assignments: summed similarity per
 /// proper cluster, ties to the lowest id; all-trash documents are trash.
-pub(crate) fn aggregate_document(k: usize, tuples: Vec<TupleAssignment>) -> DocumentAssignment {
+/// `capped` records whether the tuple set was truncated at extraction.
+pub(crate) fn aggregate_document(
+    k: usize,
+    tuples: Vec<TupleAssignment>,
+    capped: bool,
+) -> DocumentAssignment {
     let mut totals = vec![0.0f64; k];
     for t in &tuples {
         if (t.cluster as usize) < k {
@@ -390,6 +414,7 @@ pub(crate) fn aggregate_document(k: usize, tuples: Vec<TupleAssignment>) -> Docu
         cluster,
         score,
         tuples,
+        capped,
     }
 }
 
@@ -470,7 +495,8 @@ impl Classifier {
     }
 
     fn classify_impl(&mut self, xml: &str, indexed: bool) -> Result<DocumentAssignment, XmlError> {
-        let tuples = self.session.extract(xml, &self.model.term_stats)?;
+        let query = self.session.extract(xml, &self.model.term_stats)?;
+        let tuples = query.transactions;
         let k = self.model.k();
         let ctx = self.session.sim_ctx(self.model.params);
         let rep_views: Vec<Vec<ItemView<'_>>> = self.model.reps.iter().map(|r| r.views()).collect();
@@ -491,7 +517,7 @@ impl Classifier {
                 candidates: candidates.len(k),
             });
         }
-        Ok(aggregate_document(k, assignments))
+        Ok(aggregate_document(k, assignments, query.capped))
     }
 }
 

@@ -559,12 +559,13 @@ fn stats_json(
         }
     };
     format!(
-        r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"errors":{},"reloads":{},"reload_errors":{},"rejected":{},"reused":{},"queue_depth":{},"queue_len":{},"index_postings":{},"brute_force":{},{engine_detail}}}"#,
+        r#"{{"epoch":{},"connections":{},"requests":{},"classified":{},"trash":{},"capped":{},"errors":{},"reloads":{},"reload_errors":{},"rejected":{},"reused":{},"queue_depth":{},"queue_len":{},"index_postings":{},"service_p50_micros":{},"service_p99_micros":{},"service_p999_micros":{},"brute_force":{},{engine_detail}}}"#,
         current.epoch,
         stats.connections.load(Ordering::Relaxed),
         stats.requests.load(Ordering::Relaxed),
         stats.classified.load(Ordering::Relaxed),
         stats.trash.load(Ordering::Relaxed),
+        stats.capped.load(Ordering::Relaxed),
         stats.errors.load(Ordering::Relaxed),
         stats.reloads.load(Ordering::Relaxed),
         stats.reload_errors.load(Ordering::Relaxed),
@@ -573,6 +574,9 @@ fn stats_json(
         queue.capacity(),
         queue.len(),
         stats.index_postings.load(Ordering::Relaxed),
+        stats.service_hist.percentile(0.5),
+        stats.service_hist.percentile(0.99),
+        stats.service_hist.percentile(0.999),
         brute,
     )
 }

@@ -89,6 +89,7 @@ use cxk_core::{
     load_model, peek_format_version, snapshot_digest, TrainedModel, MODEL_FORMAT_VERSION,
 };
 use cxk_p2p::NetworkError;
+use cxk_util::LogHistogram;
 use mio::{Interest, Poll, Waker};
 use queue::BoundedQueue;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
@@ -96,7 +97,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the file watcher wakes to check the shutdown flag; the
 /// configured watch interval is quantized to multiples of this.
@@ -214,6 +215,16 @@ pub struct ServerStats {
     /// from (refreshed on every engine rebuild), mirrored here so
     /// `GET /stats` can answer without borrowing a worker's engine.
     pub index_postings: AtomicU64,
+    /// Successful classifications whose tree-tuple enumeration hit
+    /// `TupleLimits::max_tuples_per_tree` — the answer was computed on a
+    /// truncated tuple set (also flagged per response as `"capped"`).
+    pub capped: AtomicU64,
+    /// Service time of every engine-bound request (classify and reload),
+    /// in microseconds from dequeue to rendered response — queue wait
+    /// excluded, so open-loop client latency minus this is scheduling
+    /// plus transport. Drives the `service_p*_micros` fields of
+    /// `GET /stats`.
+    pub service_hist: LogHistogram,
 }
 
 /// A point-in-time copy of the counters plus the live model epoch.
@@ -237,6 +248,14 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Connections that served a second request (keep-alive reuse).
     pub reused: u64,
+    /// Classifications answered from a truncated (capped) tuple set.
+    pub capped: u64,
+    /// Median service time of engine-bound requests, in microseconds.
+    pub service_p50_micros: u64,
+    /// 99th-percentile service time, in microseconds.
+    pub service_p99_micros: u64,
+    /// 99.9th-percentile service time, in microseconds.
+    pub service_p999_micros: u64,
     /// The live model epoch (1 = the boot model).
     pub epoch: u64,
 }
@@ -434,6 +453,10 @@ impl Server {
             reload_errors: self.stats.reload_errors.load(Ordering::Relaxed),
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             reused: self.stats.reused.load(Ordering::Relaxed),
+            capped: self.stats.capped.load(Ordering::Relaxed),
+            service_p50_micros: self.stats.service_hist.percentile(0.5),
+            service_p99_micros: self.stats.service_hist.percentile(0.99),
+            service_p999_micros: self.stats.service_hist.percentile(0.999),
             epoch: self.slot.epoch(),
         }
     }
@@ -510,7 +533,10 @@ fn worker_loop(
         if let Some(delay) = delay {
             std::thread::sleep(delay);
         }
+        let started = Instant::now();
         let (status, epoch, body) = handle_request(&job.request, &mut engine, current.epoch, &ctx);
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        ctx.stats.service_hist.record(micros);
         let bytes = conn::render_response(status, epoch, &body, job.request.close, None);
         let delivered = completions
             .send(Completion {
@@ -579,6 +605,9 @@ fn handle_request(
                                 if report.cluster == engine.trash_id() {
                                     stats.trash.fetch_add(1, Ordering::Relaxed);
                                 }
+                                if report.capped {
+                                    stats.capped.fetch_add(1, Ordering::Relaxed);
+                                }
                                 assignment_json(&report, engine.trash_id())
                             }
                             Err(e) => {
@@ -600,6 +629,9 @@ fn handle_request(
                     stats.classified.fetch_add(1, Ordering::Relaxed);
                     if report.cluster == engine.trash_id() {
                         stats.trash.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if report.capped {
+                        stats.capped.fetch_add(1, Ordering::Relaxed);
                     }
                     (200, epoch, assignment_json(&report, engine.trash_id()))
                 }
@@ -941,9 +973,10 @@ pub fn assignment_json(report: &DocumentAssignment, trash_id: u32) -> String {
         })
         .collect();
     format!(
-        r#"{{"cluster":{},"trash":{},"score":{},"tuples":[{}]}}"#,
+        r#"{{"cluster":{},"trash":{},"capped":{},"score":{},"tuples":[{}]}}"#,
         report.cluster,
         report.cluster == trash_id,
+        report.capped,
         report.score,
         tuples.join(",")
     )
@@ -1017,17 +1050,21 @@ mod tests {
                 similarity: 0.5,
                 candidates: 2,
             }],
+            capped: false,
         };
         let json = assignment_json(&report, 4);
         assert_eq!(
             json,
-            r#"{"cluster":1,"trash":false,"score":0.5,"tuples":[{"cluster":1,"trash":false,"similarity":0.5,"candidates":2}]}"#
+            r#"{"cluster":1,"trash":false,"capped":false,"score":0.5,"tuples":[{"cluster":1,"trash":false,"similarity":0.5,"candidates":2}]}"#
         );
         let trash = DocumentAssignment {
             cluster: 4,
             score: 0.0,
             tuples: Vec::new(),
+            capped: true,
         };
-        assert!(assignment_json(&trash, 4).contains(r#""trash":true"#));
+        let trash_json = assignment_json(&trash, 4);
+        assert!(trash_json.contains(r#""trash":true"#));
+        assert!(trash_json.contains(r#""capped":true"#));
     }
 }

@@ -839,15 +839,16 @@ impl RemoteClassifier {
         xml: &str,
         indexed: bool,
     ) -> Result<DocumentAssignment, ClassifyError> {
-        let tuples = self
+        let query = self
             .session
             .extract(xml, &self.model.term_stats)
             .map_err(ClassifyError::Xml)?;
+        let tuples = query.transactions;
         let k = self.model.k();
         if tuples.is_empty() {
             // Nothing to score: the document is trash without consulting
             // the network, exactly like the in-process paths.
-            return Ok(aggregate_document(k, Vec::new()));
+            return Ok(aggregate_document(k, Vec::new(), query.capped));
         }
 
         let wire_tuples: Vec<WireTuple> = tuples
@@ -907,7 +908,7 @@ impl RemoteClassifier {
                 candidates: scored,
             });
         }
-        Ok(aggregate_document(k, assignments))
+        Ok(aggregate_document(k, assignments, query.capped))
     }
 
     /// Scatters `request` to every shard and collects one answer vector

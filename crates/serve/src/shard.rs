@@ -318,9 +318,10 @@ impl ShardedClassifier {
 
     fn classify_impl(&mut self, xml: &str, indexed: bool) -> Result<DocumentAssignment, XmlError> {
         let model = self.engine.model();
-        let tuples = self.session.extract(xml, &model.term_stats)?;
+        let query = self.session.extract(xml, &model.term_stats)?;
         let rep_views: Vec<Vec<ItemView<'_>>> = model.reps.iter().map(|r| r.views()).collect();
-        let assignments = tuples
+        let assignments = query
+            .transactions
             .iter()
             .map(|tuple| {
                 let views: Vec<ItemView<'_>> = tuple.iter().map(RepItem::view).collect();
@@ -328,7 +329,7 @@ impl ShardedClassifier {
                     .assign_tuple(&self.session, &views, &rep_views, indexed)
             })
             .collect();
-        Ok(aggregate_document(model.k(), assignments))
+        Ok(aggregate_document(model.k(), assignments, query.capped))
     }
 }
 

@@ -636,3 +636,69 @@ fn full_queue_sheds_with_retry_after_and_drains() {
     assert_eq!(json_field(body, "queue_len"), "0", "drained queue: {body}");
     server.shutdown();
 }
+
+/// Service-time percentiles and the capped-document counter surface in
+/// `GET /stats`, and a tuple-capped document is flagged in its own
+/// response body.
+#[test]
+fn stats_report_service_percentiles_and_capped_documents() {
+    let (model, held_out) = train_held_out();
+    let server = Server::start(model, ("127.0.0.1", 0), ServeOptions::default()).expect("bind");
+    let addr = server.addr();
+
+    // A normal classification is answered uncapped…
+    let clean = one_shot(
+        addr,
+        &format!(
+            "POST /classify HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            held_out[0].len(),
+            held_out[0]
+        ),
+    );
+    assert!(clean.starts_with("HTTP/1.1 200"), "{clean}");
+    assert!(clean.contains(r#""capped":false"#), "{clean}");
+
+    // …then a document whose tuple enumeration overflows the default cap:
+    // 17 label groups with 2 alternatives each is 2^17 = 131 072 tree
+    // tuples against the 65 536 limit.
+    let mut hostile = String::from("<r>");
+    for g in 0..17 {
+        hostile.push_str(&format!("<g{g}><x>a</x></g{g}><g{g}><x>b</x></g{g}>"));
+    }
+    hostile.push_str("</r>");
+    let capped = one_shot(
+        addr,
+        &format!(
+            "POST /classify HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{hostile}",
+            hostile.len()
+        ),
+    );
+    assert!(capped.starts_with("HTTP/1.1 200"), "{capped}");
+    assert!(capped.contains(r#""capped":true"#), "{capped}");
+
+    let stats = server.stats();
+    assert_eq!(stats.classified, 2);
+    assert_eq!(stats.capped, 1, "one of the two documents was truncated");
+    assert!(
+        stats.service_p999_micros >= stats.service_p50_micros,
+        "percentiles must be monotone: {stats:?}"
+    );
+
+    let response = one_shot(
+        addr,
+        "GET /stats HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or_default();
+    assert_eq!(json_field(body, "capped"), "1", "{body}");
+    let p50: u64 = json_field(body, "service_p50_micros")
+        .parse()
+        .expect("numeric p50");
+    let p99: u64 = json_field(body, "service_p99_micros")
+        .parse()
+        .expect("numeric p99");
+    let p999: u64 = json_field(body, "service_p999_micros")
+        .parse()
+        .expect("numeric p999");
+    assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+    server.shutdown();
+}

@@ -20,8 +20,12 @@ use cxk_text::{preprocess, ttf_itf, PipelineOptions, SparseVec, TermStatsBuilder
 use cxk_util::{FxHashMap, Interner, Symbol};
 use cxk_xml::parser::{parse_document, ParseOptions, XmlError};
 use cxk_xml::path::{leaf_tag_path, PathId, PathTable};
+use cxk_xml::sax::{StreamedDocument, StreamingTupleExtractor};
 use cxk_xml::tree::XmlTree;
-use cxk_xml::tuple::{extract_tree_tuples, TupleLimits};
+use cxk_xml::tuple::{count_tree_tuples, extract_tree_tuples, TupleLimits};
+use std::io::BufRead;
+
+pub use cxk_xml::sax::IngestStats;
 
 /// Options for the whole build pipeline.
 #[derive(Debug, Clone, Default)]
@@ -143,6 +147,7 @@ pub struct DatasetBuilder {
     options: BuildOptions,
     docs: Vec<DocAccum>,
     term_stats: TermStatsBuilder,
+    capped_documents: u64,
 }
 
 impl DatasetBuilder {
@@ -155,12 +160,20 @@ impl DatasetBuilder {
             options,
             docs: Vec::new(),
             term_stats: TermStatsBuilder::new(),
+            capped_documents: 0,
         }
     }
 
     /// Number of documents added so far.
     pub fn document_count(&self) -> usize {
         self.docs.len()
+    }
+
+    /// Number of documents whose tuple enumeration was truncated by
+    /// [`TupleLimits`] — silent truncation would skew the transactional
+    /// view, so ingest summaries surface this count.
+    pub fn capped_documents(&self) -> u64 {
+        self.capped_documents
     }
 
     /// Parses one XML document and adds it to the collection. Returns the
@@ -175,6 +188,9 @@ impl DatasetBuilder {
     /// in doubt).
     pub fn add_tree(&mut self, tree: &XmlTree) -> usize {
         let tuples = extract_tree_tuples(tree, &self.options.limits);
+        if count_tree_tuples(tree) > self.options.limits.max_tuples_per_tree as u64 {
+            self.capped_documents += 1;
+        }
 
         // Preprocess each document leaf once; tuples reference leaves by
         // index so shared leaves are not re-tokenized per tuple.
@@ -219,6 +235,70 @@ impl DatasetBuilder {
             depth: tree.depth(),
         });
         self.docs.len() - 1
+    }
+
+    /// Streams every document out of `input` (one or more concatenated XML
+    /// documents, e.g. a `cxk synth` corpus file) through the SAX extractor
+    /// and adds each to the collection. Only one document's parse state is
+    /// resident at a time — the raw corpus is never buffered — so peak
+    /// ingest memory is independent of corpus size. Produces datasets
+    /// bit-identical to reading the same documents through
+    /// [`Self::add_xml`].
+    pub fn ingest_stream<R: BufRead>(&mut self, input: R) -> Result<IngestStats, XmlError> {
+        let mut extractor =
+            StreamingTupleExtractor::new(input, self.options.parse.clone(), self.options.limits);
+        while let Some(doc) = extractor.next_document(&mut self.labels)? {
+            self.add_streamed(doc);
+        }
+        Ok(extractor.stats())
+    }
+
+    /// Adds one document emitted by a [`StreamingTupleExtractor`] whose
+    /// labels were interned via [`Self::labels_mut`]. Mirrors
+    /// [`Self::add_tree`] exactly: leaves arrive in document order with
+    /// their complete paths, and tuples are already leaf-index lists.
+    pub fn add_streamed(&mut self, doc: StreamedDocument) -> usize {
+        let mut leaves: Vec<LeafData> = Vec::with_capacity(doc.leaves.len());
+        let mut term_doc_counts: FxHashMap<Symbol, u32> = FxHashMap::default();
+
+        for leaf in doc.leaves {
+            let path = self.paths.intern(&leaf.path);
+            let tag_path = self.paths.intern(&leaf.path[..leaf.path.len() - 1]);
+            let raw = leaf.value;
+            let terms = preprocess(&raw, &mut self.vocabulary, &self.options.pipeline);
+
+            let mut distinct = terms.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            self.term_stats.add_tcu(&distinct);
+            for &t in &distinct {
+                *term_doc_counts.entry(t).or_insert(0) += 1;
+            }
+
+            leaves.push(LeafData {
+                path,
+                tag_path,
+                raw,
+                terms,
+            });
+        }
+
+        if doc.capped {
+            self.capped_documents += 1;
+        }
+        self.docs.push(DocAccum {
+            leaves,
+            tuples: doc.tuples,
+            term_doc_counts,
+            depth: doc.depth,
+        });
+        self.docs.len() - 1
+    }
+
+    /// The builder's label interner, for driving a
+    /// [`StreamingTupleExtractor`] externally before [`Self::add_streamed`].
+    pub fn labels_mut(&mut self) -> &mut Interner {
+        &mut self.labels
     }
 
     /// Finalizes the dataset: builds the item domain, computes `ttf.itf`
@@ -467,5 +547,66 @@ mod tests {
         let mut builder = DatasetBuilder::new(BuildOptions::default());
         assert!(builder.add_xml("<a><b></a>").is_err());
         assert_eq!(builder.document_count(), 0);
+    }
+
+    /// The streaming ingest path must produce a dataset bit-identical to
+    /// the DOM path: same items, same vectors (float-for-float, so the
+    /// summation order matched exactly), same transactions and stats.
+    #[test]
+    fn streamed_ingest_matches_dom_ingest() {
+        let second = "<dblp><article key=\"j1\"><author>A. Nother</author><title>On things</title></article></dblp>";
+        let dom = build(&[DBLP_XML, second]);
+
+        let mut builder = DatasetBuilder::new(BuildOptions::default());
+        let corpus = format!("{DBLP_XML}\n{second}\n");
+        let stats = builder
+            .ingest_stream(corpus.as_bytes())
+            .expect("valid corpus");
+        assert_eq!(stats.documents, 2);
+        assert_eq!(stats.capped_documents, 0);
+        assert_eq!(builder.capped_documents(), 0);
+        let streamed = builder.finish();
+
+        assert_eq!(dom.stats.transactions, streamed.stats.transactions);
+        assert_eq!(dom.stats.items, streamed.stats.items);
+        assert_eq!(dom.stats.total_tcus, streamed.stats.total_tcus);
+        assert_eq!(dom.stats.max_depth, streamed.stats.max_depth);
+        assert_eq!(dom.stats.vocabulary, streamed.stats.vocabulary);
+        assert_eq!(dom.doc_of, streamed.doc_of);
+        for (a, b) in dom.transactions.iter().zip(&streamed.transactions) {
+            assert_eq!(a.items(), b.items());
+        }
+        for (a, b) in dom.items.iter().zip(&streamed.items) {
+            assert_eq!(a.raw, b.raw);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            let av: Vec<_> = a.vector.iter().collect();
+            let bv: Vec<_> = b.vector.iter().collect();
+            assert_eq!(av, bv, "item {:?}", a.raw);
+        }
+    }
+
+    #[test]
+    fn capped_documents_are_counted_on_both_paths() {
+        // 2^8 = 256 tuples against a cap of 10.
+        let mut doc = String::from("<r>");
+        for g in 0..8 {
+            doc.push_str(&format!("<g{g}>a</g{g}><g{g}>b</g{g}>"));
+        }
+        doc.push_str("</r>");
+        let options = BuildOptions {
+            limits: TupleLimits {
+                max_tuples_per_tree: 10,
+            },
+            ..BuildOptions::default()
+        };
+
+        let mut dom = DatasetBuilder::new(options.clone());
+        dom.add_xml(&doc).expect("valid xml");
+        assert_eq!(dom.capped_documents(), 1);
+
+        let mut streamed = DatasetBuilder::new(options);
+        let stats = streamed.ingest_stream(doc.as_bytes()).expect("valid");
+        assert_eq!(stats.capped_documents, 1);
+        assert_eq!(streamed.capped_documents(), 1);
     }
 }

@@ -51,7 +51,7 @@ pub mod persist;
 pub mod transaction;
 pub mod txsim;
 
-pub use dataset::{BuildOptions, Dataset, DatasetBuilder, DatasetStats};
+pub use dataset::{BuildOptions, Dataset, DatasetBuilder, DatasetStats, IngestStats};
 pub use item::{Item, ItemId, ItemView};
 pub use itemsim::{SimCtx, SimParams};
 pub use pathsim::{

@@ -1,0 +1,221 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! Latency distributions span orders of magnitude, so linear buckets either
+//! waste memory or lose tail resolution. [`LogHistogram`] uses
+//! logarithmic buckets — each power of two of microseconds is split into
+//! `SUB_BUCKETS` (8) linear sub-buckets, giving a constant relative error
+//! of at most `1/SUB_BUCKETS` (~12.5%) across the whole range — the same
+//! scheme as HdrHistogram's bucket/sub-bucket layout at low precision.
+//!
+//! Buckets are `AtomicU64`s: recording is a single relaxed fetch-add, so
+//! one histogram can be shared across server worker threads and load
+//! generator clients without locks. Percentile queries scan the buckets
+//! and are intended for end-of-run reporting or `GET /stats` rendering,
+//! not hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave.
+const SUB_BUCKETS: usize = 8;
+/// Octaves covered: values up to `2^NUM_OCTAVES - 1` µs (~1.2 hours) are
+/// bucketed exactly; larger values clamp into the last bucket.
+const NUM_OCTAVES: usize = 32;
+const NUM_BUCKETS: usize = NUM_OCTAVES * SUB_BUCKETS;
+
+/// A fixed-size, thread-safe histogram of microsecond values.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket holding `value`: octave = position of the highest
+/// set bit, sub-bucket = the next `log2(SUB_BUCKETS)` bits below it.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        // Values below one full octave of sub-buckets map linearly.
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros() as usize;
+    let shift = octave.saturating_sub(3); // log2(SUB_BUCKETS) = 3
+    let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+    let index = (octave - 2) * SUB_BUCKETS + sub;
+    index.min(NUM_BUCKETS - 1)
+}
+
+/// The smallest value mapping to bucket `index` (used to report
+/// percentiles as conservative lower bounds).
+fn bucket_floor(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = index / SUB_BUCKETS + 2;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let base = 1u64 << octave;
+    base + (sub << (octave - 3))
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (e.g. a latency in microseconds). Lock-free.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of the recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / count as f64
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (0.5 = median, 0.999 = p999),
+    /// reported as the floor of the bucket containing that rank — a lower
+    /// bound within ~12.5% of the true value. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_floor(index);
+            }
+        }
+        self.max()
+    }
+
+    /// Resets every bucket and counter to zero. Not atomic with respect to
+    /// concurrent `record` calls; intended for between-run reuse.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket_index() {
+        for index in 0..NUM_BUCKETS {
+            let floor = bucket_floor(index);
+            assert_eq!(bucket_index(floor), index, "floor of bucket {index}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let h = LogHistogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000, 1_000_000, 30_000_000] {
+            h.reset();
+            h.record(v);
+            let p = h.percentile(0.5);
+            assert!(p <= v, "floor must lower-bound: {p} > {v}");
+            assert!(
+                (v - p) as f64 <= v as f64 / 8.0 + 1.0,
+                "error too large at {v}: reported {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let h = LogHistogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record((x >> 40) + i % 97);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max());
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let h = LogHistogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 500);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("no panic");
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -10,13 +10,17 @@
 //!   experiment in the benchmark harness is exactly reproducible.
 //! * [`intern`] — a compact string interner mapping strings to dense `u32`
 //!   symbols; tag names, attribute names and index terms are all interned.
+//! * [`hist`] — a lock-free log-bucketed latency histogram shared by the
+//!   HTTP server's service-time stats and the open-loop load generator.
 
 #![warn(missing_docs)]
 
 pub mod hash;
+pub mod hist;
 pub mod intern;
 pub mod rng;
 
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use hist::LogHistogram;
 pub use intern::{Interner, Symbol};
 pub use rng::DetRng;

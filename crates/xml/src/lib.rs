@@ -16,16 +16,22 @@
 //!   Figs. 2–3 of the paper.
 //! * [`mod@write`] — serialization back to XML text (used for round-trip
 //!   property tests and by the corpus generators).
+//! * [`sax`] — pull-based streaming parsing and tuple extraction over any
+//!   [`std::io::BufRead`], for corpora larger than RAM.
 
 #![warn(missing_docs)]
 
 pub mod parser;
 pub mod path;
+pub mod sax;
 pub mod tree;
 pub mod tuple;
 pub mod write;
 
 pub use parser::{parse_document, ParseOptions, XmlError};
 pub use path::{LabelPath, PathAnswer, PathTable};
+pub use sax::{
+    IngestStats, SaxEvent, SaxReader, StreamedDocument, StreamedLeaf, StreamingTupleExtractor,
+};
 pub use tree::{NodeId, NodeKind, XmlTree};
 pub use tuple::{count_tree_tuples, extract_tree_tuples, TreeTuple, TupleLimits};

@@ -19,16 +19,37 @@ use std::fmt;
 pub struct XmlError {
     /// Byte offset where the error was detected.
     pub offset: usize,
+    /// 1-based line number of the offset (newlines counted as bytes).
+    pub line: usize,
     /// Human-readable description.
     pub message: String,
+}
+
+impl XmlError {
+    /// Builds an error at `offset`, deriving the line number from the
+    /// document bytes (for callers that hold the whole input; streaming
+    /// parsers track the line incrementally instead).
+    pub fn at(bytes: &[u8], offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            line: line_of(bytes, offset),
+            message: message.into(),
+        }
+    }
+}
+
+/// 1-based line number of byte `offset` in `bytes`.
+pub(crate) fn line_of(bytes: &[u8], offset: usize) -> usize {
+    let upto = offset.min(bytes.len());
+    1 + bytes[..upto].iter().filter(|&&b| b == b'\n').count()
 }
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "XML parse error at byte {}: {}",
-            self.offset, self.message
+            "XML parse error at line {}, byte {}: {}",
+            self.line, self.offset, self.message
         )
     }
 }
@@ -87,10 +108,7 @@ struct Parser<'a, 'b> {
 
 impl<'a, 'b> Parser<'a, 'b> {
     fn error(&self, message: impl Into<String>) -> XmlError {
-        XmlError {
-            offset: self.pos,
-            message: message.into(),
-        }
+        XmlError::at(self.bytes, self.pos, message)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -252,10 +270,8 @@ impl<'a, 'b> Parser<'a, 'b> {
                     }
                     let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("attribute value is not valid UTF-8"))?;
-                    let value = decode_entities(raw).map_err(|msg| XmlError {
-                        offset: start,
-                        message: msg,
-                    })?;
+                    let value =
+                        decode_entities(raw).map_err(|msg| XmlError::at(self.bytes, start, msg))?;
                     self.pos += 1; // closing quote
                     let name_sym = self.interner.intern(&attr_name);
                     tree.add_attribute(element, name_sym, value);
@@ -327,10 +343,8 @@ impl<'a, 'b> Parser<'a, 'b> {
                     }
                     let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("text is not valid UTF-8"))?;
-                    let decoded = decode_entities(raw).map_err(|msg| XmlError {
-                        offset: start,
-                        message: msg,
-                    })?;
+                    let decoded =
+                        decode_entities(raw).map_err(|msg| XmlError::at(self.bytes, start, msg))?;
                     pending_text.push_str(&decoded);
                     if !self.options.coalesce_text {
                         self.flush_text(tree, element, &mut pending_text);
