@@ -1,0 +1,190 @@
+//! Check 3: atomic-ordering audit.
+//!
+//! Every `Ordering::*` argument is attributed to (crate, atomic field)
+//! by walking backwards from the `Ordering` token to the enclosing call
+//! and its receiver. Per field:
+//!
+//! * all sites `Relaxed`            → classified `counter`, inventory only;
+//! * no site `Relaxed`              → classified `sync`, inventory only;
+//! * mixed                          → every `Relaxed` site needs a nearby
+//!   comment mentioning "relaxed" (or an allow). A `Relaxed` load paired
+//!   with a `Release` store — or a `Relaxed` store paired with an
+//!   `Acquire` load — is a broken publish/consume pair and is an error;
+//!   other undocumented mixes are warnings.
+//!
+//! Test code is excluded: loom-style stress tests legitimately relax.
+
+use super::receiver_field;
+use crate::lex::Kind;
+use crate::report::{AtomicField, Report, Severity};
+use crate::scan::ScannedFile;
+use std::collections::BTreeMap;
+
+pub const ID: &str = "atomic-ordering";
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Load,
+    Store,
+    Rmw,
+    Unknown,
+}
+
+struct Site {
+    file_idx: usize,
+    line: u32,
+    ordering: &'static str,
+    op: Op,
+}
+
+fn op_of(method: &str) -> Op {
+    match method {
+        "load" => Op::Load,
+        "store" => Op::Store,
+        m if m.starts_with("fetch_") || m == "swap" || m.starts_with("compare_exchange") => Op::Rmw,
+        _ => Op::Unknown,
+    }
+}
+
+/// From the `Ordering` token at `idx`, finds the enclosing call's method
+/// name and receiver field by walking backwards to the unbalanced `(`.
+fn call_context(f: &ScannedFile<'_>, idx: usize) -> (Option<String>, Option<String>) {
+    let toks = &f.toks;
+    let mut depth = 0i32;
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = toks[j];
+        if t.is_punct(b')') || t.is_punct(b']') {
+            depth += 1;
+        } else if t.is_punct(b'[') {
+            depth -= 1;
+        } else if t.is_punct(b'(') {
+            if depth == 0 {
+                // `method (` — the method ident sits just before.
+                if j >= 1 && toks[j - 1].kind == Kind::Ident {
+                    let method = toks[j - 1].text.to_string();
+                    let field = receiver_field(toks, j - 1);
+                    return (Some(method), field);
+                }
+                return (None, None);
+            }
+            depth -= 1;
+        } else if (t.is_punct(b';') || t.is_punct(b'{') || t.is_punct(b'}')) && depth == 0 {
+            break;
+        }
+    }
+    (None, None)
+}
+
+pub fn run(files: &[ScannedFile<'_>], rep: &mut Report) {
+    // (crate, field) -> sites.
+    let mut groups: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for i in 0..f.toks.len() {
+            let t = f.toks[i];
+            if !(t.kind == Kind::Ident && t.text == "Ordering") {
+                continue;
+            }
+            let Some(ord) = f
+                .toks
+                .get(i + 1)
+                .filter(|a| a.is_punct(b':'))
+                .and(f.toks.get(i + 2))
+                .filter(|b| b.is_punct(b':'))
+                .and(f.toks.get(i + 3))
+                .filter(|c| c.kind == Kind::Ident)
+                .and_then(|c| ORDERINGS.iter().find(|o| **o == c.text))
+            else {
+                continue;
+            };
+            if f.tok_in_test(i) || f.is_test_file {
+                continue;
+            }
+            let (method, field) = call_context(f, i);
+            let op = method.as_deref().map(op_of).unwrap_or(Op::Unknown);
+            let field = field.unwrap_or_else(|| "(unattributed)".to_string());
+            groups
+                .entry((f.crate_name.clone(), field))
+                .or_default()
+                .push(Site {
+                    file_idx: fi,
+                    line: t.line,
+                    ordering: ord,
+                    op,
+                });
+        }
+    }
+
+    for ((crate_name, field), sites) in groups {
+        let mut orderings: BTreeMap<&'static str, u32> = BTreeMap::new();
+        for s in &sites {
+            *orderings.entry(s.ordering).or_default() += 1;
+        }
+        let relaxed = orderings.get("Relaxed").copied().unwrap_or(0);
+        let class = if relaxed == sites.len() as u32 {
+            "counter"
+        } else if relaxed == 0 {
+            "sync"
+        } else {
+            "mixed"
+        };
+        if class == "mixed" {
+            let release_store = sites.iter().any(|s| {
+                matches!(s.op, Op::Store | Op::Rmw)
+                    && matches!(s.ordering, "Release" | "AcqRel" | "SeqCst")
+            });
+            let acquire_load = sites.iter().any(|s| {
+                matches!(s.op, Op::Load | Op::Rmw)
+                    && matches!(s.ordering, "Acquire" | "AcqRel" | "SeqCst")
+            });
+            for s in sites.iter().filter(|s| s.ordering == "Relaxed") {
+                let f = &files[s.file_idx];
+                // A nearby comment that talks about relaxed ordering
+                // counts as the required justification.
+                if f.nearby_comment_text(s.line)
+                    .to_lowercase()
+                    .contains("relaxed")
+                {
+                    continue;
+                }
+                let (severity, message) = match s.op {
+                    Op::Load if release_store => (
+                        Severity::Error,
+                        format!(
+                            "Relaxed load of `{field}` observes a Release store \
+                             (broken publish/consume pair): use Acquire, or document \
+                             why relaxed is sound"
+                        ),
+                    ),
+                    Op::Store | Op::Rmw if acquire_load => (
+                        Severity::Error,
+                        format!(
+                            "Relaxed store to `{field}` is read by an Acquire load \
+                             (broken publish/consume pair): use Release, or document \
+                             why relaxed is sound"
+                        ),
+                    ),
+                    _ => (
+                        Severity::Warning,
+                        format!(
+                            "`Ordering::Relaxed` on `{field}`, which elsewhere uses \
+                             stronger orderings: add a justification comment \
+                             mentioning \"relaxed\""
+                        ),
+                    ),
+                };
+                super::emit(rep, f, ID, severity, s.line, message);
+            }
+        }
+        rep.atomic_fields.push(AtomicField {
+            crate_name,
+            field,
+            sites: sites.len() as u32,
+            orderings,
+            class,
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Check 5: the acceptor readiness loop must never block.
+//!
+//! The epoll loop multiplexes every connection on one thread; a single
+//! `thread::sleep`, blocking channel `recv()`, or unbounded read stalls
+//! all of them. Only the configured event-loop files are in scope
+//! (default: the serve acceptor).
+
+use super::{followed_by_empty_parens, followed_by_paren};
+use crate::lex::Kind;
+use crate::report::{Report, Severity};
+use crate::scan::ScannedFile;
+use crate::Config;
+
+pub const ID: &str = "event-loop";
+
+pub fn run(files: &[ScannedFile<'_>], cfg: &Config, rep: &mut Report) {
+    for f in files {
+        if !cfg
+            .event_loop_files
+            .iter()
+            .any(|suffix| f.path.ends_with(suffix.as_str()))
+        {
+            continue;
+        }
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.kind != Kind::Ident || f.tok_in_test(i) {
+                continue;
+            }
+            let found = match t.text {
+                "sleep" if followed_by_paren(&f.toks, i) => {
+                    Some("`thread::sleep` stalls every connection on the loop")
+                }
+                // `recv()` with no timeout blocks forever; `try_recv` /
+                // `recv_timeout` are distinct identifiers and stay legal.
+                "recv" if followed_by_empty_parens(&f.toks, i) => {
+                    Some("blocking `recv()`; use `try_recv()` or a timeout")
+                }
+                "read_to_end" | "read_to_string" if followed_by_paren(&f.toks, i) => {
+                    Some("unbounded read can stall the readiness loop; read in bounded chunks")
+                }
+                "wait" if followed_by_paren(&f.toks, i) => {
+                    Some("condvar `wait` parks the event loop thread")
+                }
+                _ => None,
+            };
+            if let Some(msg) = found {
+                super::emit(
+                    rep,
+                    f,
+                    ID,
+                    Severity::Error,
+                    t.line,
+                    format!("{msg} (inside the acceptor readiness loop)"),
+                );
+            }
+        }
+    }
+}

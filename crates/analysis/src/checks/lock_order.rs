@@ -1,0 +1,653 @@
+//! Check 4: lock-order race detector.
+//!
+//! Per function, the token stream is abstracted into an event sequence —
+//! lock acquisitions (`.lock()` / `.read()` / `.write()` with no
+//! arguments), guard drops, statement/block boundaries, calls, and known
+//! blocking operations. Locks are identified as `file_stem.field` (the
+//! receiver field of the guard call), which merges all acquisitions of
+//! the same field within a file — the declaration site in practice.
+//!
+//! Interprocedural reasoning is deliberately conservative to keep false
+//! positives near zero: `self.helper()` calls resolve within the same
+//! file, free-function calls resolve same-file first and then
+//! crate-unique; method calls on other objects are not followed. A
+//! helper that *returns* a guard (its lock is still held at function
+//! end) is modelled as acquiring that lock at the call site.
+//!
+//! Reported: cycles in the acquired-while-held graph (deadlock
+//! potential, error), the same lock re-acquired while held
+//! (self-deadlock, error), and locks held across blocking calls
+//! (warning). Condvar `wait`/`wait_timeout` release their mutex and are
+//! exempt.
+
+use super::{followed_by_empty_parens, followed_by_paren, receiver_field};
+use crate::lex::Kind;
+use crate::report::{LockEdge, Report, Severity};
+use crate::scan::ScannedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const ID: &str = "lock-order";
+
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+const BLOCKING: [&str; 10] = [
+    "recv",
+    "recv_timeout",
+    "recv_matching",
+    "sleep",
+    "join",
+    "connect",
+    "connect_timeout",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+];
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Acquire lock `id`; `binding` names the guard when let-bound.
+    Acquire {
+        id: String,
+        line: u32,
+        depth: u32,
+        let_bound: bool,
+        binding: Option<String>,
+    },
+    /// Explicit `drop(binding)`.
+    Drop { binding: String },
+    /// End of statement at brace depth `depth`.
+    Stmt { depth: u32 },
+    /// A block closed; holds the depth that just ended.
+    Exit { depth: u32 },
+    /// Call into another workspace function (possibly resolvable).
+    Call {
+        name: String,
+        on_self: bool,
+        line: u32,
+        let_bound: bool,
+    },
+    /// A known-blocking operation.
+    Block { what: String, line: u32 },
+}
+
+#[derive(Debug, Default)]
+struct FnSummary {
+    file_idx: usize,
+    events: Vec<Ev>,
+    /// Lock ids still held when the function returns (guard-returning
+    /// helpers like `fn lock(&self) -> MutexGuard<_>`).
+    escaping: Vec<String>,
+    /// Transitive set of lock ids this function may acquire.
+    may_acquire: BTreeSet<String>,
+    /// Transitively reaches a blocking call.
+    may_block: Option<String>,
+}
+
+/// True when the signature ending at `body_start` names a `*Guard` type
+/// (`MutexGuard`, `RwLockReadGuard`, ...), i.e. the function hands a live
+/// lock guard back to its caller.
+fn returns_guard(toks: &[crate::lex::Tok<'_>], body_start: usize) -> bool {
+    let mut j = body_start;
+    let mut budget = 64;
+    while j > 0 && budget > 0 {
+        j -= 1;
+        budget -= 1;
+        let t = &toks[j];
+        if t.is_ident("fn") {
+            break;
+        }
+        if t.kind == Kind::Ident && t.text.contains("Guard") {
+            return true;
+        }
+    }
+    false
+}
+
+fn file_stem(path: &str) -> &str {
+    path.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(path)
+}
+
+/// Extracts the event sequence for one function body.
+fn extract_events(f: &ScannedFile<'_>, body: (usize, usize)) -> Vec<Ev> {
+    let toks = &f.toks;
+    let stem = file_stem(&f.path);
+    let mut evs = Vec::new();
+    let mut depth = 0u32;
+    // `let` binding state for the current statement.
+    let mut stmt_let: Option<String> = None;
+    let mut saw_let = false;
+    let mut i = body.0;
+    while i <= body.1 && i < toks.len() {
+        let t = toks[i];
+        match t.kind {
+            Kind::Punct => match t.ch {
+                b'{' => depth += 1,
+                b'}' => {
+                    evs.push(Ev::Exit { depth });
+                    depth = depth.saturating_sub(1);
+                    saw_let = false;
+                    stmt_let = None;
+                }
+                b';' => {
+                    evs.push(Ev::Stmt { depth });
+                    saw_let = false;
+                    stmt_let = None;
+                }
+                _ => {}
+            },
+            Kind::Ident => {
+                let name = t.text;
+                if name == "let" {
+                    saw_let = true;
+                    stmt_let = None;
+                    // Binding ident: first ident after `let` (skipping mut).
+                    let mut j = i + 1;
+                    while j < toks.len() {
+                        let n = toks[j];
+                        if n.is_ident("mut") {
+                            j += 1;
+                        } else if n.kind == Kind::Ident {
+                            stmt_let = Some(n.text.to_string());
+                            break;
+                        } else {
+                            break;
+                        }
+                    }
+                } else if name == "drop"
+                    && followed_by_paren(toks, i)
+                    && toks
+                        .get(i + 2)
+                        .map(|n| n.kind == Kind::Ident)
+                        .unwrap_or(false)
+                    && toks.get(i + 3).map(|n| n.is_punct(b')')).unwrap_or(false)
+                {
+                    evs.push(Ev::Drop {
+                        binding: toks[i + 2].text.to_string(),
+                    });
+                    i += 4;
+                    continue;
+                } else if GUARD_METHODS.contains(&name)
+                    && followed_by_empty_parens(toks, i)
+                    && i > 0
+                    && toks[i - 1].is_punct(b'.')
+                {
+                    match receiver_field(toks, i) {
+                        Some(recv) if recv == "self" => {
+                            // `self.lock()` — a helper method, not a std
+                            // guard call; resolve it like any self call.
+                            evs.push(Ev::Call {
+                                name: name.to_string(),
+                                on_self: true,
+                                line: t.line,
+                                let_bound: saw_let,
+                            });
+                        }
+                        Some(field) => {
+                            evs.push(Ev::Acquire {
+                                id: format!("{stem}.{field}"),
+                                line: t.line,
+                                depth,
+                                let_bound: saw_let,
+                                binding: if saw_let { stmt_let.clone() } else { None },
+                            });
+                        }
+                        None => {}
+                    }
+                } else if BLOCKING.contains(&name) && followed_by_paren(toks, i) {
+                    // Channel recv is `rx.recv()`; socket read_exact etc.
+                    // also match. Condvar wait is deliberately absent.
+                    evs.push(Ev::Block {
+                        what: format!("{name}("),
+                        line: t.line,
+                    });
+                } else if followed_by_paren(toks, i)
+                    && !matches!(
+                        name,
+                        "if" | "while"
+                            | "for"
+                            | "match"
+                            | "return"
+                            | "Some"
+                            | "Ok"
+                            | "Err"
+                            | "None"
+                            | "drop"
+                    )
+                {
+                    let on_self = match receiver_field(toks, i) {
+                        Some(r) if r == "self" => true,
+                        Some(_) => {
+                            // Method on another object: not followed.
+                            i += 1;
+                            continue;
+                        }
+                        None => {
+                            if i > 0 && toks[i - 1].is_punct(b'.') {
+                                // Chained call on a temporary: skip.
+                                i += 1;
+                                continue;
+                            }
+                            false
+                        }
+                    };
+                    evs.push(Ev::Call {
+                        name: name.to_string(),
+                        on_self,
+                        line: t.line,
+                        let_bound: saw_let,
+                    });
+                }
+            }
+            Kind::Lit => {}
+        }
+        i += 1;
+    }
+    evs
+}
+
+/// One simulated held lock.
+#[derive(Debug, Clone)]
+struct Held {
+    id: String,
+    depth: u32,
+    until_stmt: bool,
+    binding: Option<String>,
+}
+
+struct Ctx<'a> {
+    files: &'a [ScannedFile<'a>],
+    fns: &'a BTreeMap<String, FnSummary>,
+    edges: Vec<LockEdge>,
+    blocking: Vec<(usize, u32, String, String)>,
+}
+
+/// Walks a function's events with the current held set, recording
+/// acquired-while-held edges and blocking-while-held sites.
+fn simulate(ctx: &mut Ctx<'_>, key: &str, held: &mut Vec<Held>, visited: &mut Vec<String>) {
+    if visited.iter().any(|v| v == key) || visited.len() > 16 {
+        return;
+    }
+    visited.push(key.to_string());
+    let Some(sum) = ctx.fns.get(key) else {
+        visited.pop();
+        return;
+    };
+    let f = &ctx.files[sum.file_idx];
+    let base = held.len();
+    for ev in &sum.events {
+        match ev {
+            Ev::Acquire {
+                id,
+                line,
+                depth,
+                let_bound,
+                binding,
+            } => {
+                for h in held.iter() {
+                    ctx.edges.push(LockEdge {
+                        from: h.id.clone(),
+                        to: id.clone(),
+                        file: f.path.clone(),
+                        line: *line,
+                        via: key.to_string(),
+                    });
+                }
+                held.push(Held {
+                    id: id.clone(),
+                    depth: *depth,
+                    until_stmt: !*let_bound,
+                    binding: binding.clone(),
+                });
+            }
+            Ev::Drop { binding } => {
+                held.retain(|h| h.binding.as_deref() != Some(binding.as_str()));
+            }
+            Ev::Stmt { depth } => {
+                held.truncate_where(base, |h| !(h.until_stmt && h.depth >= *depth));
+            }
+            Ev::Exit { depth } => {
+                held.truncate_where(base, |h| h.depth < *depth);
+            }
+            Ev::Call {
+                name,
+                on_self,
+                line,
+                let_bound,
+            } => {
+                if let Some(callee) = resolve(ctx, sum.file_idx, name, *on_self) {
+                    let callee_sum = &ctx.fns[&callee];
+                    if !held.is_empty() {
+                        // Everything the callee may acquire nests inside
+                        // every lock currently held.
+                        for h in held.iter() {
+                            for id in &callee_sum.may_acquire {
+                                ctx.edges.push(LockEdge {
+                                    from: h.id.clone(),
+                                    to: id.clone(),
+                                    file: f.path.clone(),
+                                    line: *line,
+                                    via: format!("{key} -> {callee}"),
+                                });
+                            }
+                        }
+                        if let Some(what) = &callee_sum.may_block {
+                            ctx.blocking.push((
+                                sum.file_idx,
+                                *line,
+                                format!("{what} (via {callee})"),
+                                held[0].id.clone(),
+                            ));
+                        }
+                    }
+                    // Guard-returning helper: its escaping locks become
+                    // held here, scoped like a direct acquisition.
+                    for id in callee_sum.escaping.clone() {
+                        held.push(Held {
+                            id,
+                            depth: 0,
+                            until_stmt: !*let_bound,
+                            binding: None,
+                        });
+                    }
+                }
+            }
+            Ev::Block { what, line } => {
+                if let Some(h) = held.first() {
+                    ctx.blocking
+                        .push((sum.file_idx, *line, what.clone(), h.id.clone()));
+                }
+            }
+        }
+    }
+    held.truncate(base);
+    visited.pop();
+}
+
+trait TruncateWhere {
+    fn truncate_where<F: Fn(&Held) -> bool>(&mut self, floor: usize, keep: F);
+}
+
+impl TruncateWhere for Vec<Held> {
+    /// Retains entries below `floor` unconditionally, applies `keep` to
+    /// the rest (a function releases only its own acquisitions).
+    fn truncate_where<F: Fn(&Held) -> bool>(&mut self, floor: usize, keep: F) {
+        let mut idx = 0usize;
+        self.retain(|h| {
+            let k = idx < floor || keep(h);
+            idx += 1;
+            k
+        });
+    }
+}
+
+/// Resolves a call to a function summary key: same file first, then
+/// unique within the crate. `self` calls never leave the file.
+fn resolve(ctx: &Ctx<'_>, file_idx: usize, name: &str, on_self: bool) -> Option<String> {
+    let f = &ctx.files[file_idx];
+    let same_file = format!("{}::{}", f.path, name);
+    if ctx.fns.contains_key(&same_file) {
+        return Some(same_file);
+    }
+    if on_self {
+        return None;
+    }
+    let mut found: Option<String> = None;
+    for (key, sum) in ctx.fns.iter() {
+        if key.ends_with(&format!("::{name}")) && ctx.files[sum.file_idx].crate_name == f.crate_name
+        {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some(key.clone());
+        }
+    }
+    found
+}
+
+pub fn run(files: &[ScannedFile<'_>], rep: &mut Report) {
+    // Pass 1: per-function events.
+    let mut fns: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        for func in &f.functions {
+            if func.is_test || f.is_test_file {
+                continue;
+            }
+            let events = extract_events(f, (func.body_start, func.body_end));
+            if events.is_empty() {
+                continue;
+            }
+            let key = format!("{}::{}", f.path, func.name);
+            let mut sum = FnSummary {
+                file_idx: fi,
+                events,
+                ..FnSummary::default()
+            };
+            // Direct acquisitions / blocking; escaping = locks still held
+            // when the function's own closing brace fires, kept only for
+            // functions whose signature returns a `*Guard` type (anything
+            // else drops its temporaries at the tail expression).
+            let mut held: Vec<Held> = Vec::new();
+            let mut held_at_end: Vec<String> = Vec::new();
+            for ev in &sum.events {
+                match ev {
+                    Ev::Acquire {
+                        id,
+                        depth,
+                        let_bound,
+                        binding,
+                        ..
+                    } => {
+                        sum.may_acquire.insert(id.clone());
+                        held.push(Held {
+                            id: id.clone(),
+                            depth: *depth,
+                            until_stmt: !*let_bound,
+                            binding: binding.clone(),
+                        });
+                    }
+                    Ev::Drop { binding } => {
+                        held.retain(|h| h.binding.as_deref() != Some(binding.as_str()));
+                    }
+                    Ev::Stmt { depth } => {
+                        held.retain(|h| !(h.until_stmt && h.depth >= *depth));
+                    }
+                    Ev::Exit { depth } => {
+                        if *depth == 1 {
+                            // The function body itself is closing.
+                            held_at_end = held.iter().map(|h| h.id.clone()).collect();
+                        }
+                        held.retain(|h| h.depth < *depth);
+                    }
+                    Ev::Block { what, .. } => {
+                        if sum.may_block.is_none() {
+                            sum.may_block = Some(what.clone());
+                        }
+                    }
+                    Ev::Call { .. } => {}
+                }
+            }
+            if returns_guard(&f.toks, func.body_start) {
+                sum.escaping = held_at_end;
+            }
+            fns.insert(key, sum);
+        }
+    }
+
+    // Pass 2: transitive may_acquire / may_block fixpoint.
+    loop {
+        let mut changed = false;
+        let keys: Vec<String> = fns.keys().cloned().collect();
+        for key in &keys {
+            let calls: Vec<(String, bool)> = fns[key]
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    Ev::Call { name, on_self, .. } => Some((name.clone(), *on_self)),
+                    _ => None,
+                })
+                .collect();
+            let file_idx = fns[key].file_idx;
+            let ctx_view = Ctx {
+                files,
+                fns: &fns,
+                edges: Vec::new(),
+                blocking: Vec::new(),
+            };
+            let mut add_acquire: BTreeSet<String> = BTreeSet::new();
+            let mut add_block: Option<String> = None;
+            for (name, on_self) in calls {
+                if let Some(callee) = resolve(&ctx_view, file_idx, &name, on_self) {
+                    let cs = &fns[&callee];
+                    add_acquire.extend(cs.may_acquire.iter().cloned());
+                    if add_block.is_none() {
+                        add_block = cs.may_block.clone();
+                    }
+                }
+            }
+            drop(ctx_view);
+            let sum = fns.get_mut(key).map(|s| {
+                let before = s.may_acquire.len();
+                s.may_acquire.extend(add_acquire);
+                if s.may_block.is_none() && add_block.is_some() {
+                    s.may_block = add_block;
+                    return true;
+                }
+                s.may_acquire.len() != before
+            });
+            if sum == Some(true) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pass 3: simulate every function from an empty held set.
+    let mut ctx = Ctx {
+        files,
+        fns: &fns,
+        edges: Vec::new(),
+        blocking: Vec::new(),
+    };
+    let keys: Vec<String> = fns.keys().cloned().collect();
+    for key in &keys {
+        let mut held = Vec::new();
+        let mut visited = Vec::new();
+        simulate(&mut ctx, key, &mut held, &mut visited);
+    }
+
+    // Dedupe edges and blocking sites.
+    let mut seen = BTreeSet::new();
+    ctx.edges
+        .retain(|e| seen.insert((e.from.clone(), e.to.clone(), e.file.clone(), e.line)));
+    let mut seen_b = BTreeSet::new();
+    ctx.blocking
+        .retain(|b| seen_b.insert((b.0, b.1, b.2.clone())));
+
+    // Self-deadlocks and cycles.
+    for e in &ctx.edges {
+        if e.from == e.to {
+            let f = &files[fns
+                .values()
+                .find(|s| files[s.file_idx].path == e.file)
+                .map(|s| s.file_idx)
+                .unwrap_or(0)];
+            super::emit(
+                rep,
+                f,
+                ID,
+                Severity::Error,
+                e.line,
+                format!(
+                    "lock `{}` re-acquired while already held (via {}): \
+                     self-deadlock on std::sync::Mutex",
+                    e.from, e.via
+                ),
+            );
+        }
+    }
+    let cycles = find_cycles(&ctx.edges);
+    rep.lock_cycles = cycles.len() as u32;
+    for cyc in cycles {
+        // Anchor the diagnostic on the first edge of the cycle.
+        if let Some(e) = ctx
+            .edges
+            .iter()
+            .find(|e| e.from == cyc[0] && e.to == cyc[1 % cyc.len()])
+        {
+            let f = &files[fns
+                .values()
+                .find(|s| files[s.file_idx].path == e.file)
+                .map(|s| s.file_idx)
+                .unwrap_or(0)];
+            super::emit(
+                rep,
+                f,
+                ID,
+                Severity::Error,
+                e.line,
+                format!(
+                    "lock-order cycle (deadlock potential): {}",
+                    cyc.join(" -> ")
+                ),
+            );
+        }
+    }
+    for (file_idx, line, what, lock) in &ctx.blocking {
+        let f = &files[*file_idx];
+        super::emit(
+            rep,
+            f,
+            ID,
+            Severity::Warning,
+            *line,
+            format!("lock `{lock}` held across blocking call `{what}`"),
+        );
+    }
+    rep.lock_edges = ctx.edges;
+}
+
+/// Finds simple cycles (as distinct node sets) in the lock graph.
+/// Self-edges are excluded — they are reported separately.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(&e.from).or_default().insert(&e.to);
+        }
+    }
+    let mut cycles: Vec<Vec<String>> = Vec::new();
+    let mut seen_sets: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack: Vec<&str> = vec![start];
+        let mut path: Vec<Vec<&str>> = vec![vec![start]];
+        while let Some(node) = stack.pop() {
+            let p = path.pop().unwrap_or_default();
+            for &next in adj
+                .get(node)
+                .map(|s| s.iter().copied().collect::<Vec<_>>())
+                .unwrap_or_default()
+                .iter()
+            {
+                if next == start && p.len() > 1 {
+                    let mut set: Vec<String> = p.iter().map(|s| s.to_string()).collect();
+                    let rotated = set.clone();
+                    set.sort();
+                    if seen_sets.insert(set) {
+                        cycles.push(rotated);
+                    }
+                } else if !p.contains(&next) && p.len() < 8 {
+                    stack.push(next);
+                    let mut np = p.clone();
+                    np.push(next);
+                    path.push(np);
+                }
+            }
+        }
+    }
+    cycles
+}

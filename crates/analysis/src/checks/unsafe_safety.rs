@@ -1,0 +1,55 @@
+//! Check 1: every `unsafe` block / fn / impl / trait must carry a
+//! `// SAFETY:` justification, and the tool keeps a per-crate inventory.
+
+use crate::report::{Report, Severity};
+use crate::scan::{ScannedFile, UnsafeKind};
+
+pub const ID: &str = "unsafe-safety";
+
+/// A site is documented when the trailing comment on its line, or the
+/// contiguous comment run directly above it, contains `SAFETY:` (or a
+/// rustdoc `# Safety` section for public unsafe fns).
+fn documented(file: &ScannedFile<'_>, line: u32) -> bool {
+    let text = file.nearby_comment_text(line);
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+pub fn run(files: &[ScannedFile<'_>], rep: &mut Report) {
+    for f in files {
+        for site in &f.unsafe_sites {
+            if site.in_test {
+                continue;
+            }
+            let doc = documented(f, site.line);
+            {
+                let inv = rep
+                    .unsafe_inventory
+                    .entry(f.crate_name.clone())
+                    .or_default();
+                inv.total += 1;
+                match site.kind {
+                    UnsafeKind::Block => inv.blocks += 1,
+                    UnsafeKind::Fn => inv.fns += 1,
+                    UnsafeKind::Impl => inv.impls += 1,
+                    UnsafeKind::Trait => inv.traits += 1,
+                }
+                if doc {
+                    inv.documented += 1;
+                }
+            }
+            if !doc {
+                super::emit(
+                    rep,
+                    f,
+                    ID,
+                    Severity::Error,
+                    site.line,
+                    format!(
+                        "{} without a `// SAFETY:` comment justifying the invariants",
+                        site.kind.label()
+                    ),
+                );
+            }
+        }
+    }
+}

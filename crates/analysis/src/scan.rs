@@ -1,0 +1,547 @@
+//! Structural pass over a lexed file: item/block shape, test regions,
+//! `unsafe` sites, functions, and `cxk-lint` suppression comments.
+//!
+//! This is deliberately *not* a parser. It tracks brace nesting and a
+//! handful of item keywords (`fn`, `mod`, `impl`, `trait`, `unsafe`) plus
+//! `#[cfg(test)]` / `#[test]` attributes — enough to answer the questions
+//! the checks ask: "is this token test-only code?", "which function am I
+//! in?", "does this unsafe site carry a SAFETY comment?".
+
+use crate::lex::{lex, Comment, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What flavour of `unsafe` a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+impl UnsafeKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+        }
+    }
+}
+
+/// One `unsafe` occurrence.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub kind: UnsafeKind,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One function (or method) with its body's token range.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    pub line: u32,
+    /// Token index of the opening `{` of the body.
+    pub body_start: usize,
+    /// Token index of the matching `}` (exclusive range end is `body_end`).
+    pub body_end: usize,
+    pub is_test: bool,
+}
+
+/// A parsed `// cxk-lint: allow(check, ...) -- reason` suppression.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub checks: Vec<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Lines the suppression covers (the comment's own line, plus the next
+    /// code line when the comment stands alone).
+    pub covers: (u32, u32),
+    pub reason: String,
+    /// Set when the comment matched `cxk-lint:` but not the full grammar.
+    pub malformed: Option<String>,
+}
+
+/// Fully scanned file, ready for the checks.
+pub struct ScannedFile<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Owning crate, e.g. `serve`, `p2p`, `mio` (directory name under
+    /// `crates/`, with the `compat/` prefix stripped).
+    pub crate_name: String,
+    /// True for files under a `tests/` or `benches/` directory.
+    pub is_test_file: bool,
+    pub lines: Vec<&'a str>,
+    pub toks: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+    pub functions: Vec<Function>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub allows: Vec<Allow>,
+    /// Token index ranges (inclusive braces) of `#[cfg(test)]` regions and
+    /// `#[test]` function bodies.
+    test_tok_ranges: Vec<(usize, usize)>,
+    /// Lines that contain at least one non-comment token.
+    code_lines: BTreeSet<u32>,
+    /// line -> concatenated comment text overlapping that line.
+    comment_by_line: BTreeMap<u32, String>,
+}
+
+/// Derives the crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    match parts.as_slice() {
+        ["crates", "compat", name, ..] => (*name).to_string(),
+        ["crates", name, ..] => (*name).to_string(),
+        ["examples", ..] => "examples".to_string(),
+        [first, ..] => (*first).to_string(),
+        [] => String::new(),
+    }
+}
+
+impl<'a> ScannedFile<'a> {
+    /// Scans `src` under the given workspace-relative `path`.
+    pub fn scan(path: &str, src: &'a str) -> ScannedFile<'a> {
+        let lexed = lex(src);
+        let is_test_file = path.split('/').any(|p| p == "tests" || p == "benches");
+        let mut f = ScannedFile {
+            path: path.to_string(),
+            crate_name: crate_of(path),
+            is_test_file,
+            lines: src.lines().collect(),
+            toks: lexed.toks,
+            comments: lexed.comments,
+            functions: Vec::new(),
+            unsafe_sites: Vec::new(),
+            allows: Vec::new(),
+            test_tok_ranges: Vec::new(),
+            code_lines: BTreeSet::new(),
+            comment_by_line: BTreeMap::new(),
+        };
+        for t in &f.toks {
+            f.code_lines.insert(t.line);
+        }
+        for c in &f.comments {
+            for l in c.line..=c.end_line {
+                let entry = f.comment_by_line.entry(l).or_default();
+                if !entry.is_empty() {
+                    entry.push(' ');
+                }
+                entry.push_str(c.text);
+            }
+        }
+        f.walk_structure();
+        f.parse_allows();
+        f
+    }
+
+    /// True when the token at `idx` lies inside test-only code.
+    pub fn tok_in_test(&self, idx: usize) -> bool {
+        self.is_test_file
+            || self
+                .test_tok_ranges
+                .iter()
+                .any(|&(s, e)| idx >= s && idx <= e)
+    }
+
+    /// The source line `line` holds code (any token).
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.code_lines.contains(&line)
+    }
+
+    /// Comment text overlapping `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<&str> {
+        self.comment_by_line.get(&line).map(String::as_str)
+    }
+
+    /// Concatenation of: the trailing comment on `line`, plus the run of
+    /// comment / attribute lines directly above it. The walk also skips
+    /// upward over mid-statement continuation lines (a `let n =` above an
+    /// `unsafe {` on the next line) but stops at any line that ends a
+    /// statement or block. This is where `SAFETY:` and ordering
+    /// justifications are looked for.
+    pub fn nearby_comment_text(&self, line: u32) -> String {
+        let mut text = String::new();
+        if let Some(c) = self.comment_on(line) {
+            text.push_str(c);
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            let has_comment = self.comment_by_line.contains_key(&l);
+            let has_code = self.line_has_code(l);
+            if has_comment {
+                text.push(' ');
+                text.push_str(&self.comment_by_line[&l]);
+            }
+            if has_code {
+                let raw = self.lines.get(l as usize - 1).copied().unwrap_or("");
+                let code = raw.split("//").next().unwrap_or(raw).trim_end();
+                let t = raw.trim_start();
+                let attr_only = t.starts_with("#[") || t.starts_with("#![");
+                if !attr_only && code.ends_with([';', '{', '}']) {
+                    break;
+                }
+            }
+            if l == 1 {
+                break;
+            }
+            l -= 1;
+        }
+        text
+    }
+
+    /// The first code line at or after `line` (used to attach standalone
+    /// suppression comments to the statement below them).
+    fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.code_lines.range(line..).next().copied()
+    }
+
+    /// Whether any allow for `check` covers `line`. Also treats a
+    /// `SAFETY`-style reason as used.
+    pub fn allowed(&self, check: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.malformed.is_none()
+                && a.checks.iter().any(|c| c == check)
+                && line >= a.covers.0
+                && line <= a.covers.1
+        })
+    }
+
+    // ----- structure walk -------------------------------------------------
+
+    fn walk_structure(&mut self) {
+        #[derive(Clone, Copy)]
+        struct Block {
+            test: bool,
+            fn_idx: Option<usize>,
+        }
+        let mut stack: Vec<Block> = Vec::new();
+        let mut pending_cfg_test = false;
+        let mut pending_test_attr = false;
+        // Set when a `fn` / `mod` header claims the next `{`.
+        let mut next_brace_test: Option<bool> = None;
+        let mut next_brace_fn: Option<usize> = None;
+        let toks_len = self.toks.len();
+        let mut functions = Vec::new();
+        let mut unsafe_sites = Vec::new();
+        let mut test_ranges = Vec::new();
+        let mut i = 0usize;
+        let in_test = |stack: &[Block]| -> bool { stack.last().map(|b| b.test).unwrap_or(false) };
+        while i < toks_len {
+            let t = self.toks[i];
+            match t.kind {
+                Kind::Punct if t.ch == b'#' => {
+                    // `#[...]` or `#![...]` attribute: scan its idents.
+                    let mut j = i + 1;
+                    if j < toks_len && self.toks[j].is_punct(b'!') {
+                        j += 1;
+                    }
+                    if j < toks_len && self.toks[j].is_punct(b'[') {
+                        let mut depth = 0i32;
+                        let mut idents: Vec<&str> = Vec::new();
+                        while j < toks_len {
+                            let a = self.toks[j];
+                            if a.is_punct(b'[') {
+                                depth += 1;
+                            } else if a.is_punct(b']') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            } else if a.kind == Kind::Ident {
+                                idents.push(a.text);
+                            }
+                            j += 1;
+                        }
+                        match idents.first().copied() {
+                            Some("cfg") if idents.contains(&"test") => pending_cfg_test = true,
+                            Some("test") | Some("bench") => pending_test_attr = true,
+                            _ => {}
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                Kind::Ident => {
+                    match t.text {
+                        "unsafe" => {
+                            let kind = match self.toks.get(i + 1) {
+                                Some(n) if n.is_punct(b'{') => UnsafeKind::Block,
+                                Some(n) if n.is_ident("fn") || n.is_ident("extern") => {
+                                    UnsafeKind::Fn
+                                }
+                                Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+                                Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+                                _ => UnsafeKind::Block,
+                            };
+                            unsafe_sites.push(UnsafeSite {
+                                kind,
+                                line: t.line,
+                                in_test: self.is_test_file || in_test(&stack) || pending_cfg_test,
+                            });
+                            i += 1;
+                        }
+                        "fn" => {
+                            let name = match self.toks.get(i + 1) {
+                                Some(n) if n.kind == Kind::Ident => n.text.to_string(),
+                                _ => {
+                                    i += 1;
+                                    continue;
+                                }
+                            };
+                            let is_test = pending_test_attr || pending_cfg_test || in_test(&stack);
+                            // Find the body `{` or a terminating `;`
+                            // (declarations inside extern blocks / traits).
+                            let mut j = i + 2;
+                            let mut paren = 0i32;
+                            let mut found = None;
+                            while j < toks_len {
+                                let a = self.toks[j];
+                                if a.is_punct(b'(') || a.is_punct(b'[') {
+                                    paren += 1;
+                                } else if a.is_punct(b')') || a.is_punct(b']') {
+                                    paren -= 1;
+                                } else if paren == 0 && a.is_punct(b'{') {
+                                    found = Some(j);
+                                    break;
+                                } else if paren == 0 && a.is_punct(b';') {
+                                    break;
+                                }
+                                j += 1;
+                            }
+                            if let Some(body) = found {
+                                functions.push(Function {
+                                    name,
+                                    line: t.line,
+                                    body_start: body,
+                                    body_end: body, // patched on pop
+                                    is_test,
+                                });
+                                next_brace_test = Some(is_test);
+                                next_brace_fn = Some(functions.len() - 1);
+                                i += 1; // walk through the signature normally
+                            } else {
+                                i = j;
+                            }
+                            pending_cfg_test = false;
+                            pending_test_attr = false;
+                        }
+                        "mod" => {
+                            let is_test = pending_cfg_test || in_test(&stack);
+                            if let Some(n) = self.toks.get(i + 2) {
+                                if n.is_punct(b'{') {
+                                    next_brace_test = Some(is_test);
+                                }
+                            }
+                            pending_cfg_test = false;
+                            pending_test_attr = false;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                Kind::Punct if t.ch == b'{' => {
+                    let test = next_brace_test.take().unwrap_or_else(|| in_test(&stack));
+                    // Only record function bodies whose `{` is this exact
+                    // token (the scanner pre-located it).
+                    let fn_idx = next_brace_fn
+                        .take()
+                        .filter(|&fi| functions[fi].body_start == i);
+                    stack.push(Block { test, fn_idx });
+                    if test && stack.len() >= 2 && !stack[stack.len() - 2].test
+                        || (test && stack.len() == 1)
+                    {
+                        // Opening a test region: remember where it starts.
+                        test_ranges.push((i, usize::MAX));
+                    }
+                    i += 1;
+                }
+                Kind::Punct if t.ch == b'}' => {
+                    if let Some(b) = stack.pop() {
+                        if let Some(fi) = b.fn_idx {
+                            functions[fi].body_end = i;
+                        }
+                        if b.test && !in_test(&stack) {
+                            if let Some(r) =
+                                test_ranges.iter_mut().rev().find(|r| r.1 == usize::MAX)
+                            {
+                                r.1 = i;
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                Kind::Punct if t.ch == b';' => {
+                    pending_cfg_test = false;
+                    pending_test_attr = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        // Close any unterminated ranges (unbalanced braces in fixtures).
+        for r in &mut test_ranges {
+            if r.1 == usize::MAX {
+                r.1 = toks_len.saturating_sub(1);
+            }
+        }
+        for f in &mut functions {
+            if f.body_end == f.body_start && f.body_start + 1 < toks_len {
+                f.body_end = toks_len - 1;
+            }
+        }
+        self.functions = functions;
+        self.unsafe_sites = unsafe_sites;
+        self.test_tok_ranges = test_ranges;
+    }
+
+    // ----- suppressions ---------------------------------------------------
+
+    fn parse_allows(&mut self) {
+        let mut allows = Vec::new();
+        for c in &self.comments {
+            // Only a comment that *starts* with `cxk-lint:` (after its
+            // `//` / `/*` marker) is a suppression; prose that merely
+            // mentions the grammar is not.
+            let stripped = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+            let Some(rest) = stripped.strip_prefix("cxk-lint:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let mut malformed = None;
+            let mut checks = Vec::new();
+            let mut reason = String::new();
+            if let Some(inner) = rest.strip_prefix("allow(") {
+                if let Some(close) = inner.find(')') {
+                    for name in inner[..close].split(',') {
+                        let name = name.trim();
+                        if !name.is_empty() {
+                            checks.push(name.to_string());
+                        }
+                    }
+                    let tail = inner[close + 1..].trim_start();
+                    if let Some(r) = tail.strip_prefix("--") {
+                        reason = r.trim().to_string();
+                    }
+                    if checks.is_empty() {
+                        malformed = Some("allow() lists no checks".to_string());
+                    } else if reason.is_empty() {
+                        malformed = Some("missing `-- reason` after allow(...)".to_string());
+                    }
+                } else {
+                    malformed = Some("unclosed allow( list".to_string());
+                }
+            } else {
+                malformed = Some(format!(
+                    "expected `allow(check, ...) -- reason`, found `{}`",
+                    rest.chars().take(40).collect::<String>()
+                ));
+            }
+            // A standalone comment covers the next code line; a trailing
+            // comment covers its own line.
+            let standalone = !self.line_has_code(c.line);
+            let covers = if standalone {
+                let until = self.next_code_line(c.end_line + 1).unwrap_or(c.end_line);
+                (c.line, until)
+            } else {
+                (c.line, c.line)
+            };
+            allows.push(Allow {
+                checks,
+                line: c.line,
+                covers,
+                reason,
+                malformed,
+            });
+        }
+        self.allows = allows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_regions_are_detected() {
+        let src = "
+fn hot() { body(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { check(); }
+}
+";
+        let f = ScannedFile::scan("crates/x/src/lib.rs", src);
+        let hot = f.toks.iter().position(|t| t.is_ident("body")).unwrap();
+        let chk = f.toks.iter().position(|t| t.is_ident("check")).unwrap();
+        assert!(!f.tok_in_test(hot));
+        assert!(f.tok_in_test(chk));
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let src = "
+#[test]
+fn t() { inner(); }
+fn hot() { body(); }
+";
+        let f = ScannedFile::scan("crates/x/src/lib.rs", src);
+        let inner = f.toks.iter().position(|t| t.is_ident("inner")).unwrap();
+        let body = f.toks.iter().position(|t| t.is_ident("body")).unwrap();
+        assert!(f.tok_in_test(inner));
+        assert!(!f.tok_in_test(body));
+    }
+
+    #[test]
+    fn unsafe_kinds() {
+        let src = "
+unsafe impl Send for X {}
+unsafe fn raw() {}
+fn f() { unsafe { deref(); } }
+";
+        let f = ScannedFile::scan("crates/x/src/lib.rs", src);
+        let kinds: Vec<_> = f.unsafe_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![UnsafeKind::Impl, UnsafeKind::Fn, UnsafeKind::Block]
+        );
+    }
+
+    #[test]
+    fn allow_parsing_and_coverage() {
+        let src = "
+// cxk-lint: allow(panic-freedom) -- startup only, cannot race
+let x = config().unwrap();
+let y = other(); // cxk-lint: allow(atomic-ordering) -- counter
+// cxk-lint: allow(panic-freedom)
+let z = bad();
+";
+        let f = ScannedFile::scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 3);
+        assert!(f.allowed("panic-freedom", 3));
+        assert!(f.allowed("atomic-ordering", 4));
+        assert!(!f.allowed("panic-freedom", 4));
+        // Third allow is malformed (no reason) and so covers nothing.
+        assert!(f.allows[2].malformed.is_some());
+        assert!(!f.allowed("panic-freedom", 6));
+    }
+
+    #[test]
+    fn crate_name_extraction() {
+        assert_eq!(crate_of("crates/serve/src/http/mod.rs"), "serve");
+        assert_eq!(crate_of("crates/compat/mio/src/lib.rs"), "mio");
+        assert_eq!(crate_of("examples/demo.rs"), "examples");
+    }
+
+    #[test]
+    fn functions_have_bodies() {
+        let src = "fn a() { x(); } impl T { fn b(&self) -> u32 { 1 } }";
+        let f = ScannedFile::scan("crates/x/src/lib.rs", src);
+        assert_eq!(f.functions.len(), 2);
+        assert!(f.functions[0].body_end > f.functions[0].body_start);
+        assert_eq!(f.functions[1].name, "b");
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `cxk-lint` binary against the on-disk
+//! fixture mini-workspaces under `tests/fixtures/`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cxk-lint"))
+        .args(args)
+        .output()
+        .expect("spawn cxk-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let root = fixture("clean");
+    let out = run(&["--root", root.to_str().unwrap(), "--deny-all"]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 errors"), "{}", stdout(&out));
+}
+
+#[test]
+fn each_bad_fixture_fails_with_its_check() {
+    let cases = [
+        ("bad_panic", "panic-freedom"),
+        ("bad_unsafe", "unsafe-safety"),
+        ("bad_atomic", "atomic-ordering"),
+        ("bad_lock", "lock-order"),
+        ("bad_eventloop", "event-loop"),
+    ];
+    for (dir, check) in cases {
+        let root = fixture(dir);
+        let out = run(&["--root", root.to_str().unwrap(), "--deny-all"]);
+        assert!(
+            !out.status.success(),
+            "{dir} should fail --deny-all:\n{}",
+            stdout(&out)
+        );
+        assert!(
+            stdout(&out).contains(&format!("[{check}]")),
+            "{dir} should report [{check}]:\n{}",
+            stdout(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_lock_reports_a_cycle() {
+    let out = run(&[
+        "--root",
+        fixture("bad_lock").to_str().unwrap(),
+        "--deny-all",
+    ]);
+    let text = stdout(&out);
+    assert!(
+        text.contains("lock-order cycle (deadlock potential)"),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_panic_flags_only_the_non_test_site() {
+    let out = run(&["--root", fixture("bad_panic").to_str().unwrap()]);
+    let text = stdout(&out);
+    let hits = text.matches("[panic-freedom]").count();
+    assert_eq!(hits, 1, "{text}");
+    assert!(text.contains("crates/serve/src/lib.rs:"), "{text}");
+}
+
+#[test]
+fn json_output_parses_and_validates() {
+    let out = run(&["--root", fixture("bad_atomic").to_str().unwrap(), "--json"]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    let v = cxk_analysis::json::parse(&text).expect("binary emits valid JSON");
+    cxk_analysis::json::validate_report(&v).expect("schema validates");
+    assert_eq!(
+        v.get("errors").and_then(|e| e.as_num()),
+        Some(1.0),
+        "{text}"
+    );
+}
+
+#[test]
+fn validate_flag_round_trips() {
+    let out = run(&["--root", fixture("bad_unsafe").to_str().unwrap(), "--json"]);
+    let dir = std::env::temp_dir().join(format!("cxk_lint_validate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(&path, &out.stdout).unwrap();
+    let ok = run(&["--validate", path.to_str().unwrap()]);
+    assert!(ok.status.success(), "{}", stdout(&ok));
+
+    std::fs::write(&path, b"{\"version\": 2}").unwrap();
+    let bad = run(&["--validate", path.to_str().unwrap()]);
+    assert!(!bad.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let out = run(&["--root", "/nonexistent/cxk/fixture"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout(&out));
+}

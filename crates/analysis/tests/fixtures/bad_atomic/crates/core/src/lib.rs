@@ -1,0 +1,17 @@
+//! Known-bad fixture: a Release store consumed by a Relaxed load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flag {
+    ready: AtomicU64,
+}
+
+impl Flag {
+    pub fn publish(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    pub fn consume(&self) -> u64 {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

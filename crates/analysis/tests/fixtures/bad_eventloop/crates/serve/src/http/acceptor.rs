@@ -1,0 +1,9 @@
+//! Known-bad fixture: a sleep inside the acceptor readiness loop.
+
+use std::time::Duration;
+
+pub fn run_loop() {
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture: two functions acquiring the same pair of locks in
+//! opposite orders — the classic AB/BA deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        ga.map(|x| *x).unwrap_or(0) + gb.map(|y| *y).unwrap_or(0)
+    }
+
+    pub fn sum_ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        ga.map(|x| *x).unwrap_or(0) + gb.map(|y| *y).unwrap_or(0)
+    }
+}

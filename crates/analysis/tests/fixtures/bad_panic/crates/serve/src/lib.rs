@@ -1,0 +1,14 @@
+//! Known-bad fixture: a hot-path unwrap in a deny-listed crate.
+
+pub fn first_or_die(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v = vec![1u32];
+        assert_eq!(super::first_or_die(&v), *v.first().unwrap());
+    }
+}

@@ -1,0 +1,12 @@
+//! Known-bad fixture: an unsafe block with no SAFETY justification.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}
+
+// SAFETY: the caller guarantees `xs` is non-empty; documented sites are
+// accepted by the check.
+pub unsafe fn peek_unchecked(xs: &[u8]) -> u8 {
+    // SAFETY: non-empty per this function's contract.
+    unsafe { *xs.as_ptr() }
+}

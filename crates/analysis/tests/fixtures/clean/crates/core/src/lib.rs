@@ -1,0 +1,5 @@
+//! Clean fixture: nothing for any check to object to.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b)
+}

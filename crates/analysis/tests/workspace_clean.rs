@@ -1,0 +1,44 @@
+//! Self-test: the real workspace must lint clean. This is the same gate
+//! CI runs; keeping it as a test means `cargo test` alone catches a
+//! regression (a new undocumented unsafe block, a hot-path unwrap, a
+//! lock-order inversion) before the lint job does.
+
+use std::path::Path;
+
+use cxk_analysis::{json, lint_workspace, Config};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rep = lint_workspace(&root, &Config::default()).expect("walk workspace");
+    assert!(
+        rep.files > 0,
+        "workspace walk found no Rust sources under {}",
+        root.display()
+    );
+    let msgs: Vec<String> = rep.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        rep.diagnostics.is_empty(),
+        "workspace must lint clean (fix or suppress with a reasoned \
+         `// cxk-lint: allow(...) -- why`):\n{}",
+        msgs.join("\n")
+    );
+    // The unsafe inventory must see the mio compat shim and find every
+    // site documented.
+    let mio = rep
+        .unsafe_inventory
+        .get("mio")
+        .expect("mio unsafe inventory");
+    assert!(
+        mio.total >= 10,
+        "expected >= 10 unsafe sites, saw {}",
+        mio.total
+    );
+    assert_eq!(
+        mio.documented, mio.total,
+        "every mio unsafe site carries a SAFETY comment"
+    );
+    // And the JSON report for the full workspace must round-trip.
+    let v = json::parse(&rep.to_json()).expect("workspace report parses");
+    json::validate_report(&v).expect("workspace report validates");
+}

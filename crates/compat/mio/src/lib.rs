@@ -384,13 +384,18 @@ mod sys {
         epfd: RawFd,
     }
 
-    // The epoll fd is freely shareable across threads; the kernel
-    // serializes epoll_ctl/epoll_wait on it.
+    // SAFETY: `Selector` is just an epoll fd (an integer). The fd is
+    // freely shareable across threads; the kernel serializes
+    // epoll_ctl/epoll_wait on it, so concurrent `&self` calls are sound.
     unsafe impl Send for Selector {}
+    // SAFETY: see the Send impl above — every method takes `&self` and
+    // the kernel provides the synchronization.
     unsafe impl Sync for Selector {}
 
     impl Selector {
         pub fn new() -> io::Result<Selector> {
+            // SAFETY: epoll_create1 takes no pointers; the flag is a
+            // valid constant and the result is checked below.
             let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
             if epfd < 0 {
                 return Err(io::Error::last_os_error());
@@ -405,6 +410,9 @@ mod sys {
             };
             // DEL ignores the event but pre-2.6.9 kernels required it
             // non-null, so one struct serves all three ops.
+            // SAFETY: `event` is a live, properly aligned EpollEvent for
+            // the duration of the call; epfd/fd are plain integers and a
+            // stale fd only yields EBADF, checked below.
             if unsafe { epoll_ctl(self.epfd, op, fd, &mut event) } < 0 {
                 return Err(io::Error::last_os_error());
             }
@@ -439,6 +447,9 @@ mod sys {
                 }
             };
             let mut raw = vec![EpollEvent { events: 0, data: 0 }; capacity];
+            // SAFETY: `raw` holds exactly `capacity` initialized
+            // EpollEvents, so the kernel writes stay in bounds; the
+            // return count is validated before `raw[..n]` is read.
             let n =
                 unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), capacity as c_int, timeout_ms) };
             if n < 0 {
@@ -467,6 +478,8 @@ mod sys {
 
     impl Drop for Selector {
         fn drop(&mut self) {
+            // SAFETY: `self.epfd` was returned by epoll_create1 and is
+            // closed exactly once (Selector is not Clone/Copy).
             unsafe { super::ffi::close(self.epfd) };
         }
     }
@@ -479,11 +492,16 @@ mod sys {
         fd: RawFd,
     }
 
+    // SAFETY: `WakerFds` wraps an eventfd (an integer); eventfd reads
+    // and writes are atomic kernel operations, so any thread may wake.
     unsafe impl Send for WakerFds {}
+    // SAFETY: see the Send impl — `wake(&self)` is kernel-synchronized.
     unsafe impl Sync for WakerFds {}
 
     impl WakerFds {
         pub fn new(selector: &Selector, token: Token) -> io::Result<WakerFds> {
+            // SAFETY: eventfd takes no pointers; flags are valid
+            // constants and the result is checked below.
             let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
             if fd < 0 {
                 return Err(io::Error::last_os_error());
@@ -495,6 +513,9 @@ mod sys {
 
         pub fn wake(&self) -> io::Result<()> {
             let one: u64 = 1;
+            // SAFETY: `one` is a live u64 (8 valid bytes) for the whole
+            // call; eventfd writes of exactly 8 bytes are the documented
+            // protocol and the result is checked below.
             let n = unsafe { super::ffi::write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
             if n >= 0 {
                 return Ok(());
@@ -503,6 +524,9 @@ mod sys {
             if err.kind() == io::ErrorKind::WouldBlock {
                 // The counter hit u64::MAX-1: reset it and wake again.
                 let mut drain = 0u64;
+                // SAFETY: `drain` is a live, writable u64 — exactly the
+                // 8 bytes an eventfd read stores; a failed read leaves
+                // it untouched and is benign here.
                 unsafe { super::ffi::read(self.fd, (&mut drain as *mut u64).cast::<c_void>(), 8) };
                 return self.wake();
             }
@@ -512,6 +536,8 @@ mod sys {
 
     impl Drop for WakerFds {
         fn drop(&mut self) {
+            // SAFETY: `self.fd` came from eventfd and is closed exactly
+            // once (WakerFds is not Clone/Copy).
             unsafe { super::ffi::close(self.fd) };
         }
     }
@@ -653,6 +679,8 @@ mod sys {
                     .unwrap_or(c_int::MAX)
                     .max(c_int::from(d > Duration::ZERO)),
             };
+            // SAFETY: `fds` is a live Vec of exactly `fds.len()` pollfd
+            // entries, so the kernel's revents writes stay in bounds.
             let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
             if n < 0 {
                 let err = io::Error::last_os_error();
@@ -675,6 +703,10 @@ mod sys {
                     // the next wake() writes fresh bytes.
                     let mut buf = [0u8; 64];
                     loop {
+                        // SAFETY: `buf` is a live 64-byte stack array and
+                        // the length passed matches it; the waker fd is
+                        // nonblocking so a short/failed read just exits
+                        // the drain loop.
                         let r = unsafe {
                             super::ffi::read(*fd, buf.as_mut_ptr().cast::<c_void>(), buf.len())
                         };
@@ -726,6 +758,9 @@ mod sys {
         }
 
         pub fn wake(&self) -> io::Result<()> {
+            // SAFETY: the one-byte source array outlives the call and the
+            // length matches; `tx` keeps its fd open for `&self`'s
+            // lifetime, and the result is checked below.
             let n = unsafe {
                 super::ffi::write(self.tx.as_raw_fd(), [1u8].as_ptr().cast::<c_void>(), 1)
             };

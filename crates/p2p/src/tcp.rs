@@ -148,9 +148,23 @@ pub struct FramedConn<M: WireCodec> {
 struct RxFrame {
     header: [u8; FRAME_HEADER_BYTES],
     header_filled: usize,
-    /// Allocated once the header is complete and validated.
-    payload: Option<Vec<u8>>,
+    /// Expected payload length, set once the header is complete and
+    /// validated; `None` while the header is still being read.
+    payload_len: Option<usize>,
+    /// Payload bytes; the allocation is reused across frames.
+    payload: Vec<u8>,
     payload_filled: usize,
+}
+
+/// Little-endian u32 at `offset` of a frame header. Infallible by
+/// construction: callers index within `FRAME_HEADER_BYTES - 4`.
+fn header_u32(header: &[u8; FRAME_HEADER_BYTES], offset: usize) -> u32 {
+    u32::from_le_bytes([
+        header[offset],
+        header[offset + 1],
+        header[offset + 2],
+        header[offset + 3],
+    ])
 }
 
 impl<M: WireCodec> FramedConn<M> {
@@ -247,37 +261,35 @@ impl<M: WireCodec> FramedConn<M> {
             )?;
             rx.header_filled += n;
         }
-        if rx.payload.is_none() {
-            let len = u32::from_le_bytes(rx.header[8..12].try_into().expect("4 bytes")) as usize;
-            if len > MAX_FRAME_BYTES {
-                return Err(NetworkError::Disconnected);
+        let len = match rx.payload_len {
+            Some(len) => len,
+            None => {
+                let len = header_u32(&rx.header, 8) as usize;
+                if len > MAX_FRAME_BYTES {
+                    return Err(NetworkError::Disconnected);
+                }
+                rx.payload.clear();
+                rx.payload.resize(len, 0);
+                rx.payload_len = Some(len);
+                rx.payload_filled = 0;
+                len
             }
-            rx.payload = Some(vec![0u8; len]);
-            rx.payload_filled = 0;
-        }
-        let payload = rx.payload.as_mut().expect("allocated above");
-        while rx.payload_filled < payload.len() {
+        };
+        while rx.payload_filled < len {
             let n = read_some(
                 &mut self.stream,
-                &mut payload[rx.payload_filled..],
+                &mut rx.payload[rx.payload_filled..len],
                 deadline,
             )?;
             rx.payload_filled += n;
         }
-        let from = PeerId(u32::from_le_bytes(
-            rx.header[0..4].try_into().expect("4 bytes"),
-        ));
-        let to = PeerId(u32::from_le_bytes(
-            rx.header[4..8].try_into().expect("4 bytes"),
-        ));
-        let bytes = rx.payload.take().expect("allocated above");
+        let from = PeerId(header_u32(&rx.header, 0));
+        let to = PeerId(header_u32(&rx.header, 4));
         rx.header_filled = 0;
+        rx.payload_len = None;
         rx.payload_filled = 0;
-        let payload = M::decode(&bytes).ok_or(NetworkError::Disconnected)?;
-        Ok((
-            Envelope { from, to, payload },
-            FRAME_HEADER_BYTES + bytes.len(),
-        ))
+        let payload = M::decode(&rx.payload[..len]).ok_or(NetworkError::Disconnected)?;
+        Ok((Envelope { from, to, payload }, FRAME_HEADER_BYTES + len))
     }
 }
 

@@ -564,9 +564,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
 /// One connection's serve loop: adopt the dialer's numbering, answer
 /// handshakes and scatters until hangup or shutdown.
 fn handle_conn(stream: TcpStream, shared: &DaemonShared) {
-    stream
-        .set_nonblocking(false)
-        .expect("accepted stream is configurable");
+    // A failed fcntl means the socket is already dead; dropping the
+    // connection (instead of panicking this handler thread) lets the
+    // frontend's failover path take over.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
     // Daemons meter nothing: the frontend's ledger records both
     // directions (sends at send time, replies at receive time), so each
     // frame is counted exactly once fabric-wide.
@@ -1121,7 +1124,12 @@ impl RemoteClassifier {
     /// completion instant (the RTT clock's zero).
     fn send_request(&mut self, shard: usize, request: &ShardMsg) -> Result<Instant, ClassifyError> {
         let to = PeerId(shard as u32 + 1);
-        let conn = self.conns[shard].as_mut().expect("dialed before send");
+        // The caller dials before sending, so a missing connection means
+        // it was torn down by a failed earlier exchange: surface it as a
+        // disconnect so the failover path re-dials a replica.
+        let Some(conn) = self.conns[shard].as_mut() else {
+            return Err(ClassifyError::Network(NetworkError::Disconnected));
+        };
         let sent = conn.send(to, request).map_err(ClassifyError::Network)?;
         self.engine.counters[shard]
             .bytes
@@ -1141,7 +1149,11 @@ impl RemoteClassifier {
         n_tuples: usize,
     ) -> Result<Vec<ShardAnswer>, ClassifyError> {
         let deadline = self.engine.deadline;
-        let conn = self.conns[shard].as_mut().expect("dialed before recv");
+        // Same contract as `send_request`: no live connection reads as a
+        // disconnect, not a panic, so the worker thread survives.
+        let Some(conn) = self.conns[shard].as_mut() else {
+            return Err(ClassifyError::Network(NetworkError::Disconnected));
+        };
         let (envelope, got) = conn
             .recv_timeout(deadline)
             .map_err(ClassifyError::Network)?;

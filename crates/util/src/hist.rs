@@ -78,15 +78,21 @@ impl LogHistogram {
 
     /// Records one value (e.g. a latency in microseconds). Lock-free.
     pub fn record(&self, value: u64) {
+        // Relaxed bucket increment, then Release count increment: a
+        // reader that observes count >= N through an Acquire load also
+        // observes the bucket increments of those N records, so the
+        // percentile scan in `percentile` can always reach its rank.
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Release);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        // Acquire pairs with the Release increment in `record`: it
+        // publishes the bucket updates behind the count it returns.
+        self.count.load(Ordering::Acquire)
     }
 
     /// Mean of the recorded values, or 0 when empty.
@@ -114,6 +120,10 @@ impl LogHistogram {
         let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (index, bucket) in self.buckets.iter().enumerate() {
+            // Relaxed is enough here: the Acquire load of `count` above
+            // already ordered these buckets' increments before us, and
+            // over-counting from records newer than `rank` only moves
+            // the reported percentile toward the true tail.
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
                 return bucket_floor(index);
@@ -128,7 +138,9 @@ impl LogHistogram {
         for bucket in &self.buckets {
             bucket.store(0, Ordering::Relaxed);
         }
-        self.count.store(0, Ordering::Relaxed);
+        // Release so a reader whose Acquire load sees the zeroed count
+        // also sees the zeroed buckets (mirrors `record`'s ordering).
+        self.count.store(0, Ordering::Release);
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
