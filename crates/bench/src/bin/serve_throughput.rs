@@ -21,6 +21,28 @@
 //! `offered_rps`/`achieved_rps`/`p50_micros`/`p99_micros`/`p999_micros`
 //! (closed-loop rows report `-1` sentinels there).
 //!
+//! Finally, a **large-k** regime (`--large-k`, default 64) re-runs the
+//! direct sweep where pruning actually matters: at the default k=4 every
+//! query candidates against all representatives and the pruned paths are
+//! vacuous, so a second corpus is synthesized, trained at `k ≥ 64`, and
+//! measured as `brute-large` / `indexed-large` rows (the binary asserts
+//! `candidates_per_doc < k` on the indexed path) plus `tree-*` rows for
+//! the hierarchical representative tree at several beam widths. Tree rows
+//! carry the accuracy side of the trade-off: `agreement` (fraction of
+//! documents assigned to the brute-force cluster), `f_measure`
+//! (`cxk_eval::f_measure` against the generator's hybrid ground truth),
+//! and the per-document `reps_scored`/`nodes_visited` work counters. The
+//! full-beam row is asserted bit-identical to brute force; the default
+//! beam is asserted ≥ 0.95 agreement.
+//!
+//! **Sentinel convention** (validated by CI's JSON checker): every row
+//! carries every field; a numeric field reads `-1` (or `-1.0`) when the
+//! row's configuration *does not measure it* — candidate counts over
+//! HTTP, postings bytes on open-loop rows, latency percentiles on
+//! closed-loop rows, tree fields on non-tree rows. A `0` always means
+//! "measured and genuinely zero" (e.g. the tree rows' postings bytes:
+//! the tree holds merged representatives, no postings).
+//!
 //! ```text
 //! cargo run -p cxk_bench --release --bin serve_throughput -- \
 //!     [--train-docs 200] [--classify-docs 400] [--k 4] [--f 0.5] [--gamma 0.4]
@@ -50,7 +72,12 @@ use cxk_bench::args::{parse_usize_list, Flags};
 use cxk_bench::loadgen::{self, LoadgenConfig};
 use cxk_core::{EngineBuilder, TrainedModel};
 use cxk_corpus::dblp::{self, DblpConfig};
-use cxk_serve::{Classifier, ServeOptions, Server, ShardDaemon, ShardedClassifier, ShardedEngine};
+use cxk_corpus::ClusteringSetting;
+use cxk_eval::f_measure;
+use cxk_serve::{
+    Classifier, ServeOptions, Server, ShardDaemon, ShardedClassifier, ShardedEngine,
+    TreeClassifier, TreeConfig, TreeEngine,
+};
 use cxk_transact::{BuildOptions, DatasetBuilder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -59,26 +86,37 @@ use std::time::Instant;
 
 const USAGE: &str = "serve_throughput --train-docs <n> --classify-docs <n> \
 --k <n> --f <f64> --gamma <f64> --dialects <1-3> --threads <n> --clients <n> --seed <u64> \
---shards <list> --json <path> --quick <bool> --open-requests <n>";
+--shards <list> --json <path> --quick <bool> --open-requests <n> --large-k <n>";
 
 /// One measured configuration, reported in the table and the JSON file.
+///
+/// Every row serializes every field under **one sentinel convention**:
+/// `-1`/`-1.0` means "this configuration does not measure the field",
+/// `0` means "measured and genuinely zero". CI's JSON checker greps for
+/// both sides of the rule.
 struct Record {
     mode: String,
     shards: usize,
     docs: usize,
     seconds: f64,
     trash: usize,
-    /// Mean candidates scored per document tuple (`-1` over HTTP, where
-    /// per-tuple detail stays on the server).
+    /// Mean candidates scored per document tuple (`-1` over HTTP and on
+    /// open-loop rows, where per-tuple detail stays on the server).
     candidates_per_doc: f64,
-    /// Postings bytes of one index/engine instance.
-    postings_bytes: usize,
+    /// Postings bytes of one index/engine instance; `-1` when the row
+    /// measures no index (open-loop rows), `0` when the engine really
+    /// holds no postings (tree rows).
+    postings_bytes: i64,
     /// Postings bytes the serving pool holds resident: per-worker copies
     /// for the replicated layout, one shared engine for the sharded one.
-    resident_postings_bytes: usize,
+    /// Same sentinel rule as `postings_bytes`.
+    resident_postings_bytes: i64,
     /// Open-loop latency measurements; `None` on closed-loop rows, where
     /// the JSON reports `-1` sentinels for every latency field.
     open_loop: Option<OpenLoopStats>,
+    /// Tree-specific shape/accuracy/work measurements; `None` on
+    /// non-tree rows, where the JSON reports `-1` sentinels.
+    tree: Option<TreeRow>,
 }
 
 /// Latency percentiles from one open-loop (Poisson-scheduled) run.
@@ -88,6 +126,21 @@ struct OpenLoopStats {
     p50_micros: i64,
     p99_micros: i64,
     p999_micros: i64,
+}
+
+/// Accuracy/work measurements for one `tree-*` configuration.
+struct TreeRow {
+    branch: usize,
+    beam: usize,
+    depth: usize,
+    /// Fraction of stream documents assigned the brute-force cluster.
+    agreement: f64,
+    /// `cxk_eval::f_measure` against the generator's hybrid ground truth.
+    f_measure: f64,
+    /// Leaf representatives exactly re-ranked, per document.
+    reps_scored_per_doc: f64,
+    /// Internal (merged) representatives scored, per document.
+    nodes_visited_per_doc: f64,
 }
 
 impl Record {
@@ -106,8 +159,20 @@ impl Record {
             ),
             None => (-1.0, -1.0, -1, -1, -1),
         };
+        let (branch, beam, depth, agreement, fm, reps, nodes) = match &self.tree {
+            Some(t) => (
+                t.branch as i64,
+                t.beam as i64,
+                t.depth as i64,
+                t.agreement,
+                t.f_measure,
+                t.reps_scored_per_doc,
+                t.nodes_visited_per_doc,
+            ),
+            None => (-1, -1, -1, -1.0, -1.0, -1.0, -1.0),
+        };
         format!(
-            r#"{{"mode":"{}","shards":{},"docs":{},"seconds":{:.6},"docs_per_sec":{:.1},"trash":{},"candidates_per_doc":{:.3},"postings_bytes":{},"resident_postings_bytes":{},"offered_rps":{offered:.1},"achieved_rps":{achieved:.1},"p50_micros":{p50},"p99_micros":{p99},"p999_micros":{p999}}}"#,
+            r#"{{"mode":"{}","shards":{},"docs":{},"seconds":{:.6},"docs_per_sec":{:.1},"trash":{},"candidates_per_doc":{:.3},"postings_bytes":{},"resident_postings_bytes":{},"offered_rps":{offered:.1},"achieved_rps":{achieved:.1},"p50_micros":{p50},"p99_micros":{p99},"p999_micros":{p999},"branch":{branch},"beam":{beam},"tree_depth":{depth},"agreement":{agreement:.4},"f_measure":{fm:.4},"reps_scored_per_doc":{reps:.2},"nodes_visited_per_doc":{nodes:.2}}}"#,
             self.mode,
             self.shards,
             self.docs,
@@ -344,9 +409,10 @@ fn main() {
                 seconds,
                 trash,
                 candidates_per_doc: cpd,
-                postings_bytes: bytes,
-                resident_postings_bytes: bytes * threads,
+                postings_bytes: bytes as i64,
+                resident_postings_bytes: (bytes * threads) as i64,
                 open_loop: None,
+                tree: None,
             },
         );
     }
@@ -382,9 +448,10 @@ fn main() {
                 seconds,
                 trash,
                 candidates_per_doc: cpd,
-                postings_bytes: bytes,
-                resident_postings_bytes: bytes,
+                postings_bytes: bytes as i64,
+                resident_postings_bytes: bytes as i64,
                 open_loop: None,
+                tree: None,
             },
         );
     }
@@ -470,7 +537,7 @@ fn main() {
                 }
                 None => {
                     let per_worker = measured("indexed", 0);
-                    (per_worker, per_worker * threads)
+                    (per_worker, per_worker * threads as i64)
                 }
             }
         };
@@ -491,6 +558,7 @@ fn main() {
                 postings_bytes: bytes,
                 resident_postings_bytes: resident,
                 open_loop: None,
+                tree: None,
             },
         );
         emit(
@@ -508,6 +576,7 @@ fn main() {
                 postings_bytes: bytes,
                 resident_postings_bytes: resident,
                 open_loop: None,
+                tree: None,
             },
         );
         server.shutdown();
@@ -563,8 +632,10 @@ fn main() {
                 seconds,
                 trash: 0,
                 candidates_per_doc: -1.0,
-                postings_bytes: 0,
-                resident_postings_bytes: 0,
+                // The open loop measures latency, not index shape: the
+                // bytes fields are unmeasured sentinels, not zeros.
+                postings_bytes: -1,
+                resident_postings_bytes: -1,
                 open_loop: Some(OpenLoopStats {
                     offered_rps: report.offered_rps,
                     achieved_rps: report.achieved_rps,
@@ -572,13 +643,191 @@ fn main() {
                     p99_micros: i64::try_from(report.p99_micros).unwrap_or(i64::MAX),
                     p999_micros: i64::try_from(report.p999_micros).unwrap_or(i64::MAX),
                 }),
+                tree: None,
             },
         );
     }
     server.shutdown();
 
+    // ─── Large-k regime: where pruning and the tree actually matter ───
+    //
+    // Everything above ran at the default k=4, where every query
+    // candidates against all representatives and `candidates_per_doc == k`
+    // — the pruned paths are vacuous. Train a second model at k ≥ 64 on a
+    // fresh heterogeneous corpus and measure the exact paths plus the
+    // hierarchical representative tree across beam widths.
+    let large_k: usize = flags.get("large-k", 64);
+    let large_train: usize = (3 * large_k).max(if quick { 160 } else { 320 });
+    let large_classify: usize = if quick { 96 } else { 240 };
+    eprintln!(
+        "[serve_throughput] large-k regime: k={large_k}, {large_train} train / {large_classify} classify docs"
+    );
+    let large = dblp::generate(&DblpConfig {
+        documents: large_train + large_classify,
+        seed: 0xB16C ^ seed,
+        dialects: 3,
+    });
+    let (large_truth_all, _) = large.labels_for(ClusteringSetting::Hybrid);
+    let large_truth: Vec<u32> = large_truth_all[large_train..].to_vec();
+    let (large_train_docs, large_stream) = large.documents.split_at(large_train);
+    let large_stream: Vec<String> = large_stream.to_vec();
+    let mut large_builder = DatasetBuilder::new(BuildOptions::default());
+    for doc in large_train_docs {
+        large_builder
+            .add_xml(doc)
+            .expect("generated XML is well-formed");
+    }
+    let large_ds = large_builder.finish();
+    let large_fit = EngineBuilder::new(large_k)
+        .similarity(f, gamma)
+        .seed(seed)
+        .build()
+        .expect("large-k config is valid")
+        .fit(&large_ds)
+        .expect("large-k training runs");
+    eprintln!(
+        "[serve_throughput] large-k trained: rounds={} converged={} trash={}",
+        large_fit.rounds,
+        large_fit.converged,
+        large_fit.trash_count()
+    );
+    let large_model: Arc<TrainedModel> =
+        Arc::new(large_fit.into_model(&large_ds, BuildOptions::default()));
+
+    // Brute force is the agreement reference for everything below.
+    let mut brute_clusters: Vec<u32> = Vec::with_capacity(large_stream.len());
+    for (mode, brute) in [("brute-large", true), ("indexed-large", false)] {
+        let mut classifier = Classifier::shared(Arc::clone(&large_model));
+        let bytes = classifier.index().postings_bytes();
+        let trash_id = classifier.trash_id();
+        let collect = brute;
+        let (seconds, trash, cpd) = run_direct(
+            &large_stream,
+            |doc| {
+                let report = if brute {
+                    classifier.classify_brute(doc)
+                } else {
+                    classifier.classify(doc)
+                }
+                .expect("classify");
+                if collect {
+                    brute_clusters.push(report.cluster);
+                }
+                report
+            },
+            trash_id,
+        );
+        if !brute {
+            assert!(
+                cpd < large_k as f64,
+                "large-k indexed path must actually prune: {cpd:.1} candidates/tuple at k={large_k}"
+            );
+        }
+        emit(
+            &mut records,
+            Record {
+                mode: mode.to_string(),
+                shards: 0,
+                docs: large_stream.len(),
+                seconds,
+                trash,
+                candidates_per_doc: cpd,
+                postings_bytes: bytes as i64,
+                resident_postings_bytes: (bytes * threads) as i64,
+                open_loop: None,
+                tree: None,
+            },
+        );
+    }
+
+    // The tree sweep: default branch at beam 1, the default beam, and a
+    // full beam wide enough to cover the widest level (= exact).
+    let tree_branch = TreeConfig::default().branch;
+    let default_beam = TreeConfig::default().beam;
+    for (label, beam) in [
+        ("tree-w1", 1),
+        ("tree-w2", 2),
+        ("tree-default", default_beam),
+        ("tree-full", large_k),
+    ] {
+        let engine = Arc::new(TreeEngine::build(
+            Arc::clone(&large_model),
+            TreeConfig {
+                branch: tree_branch,
+                beam,
+            },
+        ));
+        let mut classifier = TreeClassifier::new(Arc::clone(&engine));
+        let trash_id = classifier.trash_id();
+        let mut agree = 0usize;
+        let mut preds: Vec<u32> = Vec::with_capacity(large_stream.len());
+        let mut at = 0usize;
+        let (seconds, trash, cpd) = run_direct(
+            &large_stream,
+            |doc| {
+                let report = classifier.classify(doc).expect("classify");
+                agree += usize::from(report.cluster == brute_clusters[at]);
+                at += 1;
+                preds.push(report.cluster);
+                report
+            },
+            trash_id,
+        );
+        let stats = engine.stats();
+        let docs = large_stream.len() as f64;
+        let agreement = agree as f64 / docs;
+        let row = TreeRow {
+            branch: tree_branch,
+            beam: stats.beam,
+            depth: stats.depth,
+            agreement,
+            f_measure: f_measure(&large_truth, &preds),
+            reps_scored_per_doc: stats.reps_scored as f64 / docs,
+            nodes_visited_per_doc: stats.nodes_visited as f64 / docs,
+        };
+        if beam >= large_k {
+            assert!(
+                engine.is_exact() && agreement == 1.0,
+                "full-beam tree must be bit-identical to brute force (agreement {agreement:.4})"
+            );
+        } else {
+            assert!(
+                row.reps_scored_per_doc < large_k as f64,
+                "partial beams must score strictly fewer than k reps/doc ({:.1} at k={large_k})",
+                row.reps_scored_per_doc
+            );
+            assert!(
+                cpd < large_k as f64,
+                "partial-beam candidates/tuple must stay below k ({cpd:.1})"
+            );
+        }
+        if beam == default_beam {
+            assert!(
+                agreement >= 0.95,
+                "default beam {default_beam} must keep ≥ 0.95 agreement vs brute, got {agreement:.4}"
+            );
+        }
+        emit(
+            &mut records,
+            Record {
+                mode: format!("{label}(b={tree_branch},w={beam})"),
+                shards: 0,
+                docs: large_stream.len(),
+                seconds,
+                trash,
+                candidates_per_doc: cpd,
+                // Measured zero, not a sentinel: the tree engine holds
+                // merged representatives, no postings.
+                postings_bytes: 0,
+                resident_postings_bytes: 0,
+                open_loop: None,
+                tree: Some(row),
+            },
+        );
+    }
+
     let json = format!(
-        r#"{{"bench":"serve_throughput","quick":{quick},"train_docs":{train_docs},"classify_docs":{},"k":{k},"f":{f},"gamma":{gamma},"dialects":{dialects},"threads":{threads},"clients":{clients},"seed":{seed},"configs":[{}]}}"#,
+        r#"{{"bench":"serve_throughput","quick":{quick},"train_docs":{train_docs},"classify_docs":{},"k":{k},"f":{f},"gamma":{gamma},"dialects":{dialects},"threads":{threads},"clients":{clients},"seed":{seed},"large_k":{large_k},"configs":[{}]}}"#,
         stream.len(),
         records
             .iter()

@@ -11,7 +11,9 @@ use cxk_core::{
     load_model_file, save_model_file, Algorithm, Backend, CxkError, EngineBuilder, TrainedModel,
 };
 use cxk_corpus::{synthesize_to, CorpusStream, SynthSpec};
-use cxk_serve::{assignment_json, json_escape, Classifier, ServeOptions, Server, ShardDaemon};
+use cxk_serve::{
+    assignment_json, json_escape, Classifier, ServeOptions, Server, ShardDaemon, TreeConfig,
+};
 use cxk_transact::{
     load_dataset, save_dataset, BuildOptions, Dataset, DatasetBuilder, IngestStats, SimParams,
 };
@@ -445,16 +447,23 @@ fn classify_stream(
 }
 
 /// `cxk serve <model.cxkmodel> [--port P] [--threads T] [--shards S]
-/// [--brute] [--watch SECS] [--queue-depth N] [--keep-alive SECS]` — run
-/// the classification server in the foreground. With `--shards`, the
-/// representatives are partitioned across `S` shards and the whole worker
-/// pool shares one scatter/gather engine per model epoch (assignments are
-/// bit-identical to the default replicated layout; memory no longer
-/// scales with `--threads`). With `--watch`, the snapshot file is polled
-/// every `SECS` seconds and hot-swapped into the running worker pool when
-/// it changes; `POST /reload` forces a swap at any time. `--queue-depth`
-/// bounds the acceptor→worker request queue (overflow is shed with a
-/// `503` carrying `Retry-After`); `--keep-alive` sets the idle horizon
+/// [--tree [--branch B] [--beam W]] [--brute] [--watch SECS]
+/// [--queue-depth N] [--keep-alive SECS]` — run the classification
+/// server in the foreground. With `--shards`, the representatives are
+/// partitioned across `S` shards and the whole worker pool shares one
+/// scatter/gather engine per model epoch (assignments are bit-identical
+/// to the default replicated layout; memory no longer scales with
+/// `--threads`). With `--tree`, each epoch publishes one shared
+/// hierarchical representative tree (branching factor `--branch`,
+/// default 8) and assignment descends it greedily keeping the top
+/// `--beam` subtrees per level (default 2) before exactly re-ranking
+/// the reached leaves — sublinear in k but approximate below full beam,
+/// so it cannot be combined with the exact shard layouts. With
+/// `--watch`, the snapshot file is polled every `SECS` seconds and
+/// hot-swapped into the running worker pool when it changes;
+/// `POST /reload` forces a swap at any time. `--queue-depth` bounds the
+/// acceptor→worker request queue (overflow is shed with a `503`
+/// carrying `Retry-After`); `--keep-alive` sets the idle horizon
 /// for connection reuse, and `--keep-alive 0` disables reuse entirely
 /// (one response per connection). Only returns on error.
 pub fn serve(args: &[String]) -> Result<String, String> {
@@ -478,6 +487,7 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         }
     };
     let remote_shards = remote_shards_from_flags(&parsed, shards.is_some())?;
+    let tree = tree_from_flags(&parsed, shards.is_some(), !remote_shards.is_empty())?;
     let remote_deadline = match parsed.get_str("remote-deadline-ms") {
         None => ServeOptions::default().remote_deadline,
         Some(_) => {
@@ -523,15 +533,20 @@ pub fn serve(args: &[String]) -> Result<String, String> {
         keep_alive,
         remote_shards,
         remote_deadline,
+        tree,
         ..ServeOptions::default()
     };
     let k = model.k();
     let layout = if remote_count > 0 {
         format!(", {remote_count} remote shards (scatter/gather over the cxk_p2p fabric)")
     } else {
-        match shards {
-            Some(s) => format!(", {s} shards (one shared index per epoch)"),
-            None => String::new(),
+        match (shards, tree) {
+            (Some(s), _) => format!(", {s} shards (one shared index per epoch)"),
+            (None, Some(cfg)) => format!(
+                ", representative tree (branch {}, beam {})",
+                cfg.branch, cfg.beam
+            ),
+            (None, None) => String::new(),
         }
     };
     let watching = match watch {
@@ -601,6 +616,44 @@ fn parse_rep_range(raw: &str) -> Result<std::ops::Range<u32>, String> {
     let start: u32 = a.parse().map_err(|_| malformed())?;
     let end: u32 = b.parse().map_err(|_| malformed())?;
     Ok(start..end)
+}
+
+/// Parses `--tree [--branch B] [--beam W]` into a [`TreeConfig`]. The
+/// tree is approximate below full beam, so combining it with either
+/// exact shard layout is rejected rather than silently resolved; the
+/// shape knobs require `--tree` so a typo cannot pass unnoticed.
+fn tree_from_flags(
+    parsed: &Parsed,
+    in_process_shards: bool,
+    remote_shards: bool,
+) -> Result<Option<TreeConfig>, String> {
+    if !parsed.has("tree") {
+        if parsed.get_str("branch").is_some() {
+            return Err("--branch: requires --tree".into());
+        }
+        if parsed.get_str("beam").is_some() {
+            return Err("--beam: requires --tree".into());
+        }
+        return Ok(None);
+    }
+    if in_process_shards {
+        return Err("--tree: cannot be combined with --shards (pick one engine layout)".into());
+    }
+    if remote_shards {
+        return Err(
+            "--tree: cannot be combined with --remote-shards (pick one engine layout)".into(),
+        );
+    }
+    let defaults = TreeConfig::default();
+    let branch: usize = parsed.get("branch", defaults.branch)?;
+    if branch < 2 {
+        return Err("--branch must be at least 2".into());
+    }
+    let beam: usize = parsed.get("beam", defaults.beam)?;
+    if beam == 0 {
+        return Err("--beam must be at least 1".into());
+    }
+    Ok(Some(TreeConfig { branch, beam }))
 }
 
 /// Parses `--remote-shards addr1,addr2,…` plus the optional parallel
@@ -1337,6 +1390,81 @@ mod tests {
             "127.0.0.1:7271,127.0.0.1:7272".into(),
             "--replicas".into(),
             "127.0.0.1:7273|127.0.0.1:7274,-".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn serve_tree_flags_are_validated_before_the_model_is_read() {
+        // The tree is mutually exclusive with both exact shard layouts.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--shards".into(),
+            "2".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--tree"), "{e}");
+        assert!(e.contains("--shards"), "{e}");
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--remote-shards".into(),
+            "127.0.0.1:7271".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--tree"), "{e}");
+        assert!(e.contains("--remote-shards"), "{e}");
+        // The shape knobs require --tree…
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--branch".into(),
+            "4".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("requires --tree"), "{e}");
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--beam".into(),
+            "2".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("requires --tree"), "{e}");
+        // …and are bounds-checked before the model is read.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--branch".into(),
+            "1".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--branch"), "{e}");
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--beam".into(),
+            "0".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--beam"), "{e}");
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--branch".into(),
+            "wide".into(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("branch"), "{e}");
+        // A well-formed tree config gets past flag validation and fails
+        // on the missing model instead.
+        let e = serve(&args(&[
+            "/nonexistent.cxkmodel".into(),
+            "--tree".into(),
+            "--branch".into(),
+            "4".into(),
+            "--beam".into(),
+            "2".into(),
         ]))
         .unwrap_err();
         assert!(e.contains("cannot read"), "{e}");

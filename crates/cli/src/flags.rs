@@ -10,7 +10,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 4] = ["quiet", "brute", "jsonl", "stream"];
+const BOOLEAN_FLAGS: [&str; 5] = ["quiet", "brute", "jsonl", "stream", "tree"];
 
 impl Parsed {
     /// Parses `args`.

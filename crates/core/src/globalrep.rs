@@ -96,6 +96,25 @@ pub fn compute_global_representative(
     generate_tree_tuple(ctx, ranked, &members, tr_max, work)
 }
 
+/// Merges already-built representatives into one, each weighted by how
+/// much evidence it carries — the reusable surface over
+/// [`compute_global_representative`] for callers outside the round
+/// protocol (the serving layer's hierarchical representative tree builds
+/// every internal node this way, weighting each child by the leaves it
+/// covers). Borrows its inputs instead of taking owned pairs, so building
+/// a whole level of merged nodes does not clone the level below twice.
+pub fn merge_representatives(
+    ctx: &SimCtx<'_>,
+    weighted: &[(&Representative, u64)],
+) -> Representative {
+    let owned: Vec<(Representative, u64)> = weighted
+        .iter()
+        .map(|&(rep, weight)| (rep.clone(), weight))
+        .collect();
+    let mut work = 0u64;
+    compute_global_representative(ctx, &owned, &mut work)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

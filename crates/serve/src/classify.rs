@@ -36,6 +36,7 @@
 use crate::index::{Candidates, TagPathIndex};
 use crate::remote::{RemoteClassifier, RemoteEngine};
 use crate::shard::{ShardedClassifier, ShardedEngine};
+use crate::tree::{TreeClassifier, TreeEngine};
 use cxk_core::rep::RepItem;
 use cxk_core::TrainedModel;
 use cxk_p2p::NetworkError;
@@ -539,6 +540,12 @@ impl Classifier {
 ///   topology: the same scatter/gather, but the shards are daemons in
 ///   other processes and only postings for *their* ranges are resident
 ///   anywhere (bit-identical too; see the `remote` module docs).
+/// * [`ClassifyEngine::Tree`] — the worker holds a [`TreeClassifier`]
+///   over the epoch's shared [`TreeEngine`]: assignment descends a
+///   hierarchical representative tree under a beam-width knob, then
+///   exactly re-ranks the reached leaves. The only *approximate*
+///   strategy — bit-identical to brute force at full beam, a measured
+///   accuracy/latency trade-off below it (see the `tree` module docs).
 pub enum ClassifyEngine {
     /// One private full-index classifier (the historical layout).
     Replicated(Box<Classifier>),
@@ -546,27 +553,33 @@ pub enum ClassifyEngine {
     Sharded(Box<ShardedClassifier>),
     /// A per-worker session over the shared remote shard topology.
     Remote(Box<RemoteClassifier>),
+    /// A per-worker session over the epoch's shared representative tree.
+    Tree(Box<TreeClassifier>),
 }
 
 impl ClassifyEngine {
     /// Builds the engine for one epoch: remote when the server was
     /// configured with a remote topology (which outlives epochs), sharded
-    /// when the epoch published a shared sharded engine, replicated
-    /// otherwise.
+    /// when the epoch published a shared sharded engine, tree when it
+    /// published a shared representative tree, replicated otherwise.
     pub fn for_epoch(
         model: &Arc<TrainedModel>,
         sharded: Option<&Arc<ShardedEngine>>,
         remote: Option<&Arc<RemoteEngine>>,
+        tree: Option<&Arc<TreeEngine>>,
     ) -> Self {
-        match (remote, sharded) {
-            (Some(topology), _) => ClassifyEngine::Remote(Box::new(RemoteClassifier::new(
+        match (remote, sharded, tree) {
+            (Some(topology), _, _) => ClassifyEngine::Remote(Box::new(RemoteClassifier::new(
                 Arc::clone(topology),
                 Arc::clone(model),
             ))),
-            (None, Some(engine)) => {
+            (None, Some(engine), _) => {
                 ClassifyEngine::Sharded(Box::new(ShardedClassifier::new(Arc::clone(engine))))
             }
-            (None, None) => {
+            (None, None, Some(engine)) => {
+                ClassifyEngine::Tree(Box::new(TreeClassifier::new(Arc::clone(engine))))
+            }
+            (None, None, None) => {
                 ClassifyEngine::Replicated(Box::new(Classifier::shared(Arc::clone(model))))
             }
         }
@@ -582,6 +595,7 @@ impl ClassifyEngine {
             ClassifyEngine::Replicated(c) => c.classify(xml).map_err(ClassifyError::Xml),
             ClassifyEngine::Sharded(c) => c.classify(xml).map_err(ClassifyError::Xml),
             ClassifyEngine::Remote(c) => c.classify(xml),
+            ClassifyEngine::Tree(c) => c.classify(xml).map_err(ClassifyError::Xml),
         }
     }
 
@@ -594,6 +608,7 @@ impl ClassifyEngine {
             ClassifyEngine::Replicated(c) => c.classify_brute(xml).map_err(ClassifyError::Xml),
             ClassifyEngine::Sharded(c) => c.classify_brute(xml).map_err(ClassifyError::Xml),
             ClassifyEngine::Remote(c) => c.classify_brute(xml),
+            ClassifyEngine::Tree(c) => c.classify_brute(xml).map_err(ClassifyError::Xml),
         }
     }
 
@@ -603,6 +618,7 @@ impl ClassifyEngine {
             ClassifyEngine::Replicated(c) => c.model(),
             ClassifyEngine::Sharded(c) => c.model(),
             ClassifyEngine::Remote(c) => c.model(),
+            ClassifyEngine::Tree(c) => c.model(),
         }
     }
 
@@ -613,12 +629,14 @@ impl ClassifyEngine {
 
     /// Total posting entries resident in *this* process behind the engine
     /// (the worker's own index, or the shared shard set; zero when remote
-    /// — the postings live in the daemons).
+    /// — the postings live in the daemons — and when running the tree,
+    /// which holds merged representatives instead of postings).
     pub fn posting_entries(&self) -> usize {
         match self {
             ClassifyEngine::Replicated(c) => c.index().posting_entries(),
             ClassifyEngine::Sharded(c) => c.engine().posting_entries(),
             ClassifyEngine::Remote(_) => 0,
+            ClassifyEngine::Tree(_) => 0,
         }
     }
 
@@ -634,6 +652,14 @@ impl ClassifyEngine {
     pub fn remote_engine(&self) -> Option<&Arc<RemoteEngine>> {
         match self {
             ClassifyEngine::Remote(c) => Some(c.engine()),
+            _ => None,
+        }
+    }
+
+    /// The shared representative tree, when running the tree strategy.
+    pub fn tree_engine(&self) -> Option<&Arc<TreeEngine>> {
+        match self {
+            ClassifyEngine::Tree(c) => Some(c.engine()),
             _ => None,
         }
     }
@@ -800,11 +826,12 @@ mod tests {
     fn engine_seam_agrees_across_strategies() {
         let model = Arc::new(model());
         let engine = Arc::new(ShardedEngine::build(Arc::clone(&model), 3));
-        let mut replicated = ClassifyEngine::for_epoch(&model, None, None);
-        let mut sharded = ClassifyEngine::for_epoch(&model, Some(&engine), None);
+        let mut replicated = ClassifyEngine::for_epoch(&model, None, None, None);
+        let mut sharded = ClassifyEngine::for_epoch(&model, Some(&engine), None, None);
         assert!(replicated.sharded_engine().is_none());
         assert!(sharded.sharded_engine().is_some());
         assert!(sharded.remote_engine().is_none());
+        assert!(sharded.tree_engine().is_none());
         for doc in [mining_doc(2), networking_doc(4)] {
             let a = replicated.classify(&doc).expect("replicated");
             let b = sharded.classify(&doc).expect("sharded");
@@ -819,5 +846,29 @@ mod tests {
             sharded.posting_entries(),
             "sharding repartitions the postings without changing their total"
         );
+    }
+
+    #[test]
+    fn engine_seam_tree_arm_matches_brute_at_full_beam() {
+        use crate::tree::{TreeConfig, TreeEngine};
+        let model = Arc::new(model());
+        // k = 2 with B = 2: level-less tree, trivially exact — the seam
+        // test exercises selection and plumbing, `tree_properties`
+        // exercises the descent.
+        let tree = Arc::new(TreeEngine::build(
+            Arc::clone(&model),
+            TreeConfig { branch: 2, beam: 2 },
+        ));
+        let mut engine = ClassifyEngine::for_epoch(&model, None, None, Some(&tree));
+        assert!(engine.tree_engine().is_some());
+        assert!(engine.sharded_engine().is_none());
+        assert_eq!(engine.posting_entries(), 0, "the tree holds no postings");
+        let mut brute = ClassifyEngine::for_epoch(&model, None, None, None);
+        for doc in [mining_doc(2), networking_doc(4)] {
+            let a = engine.classify(&doc).expect("tree");
+            let b = brute.classify_brute(&doc).expect("brute");
+            assert_eq!(a, b, "exact tree must be bit-identical");
+        }
+        assert!(tree.stats().tuples > 0);
     }
 }

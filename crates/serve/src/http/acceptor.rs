@@ -536,8 +536,8 @@ fn stats_json(
             shards.join(",")
         )
     } else {
-        match current.sharded.as_ref() {
-            Some(sharded) => {
+        match (current.sharded.as_ref(), current.tree.as_ref()) {
+            (Some(sharded), _) => {
                 let shards: Vec<String> = sharded
                     .shard_stats()
                     .iter()
@@ -555,7 +555,21 @@ fn stats_json(
                     shards.join(",")
                 )
             }
-            None => r#""engine":"replicated""#.to_string(),
+            (None, Some(tree)) => {
+                let s = tree.stats();
+                format!(
+                    r#""engine":"tree","branch":{},"beam":{},"tree_depth":{},"tree_nodes":{},"tuples":{},"nodes_visited":{},"reps_scored":{},"fallbacks":{}"#,
+                    s.branch,
+                    s.beam,
+                    s.depth,
+                    s.nodes,
+                    s.tuples,
+                    s.nodes_visited,
+                    s.reps_scored,
+                    s.fallbacks
+                )
+            }
+            (None, None) => r#""engine":"replicated""#.to_string(),
         }
     };
     format!(

@@ -135,6 +135,13 @@ pub struct ServeOptions {
     /// Per-shard scatter deadline before failing over to the next
     /// replica (`cxk serve --remote-deadline-ms <n>`).
     pub remote_deadline: Duration,
+    /// Serve through a hierarchical representative tree (`cxk serve
+    /// --tree --branch <B> --beam <W>`): one shared [`crate::TreeEngine`]
+    /// per epoch, assignment descends by `simγJ` under the beam and
+    /// exactly re-ranks the reached leaves. The only approximate layout
+    /// (exact at full beam); `remote_shards` and `shards` take
+    /// precedence. See the `tree` module docs.
+    pub tree: Option<crate::tree::TreeConfig>,
     /// The snapshot path behind the model, if it came from disk: the
     /// default `POST /reload` target and the file the watcher polls.
     pub model_path: Option<PathBuf>,
@@ -174,6 +181,7 @@ impl Default for ServeOptions {
             shards: None,
             remote_shards: Vec::new(),
             remote_deadline: Duration::from_secs(2),
+            tree: None,
             model_path: None,
             watch: None,
             queue_depth: 256,
@@ -333,7 +341,14 @@ impl Server {
             )))
         };
         let shards = if remote.is_some() { None } else { opts.shards };
-        let slot = Arc::new(ModelSlot::with_shards(model, shards));
+        // The tree is likewise mutually exclusive with both shard layouts
+        // (the CLI rejects the combinations; embedders get precedence).
+        let tree = if remote.is_some() || shards.is_some() {
+            None
+        } else {
+            opts.tree
+        };
+        let slot = Arc::new(ModelSlot::with_layout(model, shards, tree));
         let threads = opts.threads.max(1);
 
         let poll = Poll::new()?;
@@ -502,7 +517,12 @@ impl Drop for Server {
 /// session over the epoch's shared shard set, or a private full-index
 /// classifier when the slot runs replicated.
 fn engine_for(epoch: &EpochModel, remote: Option<&Arc<RemoteEngine>>) -> ClassifyEngine {
-    ClassifyEngine::for_epoch(&epoch.model, epoch.sharded.as_ref(), remote)
+    ClassifyEngine::for_epoch(
+        &epoch.model,
+        epoch.sharded.as_ref(),
+        remote,
+        epoch.tree.as_ref(),
+    )
 }
 
 /// A worker: pull jobs from the bounded queue, keep the engine on the

@@ -20,6 +20,12 @@
 //!   and a gather takes the global argmax, bit-identical to brute force.
 //!   One immutable engine per model epoch is shared by the whole worker
 //!   pool, so resident index memory is constant in the thread count.
+//! * [`tree`] — the sublinear strategy: a hierarchical representative
+//!   tree ([`TreeEngine`]) whose internal nodes are merged
+//!   representatives, descended greedily by `simγJ` under a beam-width
+//!   accuracy knob before an exact re-rank of the reached leaves —
+//!   bit-identical to brute force at full beam, a measured
+//!   accuracy/latency trade-off below it.
 //! * [`remote`] — the same scatter/gather pushed across process
 //!   boundaries over the `cxk_p2p` framed TCP fabric: [`ShardDaemon`]s
 //!   each serve one representative range of the model, and a
@@ -82,6 +88,7 @@ pub mod index;
 pub mod remote;
 pub mod shard;
 pub mod slot;
+pub mod tree;
 
 pub use classify::{
     Classifier, ClassifyEngine, ClassifyError, DocumentAssignment, TupleAssignment,
@@ -91,3 +98,4 @@ pub use index::{CandidateIds, Candidates, TagPathIndex};
 pub use remote::{RemoteClassifier, RemoteEngine, RemoteShardStats, ShardDaemon};
 pub use shard::{Shard, ShardStats, ShardedClassifier, ShardedEngine};
 pub use slot::{EpochModel, ModelSlot};
+pub use tree::{TreeClassifier, TreeConfig, TreeEngine, TreeStats};

@@ -32,6 +32,7 @@
 //! old and new representatives.
 
 use crate::shard::ShardedEngine;
+use crate::tree::{TreeConfig, TreeEngine};
 use cxk_core::TrainedModel;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,6 +48,10 @@ pub struct EpochModel {
     /// with a shard count; `None` means workers replicate a full index
     /// each.
     pub sharded: Option<Arc<ShardedEngine>>,
+    /// The epoch's shared representative tree, when the slot was built
+    /// with a [`TreeConfig`]; like the sharded engine it is built
+    /// off-lock per swap and shared by the whole pool.
+    pub tree: Option<Arc<TreeEngine>>,
 }
 
 /// The shared swap point for hot model reload (see the module docs).
@@ -62,6 +67,9 @@ pub struct ModelSlot {
     epoch: AtomicU64,
     /// Shard count every epoch's engine is built with; `None` = replicated.
     shards: Option<usize>,
+    /// Tree shape every epoch's representative tree is built with;
+    /// `None` = no tree.
+    tree: Option<TreeConfig>,
 }
 
 impl ModelSlot {
@@ -75,16 +83,35 @@ impl ModelSlot {
     /// carries one shared [`ShardedEngine`] partitioning the
     /// representatives across `s` shards.
     pub fn with_shards(model: TrainedModel, shards: Option<usize>) -> Self {
+        Self::with_layout(model, shards, None)
+    }
+
+    /// Publishes `model` as epoch 1 under an explicit engine layout:
+    /// a shard count, a [`TreeConfig`], or neither (replicated). The
+    /// layouts are mutually exclusive by construction at the server
+    /// level; if both are passed the sharded engine wins, matching
+    /// [`crate::ClassifyEngine::for_epoch`] precedence.
+    pub fn with_layout(
+        model: TrainedModel,
+        shards: Option<usize>,
+        tree: Option<TreeConfig>,
+    ) -> Self {
         Self {
-            current: Mutex::new(Arc::new(Self::publish(model, shards, 1))),
+            current: Mutex::new(Arc::new(Self::publish(model, shards, tree, 1))),
             epoch: AtomicU64::new(1),
             shards,
+            tree,
         }
     }
 
     /// The shard count epochs are built with (`None` = replicated).
     pub fn shards(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// The tree shape epochs are built with (`None` = no tree).
+    pub fn tree(&self) -> Option<TreeConfig> {
+        self.tree
     }
 
     /// The live epoch (lock-free).
@@ -104,7 +131,7 @@ impl ModelSlot {
     pub fn swap(&self, model: TrainedModel) -> u64 {
         // Build the (potentially expensive) derived state off-lock; only
         // the publish itself synchronizes.
-        let staged = Self::publish(model, self.shards, 0);
+        let staged = Self::publish(model, self.shards, self.tree, 0);
         let mut current = self.lock();
         let epoch = current.epoch + 1;
         *current = Arc::new(EpochModel { epoch, ..staged });
@@ -112,15 +139,22 @@ impl ModelSlot {
         epoch
     }
 
-    /// Assembles an epoch: the `Arc`ed model plus — in sharded mode — the
-    /// one engine the pool will share.
-    fn publish(model: TrainedModel, shards: Option<usize>, epoch: u64) -> EpochModel {
+    /// Assembles an epoch: the `Arc`ed model plus — in sharded or tree
+    /// mode — the one engine the pool will share.
+    fn publish(
+        model: TrainedModel,
+        shards: Option<usize>,
+        tree: Option<TreeConfig>,
+        epoch: u64,
+    ) -> EpochModel {
         let model = Arc::new(model);
         let sharded = shards.map(|s| Arc::new(ShardedEngine::build(Arc::clone(&model), s)));
+        let tree = tree.map(|cfg| Arc::new(TreeEngine::build(Arc::clone(&model), cfg)));
         EpochModel {
             epoch,
             model,
             sharded,
+            tree,
         }
     }
 
@@ -210,6 +244,34 @@ mod tests {
         assert!(std::sync::Arc::ptr_eq(next_engine.model(), &next.model));
         // The old epoch's engine is still coherent for in-flight holders.
         assert_eq!(engine.model().trained_documents, 2);
+    }
+
+    #[test]
+    fn tree_slots_publish_one_tree_per_epoch() {
+        let cfg = TreeConfig { branch: 2, beam: 1 };
+        let slot = ModelSlot::with_layout(model(false), None, Some(cfg));
+        assert_eq!(slot.tree(), Some(cfg));
+        assert_eq!(slot.shards(), None);
+        let boot = slot.current();
+        assert!(boot.sharded.is_none());
+        let tree = boot.tree.as_ref().expect("tree epoch");
+        assert_eq!(tree.config(), cfg);
+        assert!(std::sync::Arc::ptr_eq(tree.model(), &boot.model));
+        assert!(std::sync::Arc::ptr_eq(
+            slot.current().tree.as_ref().unwrap(),
+            tree
+        ));
+
+        let e = slot.swap(model(true));
+        assert_eq!(e, 2);
+        let next = slot.current();
+        let next_tree = next.tree.as_ref().expect("tree epoch");
+        assert!(
+            !std::sync::Arc::ptr_eq(next_tree, tree),
+            "a swap rebuilds the tree"
+        );
+        assert!(std::sync::Arc::ptr_eq(next_tree.model(), &next.model));
+        assert_eq!(tree.model().trained_documents, 2);
     }
 
     #[test]
